@@ -1,0 +1,62 @@
+//! Detector inference latency: the software analog of Table IV's hardware
+//! complexity column. The perceptron's binary-input dot product is orders
+//! of magnitude cheaper than KNN's distance scan and cheaper than the MLP
+//! forward pass.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mlkit::{Classifier, Knn, Mlp, Perceptron};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const FEATURES: usize = 106;
+
+fn sample_row(rng: &mut StdRng) -> Vec<f64> {
+    (0..FEATURES).map(|_| f64::from(rng.gen_bool(0.2))).collect()
+}
+
+fn training_set(rng: &mut StdRng, n: usize) -> (Vec<Vec<f64>>, Vec<i8>) {
+    let x: Vec<Vec<f64>> = (0..n).map(|_| sample_row(rng)).collect();
+    let y: Vec<i8> = x
+        .iter()
+        .map(|r| if r.iter().sum::<f64>() > FEATURES as f64 * 0.2 { 1 } else { -1 })
+        .collect();
+    (x, y)
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(17);
+    let (x, y) = training_set(&mut rng, 2000);
+
+    let mut perceptron = Perceptron::new(FEATURES);
+    perceptron.max_epochs = 50;
+    perceptron.fit(&x, &y);
+
+    let mut knn = Knn::new(3);
+    knn.fit(&x, &y);
+
+    let mut mlp = Mlp::new(FEATURES, 16, 3);
+    mlp.epochs = 5;
+    mlp.fit(&x, &y);
+
+    let mut group = c.benchmark_group("inference_106_features");
+    group.bench_function("perspectron_perceptron", |b| {
+        let mut r = StdRng::seed_from_u64(23);
+        b.iter_batched(
+            || sample_row(&mut r),
+            |row| perceptron.predict(&row),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("knn_k3_2000rows", |b| {
+        let mut r = StdRng::seed_from_u64(23);
+        b.iter_batched(|| sample_row(&mut r), |row| knn.predict(&row), BatchSize::SmallInput)
+    });
+    group.bench_function("mlp_16_hidden", |b| {
+        let mut r = StdRng::seed_from_u64(23);
+        b.iter_batched(|| sample_row(&mut r), |row| mlp.predict(&row), BatchSize::SmallInput)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

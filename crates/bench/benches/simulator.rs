@@ -1,0 +1,37 @@
+//! Simulator throughput: committed instructions per second for a benign
+//! kernel and for an attack (attacks stress the squash/flush paths).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sim_cpu::{Core, CoreConfig};
+use workloads::spectre::{spectre_v1, SpectreV1Params};
+
+const INSTS: u64 = 50_000;
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator_throughput");
+    group.throughput(Throughput::Elements(INSTS));
+    group.sample_size(10);
+
+    group.bench_function("benign_hmmer_50k_insts", |b| {
+        b.iter(|| {
+            let mut core = Core::new(CoreConfig::default(), workloads::benign::hmmer());
+            core.run(INSTS)
+        })
+    });
+    group.bench_function("spectre_v1_50k_insts", |b| {
+        b.iter(|| {
+            let mut core =
+                Core::new(CoreConfig::default(), spectre_v1(SpectreV1Params::default()));
+            core.run(INSTS)
+        })
+    });
+    group.bench_function("stat_snapshot_1159", |b| {
+        let mut core = Core::new(CoreConfig::default(), workloads::benign::hmmer());
+        core.run(10_000);
+        b.iter(|| uarch_stats::Snapshot::of(&core, ""))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Ablation study of the design choices DESIGN.md calls out:
+//!
+//! 1. k-sparse binarization vs. raw normalized inputs,
+//! 2. replicated per-component selection vs. plain top-N mutual
+//!    information,
+//!
+//! measured on held-out-attack folds (where generalization, not training
+//! fit, is the question).
+
+use mlkit::metrics::mean_confidence;
+use mlkit::{Classifier, Perceptron};
+use perspectron::dataset::Encoding;
+use perspectron::features::binary_mutual_information;
+use perspectron::{paper_folds, Dataset, FeatureSelection, SelectionConfig};
+use perspectron_bench::{experiment_corpus, render_table};
+
+fn fold_accuracies(
+    corpus: &perspectron::CollectedCorpus,
+    dataset: &Dataset,
+    indices: &[usize],
+) -> Vec<f64> {
+    let (x, y) = dataset.project(indices);
+    paper_folds()
+        .iter()
+        .map(|fold| {
+            let split = fold.split(corpus, dataset);
+            let xt: Vec<Vec<f64>> = split.train.iter().map(|&i| x[i].clone()).collect();
+            let yt: Vec<i8> = split.train.iter().map(|&i| y[i]).collect();
+            let mut p = Perceptron::new(indices.len());
+            p.fit(&xt, &yt);
+            let correct = split.test.iter().filter(|&&i| p.predict(&x[i]) == y[i]).count();
+            correct as f64 / split.test.len().max(1) as f64
+        })
+        .collect()
+}
+
+fn main() {
+    let corpus = experiment_corpus(10_000);
+    let ks = Dataset::from_corpus(&corpus, Encoding::KSparse);
+    let norm = Dataset::from_corpus(&corpus, Encoding::Normalized);
+    let selection = FeatureSelection::select(&ks, &SelectionConfig::default());
+
+    // Plain top-N mutual-information selection (no component replication,
+    // no decorrelation).
+    let y = ks.y();
+    let mut scored: Vec<(usize, f64)> = (0..ks.schema.len())
+        .map(|i| (i, binary_mutual_information(&ks.column(i), &y)))
+        .collect();
+    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN"));
+    let top_n: Vec<usize> = scored
+        .iter()
+        .take(selection.selected.len())
+        .map(|&(i, _)| i)
+        .collect();
+
+    let configs: Vec<(&str, Vec<f64>)> = vec![
+        (
+            "k-sparse + replicated selection (PerSpectron)",
+            fold_accuracies(&corpus, &ks, &selection.selected),
+        ),
+        (
+            "normalized inputs + replicated selection",
+            fold_accuracies(&corpus, &norm, &selection.selected),
+        ),
+        (
+            "k-sparse + plain top-N mutual information",
+            fold_accuracies(&corpus, &ks, &top_n),
+        ),
+        (
+            "k-sparse + all 1159 features",
+            fold_accuracies(&corpus, &ks, &(0..ks.schema.len()).collect::<Vec<_>>()),
+        ),
+    ];
+
+    println!("ABLATION: held-out-attack accuracy by design choice\n");
+    let rows: Vec<Vec<String>> = configs
+        .iter()
+        .map(|(name, accs)| {
+            let (mean, ci) = mean_confidence(accs);
+            let per_fold = accs.iter().map(|a| format!("{a:.3}")).collect::<Vec<_>>().join(" / ");
+            vec![name.to_string(), format!("{mean:.4} ±{ci:.4}"), per_fold]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(&["configuration", "mean accuracy (95% CI)", "per-fold"], &rows)
+    );
+    println!(
+        "top-N selection overlaps the replicated selection in {} of {} features",
+        top_n.iter().filter(|i| selection.selected.contains(i)).count(),
+        top_n.len()
+    );
+}

@@ -1,0 +1,31 @@
+//! §VII-C interpretation through feature analysis: the trained perceptron's
+//! weights grouped by pipeline component.
+
+use perspectron_bench::trained_detector;
+
+fn main() {
+    let (corpus, detector) = trained_detector();
+    let report = detector.evaluate(&corpus);
+    println!(
+        "detector trained on {} workloads; training-set accuracy {:.4}\n",
+        corpus.traces.len(),
+        report.confusion.accuracy()
+    );
+    println!("FEATURE WEIGHTS BY COMPONENT (positive → suspicious, negative → benign)\n");
+    for (component, weights) in detector.explain() {
+        println!("[{component}]");
+        for (name, w) in weights.iter().take(6) {
+            let bar_len = (w.abs() * 10.0).min(30.0) as usize;
+            let bar: String = std::iter::repeat(if *w >= 0.0 { '+' } else { '-' })
+                .take(bar_len.max(1))
+                .collect();
+            println!("  {w:>8.3}  {bar:<30} {name}");
+        }
+        println!();
+    }
+    let cost = detector.hardware_cost();
+    println!(
+        "hardware: {} cycles/inference, {} bits storage, {} multipliers",
+        cost.inference_cycles, cost.storage_bits, cost.multipliers
+    );
+}

@@ -1,0 +1,9 @@
+//! Table II: parameters of the simulated architecture.
+
+use sim_cpu::CoreConfig;
+
+fn main() {
+    println!("TABLE II: Parameters of simulated architecture");
+    println!("================================================");
+    println!("{}", CoreConfig::default().to_table());
+}

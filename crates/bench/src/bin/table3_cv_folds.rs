@@ -1,0 +1,17 @@
+//! Table III: the attack-held-out cross-validation folds.
+
+use perspectron::paper_folds;
+use perspectron::CorpusSpec;
+
+fn main() {
+    // A zero-instruction collection builds labeled (empty) traces cheaply —
+    // enough to render the fold table.
+    let corpus = CorpusSpec::paper().with_insts(0).collect();
+    println!("TABLE III: estimating the risk using cross validation");
+    println!("(at each fold, one version of each attack category is excluded from training)\n");
+    println!("k | D_k (test) | D_-k (train)");
+    for fold in paper_folds() {
+        println!("{}", fold.describe(&corpus));
+        println!("   held-out benign: {}", fold.held_out_benign.join(", "));
+    }
+}

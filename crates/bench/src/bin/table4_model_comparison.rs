@@ -1,0 +1,200 @@
+//! Table IV: ML model and feature-set comparison under attack-held-out
+//! cross-validation.
+//!
+//! Reproduces the paper's grid: {DT-CART, Logistic Regression, Perceptron,
+//! KNN, NN, PerSpectron} × {MAP committed-state features, PerSpectron
+//! features, all 1159}, reporting mean accuracy with a 95% confidence
+//! interval, the false-positive workloads, the missed attack families, and
+//! the hardware complexity class.
+
+use mlkit::metrics::mean_confidence;
+use mlkit::{Classifier, DecisionTree, Knn, LogisticRegression, Majority, Mlp, Perceptron};
+use perspectron::dataset::Encoding;
+use perspectron::map_features::map_feature_indices;
+use perspectron::{paper_folds, Dataset, FeatureSelection, HardwareCost, SelectionConfig};
+use perspectron_bench::{experiment_corpus, render_table};
+
+#[derive(Clone, Copy)]
+enum FeatSpace {
+    Map,
+    Selected,
+    All,
+}
+
+struct ModelSpec {
+    name: &'static str,
+    features: FeatSpace,
+    feature_label: &'static str,
+    complexity: &'static str,
+    make: fn(usize) -> Box<dyn Classifier>,
+}
+
+fn main() {
+    let corpus = experiment_corpus(10_000);
+    let ks = Dataset::from_corpus(&corpus, Encoding::KSparse);
+    let norm = Dataset::from_corpus(&corpus, Encoding::Normalized);
+    let selection = FeatureSelection::select(&ks, &SelectionConfig::default());
+    let map_idx = map_feature_indices(&ks.schema);
+    let folds = paper_folds();
+
+    let (pos, neg) = ks.class_counts();
+    println!(
+        "corpus: {} samples ({} malicious / {} benign), {} workloads, interval {}\n",
+        ks.len(),
+        pos,
+        neg,
+        corpus.traces.len(),
+        corpus.sample_interval
+    );
+    println!(
+        "selected features: {} of {}; MAP baseline features: {}\n",
+        selection.selected.len(),
+        ks.schema.len(),
+        map_idx.len()
+    );
+
+    let models: Vec<ModelSpec> = vec![
+        ModelSpec {
+            name: "Majority",
+            features: FeatSpace::Map,
+            feature_label: "-",
+            complexity: "low",
+            make: |_| Box::new(Majority::new()),
+        },
+        ModelSpec {
+            name: "DT-CART*",
+            features: FeatSpace::Map,
+            feature_label: "MAP",
+            complexity: "low",
+            make: |_| Box::new(DecisionTree::new(8, 4)),
+        },
+        ModelSpec {
+            name: "DT-CART",
+            features: FeatSpace::Selected,
+            feature_label: "PerSpectron",
+            complexity: "low",
+            make: |_| Box::new(DecisionTree::new(8, 4)),
+        },
+        ModelSpec {
+            name: "LogisticRegression*",
+            features: FeatSpace::Map,
+            feature_label: "MAP",
+            complexity: "low",
+            make: |n| Box::new(LogisticRegression::new(n)),
+        },
+        ModelSpec {
+            name: "Perceptron",
+            features: FeatSpace::All,
+            feature_label: "1159 features",
+            complexity: "low",
+            make: |n| Box::new(Perceptron::new(n)),
+        },
+        ModelSpec {
+            name: "KNN",
+            features: FeatSpace::Selected,
+            feature_label: "PerSpectron",
+            complexity: "high",
+            make: |_| Box::new(Knn::new(3)),
+        },
+        ModelSpec {
+            name: "NN*",
+            features: FeatSpace::Map,
+            feature_label: "MAP",
+            complexity: "high",
+            make: |n| Box::new(Mlp::new(n, 16, 9)),
+        },
+        ModelSpec {
+            name: "NN",
+            features: FeatSpace::Selected,
+            feature_label: "PerSpectron",
+            complexity: "high",
+            make: |n| Box::new(Mlp::new(n, 16, 9)),
+        },
+        ModelSpec {
+            name: "PerSpectron",
+            features: FeatSpace::Selected,
+            feature_label: "PerSpectron",
+            complexity: "low",
+            make: |n| Box::new(Perceptron::new(n)),
+        },
+    ];
+
+    let mut rows = Vec::new();
+    for spec in &models {
+        let (dataset, indices): (&Dataset, Vec<usize>) = match spec.features {
+            FeatSpace::Map => (&norm, map_idx.clone()),
+            FeatSpace::Selected => (&ks, selection.selected.clone()),
+            FeatSpace::All => (&ks, (0..ks.schema.len()).collect()),
+        };
+        let (x, y) = dataset.project(&indices);
+
+        let mut accs = Vec::new();
+        let mut fp_workloads = std::collections::BTreeSet::new();
+        let mut fn_families = std::collections::BTreeSet::new();
+        for fold in &folds {
+            let split = fold.split(&corpus, dataset);
+            let xt: Vec<Vec<f64>> = split.train.iter().map(|&i| x[i].clone()).collect();
+            let yt: Vec<i8> = split.train.iter().map(|&i| y[i]).collect();
+            let mut model = (spec.make)(indices.len());
+            model.fit(&xt, &yt);
+            let mut correct = 0usize;
+            for &i in &split.test {
+                let p = model.predict(&x[i]);
+                if p == y[i] {
+                    correct += 1;
+                } else if p > 0 {
+                    fp_workloads.insert(corpus.traces[dataset.samples[i].workload].name.clone());
+                } else {
+                    fn_families.insert(dataset.samples[i].family.label());
+                }
+            }
+            accs.push(correct as f64 / split.test.len().max(1) as f64);
+        }
+        let (mean, ci) = mean_confidence(&accs);
+        rows.push(vec![
+            spec.name.to_string(),
+            spec.feature_label.to_string(),
+            format!("{mean:.4}"),
+            format!("±{ci:.4}"),
+            fp_workloads.into_iter().collect::<Vec<_>>().join(","),
+            fn_families.into_iter().collect::<Vec<_>>().join(","),
+            spec.complexity.to_string(),
+        ]);
+        println!("  done: {} ({})", spec.name, spec.feature_label);
+    }
+
+    println!("\nTABLE IV: ML model and feature-set comparison\n");
+    println!(
+        "{}",
+        render_table(
+            &[
+                "Model",
+                "Features",
+                "MeanAcc",
+                "95% CI",
+                "FalsePositives",
+                "MissedFamilies",
+                "HW"
+            ],
+            &rows
+        )
+    );
+
+    // Hardware cost appendix.
+    println!("hardware cost detail:");
+    let costs = [
+        ("PerSpectron (106 inputs)", HardwareCost::perceptron(selection.selected.len(), 60)),
+        ("KNN (stored corpus)", HardwareCost::knn(ks.len() * 2 / 3, selection.selected.len())),
+        (
+            "NN (106x16 MLP)",
+            HardwareCost::neural_network(selection.selected.len() * 16 + 16 * 2),
+        ),
+        ("DT-CART (depth 8)", HardwareCost::decision_tree(120, 8)),
+    ];
+    for (name, c) in costs {
+        println!(
+            "  {name:<26} {:>10} cycles/inference, {:>10} bits, {} multipliers ({})",
+            c.inference_cycles, c.storage_bits, c.multipliers, c.complexity
+        );
+    }
+}

@@ -1,0 +1,180 @@
+//! Flattening a collected corpus into a labeled sample matrix.
+
+use uarch_stats::Schema;
+use workloads::{Class, Family};
+
+use crate::encode::MaxMatrix;
+use crate::trace::CollectedCorpus;
+
+/// One labeled sample (a single sampling window of one workload).
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Feature vector (normalized or binarized, per dataset encoding).
+    pub x: Vec<f64>,
+    /// +1 malicious / −1 benign.
+    pub y: i8,
+    /// Index of the originating workload within the corpus.
+    pub workload: usize,
+    /// Attack family of the originating workload.
+    pub family: Family,
+    /// Committed-instruction count when the sample was taken.
+    pub at_inst: u64,
+}
+
+/// How samples encode feature values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Encoding {
+    /// Max-normalized continuous values in `[0, 1]`.
+    Normalized,
+    /// The paper's k-sparse 0/1 representation.
+    KSparse,
+}
+
+/// A flattened dataset over the full 1159-statistic space.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// All samples.
+    pub samples: Vec<Sample>,
+    /// The statistic schema (column names).
+    pub schema: Schema,
+    /// The fitted max matrix (kept for encoding unseen traces).
+    pub max_matrix: MaxMatrix,
+    /// The encoding used for [`Sample::x`].
+    pub encoding: Encoding,
+}
+
+impl Dataset {
+    /// Builds a dataset from a corpus with the chosen encoding. The max
+    /// matrix is fitted on the same corpus (the paper's offline profiling).
+    pub fn from_corpus(corpus: &CollectedCorpus, encoding: Encoding) -> Self {
+        let max_matrix = MaxMatrix::fit(corpus);
+        let mut samples = Vec::with_capacity(corpus.total_samples());
+        for (w, t) in corpus.traces.iter().enumerate() {
+            let y = if t.class == Class::Malicious { 1 } else { -1 };
+            for (j, row) in t.trace.rows().iter().enumerate() {
+                let x = match encoding {
+                    Encoding::Normalized => max_matrix.normalize(row, j),
+                    Encoding::KSparse => max_matrix.binarize(row, j),
+                };
+                samples.push(Sample {
+                    x,
+                    y,
+                    workload: w,
+                    family: t.family,
+                    at_inst: t.trace.instruction_counts()[j],
+                });
+            }
+        }
+        Self {
+            samples,
+            schema: corpus.schema().clone(),
+            max_matrix,
+            encoding,
+        }
+    }
+
+    /// Feature matrix view (row clones).
+    pub fn x(&self) -> Vec<Vec<f64>> {
+        self.samples.iter().map(|s| s.x.clone()).collect()
+    }
+
+    /// Label vector.
+    pub fn y(&self) -> Vec<i8> {
+        self.samples.iter().map(|s| s.y).collect()
+    }
+
+    /// Per-sample workload indices (group ids for held-out CV).
+    pub fn groups(&self) -> Vec<usize> {
+        self.samples.iter().map(|s| s.workload).collect()
+    }
+
+    /// The time series of one feature column pooled over all samples (used
+    /// by the correlation step).
+    pub fn column(&self, i: usize) -> Vec<f64> {
+        self.samples.iter().map(|s| s.x[i]).collect()
+    }
+
+    /// Projects every sample onto the given feature indices.
+    pub fn project(&self, indices: &[usize]) -> (Vec<Vec<f64>>, Vec<i8>) {
+        let x = self
+            .samples
+            .iter()
+            .map(|s| indices.iter().map(|&i| s.x[i]).collect())
+            .collect();
+        (x, self.y())
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Class balance `(malicious, benign)`.
+    pub fn class_counts(&self) -> (usize, usize) {
+        let pos = self.samples.iter().filter(|s| s.y > 0).count();
+        (pos, self.len() - pos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::CorpusSpec;
+
+    fn tiny_dataset(encoding: Encoding) -> Dataset {
+        let mut all = workloads::full_suite();
+        all.retain(|w| w.name == "flush-flush" || w.name == "hmmer");
+        let corpus = CorpusSpec {
+            insts_per_workload: 60_000,
+            sample_interval: 10_000,
+            workloads: all,
+        }
+        .collect();
+        Dataset::from_corpus(&corpus, encoding)
+    }
+
+    #[test]
+    fn ksparse_encoding_is_binary() {
+        let d = tiny_dataset(Encoding::KSparse);
+        assert!(!d.is_empty());
+        for s in &d.samples {
+            assert!(s.x.iter().all(|&v| v == 0.0 || v == 1.0));
+        }
+    }
+
+    #[test]
+    fn normalized_encoding_is_unit_bounded() {
+        let d = tiny_dataset(Encoding::Normalized);
+        for s in &d.samples {
+            assert!(s.x.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn labels_and_groups_align_with_workloads() {
+        let d = tiny_dataset(Encoding::KSparse);
+        let (pos, neg) = d.class_counts();
+        assert!(pos > 0 && neg > 0);
+        for s in &d.samples {
+            if s.workload == 0 {
+                assert_eq!(s.y, 1, "first workload is the attack");
+            } else {
+                assert_eq!(s.y, -1);
+            }
+        }
+    }
+
+    #[test]
+    fn project_selects_columns() {
+        let d = tiny_dataset(Encoding::KSparse);
+        let idx = vec![0, 5, 10];
+        let (x, y) = d.project(&idx);
+        assert_eq!(x.len(), y.len());
+        assert!(x.iter().all(|r| r.len() == 3));
+    }
+}

@@ -1,0 +1,170 @@
+//! The paper's hardware-friendly input representation: per-sampling-point
+//! maxima (matrix *M*) and k-sparse 0/1 binarization.
+
+use crate::trace::CollectedCorpus;
+
+/// The matrix *M* of §IV-C: `M[i][j]` is the maximum observed value of
+/// counter `i` at execution (sampling) point `j` across the reference
+/// corpus. Scaled statistic = value / M\[i\]\[j\]; the k-sparse bit is 1
+/// when the scaled statistic exceeds 0.5.
+#[derive(Debug, Clone)]
+pub struct MaxMatrix {
+    /// max\[feature\]\[sample_index\]
+    maxima: Vec<Vec<f64>>,
+    /// Global per-feature maxima (fallback past the last stored column).
+    global: Vec<f64>,
+}
+
+impl MaxMatrix {
+    /// Builds *M* from a collected corpus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the corpus is empty.
+    pub fn fit(corpus: &CollectedCorpus) -> Self {
+        let width = corpus.schema().len();
+        let depth = corpus
+            .traces
+            .iter()
+            .map(|t| t.trace.len())
+            .max()
+            .expect("non-empty corpus");
+        let mut maxima = vec![vec![0.0f64; depth]; width];
+        let mut global = vec![0.0f64; width];
+        for t in &corpus.traces {
+            for (j, row) in t.trace.rows().iter().enumerate() {
+                for (i, &v) in row.iter().enumerate() {
+                    let v = v.abs();
+                    if v > maxima[i][j] {
+                        maxima[i][j] = v;
+                    }
+                    if v > global[i] {
+                        global[i] = v;
+                    }
+                }
+            }
+        }
+        Self { maxima, global }
+    }
+
+    /// Number of features (rows of *M*).
+    pub fn features(&self) -> usize {
+        self.maxima.len()
+    }
+
+    /// Number of stored sampling points (columns of *M*).
+    pub fn sample_points(&self) -> usize {
+        self.maxima.first().map_or(0, Vec::len)
+    }
+
+    /// The maximum for feature `i` at sampling point `j` (falling back to
+    /// the global maximum beyond the stored horizon or when the stored
+    /// maximum is zero).
+    pub fn max_at(&self, i: usize, j: usize) -> f64 {
+        let m = self.maxima[i].get(j).copied().unwrap_or(0.0);
+        if m > 0.0 {
+            m
+        } else {
+            self.global[i]
+        }
+    }
+
+    /// Scales one raw sample row taken at sampling point `j` into `[0, 1]`
+    /// values (0 when the counter never fired in the reference corpus).
+    pub fn normalize(&self, row: &[f64], j: usize) -> Vec<f64> {
+        row.iter()
+            .enumerate()
+            .map(|(i, &v)| {
+                let m = self.max_at(i, j);
+                if m == 0.0 {
+                    0.0
+                } else {
+                    (v.abs() / m).min(1.0)
+                }
+            })
+            .collect()
+    }
+
+    /// Encodes one raw sample row into the k-sparse 0/1 representation.
+    pub fn binarize(&self, row: &[f64], j: usize) -> Vec<f64> {
+        self.normalize(row, j)
+            .into_iter()
+            .map(|v| if v > 0.5 { 1.0 } else { 0.0 })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{CollectedCorpus, LabeledTrace};
+    use uarch_stats::{stat_group, Counter, SampleTrace, Sampler};
+    use workloads::{Class, Family};
+
+    stat_group! {
+        /// Two-feature toy group.
+        pub struct Toy {
+            /// a.
+            pub a: Counter => "a",
+            /// b.
+            pub b: Counter => "b",
+        }
+    }
+
+    fn toy_corpus(rows: Vec<Vec<f64>>) -> CollectedCorpus {
+        let g = Toy::default();
+        let s = Sampler::new(&g, "t");
+        let mut trace = SampleTrace::new(s.schema().clone());
+        for (j, r) in rows.into_iter().enumerate() {
+            trace.push((j as u64 + 1) * 10_000, r);
+        }
+        CollectedCorpus {
+            traces: vec![LabeledTrace {
+                name: "toy".into(),
+                class: Class::Benign,
+                family: Family::Benign,
+                trace,
+                marks: vec![],
+            }],
+            sample_interval: 10_000,
+        }
+    }
+
+    #[test]
+    fn maxima_are_per_sampling_point() {
+        let c = toy_corpus(vec![vec![10.0, 1.0], vec![2.0, 100.0]]);
+        let m = MaxMatrix::fit(&c);
+        assert_eq!(m.max_at(0, 0), 10.0);
+        assert_eq!(m.max_at(0, 1), 2.0);
+        assert_eq!(m.max_at(1, 1), 100.0);
+    }
+
+    #[test]
+    fn normalize_scales_into_unit_interval() {
+        let c = toy_corpus(vec![vec![10.0, 4.0]]);
+        let m = MaxMatrix::fit(&c);
+        assert_eq!(m.normalize(&[5.0, 4.0], 0), vec![0.5, 1.0]);
+    }
+
+    #[test]
+    fn binarize_thresholds_at_half() {
+        let c = toy_corpus(vec![vec![10.0, 10.0]]);
+        let m = MaxMatrix::fit(&c);
+        assert_eq!(m.binarize(&[6.0, 5.0], 0), vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn dead_counters_encode_as_zero() {
+        let c = toy_corpus(vec![vec![0.0, 10.0]]);
+        let m = MaxMatrix::fit(&c);
+        assert_eq!(m.normalize(&[123.0, 5.0], 0), vec![0.0, 0.5]);
+    }
+
+    #[test]
+    fn beyond_horizon_falls_back_to_global_max() {
+        let c = toy_corpus(vec![vec![10.0, 1.0], vec![20.0, 2.0]]);
+        let m = MaxMatrix::fit(&c);
+        assert_eq!(m.max_at(0, 99), 20.0);
+        assert_eq!(m.normalize(&[10.0, 1.0], 99), vec![0.5, 0.5]);
+    }
+}

@@ -1,0 +1,53 @@
+//! PerSpectron: detecting invariant footprints of microarchitectural
+//! attacks with perceptron learning.
+//!
+//! Reproduction of the MICRO 2020 paper. The pipeline is:
+//!
+//! 1. [`trace`] — run labeled workloads on the out-of-order simulator,
+//!    dumping all 1159 microarchitectural statistics every N committed
+//!    instructions.
+//! 2. [`encode`] — normalize each statistic by its per-sampling-point
+//!    maximum (the paper's matrix *M*) and binarize at 0.5 into k-sparse
+//!    0/1 feature vectors.
+//! 3. [`features`] — group mutually-correlated features (Pearson |c| ≥
+//!    0.98) across the 17 pipeline components and greedily select 106
+//!    *replicated invariant features*, one bank per component.
+//! 4. [`detector`] — train the hardware-style perceptron over the selected
+//!    features; classify with a confidence output and a 0.25 threshold.
+//! 5. [`hardware`] — the hardware cost model (sequential-adder latency,
+//!    storage bits) justifying "low hardware complexity" in Table IV.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use perspectron::{CorpusSpec, PerSpectron};
+//!
+//! // Collect a small corpus and train the detector end to end.
+//! let corpus = CorpusSpec::quick().collect();
+//! let detector = PerSpectron::train(&corpus, 42);
+//! let report = detector.evaluate(&corpus);
+//! assert!(report.confusion.accuracy() > 0.9);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod detector;
+pub mod encode;
+pub mod eval;
+pub mod features;
+pub mod hardware;
+pub mod map_features;
+pub mod multiclass;
+pub mod rhmd;
+pub mod trace;
+
+pub use dataset::{Dataset, Sample};
+pub use detector::{DetectionReport, PerSpectron};
+pub use encode::MaxMatrix;
+pub use eval::{paper_folds, FoldSpec};
+pub use features::{component_of, FeatureSelection, SelectionConfig};
+pub use hardware::HardwareCost;
+pub use multiclass::MulticlassDetector;
+pub use rhmd::RhmdDetector;
+pub use trace::{CollectedCorpus, CorpusSpec, LabeledTrace};

@@ -1,0 +1,193 @@
+//! RHMD-style evasion resilience (§IX future work): an ensemble of
+//! detectors over *randomized feature subsets*, invoked stochastically.
+//!
+//! Khasawneh et al.'s RHMD shows that a reverse-engineering adversary can
+//! craft inputs that evade any single fixed detector, but randomizing which
+//! detector answers each query makes evasion a provably harder (non-convex)
+//! problem. The paper proposes applying the same idea to PerSpectron; this
+//! module implements it.
+
+use mlkit::{Classifier, Perceptron};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::dataset::Dataset;
+use crate::features::FeatureSelection;
+
+/// An ensemble of perceptrons, each trained on a random subset of the
+/// selected features; classification consults a randomly drawn member.
+#[derive(Debug, Clone)]
+pub struct RhmdDetector {
+    members: Vec<(Vec<usize>, Perceptron, f64)>,
+    rng: StdRng,
+}
+
+impl RhmdDetector {
+    /// Trains `n_members` detectors, each over a random
+    /// `subset_fraction` of the selected features.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_members == 0` or `subset_fraction` is not in `(0, 1]`.
+    pub fn train(
+        dataset: &Dataset,
+        selection: &FeatureSelection,
+        n_members: usize,
+        subset_fraction: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(n_members > 0, "need at least one member");
+        assert!(
+            subset_fraction > 0.0 && subset_fraction <= 1.0,
+            "subset fraction must be in (0, 1]"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let subset_len =
+            ((selection.selected.len() as f64 * subset_fraction) as usize).max(8);
+        let y = dataset.y();
+        let mut members = Vec::with_capacity(n_members);
+        for _ in 0..n_members {
+            let mut pool = selection.selected.clone();
+            pool.shuffle(&mut rng);
+            let mut subset: Vec<usize> = pool.into_iter().take(subset_len).collect();
+            subset.sort_unstable();
+            let x: Vec<Vec<f64>> = dataset
+                .samples
+                .iter()
+                .map(|s| subset.iter().map(|&i| s.x[i]).collect())
+                .collect();
+            let mut p = Perceptron::new(subset.len());
+            p.margin = 2.0;
+            p.target_error = 0.002;
+            p.positive_weight = 3.0;
+            p.fit(&x, &y);
+            let norm: f64 =
+                p.weights().iter().map(|w| w.abs()).sum::<f64>() + p.bias().abs();
+            members.push((subset, p, norm.max(1e-12)));
+        }
+        Self { members, rng }
+    }
+
+    /// Number of ensemble members.
+    pub fn member_count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Classifies a full-width sample row by consulting one randomly drawn
+    /// member (the stochastic invocation that defeats detector
+    /// reverse-engineering).
+    pub fn is_suspicious(&mut self, full_row: &[f64]) -> bool {
+        let pick = self.rng.gen_range(0..self.members.len());
+        self.member_confidence(pick, full_row) >= 0.0
+    }
+
+    /// Normalized confidence of a specific member (for analysis).
+    pub fn member_confidence(&self, member: usize, full_row: &[f64]) -> f64 {
+        let (subset, p, norm) = &self.members[member];
+        let projected: Vec<f64> = subset.iter().map(|&i| full_row[i]).collect();
+        p.score(&projected) / norm
+    }
+
+    /// Fraction of members flagging the sample — the ensemble's majority
+    /// view (deterministic, used by tests).
+    pub fn agreement(&self, full_row: &[f64]) -> f64 {
+        let hits = (0..self.members.len())
+            .filter(|&m| self.member_confidence(m, full_row) >= 0.0)
+            .count();
+        hits as f64 / self.members.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Encoding;
+    use crate::features::SelectionConfig;
+    use crate::trace::CorpusSpec;
+    use workloads::Class;
+
+    #[test]
+    fn randomized_ensemble_still_separates_attack_from_benign() {
+        let mut all = workloads::full_suite();
+        all.retain(|w| {
+            ["spectre-v1-classic", "flush-reload", "gcc", "hmmer"].contains(&w.name.as_str())
+        });
+        let corpus = CorpusSpec {
+            insts_per_workload: 120_000,
+            sample_interval: 10_000,
+            workloads: all,
+        }
+        .collect();
+        let dataset = Dataset::from_corpus(&corpus, Encoding::KSparse);
+        let selection = FeatureSelection::select(&dataset, &SelectionConfig::default());
+        let rhmd = RhmdDetector::train(&dataset, &selection, 5, 0.5, 99);
+        assert_eq!(rhmd.member_count(), 5);
+
+        let mut attack_agree = 0.0;
+        let mut benign_agree = 0.0;
+        let (mut na, mut nb) = (0, 0);
+        for (s, t) in dataset
+            .samples
+            .iter()
+            .map(|s| (s, &corpus.traces[s.workload]))
+        {
+            let a = rhmd.agreement(&s.x);
+            if t.class == Class::Malicious {
+                attack_agree += a;
+                na += 1;
+            } else {
+                benign_agree += a;
+                nb += 1;
+            }
+        }
+        attack_agree /= na as f64;
+        benign_agree /= nb as f64;
+        assert!(
+            attack_agree > 0.7,
+            "ensemble members should flag attacks, got {attack_agree:.2}"
+        );
+        assert!(
+            benign_agree < 0.3,
+            "ensemble members should pass benign, got {benign_agree:.2}"
+        );
+    }
+
+    #[test]
+    fn members_use_different_feature_subsets() {
+        let mut all = workloads::full_suite();
+        all.retain(|w| ["flush-flush", "bzip2"].contains(&w.name.as_str()));
+        let corpus = CorpusSpec {
+            insts_per_workload: 60_000,
+            sample_interval: 10_000,
+            workloads: all,
+        }
+        .collect();
+        let dataset = Dataset::from_corpus(&corpus, Encoding::KSparse);
+        let selection = FeatureSelection::select(&dataset, &SelectionConfig::default());
+        let rhmd = RhmdDetector::train(&dataset, &selection, 4, 0.4, 7);
+        let subsets: Vec<_> = (0..4)
+            .map(|m| rhmd.members[m].0.clone())
+            .collect();
+        assert!(
+            subsets.windows(2).any(|w| w[0] != w[1]),
+            "random subsets should differ"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn zero_members_panics() {
+        let mut all = workloads::full_suite();
+        all.retain(|w| w.name == "bzip2");
+        let corpus = CorpusSpec {
+            insts_per_workload: 20_000,
+            sample_interval: 10_000,
+            workloads: all,
+        }
+        .collect();
+        let dataset = Dataset::from_corpus(&corpus, Encoding::KSparse);
+        let selection = FeatureSelection::select(&dataset, &SelectionConfig::default());
+        let _ = RhmdDetector::train(&dataset, &selection, 0, 0.5, 1);
+    }
+}

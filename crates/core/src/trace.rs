@@ -1,0 +1,201 @@
+//! Trace collection: running labeled workloads on the simulator and
+//! sampling all statistics at a fixed instruction granularity.
+
+use sim_cpu::{Core, CoreConfig, MarkEvent};
+use uarch_stats::{SampleTrace, Sampler, Schema};
+use workloads::{Class, Family, Workload};
+
+/// A sampled statistics time series for one workload run.
+#[derive(Debug, Clone)]
+pub struct LabeledTrace {
+    /// Workload name.
+    pub name: String,
+    /// Ground-truth class.
+    pub class: Class,
+    /// Attack family (or benign).
+    pub family: Family,
+    /// Per-interval statistic deltas.
+    pub trace: SampleTrace,
+    /// Simulator marks committed during the run (leak/phase events).
+    pub marks: Vec<MarkEvent>,
+}
+
+/// What to collect: which workloads, how many instructions, at what
+/// sampling interval.
+#[derive(Debug, Clone)]
+pub struct CorpusSpec {
+    /// Instructions to simulate per workload.
+    pub insts_per_workload: u64,
+    /// Sampling interval in committed instructions (the paper uses 10K,
+    /// 50K and 100K).
+    pub sample_interval: u64,
+    /// Workloads to run.
+    pub workloads: Vec<Workload>,
+}
+
+impl CorpusSpec {
+    /// The paper's full corpus (attacks + calibration + benign) at 10K
+    /// sampling.
+    pub fn paper() -> Self {
+        Self {
+            insts_per_workload: 600_000,
+            sample_interval: 10_000,
+            workloads: workloads::full_suite(),
+        }
+    }
+
+    /// A small, fast corpus for tests and examples.
+    pub fn quick() -> Self {
+        let all = workloads::full_suite();
+        Self {
+            insts_per_workload: 120_000,
+            sample_interval: 10_000,
+            workloads: all,
+        }
+    }
+
+    /// Overrides the sampling interval (builder style).
+    pub fn with_interval(mut self, interval: u64) -> Self {
+        self.sample_interval = interval;
+        self
+    }
+
+    /// Overrides the per-workload instruction budget (builder style).
+    pub fn with_insts(mut self, insts: u64) -> Self {
+        self.insts_per_workload = insts;
+        self
+    }
+
+    /// Runs every workload and collects its trace.
+    pub fn collect(&self) -> CollectedCorpus {
+        let traces: Vec<LabeledTrace> = self
+            .workloads
+            .iter()
+            .map(|w| {
+                collect_trace(w, self.insts_per_workload, self.sample_interval)
+            })
+            .collect();
+        CollectedCorpus { traces, sample_interval: self.sample_interval }
+    }
+}
+
+/// Runs one workload and samples its statistics.
+pub fn collect_trace(w: &Workload, insts: u64, interval: u64) -> LabeledTrace {
+    let mut core = Core::new(CoreConfig::default(), w.program.clone());
+    let mut sampler = Sampler::new(&core, "");
+    let mut trace = SampleTrace::new(sampler.schema().clone());
+    let mut next = interval;
+    while next <= insts {
+        core.run(next - core.committed_insts());
+        if core.halted() || core.committed_insts() < next {
+            break; // program ended or stalled
+        }
+        let row = sampler.sample(&core);
+        trace.push(core.committed_insts(), row);
+        next += interval;
+    }
+    LabeledTrace {
+        name: w.name.clone(),
+        class: w.class,
+        family: w.family,
+        trace,
+        marks: core.marks().to_vec(),
+    }
+}
+
+/// A collected corpus: one trace per workload, sharing a schema.
+#[derive(Debug, Clone)]
+pub struct CollectedCorpus {
+    /// The traces.
+    pub traces: Vec<LabeledTrace>,
+    /// The sampling interval the corpus was collected at.
+    pub sample_interval: u64,
+}
+
+impl CollectedCorpus {
+    /// The statistic schema (identical across traces).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the corpus is empty.
+    pub fn schema(&self) -> &Schema {
+        self.traces.first().expect("non-empty corpus").trace.schema()
+    }
+
+    /// Total number of samples across all traces.
+    pub fn total_samples(&self) -> usize {
+        self.traces.iter().map(|t| t.trace.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> CorpusSpec {
+        // Two workloads keep this test fast.
+        let mut all = workloads::full_suite();
+        all.retain(|w| w.name == "spectre-v1-classic" || w.name == "bzip2");
+        CorpusSpec {
+            insts_per_workload: 60_000,
+            sample_interval: 10_000,
+            workloads: all,
+        }
+    }
+
+    #[test]
+    fn collects_expected_sample_counts() {
+        let corpus = tiny_spec().collect();
+        assert_eq!(corpus.traces.len(), 2);
+        for t in &corpus.traces {
+            assert_eq!(t.trace.len(), 6, "{}: 60k insts at 10k = 6 samples", t.name);
+        }
+    }
+
+    #[test]
+    fn schema_covers_all_1159_stats() {
+        let corpus = tiny_spec().collect();
+        assert_eq!(corpus.schema().len(), 1159);
+    }
+
+    #[test]
+    fn attack_trace_contains_leak_marks_and_labels() {
+        let corpus = tiny_spec().collect();
+        let spectre = corpus
+            .traces
+            .iter()
+            .find(|t| t.name.starts_with("spectre"))
+            .expect("spectre trace present");
+        assert_eq!(spectre.class, Class::Malicious);
+        assert!(!spectre.marks.is_empty(), "attack should mark leak events");
+        let benign = corpus.traces.iter().find(|t| t.name == "bzip2").expect("bzip2");
+        assert_eq!(benign.class, Class::Benign);
+        assert!(benign.marks.is_empty());
+    }
+
+    #[test]
+    fn samples_differ_between_attack_and_benign() {
+        // Raw squash counts do NOT discriminate (branchy benign code like
+        // bzip2 squashes constantly — that is the paper's point about
+        // needing a rich feature combination). Flush-driven non-speculative
+        // stalls, however, are an attack-side signal.
+        let corpus = tiny_spec().collect();
+        let col = "commit.NonSpecStalls";
+        let spectre: f64 = corpus.traces[0]
+            .trace
+            .column(col)
+            .expect("column exists")
+            .iter()
+            .sum();
+        let benign: f64 = corpus.traces[1]
+            .trace
+            .column(col)
+            .expect("column exists")
+            .iter()
+            .sum();
+        assert!(
+            spectre > benign,
+            "spectre non-spec stalls ({spectre}) should dwarf bzip2 ({benign})"
+        );
+    }
+}

@@ -1,0 +1,488 @@
+//! The assembler DSL: label-based program construction.
+
+use std::fmt;
+
+use crate::inst::{AluOp, Cond, FaluOp, Inst, MarkKind, Width};
+use crate::program::{Program, Segment};
+use crate::reg::Reg;
+
+/// A forward-referenceable code location handle.
+///
+/// Created with [`Assembler::label`], placed with [`Assembler::bind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// Errors produced when finalizing a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A branch/jump/call referenced a label that was never bound.
+    UnboundLabel(Label),
+    /// A label was bound twice.
+    ReboundLabel(Label),
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UnboundLabel(l) => write!(f, "label L{} was never bound", l.0),
+            AsmError::ReboundLabel(l) => write!(f, "label L{} was bound twice", l.0),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// Builds a [`Program`] instruction by instruction.
+///
+/// Control-flow helpers take [`Label`]s which may be bound before or after
+/// use; [`Assembler::finish`] patches every reference.
+///
+/// # Example
+///
+/// ```
+/// use uarch_isa::{Assembler, Reg};
+/// # fn main() -> Result<(), uarch_isa::AsmError> {
+/// let mut a = Assembler::new("loop");
+/// a.li(Reg::R1, 3);
+/// let top = a.label();
+/// a.bind(top);
+/// a.subi(Reg::R1, Reg::R1, 1);
+/// a.bnez(Reg::R1, top);
+/// a.halt();
+/// let p = a.finish()?;
+/// assert_eq!(p.name(), "loop");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Assembler {
+    name: String,
+    code: Vec<Inst>,
+    labels: Vec<Option<usize>>,
+    patches: Vec<(usize, Label)>,
+    segments: Vec<Segment>,
+    fault_handler: Option<Label>,
+    /// Register holding constant zero by convention in helpers like `bnez`.
+    zero: Reg,
+}
+
+impl Assembler {
+    /// Creates an empty assembler for a program called `name`.
+    ///
+    /// Register `R0` is used as the zero-comparand by the `beqz`/`bnez`
+    /// helpers; programs using those helpers must keep 0 in `R0` (the
+    /// assembler emits `li r0, 0` as the first instruction).
+    pub fn new(name: impl Into<String>) -> Self {
+        let mut a = Self {
+            name: name.into(),
+            code: Vec::new(),
+            labels: Vec::new(),
+            patches: Vec::new(),
+            segments: Vec::new(),
+            fault_handler: None,
+            zero: Reg::R0,
+        };
+        a.li(a.zero, 0);
+        a
+    }
+
+    /// Creates a fresh, unbound label.
+    pub fn label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the current code position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already bound (misuse is a programming error
+    /// in the workload definition, caught immediately).
+    pub fn bind(&mut self, label: Label) {
+        assert!(
+            self.labels[label.0].is_none(),
+            "label L{} bound twice",
+            label.0
+        );
+        self.labels[label.0] = Some(self.code.len());
+    }
+
+    /// Current code position (index of the next emitted instruction).
+    pub fn here(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Adds an initialized user-space data segment.
+    pub fn data(&mut self, base: u64, bytes: impl Into<Vec<u8>>) {
+        self.segments.push(Segment { base, data: bytes.into(), kernel: false });
+    }
+
+    /// Adds an initialized kernel-only data segment (loads from it fault at
+    /// commit; Meltdown territory).
+    pub fn kernel_data(&mut self, base: u64, bytes: impl Into<Vec<u8>>) {
+        self.segments.push(Segment { base, data: bytes.into(), kernel: true });
+    }
+
+    /// Registers the fault handler: committing a faulting instruction
+    /// redirects execution to `label` instead of halting.
+    pub fn on_fault(&mut self, label: Label) {
+        self.fault_handler = Some(label);
+    }
+
+    /// Emits a raw instruction.
+    pub fn emit(&mut self, inst: Inst) {
+        self.code.push(inst);
+    }
+
+    // ---- moves and ALU ----
+
+    /// `rd = imm`
+    pub fn li(&mut self, rd: Reg, imm: i64) {
+        self.emit(Inst::Li { rd, imm });
+    }
+
+    /// `rd = ra` (encoded as `rd = ra + 0`)
+    pub fn mv(&mut self, rd: Reg, ra: Reg) {
+        self.addi(rd, ra, 0);
+    }
+
+    /// `rd = ra op rb`
+    pub fn alu(&mut self, op: AluOp, rd: Reg, ra: Reg, rb: Reg) {
+        self.emit(Inst::Alu { op, rd, ra, rb });
+    }
+
+    /// `rd = ra op imm`
+    pub fn alui(&mut self, op: AluOp, rd: Reg, ra: Reg, imm: i64) {
+        self.emit(Inst::AluI { op, rd, ra, imm });
+    }
+
+    /// `rd = ra + rb`
+    pub fn add(&mut self, rd: Reg, ra: Reg, rb: Reg) {
+        self.alu(AluOp::Add, rd, ra, rb);
+    }
+
+    /// `rd = ra + imm`
+    pub fn addi(&mut self, rd: Reg, ra: Reg, imm: i64) {
+        self.alui(AluOp::Add, rd, ra, imm);
+    }
+
+    /// `rd = ra - rb`
+    pub fn sub(&mut self, rd: Reg, ra: Reg, rb: Reg) {
+        self.alu(AluOp::Sub, rd, ra, rb);
+    }
+
+    /// `rd = ra - imm`
+    pub fn subi(&mut self, rd: Reg, ra: Reg, imm: i64) {
+        self.alui(AluOp::Sub, rd, ra, imm);
+    }
+
+    /// `rd = ra * rb`
+    pub fn mul(&mut self, rd: Reg, ra: Reg, rb: Reg) {
+        self.alu(AluOp::Mul, rd, ra, rb);
+    }
+
+    /// `rd = ra & imm`
+    pub fn andi(&mut self, rd: Reg, ra: Reg, imm: i64) {
+        self.alui(AluOp::And, rd, ra, imm);
+    }
+
+    /// `rd = ra & rb`
+    pub fn and(&mut self, rd: Reg, ra: Reg, rb: Reg) {
+        self.alu(AluOp::And, rd, ra, rb);
+    }
+
+    /// `rd = ra | rb`
+    pub fn or(&mut self, rd: Reg, ra: Reg, rb: Reg) {
+        self.alu(AluOp::Or, rd, ra, rb);
+    }
+
+    /// `rd = ra ^ rb`
+    pub fn xor(&mut self, rd: Reg, ra: Reg, rb: Reg) {
+        self.alu(AluOp::Xor, rd, ra, rb);
+    }
+
+    /// `rd = ra ^ imm`
+    pub fn xori(&mut self, rd: Reg, ra: Reg, imm: i64) {
+        self.alui(AluOp::Xor, rd, ra, imm);
+    }
+
+    /// `rd = ra << imm`
+    pub fn shli(&mut self, rd: Reg, ra: Reg, imm: i64) {
+        self.alui(AluOp::Shl, rd, ra, imm);
+    }
+
+    /// `rd = ra >> imm` (logical)
+    pub fn shri(&mut self, rd: Reg, ra: Reg, imm: i64) {
+        self.alui(AluOp::Shr, rd, ra, imm);
+    }
+
+    /// Floating/SIMD op.
+    pub fn falu(&mut self, op: FaluOp, rd: Reg, ra: Reg, rb: Reg) {
+        self.emit(Inst::Falu { op, rd, ra, rb });
+    }
+
+    // ---- memory ----
+
+    /// `rd = mem64[ra + offset]`
+    pub fn load(&mut self, rd: Reg, base: Reg, offset: i64) {
+        self.emit(Inst::Load { rd, base, offset, width: Width::Double, fp: false });
+    }
+
+    /// `rd = mem8[ra + offset]`
+    pub fn loadb(&mut self, rd: Reg, base: Reg, offset: i64) {
+        self.emit(Inst::Load { rd, base, offset, width: Width::Byte, fp: false });
+    }
+
+    /// Float load (`FloatMemRead` op class).
+    pub fn floadd(&mut self, rd: Reg, base: Reg, offset: i64) {
+        self.emit(Inst::Load { rd, base, offset, width: Width::Double, fp: true });
+    }
+
+    /// `mem64[ra + offset] = rs`
+    pub fn store(&mut self, rs: Reg, base: Reg, offset: i64) {
+        self.emit(Inst::Store { rs, base, offset, width: Width::Double, fp: false });
+    }
+
+    /// `mem8[ra + offset] = rs`
+    pub fn storeb(&mut self, rs: Reg, base: Reg, offset: i64) {
+        self.emit(Inst::Store { rs, base, offset, width: Width::Byte, fp: false });
+    }
+
+    /// Float store (`FloatMemWrite` op class).
+    pub fn fstored(&mut self, rs: Reg, base: Reg, offset: i64) {
+        self.emit(Inst::Store { rs, base, offset, width: Width::Double, fp: true });
+    }
+
+    /// `clflush [ra + offset]`
+    pub fn flush(&mut self, base: Reg, offset: i64) {
+        self.emit(Inst::Flush { base, offset });
+    }
+
+    // ---- control flow ----
+
+    fn branch_to(&mut self, cond: Cond, ra: Reg, rb: Reg, label: Label) {
+        self.patches.push((self.code.len(), label));
+        self.emit(Inst::Branch { cond, ra, rb, target: usize::MAX });
+    }
+
+    /// Branch if `ra == rb`.
+    pub fn beq(&mut self, ra: Reg, rb: Reg, label: Label) {
+        self.branch_to(Cond::Eq, ra, rb, label);
+    }
+
+    /// Branch if `ra != rb`.
+    pub fn bne(&mut self, ra: Reg, rb: Reg, label: Label) {
+        self.branch_to(Cond::Ne, ra, rb, label);
+    }
+
+    /// Branch if `ra < rb` (signed).
+    pub fn blt(&mut self, ra: Reg, rb: Reg, label: Label) {
+        self.branch_to(Cond::Lt, ra, rb, label);
+    }
+
+    /// Branch if `ra >= rb` (signed).
+    pub fn bge(&mut self, ra: Reg, rb: Reg, label: Label) {
+        self.branch_to(Cond::Ge, ra, rb, label);
+    }
+
+    /// Branch if `ra < rb` (unsigned).
+    pub fn bltu(&mut self, ra: Reg, rb: Reg, label: Label) {
+        self.branch_to(Cond::Ltu, ra, rb, label);
+    }
+
+    /// Branch if `ra >= rb` (unsigned).
+    pub fn bgeu(&mut self, ra: Reg, rb: Reg, label: Label) {
+        self.branch_to(Cond::Geu, ra, rb, label);
+    }
+
+    /// Branch if `ra == 0` (compares against `R0`).
+    pub fn beqz(&mut self, ra: Reg, label: Label) {
+        let z = self.zero;
+        self.beq(ra, z, label);
+    }
+
+    /// Branch if `ra != 0` (compares against `R0`).
+    pub fn bnez(&mut self, ra: Reg, label: Label) {
+        let z = self.zero;
+        self.bne(ra, z, label);
+    }
+
+    /// Unconditional jump.
+    pub fn jmp(&mut self, label: Label) {
+        self.patches.push((self.code.len(), label));
+        self.emit(Inst::Jump { target: usize::MAX });
+    }
+
+    /// Indirect jump through `base`.
+    pub fn jmp_ind(&mut self, base: Reg) {
+        self.emit(Inst::JumpInd { base });
+    }
+
+    /// Call `label`.
+    pub fn call(&mut self, label: Label) {
+        self.patches.push((self.code.len(), label));
+        self.emit(Inst::Call { target: usize::MAX });
+    }
+
+    /// Indirect call through `base`.
+    pub fn call_ind(&mut self, base: Reg) {
+        self.emit(Inst::CallInd { base });
+    }
+
+    /// Return.
+    pub fn ret(&mut self) {
+        self.emit(Inst::Ret);
+    }
+
+    /// Replace the pending return address with the value in `base`
+    /// (SpectreRSB's unmatched call/return primitive).
+    pub fn set_ret(&mut self, base: Reg) {
+        self.emit(Inst::SetRet { base });
+    }
+
+    /// Loads the eventual instruction index of `label` into `rd` (for
+    /// indirect jumps/calls). Patched at finish.
+    pub fn la(&mut self, rd: Reg, label: Label) {
+        self.patches.push((self.code.len(), label));
+        self.emit(Inst::Li { rd, imm: i64::MAX });
+    }
+
+    // ---- system ----
+
+    /// Serializing fence.
+    pub fn fence(&mut self) {
+        self.emit(Inst::Fence);
+    }
+
+    /// Memory barrier (non-speculative).
+    pub fn membar(&mut self) {
+        self.emit(Inst::Membar);
+    }
+
+    /// `rd = cycle counter`
+    pub fn rdcycle(&mut self, rd: Reg) {
+        self.emit(Inst::RdCycle { rd });
+    }
+
+    /// Simulator mark.
+    pub fn mark(&mut self, kind: MarkKind) {
+        self.emit(Inst::Mark(kind));
+    }
+
+    /// No-op.
+    pub fn nop(&mut self) {
+        self.emit(Inst::Nop);
+    }
+
+    /// Halt.
+    pub fn halt(&mut self) {
+        self.emit(Inst::Halt);
+    }
+
+    /// Resolves all label references and produces the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError::UnboundLabel`] if any referenced label was never
+    /// bound.
+    pub fn finish(mut self) -> Result<Program, AsmError> {
+        for (pos, label) in &self.patches {
+            let target = self.labels[label.0].ok_or(AsmError::UnboundLabel(*label))?;
+            match &mut self.code[*pos] {
+                Inst::Branch { target: t, .. }
+                | Inst::Jump { target: t }
+                | Inst::Call { target: t } => *t = target,
+                Inst::Li { imm, .. } => *imm = target as i64,
+                other => unreachable!("patched non-control inst {other:?}"),
+            }
+        }
+        let fault_handler = match self.fault_handler {
+            Some(l) => Some(self.labels[l.0].ok_or(AsmError::UnboundLabel(l))?),
+            None => None,
+        };
+        Ok(Program::new(self.name, self.code, self.segments, fault_handler))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_references_are_patched() {
+        let mut a = Assembler::new("t");
+        let end = a.label();
+        a.jmp(end);
+        a.nop();
+        a.bind(end);
+        a.halt();
+        let p = a.finish().unwrap();
+        // code[0] is the implicit `li r0, 0`
+        assert_eq!(p.code()[1], Inst::Jump { target: 3 });
+    }
+
+    #[test]
+    fn backward_references_resolve() {
+        let mut a = Assembler::new("t");
+        let top = a.label();
+        a.bind(top);
+        a.bne(Reg::R1, Reg::R2, top);
+        let p = a.finish().unwrap();
+        assert_eq!(
+            p.code()[1],
+            Inst::Branch { cond: Cond::Ne, ra: Reg::R1, rb: Reg::R2, target: 1 }
+        );
+    }
+
+    #[test]
+    fn unbound_label_is_an_error() {
+        let mut a = Assembler::new("t");
+        let nowhere = a.label();
+        a.jmp(nowhere);
+        assert!(matches!(a.finish(), Err(AsmError::UnboundLabel(_))));
+    }
+
+    #[test]
+    #[should_panic(expected = "bound twice")]
+    fn binding_twice_panics() {
+        let mut a = Assembler::new("t");
+        let l = a.label();
+        a.bind(l);
+        a.bind(l);
+    }
+
+    #[test]
+    fn la_loads_label_address() {
+        let mut a = Assembler::new("t");
+        let f = a.label();
+        a.la(Reg::R5, f);
+        a.halt();
+        a.bind(f);
+        a.ret();
+        let p = a.finish().unwrap();
+        assert_eq!(p.code()[1], Inst::Li { rd: Reg::R5, imm: 3 });
+    }
+
+    #[test]
+    fn fault_handler_resolves() {
+        let mut a = Assembler::new("t");
+        let h = a.label();
+        a.on_fault(h);
+        a.halt();
+        a.bind(h);
+        a.halt();
+        let p = a.finish().unwrap();
+        assert_eq!(p.fault_handler(), Some(2));
+    }
+
+    #[test]
+    fn segments_carry_privilege() {
+        let mut a = Assembler::new("t");
+        a.data(0x1000, vec![1, 2, 3]);
+        a.kernel_data(0x8000, vec![42]);
+        a.halt();
+        let p = a.finish().unwrap();
+        assert!(!p.is_kernel_addr(0x1000));
+        assert!(p.is_kernel_addr(0x8000));
+    }
+}

@@ -1,0 +1,470 @@
+//! Instruction definitions and their op-class taxonomy.
+
+use uarch_stats::StatKey;
+
+use crate::reg::Reg;
+
+/// Integer ALU operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum AluOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    /// Logical shift right.
+    Shr,
+    /// Arithmetic shift right.
+    Sar,
+    /// Set if less than (signed): `rd = (ra < rb) as i64`.
+    Slt,
+    /// Set if less than (unsigned).
+    Sltu,
+}
+
+impl AluOp {
+    /// The op class used for functional-unit selection and the commit
+    /// op-class distribution.
+    pub fn op_class(self) -> OpClass {
+        match self {
+            AluOp::Mul => OpClass::IntMult,
+            AluOp::Div | AluOp::Rem => OpClass::IntDiv,
+            _ => OpClass::IntAlu,
+        }
+    }
+}
+
+/// Floating-point and SIMD operations (operands reinterpret the 64-bit
+/// register value).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum FaluOp {
+    FAdd,
+    FSub,
+    FMul,
+    FDiv,
+    FSqrt,
+    /// Convert integer in `ra` to double.
+    FCvtIf,
+    /// Convert double in `ra` to integer.
+    FCvtFi,
+    /// SIMD add: four 16-bit lanes.
+    VAdd,
+    /// SIMD multiply: four 16-bit lanes (wrapping).
+    VMul,
+    /// SIMD convert: saturate four 16-bit lanes to bytes.
+    VCvt,
+}
+
+impl FaluOp {
+    /// The op class used for functional-unit selection and the commit
+    /// op-class distribution.
+    pub fn op_class(self) -> OpClass {
+        match self {
+            FaluOp::FAdd | FaluOp::FSub => OpClass::FloatAdd,
+            FaluOp::FMul => OpClass::FloatMult,
+            FaluOp::FDiv => OpClass::FloatDiv,
+            FaluOp::FSqrt => OpClass::FloatSqrt,
+            FaluOp::FCvtIf | FaluOp::FCvtFi => OpClass::FloatCvt,
+            FaluOp::VAdd => OpClass::SimdAdd,
+            FaluOp::VMul => OpClass::SimdMult,
+            FaluOp::VCvt => OpClass::SimdCvt,
+        }
+    }
+}
+
+/// Branch conditions comparing two registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Cond {
+    Eq,
+    Ne,
+    /// Signed less-than.
+    Lt,
+    /// Signed greater-or-equal.
+    Ge,
+    /// Unsigned less-than.
+    Ltu,
+    /// Unsigned greater-or-equal.
+    Geu,
+}
+
+impl Cond {
+    /// Evaluates the condition on two register values.
+    pub fn eval(self, a: u64, b: u64) -> bool {
+        match self {
+            Cond::Eq => a == b,
+            Cond::Ne => a != b,
+            Cond::Lt => (a as i64) < (b as i64),
+            Cond::Ge => (a as i64) >= (b as i64),
+            Cond::Ltu => a < b,
+            Cond::Geu => a >= b,
+        }
+    }
+}
+
+/// Memory access widths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Width {
+    Byte,
+    Half,
+    Word,
+    Double,
+}
+
+impl Width {
+    /// Access size in bytes.
+    pub fn bytes(self) -> u64 {
+        match self {
+            Width::Byte => 1,
+            Width::Half => 2,
+            Width::Word => 4,
+            Width::Double => 8,
+        }
+    }
+}
+
+/// Simulator mark pseudo-instruction kinds (the gem5 `m5ops` analog).
+///
+/// Marks execute as no-ops but the simulator records them with a
+/// committed-instruction timestamp, letting experiments know exactly when a
+/// workload entered an attack phase or recovered a secret byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MarkKind {
+    /// The attacker just recovered (leaked) one secret byte.
+    LeakByte,
+    /// Start of the priming phase (flush / prime the cache, mistrain).
+    PhasePrime,
+    /// Start of the speculation / victim-execution phase.
+    PhaseSpeculate,
+    /// Start of the disclosure (probe / reload / timing) phase.
+    PhaseProbe,
+    /// One full attack iteration completed.
+    IterationEnd,
+}
+
+/// One instruction of the simulated ISA.
+///
+/// Branch/jump/call targets are instruction indices into the program's code
+/// (the program counter advances by one per instruction).
+///
+/// Field conventions: `rd` destination, `ra`/`rb` sources, `rs` store data,
+/// `base` address/target register, `offset`/`imm` immediates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[allow(missing_docs)]
+pub enum Inst {
+    /// Load immediate: `rd = imm`.
+    Li { rd: Reg, imm: i64 },
+    /// Integer ALU, register-register: `rd = ra op rb`.
+    Alu { op: AluOp, rd: Reg, ra: Reg, rb: Reg },
+    /// Integer ALU, register-immediate: `rd = ra op imm`.
+    AluI { op: AluOp, rd: Reg, ra: Reg, imm: i64 },
+    /// Floating-point / SIMD op: `rd = ra op rb` (unary ops ignore `rb`).
+    Falu { op: FaluOp, rd: Reg, ra: Reg, rb: Reg },
+    /// Load: `rd = mem[ra + offset]`. `fp` marks a float load for op-class
+    /// accounting.
+    Load { rd: Reg, base: Reg, offset: i64, width: Width, fp: bool },
+    /// Store: `mem[ra + offset] = rs`.
+    Store { rs: Reg, base: Reg, offset: i64, width: Width, fp: bool },
+    /// Conditional branch to instruction index `target`.
+    Branch { cond: Cond, ra: Reg, rb: Reg, target: usize },
+    /// Unconditional jump to instruction index `target`.
+    Jump { target: usize },
+    /// Indirect jump to the instruction index held in `base`.
+    JumpInd { base: Reg },
+    /// Call: pushes the return address and jumps to `target`.
+    Call { target: usize },
+    /// Indirect call through `base`.
+    CallInd { base: Reg },
+    /// Return to the most recent call site.
+    Ret,
+    /// Replace the most recent return address with the value in `base`
+    /// (models overwriting the on-stack return address; the ingredient of
+    /// SpectreRSB's unmatched call/return pairs). Serializes at rename so
+    /// the register value is architecturally known.
+    SetRet { base: Reg },
+    /// Flush the cache line containing `ra + offset` from the whole
+    /// hierarchy (`clflush`).
+    Flush { base: Reg, offset: i64 },
+    /// Serializing fence: drains the pipeline before younger instructions
+    /// issue (`lfence`-like; rename serializes on it).
+    Fence,
+    /// Memory barrier: non-speculative, completes at commit (`mfence`-like).
+    Membar,
+    /// Read the cycle counter into `rd` (`rdtsc`).
+    RdCycle { rd: Reg },
+    /// Simulator mark pseudo-instruction; executes as a no-op.
+    Mark(MarkKind),
+    /// No operation.
+    Nop,
+    /// Stop the program.
+    Halt,
+}
+
+impl Inst {
+    /// The op class, used for functional-unit selection and per-class commit
+    /// statistics.
+    pub fn op_class(self) -> OpClass {
+        match self {
+            Inst::Li { .. } => OpClass::IntAlu,
+            Inst::Alu { op, .. } | Inst::AluI { op, .. } => op.op_class(),
+            Inst::Falu { op, .. } => op.op_class(),
+            Inst::Load { fp: false, .. } => OpClass::MemRead,
+            Inst::Load { fp: true, .. } => OpClass::FloatMemRead,
+            Inst::Store { fp: false, .. } => OpClass::MemWrite,
+            Inst::Store { fp: true, .. } => OpClass::FloatMemWrite,
+            Inst::Branch { .. }
+            | Inst::Jump { .. }
+            | Inst::JumpInd { .. }
+            | Inst::Call { .. }
+            | Inst::CallInd { .. }
+            | Inst::Ret => OpClass::IntAlu,
+            Inst::Flush { .. } => OpClass::MemWrite,
+            Inst::SetRet { .. } => OpClass::IntAlu,
+            Inst::Fence | Inst::Membar | Inst::RdCycle { .. } | Inst::Mark(_) | Inst::Nop | Inst::Halt => {
+                OpClass::NoOpClass
+            }
+        }
+    }
+
+    /// Whether this is any control-flow instruction.
+    pub fn is_control(self) -> bool {
+        matches!(
+            self,
+            Inst::Branch { .. }
+                | Inst::Jump { .. }
+                | Inst::JumpInd { .. }
+                | Inst::Call { .. }
+                | Inst::CallInd { .. }
+                | Inst::Ret
+        )
+    }
+
+    /// Whether this is a memory reference (load, store, or flush).
+    pub fn is_mem(self) -> bool {
+        matches!(
+            self,
+            Inst::Load { .. } | Inst::Store { .. } | Inst::Flush { .. }
+        )
+    }
+
+    /// Whether rename must serialize on this instruction (drain older
+    /// instructions before dispatching it).
+    pub fn is_serializing(self) -> bool {
+        matches!(self, Inst::Fence | Inst::RdCycle { .. } | Inst::SetRet { .. })
+    }
+
+    /// Whether this instruction is non-speculative: it may only execute once
+    /// it reaches the head of the ROB (memory barriers, flushes).
+    pub fn is_non_speculative(self) -> bool {
+        matches!(self, Inst::Membar | Inst::Flush { .. })
+    }
+
+    /// The destination register, if the instruction writes one.
+    pub fn dest(self) -> Option<Reg> {
+        match self {
+            Inst::Li { rd, .. }
+            | Inst::Alu { rd, .. }
+            | Inst::AluI { rd, .. }
+            | Inst::Falu { rd, .. }
+            | Inst::Load { rd, .. }
+            | Inst::RdCycle { rd } => Some(rd),
+            _ => None,
+        }
+    }
+
+    /// The source registers (up to two).
+    pub fn sources(self) -> (Option<Reg>, Option<Reg>) {
+        match self {
+            Inst::Alu { ra, rb, .. } | Inst::Falu { ra, rb, .. } => (Some(ra), Some(rb)),
+            Inst::AluI { ra, .. } => (Some(ra), None),
+            Inst::Load { base, .. } => (Some(base), None),
+            Inst::Store { rs, base, .. } => (Some(base), Some(rs)),
+            Inst::Branch { ra, rb, .. } => (Some(ra), Some(rb)),
+            Inst::JumpInd { base } | Inst::CallInd { base } | Inst::SetRet { base } => {
+                (Some(base), None)
+            }
+            Inst::Flush { base, .. } => (Some(base), None),
+            _ => (None, None),
+        }
+    }
+}
+
+impl std::fmt::Display for Inst {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            Inst::Li { rd, imm } => write!(f, "li {rd}, {imm}"),
+            Inst::Alu { op, rd, ra, rb } => write!(f, "{op:?} {rd}, {ra}, {rb}"),
+            Inst::AluI { op, rd, ra, imm } => write!(f, "{op:?}i {rd}, {ra}, {imm}"),
+            Inst::Falu { op, rd, ra, rb } => write!(f, "{op:?} {rd}, {ra}, {rb}"),
+            Inst::Load { rd, base, offset, width, fp } => {
+                write!(f, "{}ld.{:?} {rd}, [{base}{offset:+}]", if fp { "f" } else { "" }, width)
+            }
+            Inst::Store { rs, base, offset, width, fp } => {
+                write!(f, "{}st.{:?} {rs}, [{base}{offset:+}]", if fp { "f" } else { "" }, width)
+            }
+            Inst::Branch { cond, ra, rb, target } => {
+                write!(f, "b{cond:?} {ra}, {rb} -> {target}")
+            }
+            Inst::Jump { target } => write!(f, "jmp {target}"),
+            Inst::JumpInd { base } => write!(f, "jmp [{base}]"),
+            Inst::Call { target } => write!(f, "call {target}"),
+            Inst::CallInd { base } => write!(f, "call [{base}]"),
+            Inst::Ret => write!(f, "ret"),
+            Inst::SetRet { base } => write!(f, "setret {base}"),
+            Inst::Flush { base, offset } => write!(f, "clflush [{base}{offset:+}]"),
+            Inst::Fence => write!(f, "fence"),
+            Inst::Membar => write!(f, "membar"),
+            Inst::RdCycle { rd } => write!(f, "rdcycle {rd}"),
+            Inst::Mark(kind) => write!(f, "mark {kind:?}"),
+            Inst::Nop => write!(f, "nop"),
+            Inst::Halt => write!(f, "halt"),
+        }
+    }
+}
+
+/// Functional-unit / commit op classes, mirroring gem5's `OpClass`
+/// enumeration (the paper's `commit.op_class_0::*` and `iq.fu_full::*`
+/// statistics are vectors over this set).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum OpClass {
+    NoOpClass,
+    IntAlu,
+    IntMult,
+    IntDiv,
+    FloatAdd,
+    FloatMult,
+    FloatDiv,
+    FloatSqrt,
+    FloatCvt,
+    SimdAdd,
+    SimdMult,
+    SimdCvt,
+    MemRead,
+    MemWrite,
+    FloatMemRead,
+    FloatMemWrite,
+}
+
+impl OpClass {
+    /// All op classes, in stat order.
+    pub const ALL: [OpClass; 16] = [
+        OpClass::NoOpClass,
+        OpClass::IntAlu,
+        OpClass::IntMult,
+        OpClass::IntDiv,
+        OpClass::FloatAdd,
+        OpClass::FloatMult,
+        OpClass::FloatDiv,
+        OpClass::FloatSqrt,
+        OpClass::FloatCvt,
+        OpClass::SimdAdd,
+        OpClass::SimdMult,
+        OpClass::SimdCvt,
+        OpClass::MemRead,
+        OpClass::MemWrite,
+        OpClass::FloatMemRead,
+        OpClass::FloatMemWrite,
+    ];
+}
+
+impl StatKey for OpClass {
+    const COUNT: usize = 16;
+
+    fn index(self) -> usize {
+        OpClass::ALL.iter().position(|&c| c == self).expect("op class in ALL")
+    }
+
+    fn label(i: usize) -> &'static str {
+        [
+            "No_OpClass",
+            "IntAlu",
+            "IntMult",
+            "IntDiv",
+            "FloatAdd",
+            "FloatMult",
+            "FloatDiv",
+            "FloatSqrt",
+            "FloatCvt",
+            "SimdAdd",
+            "SimdMult",
+            "SimdCvt",
+            "MemRead",
+            "MemWrite",
+            "FloatMemRead",
+            "FloatMemWrite",
+        ][i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cond_eval_signed_vs_unsigned() {
+        let neg1 = (-1i64) as u64;
+        assert!(Cond::Lt.eval(neg1, 0)); // signed: -1 < 0
+        assert!(!Cond::Ltu.eval(neg1, 0)); // unsigned: huge >= 0
+        assert!(Cond::Geu.eval(neg1, 0));
+    }
+
+    #[test]
+    fn op_class_of_mul_is_int_mult() {
+        let i = Inst::Alu { op: AluOp::Mul, rd: Reg::R1, ra: Reg::R2, rb: Reg::R3 };
+        assert_eq!(i.op_class(), OpClass::IntMult);
+    }
+
+    #[test]
+    fn float_load_uses_float_mem_read() {
+        let i = Inst::Load { rd: Reg::R1, base: Reg::R2, offset: 0, width: Width::Double, fp: true };
+        assert_eq!(i.op_class(), OpClass::FloatMemRead);
+    }
+
+    #[test]
+    fn serializing_and_non_speculative_sets_are_disjoint_for_fence_membar() {
+        assert!(Inst::Fence.is_serializing());
+        assert!(!Inst::Fence.is_non_speculative());
+        assert!(Inst::Membar.is_non_speculative());
+        assert!(!Inst::Membar.is_serializing());
+    }
+
+    #[test]
+    fn sources_of_store_include_data_register() {
+        let i = Inst::Store { rs: Reg::R7, base: Reg::R8, offset: 4, width: Width::Byte, fp: false };
+        assert_eq!(i.sources(), (Some(Reg::R8), Some(Reg::R7)));
+        assert_eq!(i.dest(), None);
+    }
+
+    #[test]
+    fn op_class_stat_key_round_trips() {
+        for (i, c) in OpClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+        assert_eq!(OpClass::label(1), "IntAlu");
+        assert_eq!(OpClass::label(0), "No_OpClass");
+    }
+
+    #[test]
+    fn display_disassembles_readably() {
+        let i = Inst::Load { rd: Reg::R3, base: Reg::R7, offset: -8, width: Width::Byte, fp: false };
+        assert_eq!(i.to_string(), "ld.Byte r3, [r7-8]");
+        assert_eq!(Inst::Ret.to_string(), "ret");
+        assert_eq!(Inst::Jump { target: 12 }.to_string(), "jmp 12");
+        assert_eq!(Inst::Flush { base: Reg::R1, offset: 0 }.to_string(), "clflush [r1+0]");
+    }
+
+    #[test]
+    fn control_instructions_are_classified() {
+        assert!(Inst::Ret.is_control());
+        assert!(Inst::Jump { target: 3 }.is_control());
+        assert!(!Inst::Nop.is_control());
+    }
+}

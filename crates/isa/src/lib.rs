@@ -1,0 +1,41 @@
+//! The simulated instruction set.
+//!
+//! A 64-bit RISC-style ISA rich enough to express every attack PoC the
+//! PerSpectron paper evaluates: loads/stores with byte granularity (for cache
+//! line games), conditional branches and indirect calls/returns (for
+//! mistraining predictors, the BTB and the RAS), a `flush` instruction
+//! (`clflush`), fences and memory barriers (serializing / non-speculative
+//! instructions), a cycle counter read (`rdtsc` — the timing side channel
+//! read-out), and simulator mark pseudo-instructions (gem5 `m5ops` analog)
+//! that let workloads annotate leak events and attack phases.
+//!
+//! Programs are built with the [`Assembler`] DSL:
+//!
+//! ```
+//! use uarch_isa::{Assembler, Reg};
+//!
+//! let mut a = Assembler::new("count_to_ten");
+//! let (counter, limit) = (Reg::R1, Reg::R2);
+//! a.li(counter, 0);
+//! a.li(limit, 10);
+//! let top = a.label();
+//! a.bind(top);
+//! a.addi(counter, counter, 1);
+//! a.blt(counter, limit, top);
+//! a.halt();
+//! let program = a.finish().expect("all labels bound");
+//! // 5 emitted instructions plus the implicit `li r0, 0` prologue.
+//! assert_eq!(program.code().len(), 6);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod inst;
+pub mod program;
+pub mod reg;
+
+pub use asm::{AsmError, Assembler, Label};
+pub use inst::{AluOp, Cond, FaluOp, Inst, MarkKind, OpClass, Width};
+pub use program::{Program, Segment};
+pub use reg::Reg;

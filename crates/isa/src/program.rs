@@ -1,0 +1,123 @@
+//! Programs: code, initialized data, privilege map and fault handling.
+
+use crate::inst::Inst;
+
+/// An initialized data region of a program's address space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Segment {
+    /// Base byte address.
+    pub base: u64,
+    /// Initial contents.
+    pub data: Vec<u8>,
+    /// Whether the region is kernel-only (user loads fault at commit, but —
+    /// Meltdown-style — data is still forwarded speculatively).
+    pub kernel: bool,
+}
+
+impl Segment {
+    /// The exclusive end address of the segment.
+    pub fn end(&self) -> u64 {
+        self.base + self.data.len() as u64
+    }
+}
+
+/// A complete program for the simulated machine.
+///
+/// Built via the [`Assembler`](crate::Assembler); immutable afterwards.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    name: String,
+    code: Vec<Inst>,
+    segments: Vec<Segment>,
+    fault_handler: Option<usize>,
+}
+
+impl Program {
+    /// Creates a program from parts. Most callers use the assembler instead.
+    pub fn new(
+        name: impl Into<String>,
+        code: Vec<Inst>,
+        segments: Vec<Segment>,
+        fault_handler: Option<usize>,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            code,
+            segments,
+            fault_handler,
+        }
+    }
+
+    /// The program's name (workload identifier).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The instruction sequence; the program counter indexes into it.
+    pub fn code(&self) -> &[Inst] {
+        &self.code
+    }
+
+    /// Initialized data segments.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Instruction index the CPU redirects to when a fault commits (the
+    /// workload's signal-handler analog), if any.
+    pub fn fault_handler(&self) -> Option<usize> {
+        self.fault_handler
+    }
+
+    /// Whether `addr` lies in a kernel-only segment.
+    pub fn is_kernel_addr(&self, addr: u64) -> bool {
+        self.segments
+            .iter()
+            .any(|s| s.kernel && addr >= s.base && addr < s.end())
+    }
+
+    /// The instruction at index `pc`, or `None` past the end.
+    pub fn fetch(&self, pc: usize) -> Option<Inst> {
+        self.code.get(pc).copied()
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Whether the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.code.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Inst;
+
+    #[test]
+    fn kernel_segments_are_detected() {
+        let p = Program::new(
+            "t",
+            vec![Inst::Halt],
+            vec![
+                Segment { base: 0x1000, data: vec![0; 64], kernel: false },
+                Segment { base: 0x8000, data: vec![0; 64], kernel: true },
+            ],
+            None,
+        );
+        assert!(!p.is_kernel_addr(0x1000));
+        assert!(p.is_kernel_addr(0x8000));
+        assert!(p.is_kernel_addr(0x803f));
+        assert!(!p.is_kernel_addr(0x8040));
+    }
+
+    #[test]
+    fn fetch_past_end_is_none() {
+        let p = Program::new("t", vec![Inst::Nop], vec![], None);
+        assert_eq!(p.fetch(0), Some(Inst::Nop));
+        assert_eq!(p.fetch(1), None);
+    }
+}

@@ -1,0 +1,72 @@
+//! Architectural registers.
+
+/// One of the 32 architectural general-purpose registers.
+///
+/// `R0` is an ordinary register (not hardwired to zero). The same register
+/// file holds integer and floating-point values; float instructions
+/// reinterpret the 64 bits as an IEEE-754 double.
+///
+/// # Example
+///
+/// ```
+/// use uarch_isa::Reg;
+/// assert_eq!(Reg::R5.index(), 5);
+/// assert_eq!(Reg::from_index(5), Some(Reg::R5));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+#[allow(missing_docs)]
+pub enum Reg {
+    R0, R1, R2, R3, R4, R5, R6, R7,
+    R8, R9, R10, R11, R12, R13, R14, R15,
+    R16, R17, R18, R19, R20, R21, R22, R23,
+    R24, R25, R26, R27, R28, R29, R30, R31,
+}
+
+impl Reg {
+    /// Number of architectural registers.
+    pub const COUNT: usize = 32;
+
+    /// All registers, in index order.
+    pub const ALL: [Reg; 32] = [
+        Reg::R0, Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5, Reg::R6, Reg::R7,
+        Reg::R8, Reg::R9, Reg::R10, Reg::R11, Reg::R12, Reg::R13, Reg::R14, Reg::R15,
+        Reg::R16, Reg::R17, Reg::R18, Reg::R19, Reg::R20, Reg::R21, Reg::R22, Reg::R23,
+        Reg::R24, Reg::R25, Reg::R26, Reg::R27, Reg::R28, Reg::R29, Reg::R30, Reg::R31,
+    ];
+
+    /// The register's index in `0..32`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The register with index `i`, or `None` if `i >= 32`.
+    pub fn from_index(i: usize) -> Option<Reg> {
+        Reg::ALL.get(i).copied()
+    }
+}
+
+impl std::fmt::Display for Reg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "r{}", self.index())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trips() {
+        for i in 0..Reg::COUNT {
+            assert_eq!(Reg::from_index(i).unwrap().index(), i);
+        }
+        assert_eq!(Reg::from_index(32), None);
+    }
+
+    #[test]
+    fn display_uses_r_prefix() {
+        assert_eq!(Reg::R17.to_string(), "r17");
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests for the assembler: label resolution and program
+//! structure invariants over randomized construction orders.
+
+use proptest::prelude::*;
+use uarch_isa::{Assembler, Inst, Reg};
+
+proptest! {
+    #[test]
+    fn every_branch_targets_a_real_instruction(
+        // Random interleaving of ops: 0 = nop, 1 = forward jump, 2 = bind a
+        // pending label, 3 = backward branch to a bound label.
+        ops in proptest::collection::vec(0u8..4, 1..80)
+    ) {
+        let mut a = Assembler::new("prop");
+        let mut pending: Vec<uarch_isa::Label> = Vec::new();
+        let mut bound: Vec<uarch_isa::Label> = Vec::new();
+        for op in ops {
+            match op {
+                0 => a.nop(),
+                1 => {
+                    let l = a.label();
+                    a.jmp(l);
+                    pending.push(l);
+                }
+                2 => {
+                    if let Some(l) = pending.pop() {
+                        a.bind(l);
+                        bound.push(l);
+                    } else {
+                        a.nop();
+                    }
+                }
+                _ => {
+                    if let Some(&l) = bound.last() {
+                        a.bne(Reg::R1, Reg::R2, l);
+                    } else {
+                        a.nop();
+                    }
+                }
+            }
+        }
+        // Bind whatever is still pending at the end.
+        for l in pending {
+            a.bind(l);
+        }
+        a.halt();
+        let p = a.finish().expect("all labels bound");
+        for inst in p.code() {
+            let target = match *inst {
+                Inst::Jump { target }
+                | Inst::Call { target }
+                | Inst::Branch { target, .. } => target,
+                _ => continue,
+            };
+            prop_assert!(
+                target <= p.len(),
+                "target {target} out of range (len {})",
+                p.len()
+            );
+            prop_assert_ne!(target, usize::MAX, "unpatched placeholder");
+        }
+    }
+
+    #[test]
+    fn emitted_instruction_count_is_exact(n_nops in 0usize..200) {
+        let mut a = Assembler::new("count");
+        for _ in 0..n_nops {
+            a.nop();
+        }
+        a.halt();
+        let p = a.finish().expect("assembles");
+        // +1 for the implicit `li r0, 0` prologue, +1 for halt.
+        prop_assert_eq!(p.len(), n_nops + 2);
+    }
+
+    #[test]
+    fn segments_are_preserved_verbatim(
+        segs in proptest::collection::vec(
+            (0u64..0x100_000, proptest::collection::vec(any::<u8>(), 1..64)),
+            0..8
+        )
+    ) {
+        let mut a = Assembler::new("segs");
+        for (base, bytes) in &segs {
+            a.data(*base * 64, bytes.clone());
+        }
+        a.halt();
+        let p = a.finish().expect("assembles");
+        prop_assert_eq!(p.segments().len(), segs.len());
+        for (seg, (base, bytes)) in p.segments().iter().zip(&segs) {
+            prop_assert_eq!(seg.base, base * 64);
+            prop_assert_eq!(&seg.data, bytes);
+            prop_assert!(!seg.kernel);
+        }
+    }
+
+    #[test]
+    fn display_never_panics(kind in 0u8..8, r in 0usize..32, imm in any::<i64>()) {
+        let reg = Reg::from_index(r).expect("valid");
+        let inst = match kind {
+            0 => Inst::Li { rd: reg, imm },
+            1 => Inst::Jump { target: imm.unsigned_abs() as usize },
+            2 => Inst::Ret,
+            3 => Inst::Flush { base: reg, offset: imm % 4096 },
+            4 => Inst::Fence,
+            5 => Inst::Membar,
+            6 => Inst::RdCycle { rd: reg },
+            _ => Inst::Halt,
+        };
+        let s = inst.to_string();
+        prop_assert!(!s.is_empty());
+    }
+}

@@ -1,0 +1,124 @@
+//! Pearson correlation and correlation matrices — the engine of the
+//! paper's feature-grouping step.
+
+/// Pearson correlation coefficient between two equal-length series.
+///
+/// Returns 0.0 when either series is constant (no linear relationship is
+/// measurable), matching the convention used for dead counters.
+///
+/// # Panics
+///
+/// Panics if the series differ in length.
+pub fn pearson(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "series length mismatch");
+    let n = x.len() as f64;
+    if x.is_empty() {
+        return 0.0;
+    }
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (a, b) in x.iter().zip(y) {
+        let (da, db) = (a - mx, b - my);
+        cov += da * db;
+        vx += da * da;
+        vy += db * db;
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return 0.0;
+    }
+    cov / (vx * vy).sqrt()
+}
+
+/// Full symmetric correlation matrix over feature columns.
+///
+/// `columns[i]` is the time series of feature `i`; the result is row-major
+/// with `result[i][j] = pearson(columns[i], columns[j])`.
+pub fn correlation_matrix(columns: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let k = columns.len();
+    let mut m = vec![vec![0.0; k]; k];
+    // Precompute centered columns and norms to avoid re-deriving means.
+    let stats: Vec<(Vec<f64>, f64)> = columns
+        .iter()
+        .map(|c| {
+            let n = c.len() as f64;
+            let mean = if c.is_empty() { 0.0 } else { c.iter().sum::<f64>() / n };
+            let centered: Vec<f64> = c.iter().map(|v| v - mean).collect();
+            let norm = centered.iter().map(|v| v * v).sum::<f64>().sqrt();
+            (centered, norm)
+        })
+        .collect();
+    for i in 0..k {
+        m[i][i] = 1.0;
+        for j in (i + 1)..k {
+            let (ci, ni) = &stats[i];
+            let (cj, nj) = &stats[j];
+            let r = if *ni == 0.0 || *nj == 0.0 {
+                0.0
+            } else {
+                ci.iter().zip(cj).map(|(a, b)| a * b).sum::<f64>() / (ni * nj)
+            };
+            m[i][j] = r;
+            m[j][i] = r;
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_series_correlate_perfectly() {
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        assert!((pearson(&x, &x) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negated_series_anticorrelate() {
+        let x = vec![1.0, 2.0, 3.0];
+        let y = vec![-1.0, -2.0, -3.0];
+        assert!((pearson(&x, &y) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_series_yield_zero() {
+        let x = vec![5.0, 5.0, 5.0];
+        let y = vec![1.0, 2.0, 3.0];
+        assert_eq!(pearson(&x, &y), 0.0);
+    }
+
+    #[test]
+    fn affine_transform_preserves_correlation() {
+        let x = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        let y: Vec<f64> = x.iter().map(|v| 3.0 * v + 7.0).collect();
+        assert!((pearson(&x, &y) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matrix_is_symmetric_with_unit_diagonal() {
+        let cols = vec![
+            vec![1.0, 2.0, 3.0],
+            vec![3.0, 2.0, 1.0],
+            vec![1.0, 0.0, 1.0],
+        ];
+        let m = correlation_matrix(&cols);
+        for i in 0..3 {
+            assert!((m[i][i] - 1.0).abs() < 1e-12);
+            for j in 0..3 {
+                assert!((m[i][j] - m[j][i]).abs() < 1e-12);
+            }
+        }
+        assert!((m[0][1] + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matrix_matches_pairwise_pearson() {
+        let cols = vec![vec![1.0, 4.0, 2.0, 8.0], vec![0.5, 2.0, 1.5, 3.0]];
+        let m = correlation_matrix(&cols);
+        assert!((m[0][1] - pearson(&cols[0], &cols[1])).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,126 @@
+//! Cross-validation splitters: stratified K-fold and group-held-out splits.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Stratified K-fold: partitions sample indices into `k` folds with class
+/// proportions roughly equal in each fold ("3-fold stratified splitting
+/// with randomization" in the paper's §V).
+///
+/// Returns the test-index set of each fold.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `k > labels.len()`.
+pub fn stratified_kfold(labels: &[i8], k: usize, seed: u64) -> Vec<Vec<usize>> {
+    assert!(k > 0, "k must be positive");
+    assert!(k <= labels.len(), "more folds than samples");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pos: Vec<usize> = (0..labels.len()).filter(|&i| labels[i] > 0).collect();
+    let mut neg: Vec<usize> = (0..labels.len()).filter(|&i| labels[i] <= 0).collect();
+    pos.shuffle(&mut rng);
+    neg.shuffle(&mut rng);
+    let mut folds = vec![Vec::new(); k];
+    for (i, idx) in pos.into_iter().enumerate() {
+        folds[i % k].push(idx);
+    }
+    for (i, idx) in neg.into_iter().enumerate() {
+        folds[i % k].push(idx);
+    }
+    folds
+}
+
+/// A train/test split defined by held-out *groups* (the paper's Table III
+/// folds, where whole attack families are excluded from training).
+#[derive(Debug, Clone)]
+pub struct GroupSplit {
+    /// Indices of training samples.
+    pub train: Vec<usize>,
+    /// Indices of test samples.
+    pub test: Vec<usize>,
+}
+
+impl GroupSplit {
+    /// Splits samples by their group id: samples whose group is in
+    /// `held_out` become the test set, the rest the training set.
+    pub fn by_held_out_groups(groups: &[usize], held_out: &[usize]) -> Self {
+        let mut train = Vec::new();
+        let mut test = Vec::new();
+        for (i, g) in groups.iter().enumerate() {
+            if held_out.contains(g) {
+                test.push(i);
+            } else {
+                train.push(i);
+            }
+        }
+        Self { train, test }
+    }
+
+    /// Materializes the train/test feature rows and labels.
+    pub fn apply<'a>(
+        &self,
+        x: &'a [Vec<f64>],
+        y: &'a [i8],
+    ) -> (Vec<Vec<f64>>, Vec<i8>, Vec<Vec<f64>>, Vec<i8>) {
+        let take = |idx: &[usize]| -> (Vec<Vec<f64>>, Vec<i8>) {
+            (
+                idx.iter().map(|&i| x[i].clone()).collect(),
+                idx.iter().map(|&i| y[i]).collect(),
+            )
+        };
+        let (xt, yt) = take(&self.train);
+        let (xs, ys) = take(&self.test);
+        (xt, yt, xs, ys)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn folds_partition_all_samples() {
+        let labels: Vec<i8> = (0..30).map(|i| if i % 3 == 0 { 1 } else { -1 }).collect();
+        let folds = stratified_kfold(&labels, 3, 42);
+        let mut all: Vec<usize> = folds.iter().flatten().copied().collect();
+        all.sort();
+        assert_eq!(all, (0..30).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn folds_are_stratified() {
+        let labels: Vec<i8> = (0..90).map(|i| if i < 30 { 1 } else { -1 }).collect();
+        let folds = stratified_kfold(&labels, 3, 7);
+        for f in &folds {
+            let pos = f.iter().filter(|&&i| labels[i] > 0).count();
+            assert_eq!(pos, 10, "each fold gets a third of the positives");
+        }
+    }
+
+    #[test]
+    fn seed_determines_split() {
+        let labels = vec![1i8; 10];
+        assert_eq!(stratified_kfold(&labels, 2, 5), stratified_kfold(&labels, 2, 5));
+    }
+
+    #[test]
+    fn group_split_holds_out_whole_groups() {
+        let groups = vec![0, 0, 1, 1, 2, 2];
+        let s = GroupSplit::by_held_out_groups(&groups, &[1]);
+        assert_eq!(s.test, vec![2, 3]);
+        assert_eq!(s.train, vec![0, 1, 4, 5]);
+    }
+
+    #[test]
+    fn apply_materializes_rows() {
+        let x = vec![vec![0.0], vec![1.0], vec![2.0]];
+        let y = vec![1, -1, 1];
+        let s = GroupSplit::by_held_out_groups(&[0, 1, 0], &[1]);
+        let (xt, yt, xs, ys) = s.apply(&x, &y);
+        assert_eq!(xt, vec![vec![0.0], vec![2.0]]);
+        assert_eq!(yt, vec![1, 1]);
+        assert_eq!(xs, vec![vec![1.0]]);
+        assert_eq!(ys, vec![-1]);
+    }
+}

@@ -1,0 +1,99 @@
+//! Logistic regression trained by stochastic gradient descent.
+
+use crate::Classifier;
+
+/// L2-regularized logistic regression (SGD).
+///
+/// # Example
+///
+/// ```
+/// use mlkit::{Classifier, LogisticRegression};
+/// let x = vec![vec![0.0], vec![1.0], vec![0.1], vec![0.9]];
+/// let y = vec![-1, 1, -1, 1];
+/// let mut m = LogisticRegression::new(1);
+/// m.fit(&x, &y);
+/// assert_eq!(m.predict(&[0.95]), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LogisticRegression {
+    weights: Vec<f64>,
+    bias: f64,
+    /// SGD step size.
+    pub learning_rate: f64,
+    /// Number of passes over the data.
+    pub epochs: usize,
+    /// L2 penalty.
+    pub l2: f64,
+}
+
+impl LogisticRegression {
+    /// Creates an untrained model over `n_features` inputs.
+    pub fn new(n_features: usize) -> Self {
+        Self {
+            weights: vec![0.0; n_features],
+            bias: 0.0,
+            learning_rate: 0.1,
+            epochs: 200,
+            l2: 1e-4,
+        }
+    }
+
+    /// The learned weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Predicted probability of the +1 class.
+    pub fn probability(&self, row: &[f64]) -> f64 {
+        1.0 / (1.0 + (-self.score(row)).exp())
+    }
+}
+
+impl Classifier for LogisticRegression {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[i8]) {
+        assert_eq!(x.len(), y.len(), "x/y length mismatch");
+        assert!(!x.is_empty(), "empty training set");
+        assert_eq!(x[0].len(), self.weights.len(), "feature width mismatch");
+        for _ in 0..self.epochs {
+            for (row, &label) in x.iter().zip(y) {
+                let target = if label > 0 { 1.0 } else { 0.0 };
+                let p = self.probability(row);
+                let err = target - p;
+                for (w, &v) in self.weights.iter_mut().zip(row) {
+                    *w += self.learning_rate * (err * v - self.l2 * *w);
+                }
+                self.bias += self.learning_rate * err;
+            }
+        }
+    }
+
+    fn score(&self, row: &[f64]) -> f64 {
+        debug_assert_eq!(row.len(), self.weights.len());
+        self.weights.iter().zip(row).map(|(w, v)| w * v).sum::<f64>() + self.bias
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probability_is_calibrated_monotonic() {
+        let x: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64 / 40.0]).collect();
+        let y: Vec<i8> = (0..40).map(|i| if i >= 20 { 1 } else { -1 }).collect();
+        let mut m = LogisticRegression::new(1);
+        m.fit(&x, &y);
+        assert!(m.probability(&[0.0]) < 0.5);
+        assert!(m.probability(&[1.0]) > 0.5);
+        assert!(m.probability(&[1.0]) > m.probability(&[0.6]));
+    }
+
+    #[test]
+    fn l2_keeps_weights_bounded() {
+        let x = vec![vec![1.0]; 100];
+        let y = vec![1; 100];
+        let mut m = LogisticRegression::new(1);
+        m.fit(&x, &y);
+        assert!(m.weights()[0].abs() < 100.0);
+    }
+}

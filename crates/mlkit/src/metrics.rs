@@ -1,0 +1,203 @@
+//! Classification metrics: confusion counts, accuracy/precision/recall/F1,
+//! ROC curves and AUC.
+
+/// Confusion-matrix counts for a binary problem (+1 positive/malicious).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Confusion {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// True negatives.
+    pub tn: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+impl Confusion {
+    /// Fraction of correct predictions.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.tp + self.fp + self.tn + self.fn_;
+        if total == 0 {
+            return 0.0;
+        }
+        (self.tp + self.tn) as f64 / total as f64
+    }
+
+    /// TP / (TP + FP).
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            return 0.0;
+        }
+        self.tp as f64 / (self.tp + self.fp) as f64
+    }
+
+    /// TP / (TP + FN) — the true-positive (detection) rate.
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            return 0.0;
+        }
+        self.tp as f64 / (self.tp + self.fn_) as f64
+    }
+
+    /// FP / (FP + TN) — the false-positive rate.
+    pub fn false_positive_rate(&self) -> f64 {
+        if self.fp + self.tn == 0 {
+            return 0.0;
+        }
+        self.fp as f64 / (self.fp + self.tn) as f64
+    }
+
+    /// Harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let (p, r) = (self.precision(), self.recall());
+        if p + r == 0.0 {
+            return 0.0;
+        }
+        2.0 * p * r / (p + r)
+    }
+}
+
+/// Tallies a confusion matrix from predictions and ground truth (+1/−1).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn confusion(predicted: &[i8], truth: &[i8]) -> Confusion {
+    assert_eq!(predicted.len(), truth.len(), "length mismatch");
+    let mut c = Confusion::default();
+    for (&p, &t) in predicted.iter().zip(truth) {
+        match (p > 0, t > 0) {
+            (true, true) => c.tp += 1,
+            (true, false) => c.fp += 1,
+            (false, false) => c.tn += 1,
+            (false, true) => c.fn_ += 1,
+        }
+    }
+    c
+}
+
+/// One operating point of a ROC curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RocPoint {
+    /// False-positive rate at this threshold.
+    pub fpr: f64,
+    /// True-positive rate at this threshold.
+    pub tpr: f64,
+    /// Decision threshold producing this point.
+    pub threshold: f64,
+}
+
+/// Computes the ROC curve by sweeping the decision threshold over the
+/// scores. Returns points ordered from (0,0) to (1,1).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn roc_curve(scores: &[f64], truth: &[i8]) -> Vec<RocPoint> {
+    assert_eq!(scores.len(), truth.len(), "length mismatch");
+    assert!(!scores.is_empty(), "empty score set");
+    let pos = truth.iter().filter(|&&t| t > 0).count();
+    let neg = truth.len() - pos;
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("no NaN scores"));
+
+    let mut points = vec![RocPoint { fpr: 0.0, tpr: 0.0, threshold: f64::INFINITY }];
+    let (mut tp, mut fp) = (0usize, 0usize);
+    let mut i = 0;
+    while i < order.len() {
+        let t = scores[order[i]];
+        // Consume all samples tied at this threshold.
+        while i < order.len() && scores[order[i]] == t {
+            if truth[order[i]] > 0 {
+                tp += 1;
+            } else {
+                fp += 1;
+            }
+            i += 1;
+        }
+        points.push(RocPoint {
+            fpr: if neg == 0 { 0.0 } else { fp as f64 / neg as f64 },
+            tpr: if pos == 0 { 0.0 } else { tp as f64 / pos as f64 },
+            threshold: t,
+        });
+    }
+    points
+}
+
+/// Area under the ROC curve (trapezoidal rule).
+pub fn auc(points: &[RocPoint]) -> f64 {
+    points
+        .windows(2)
+        .map(|w| (w[1].fpr - w[0].fpr) * (w[1].tpr + w[0].tpr) / 2.0)
+        .sum()
+}
+
+/// Mean and 95% confidence half-width of a set of per-fold scores (the
+/// paper's `0.9979 ± 0.0065` style numbers).
+pub fn mean_confidence(values: &[f64]) -> (f64, f64) {
+    if values.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    if values.len() < 2 {
+        return (mean, 0.0);
+    }
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1.0);
+    (mean, 1.96 * (var / n).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confusion_counts_all_four_cells() {
+        let c = confusion(&[1, 1, -1, -1], &[1, -1, 1, -1]);
+        assert_eq!(c, Confusion { tp: 1, fp: 1, tn: 1, fn_: 1 });
+        assert_eq!(c.accuracy(), 0.5);
+        assert_eq!(c.precision(), 0.5);
+        assert_eq!(c.recall(), 0.5);
+        assert_eq!(c.f1(), 0.5);
+    }
+
+    #[test]
+    fn perfect_separation_gives_auc_one() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let truth = [1, 1, -1, -1];
+        let roc = roc_curve(&scores, &truth);
+        assert!((auc(&roc) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn random_scores_give_auc_half() {
+        // Interleaved scores: every threshold mixes classes equally.
+        let scores = [4.0, 3.0, 2.0, 1.0];
+        let truth = [1, -1, 1, -1];
+        let roc = roc_curve(&scores, &truth);
+        let a = auc(&roc);
+        assert!((a - 0.5).abs() < 0.26, "auc {a}");
+    }
+
+    #[test]
+    fn roc_starts_at_origin_and_ends_at_one_one() {
+        let roc = roc_curve(&[0.3, 0.7, 0.5], &[1, -1, 1]);
+        assert_eq!((roc[0].fpr, roc[0].tpr), (0.0, 0.0));
+        let last = roc.last().expect("non-empty");
+        assert_eq!((last.fpr, last.tpr), (1.0, 1.0));
+    }
+
+    #[test]
+    fn tied_scores_are_consumed_together() {
+        let roc = roc_curve(&[0.5, 0.5, 0.5], &[1, -1, 1]);
+        assert_eq!(roc.len(), 2);
+    }
+
+    #[test]
+    fn mean_confidence_of_constant_is_tight() {
+        let (m, ci) = mean_confidence(&[0.9, 0.9, 0.9]);
+        assert_eq!(m, 0.9);
+        assert_eq!(ci, 0.0);
+    }
+}

@@ -1,0 +1,142 @@
+//! A one-hidden-layer neural network trained by backpropagation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::Classifier;
+
+/// A multi-layer perceptron with one tanh hidden layer and a linear output,
+/// trained with SGD backpropagation (the paper's "NN" baseline — accurate,
+/// but with "high hardware overhead and classification latency").
+///
+/// # Example
+///
+/// ```
+/// use mlkit::{Classifier, Mlp};
+/// // XOR — not linearly separable, needs the hidden layer.
+/// let x = vec![vec![0.,0.], vec![0.,1.], vec![1.,0.], vec![1.,1.]];
+/// let y = vec![-1, 1, 1, -1];
+/// let mut m = Mlp::new(2, 8, 42);
+/// m.epochs = 3000;
+/// m.fit(&x, &y);
+/// assert_eq!(m.predict(&[0.0, 1.0]), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    w1: Vec<Vec<f64>>, // hidden × input
+    b1: Vec<f64>,
+    w2: Vec<f64>, // output ← hidden
+    b2: f64,
+    /// SGD step size.
+    pub learning_rate: f64,
+    /// Training epochs.
+    pub epochs: usize,
+}
+
+impl Mlp {
+    /// Creates an MLP with `hidden` units over `n_features` inputs,
+    /// initialized from `seed`.
+    pub fn new(n_features: usize, hidden: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let scale = 1.0 / (n_features as f64).sqrt();
+        Self {
+            w1: (0..hidden)
+                .map(|_| (0..n_features).map(|_| rng.gen_range(-scale..scale)).collect())
+                .collect(),
+            b1: vec![0.0; hidden],
+            w2: (0..hidden).map(|_| rng.gen_range(-0.5..0.5)).collect(),
+            b2: 0.0,
+            learning_rate: 0.05,
+            epochs: 400,
+        }
+    }
+
+    fn hidden_out(&self, row: &[f64]) -> Vec<f64> {
+        self.w1
+            .iter()
+            .zip(&self.b1)
+            .map(|(ws, b)| {
+                let z: f64 = ws.iter().zip(row).map(|(w, v)| w * v).sum::<f64>() + b;
+                z.tanh()
+            })
+            .collect()
+    }
+
+    /// Number of learned parameters (the hardware-cost driver).
+    pub fn parameter_count(&self) -> usize {
+        self.w1.iter().map(Vec::len).sum::<usize>() + self.b1.len() + self.w2.len() + 1
+    }
+}
+
+impl Classifier for Mlp {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[i8]) {
+        assert_eq!(x.len(), y.len(), "x/y length mismatch");
+        assert!(!x.is_empty(), "empty training set");
+        for _ in 0..self.epochs {
+            for (row, &label) in x.iter().zip(y) {
+                let h = self.hidden_out(row);
+                let out: f64 =
+                    self.w2.iter().zip(&h).map(|(w, v)| w * v).sum::<f64>() + self.b2;
+                let target = label as f64;
+                let err = target - out.tanh();
+                let dout = err * (1.0 - out.tanh() * out.tanh());
+                // Output layer.
+                for (w, &hv) in self.w2.iter_mut().zip(&h) {
+                    *w += self.learning_rate * dout * hv;
+                }
+                self.b2 += self.learning_rate * dout;
+                // Hidden layer.
+                for (j, hv) in h.iter().enumerate() {
+                    let dh = dout * self.w2[j] * (1.0 - hv * hv);
+                    for (w, &v) in self.w1[j].iter_mut().zip(row) {
+                        *w += self.learning_rate * dh * v;
+                    }
+                    self.b1[j] += self.learning_rate * dh;
+                }
+            }
+        }
+    }
+
+    fn score(&self, row: &[f64]) -> f64 {
+        let h = self.hidden_out(row);
+        self.w2.iter().zip(&h).map(|(w, v)| w * v).sum::<f64>() + self.b2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_a_linear_boundary_quickly() {
+        let x: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64 / 40.0]).collect();
+        let y: Vec<i8> = (0..40).map(|i| if i >= 20 { 1 } else { -1 }).collect();
+        let mut m = Mlp::new(1, 4, 7);
+        m.fit(&x, &y);
+        assert_eq!(m.predict(&[0.05]), -1);
+        assert_eq!(m.predict(&[0.95]), 1);
+    }
+
+    #[test]
+    fn solves_xor_unlike_a_single_perceptron() {
+        let x = vec![
+            vec![0.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+        ];
+        let y = vec![-1, 1, 1, -1];
+        let mut m = Mlp::new(2, 8, 42);
+        m.epochs = 3000;
+        m.fit(&x, &y);
+        for (r, &l) in x.iter().zip(&y) {
+            assert_eq!(m.predict(r), l, "failed on {r:?}");
+        }
+    }
+
+    #[test]
+    fn parameter_count_scales_with_width() {
+        let m = Mlp::new(10, 16, 0);
+        assert_eq!(m.parameter_count(), 10 * 16 + 16 + 16 + 1);
+    }
+}

@@ -1,0 +1,207 @@
+//! CART decision tree (Gini impurity, binary splits).
+
+use crate::Classifier;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        label: i8,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+/// A CART decision tree with Gini-impurity splits.
+///
+/// The paper's DT-CART baseline: cheap to implement in hardware but prone
+/// to hard decisions that generalize poorly to unseen attacks.
+///
+/// # Example
+///
+/// ```
+/// use mlkit::{Classifier, DecisionTree};
+/// let x = vec![vec![0.0], vec![1.0], vec![0.2], vec![0.8]];
+/// let y = vec![-1, 1, -1, 1];
+/// let mut t = DecisionTree::new(4, 1);
+/// t.fit(&x, &y);
+/// assert_eq!(t.predict(&[0.9]), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    root: Option<Node>,
+    /// Maximum depth.
+    pub max_depth: usize,
+    /// Minimum samples required to split.
+    pub min_samples: usize,
+}
+
+impl DecisionTree {
+    /// Creates a tree with the given depth and split-size limits.
+    pub fn new(max_depth: usize, min_samples: usize) -> Self {
+        Self { root: None, max_depth, min_samples }
+    }
+
+    /// Number of decision nodes (for hardware-cost discussions).
+    pub fn node_count(&self) -> usize {
+        fn count(n: &Node) -> usize {
+            match n {
+                Node::Leaf { .. } => 1,
+                Node::Split { left, right, .. } => 1 + count(left) + count(right),
+            }
+        }
+        self.root.as_ref().map_or(0, count)
+    }
+
+    fn gini(pos: usize, total: usize) -> f64 {
+        if total == 0 {
+            return 0.0;
+        }
+        let p = pos as f64 / total as f64;
+        2.0 * p * (1.0 - p)
+    }
+
+    fn majority(y: &[i8], idx: &[usize]) -> i8 {
+        let pos = idx.iter().filter(|&&i| y[i] > 0).count();
+        if pos * 2 >= idx.len() {
+            1
+        } else {
+            -1
+        }
+    }
+
+    fn build(&self, x: &[Vec<f64>], y: &[i8], idx: &[usize], depth: usize) -> Node {
+        let pos = idx.iter().filter(|&&i| y[i] > 0).count();
+        if depth >= self.max_depth
+            || idx.len() < self.min_samples
+            || pos == 0
+            || pos == idx.len()
+        {
+            return Node::Leaf { label: Self::majority(y, idx) };
+        }
+
+        let n_features = x[0].len();
+        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, gini)
+        for f in 0..n_features {
+            // Candidate thresholds: midpoints of sorted unique values
+            // (subsampled for speed on wide data).
+            let mut vals: Vec<f64> = idx.iter().map(|&i| x[i][f]).collect();
+            vals.sort_by(|a, b| a.partial_cmp(b).expect("no NaN features"));
+            vals.dedup();
+            if vals.len() < 2 {
+                continue;
+            }
+            let step = (vals.len() / 16).max(1);
+            for w in vals.windows(2).step_by(step) {
+                let t = (w[0] + w[1]) / 2.0;
+                let (mut lp, mut ln, mut rp, mut rn) = (0usize, 0usize, 0usize, 0usize);
+                for &i in idx {
+                    let is_pos = y[i] > 0;
+                    if x[i][f] <= t {
+                        if is_pos {
+                            lp += 1
+                        } else {
+                            ln += 1
+                        }
+                    } else if is_pos {
+                        rp += 1
+                    } else {
+                        rn += 1
+                    }
+                }
+                let (l, r) = (lp + ln, rp + rn);
+                if l == 0 || r == 0 {
+                    continue;
+                }
+                let g = (l as f64 * Self::gini(lp, l) + r as f64 * Self::gini(rp, r))
+                    / idx.len() as f64;
+                if best.map_or(true, |(_, _, bg)| g < bg) {
+                    best = Some((f, t, g));
+                }
+            }
+        }
+
+        let Some((feature, threshold, _)) = best else {
+            return Node::Leaf { label: Self::majority(y, idx) };
+        };
+        let (li, ri): (Vec<usize>, Vec<usize>) =
+            idx.iter().partition(|&&i| x[i][feature] <= threshold);
+        if li.is_empty() || ri.is_empty() {
+            return Node::Leaf { label: Self::majority(y, idx) };
+        }
+        Node::Split {
+            feature,
+            threshold,
+            left: Box::new(self.build(x, y, &li, depth + 1)),
+            right: Box::new(self.build(x, y, &ri, depth + 1)),
+        }
+    }
+}
+
+impl Classifier for DecisionTree {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[i8]) {
+        assert_eq!(x.len(), y.len(), "x/y length mismatch");
+        assert!(!x.is_empty(), "empty training set");
+        let idx: Vec<usize> = (0..x.len()).collect();
+        self.root = Some(self.build(x, y, &idx, 0));
+    }
+
+    fn score(&self, row: &[f64]) -> f64 {
+        let mut node = self.root.as_ref().expect("fit before predict");
+        loop {
+            match node {
+                Node::Leaf { label } => return *label as f64,
+                Node::Split { feature, threshold, left, right } => {
+                    node = if row[*feature] <= *threshold { left } else { right };
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_on_the_informative_feature() {
+        // Feature 1 is informative, feature 0 is noise.
+        let x: Vec<Vec<f64>> = (0..60)
+            .map(|i| vec![(i % 7) as f64, if i < 30 { 0.1 } else { 0.9 }])
+            .collect();
+        let y: Vec<i8> = (0..60).map(|i| if i < 30 { -1 } else { 1 }).collect();
+        let mut t = DecisionTree::new(3, 2);
+        t.fit(&x, &y);
+        assert_eq!(t.predict(&[3.0, 0.05]), -1);
+        assert_eq!(t.predict(&[3.0, 0.95]), 1);
+    }
+
+    #[test]
+    fn fits_xor_with_enough_depth() {
+        let x = vec![
+            vec![0.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+        ];
+        let y = vec![-1, 1, 1, -1];
+        let mut t = DecisionTree::new(4, 1);
+        t.fit(&x, &y);
+        for (r, &l) in x.iter().zip(&y) {
+            assert_eq!(t.predict(r), l);
+        }
+        assert!(t.node_count() >= 5);
+    }
+
+    #[test]
+    fn pure_node_becomes_leaf() {
+        let x = vec![vec![0.0], vec![1.0], vec![2.0]];
+        let y = vec![1, 1, 1];
+        let mut t = DecisionTree::new(5, 1);
+        t.fit(&x, &y);
+        assert_eq!(t.node_count(), 1);
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based tests for the ML toolkit.
+
+use mlkit::{auc, confusion, pearson, roc_curve, stratified_kfold, Classifier, DecisionTree, Knn, Perceptron};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn roc_curve_is_monotonically_nondecreasing(
+        data in proptest::collection::vec((any::<f32>(), any::<bool>()), 2..100)
+    ) {
+        let scores: Vec<f64> = data.iter().map(|(s, _)| *s as f64).filter(|s| s.is_finite()).collect();
+        prop_assume!(scores.len() >= 2);
+        let truth: Vec<i8> = data
+            .iter()
+            .take(scores.len())
+            .map(|(_, t)| if *t { 1i8 } else { -1 })
+            .collect();
+        let roc = roc_curve(&scores, &truth);
+        for w in roc.windows(2) {
+            prop_assert!(w[1].fpr >= w[0].fpr - 1e-12);
+            prop_assert!(w[1].tpr >= w[0].tpr - 1e-12);
+        }
+        let a = auc(&roc);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&a), "auc {a}");
+    }
+
+    #[test]
+    fn pearson_is_symmetric_and_bounded(
+        pairs in proptest::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 2..60)
+    ) {
+        let x: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let y: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        let r = pearson(&x, &y);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r), "r = {r}");
+        prop_assert!((r - pearson(&y, &x)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn confusion_cells_partition_the_samples(
+        data in proptest::collection::vec((any::<bool>(), any::<bool>()), 1..100)
+    ) {
+        let pred: Vec<i8> = data.iter().map(|(p, _)| if *p { 1 } else { -1 }).collect();
+        let truth: Vec<i8> = data.iter().map(|(_, t)| if *t { 1 } else { -1 }).collect();
+        let c = confusion(&pred, &truth);
+        prop_assert_eq!(c.tp + c.fp + c.tn + c.fn_, data.len());
+        prop_assert!((0.0..=1.0).contains(&c.accuracy()));
+        prop_assert!((0.0..=1.0).contains(&c.f1()));
+    }
+
+    #[test]
+    fn stratified_folds_never_lose_or_duplicate_samples(
+        labels in proptest::collection::vec(prop_oneof![Just(1i8), Just(-1i8)], 6..80),
+        k in 2usize..5,
+        seed in any::<u64>()
+    ) {
+        prop_assume!(k <= labels.len());
+        let folds = stratified_kfold(&labels, k, seed);
+        let mut all: Vec<usize> = folds.iter().flatten().copied().collect();
+        all.sort_unstable();
+        let expect: Vec<usize> = (0..labels.len()).collect();
+        prop_assert_eq!(all, expect);
+    }
+
+    #[test]
+    fn knn_k1_perfectly_memorizes_distinct_training_points(
+        points in proptest::collection::btree_set(0i32..1000, 2..30)
+    ) {
+        let x: Vec<Vec<f64>> = points.iter().map(|&p| vec![p as f64]).collect();
+        let y: Vec<i8> = points.iter().map(|&p| if p % 2 == 0 { 1 } else { -1 }).collect();
+        let mut m = Knn::new(1);
+        m.fit(&x, &y);
+        for (row, &label) in x.iter().zip(&y) {
+            prop_assert_eq!(m.predict(row), label);
+        }
+    }
+
+    #[test]
+    fn deep_tree_fits_any_consistent_labeling(
+        points in proptest::collection::btree_map(0i32..200, any::<bool>(), 2..40)
+    ) {
+        let x: Vec<Vec<f64>> = points.keys().map(|&p| vec![p as f64]).collect();
+        let y: Vec<i8> = points.values().map(|&t| if t { 1 } else { -1 }).collect();
+        let mut t = DecisionTree::new(32, 1);
+        t.fit(&x, &y);
+        for (row, &label) in x.iter().zip(&y) {
+            prop_assert_eq!(t.predict(row), label);
+        }
+    }
+
+    #[test]
+    fn perceptron_score_is_linear_in_inputs(
+        w in proptest::collection::vec(-5.0f64..5.0, 4),
+        a in proptest::collection::vec(-5.0f64..5.0, 4),
+        b in proptest::collection::vec(-5.0f64..5.0, 4)
+    ) {
+        let mut p = Perceptron::new(4);
+        p.set_weights(w, 0.0);
+        let sum: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+        let lhs = p.score(&sum);
+        let rhs = p.score(&a) + p.score(&b);
+        prop_assert!((lhs - rhs).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,175 @@
+//! In-flight (dynamic) instruction state.
+
+use uarch_isa::Inst;
+
+use crate::bpred::PredCheckpoint;
+
+/// A dynamic instruction traveling through the pipeline.
+///
+/// Lives in the core's instruction window (the ROB) from rename to commit;
+/// the fetch and decode queues hold partially-initialized entries.
+#[derive(Debug, Clone)]
+pub struct DynInst {
+    /// Global sequence number (program order).
+    pub seq: u64,
+    /// Instruction index in the program.
+    pub pc: usize,
+    /// The static instruction.
+    pub inst: Inst,
+    /// Fall-through pc (`pc + 1`).
+    pub fall_through: usize,
+
+    // ---- rename ----
+    /// Physical destination register, if any.
+    pub dest_phys: Option<usize>,
+    /// Previous mapping of the destination architectural register.
+    pub old_phys: Option<usize>,
+    /// Physical source registers.
+    pub srcs: [Option<usize>; 2],
+
+    // ---- pipeline state ----
+    /// Waiting in the instruction queue.
+    pub in_iq: bool,
+    /// Sent to a functional unit.
+    pub issued: bool,
+    /// Result produced / control resolved.
+    pub executed: bool,
+    /// Cycle at which the result becomes available.
+    pub ready_cycle: u64,
+    /// Squashed on a wrong path.
+    pub squashed: bool,
+    /// Must wait for commit's signal before executing.
+    pub non_spec: bool,
+    /// Commit has authorized a non-speculative execution.
+    pub can_exec_non_spec: bool,
+    /// Computed result value (destination register or store data).
+    pub result: u64,
+
+    // ---- control flow ----
+    /// Predicted taken at fetch.
+    pub predicted_taken: bool,
+    /// Predicted next pc.
+    pub predicted_target: usize,
+    /// Resolved next pc (set at rename for returns, at execute otherwise).
+    pub actual_target: usize,
+    /// Resolved direction.
+    pub actual_taken: bool,
+    /// The prediction was wrong (set at execute).
+    pub mispredicted: bool,
+    /// Predictor state checkpoint for squash recovery.
+    pub checkpoint: PredCheckpoint,
+
+    // ---- memory ----
+    /// Effective address once computed.
+    pub eff_addr: Option<u64>,
+    /// Access size in bytes.
+    pub mem_size: u64,
+    /// A memory response is still in flight.
+    pub mem_outstanding: bool,
+    /// The access faulted (privilege violation — delivered at commit).
+    pub fault: bool,
+    /// The load was satisfied by store-to-load forwarding.
+    pub forwarded: bool,
+    /// Oldest store sequence number that contributed forwarded bytes, set
+    /// only when every loaded byte came from the store queue. Violation
+    /// checks use this: a store resolving later squashes the load unless
+    /// all of the load's bytes provably came from younger stores.
+    pub fwd_youngest_seq: Option<u64>,
+    /// Cycle this instruction was fetched.
+    pub fetch_cycle: u64,
+    /// Cycle this instruction was dispatched into the window.
+    pub dispatch_cycle: u64,
+    /// Cycle this instruction issued.
+    pub issue_cycle: u64,
+}
+
+impl DynInst {
+    /// Creates a fresh dynamic instruction at fetch.
+    pub fn new(seq: u64, pc: usize, inst: Inst) -> Self {
+        Self {
+            seq,
+            pc,
+            inst,
+            fall_through: pc + 1,
+            dest_phys: None,
+            old_phys: None,
+            srcs: [None, None],
+            in_iq: false,
+            issued: false,
+            executed: false,
+            ready_cycle: u64::MAX,
+            squashed: false,
+            non_spec: false,
+            can_exec_non_spec: false,
+            result: 0,
+            predicted_taken: false,
+            predicted_target: pc + 1,
+            actual_target: pc + 1,
+            actual_taken: false,
+            mispredicted: false,
+            checkpoint: PredCheckpoint::default(),
+            eff_addr: None,
+            mem_size: 0,
+            mem_outstanding: false,
+            fault: false,
+            forwarded: false,
+            fwd_youngest_seq: None,
+            fetch_cycle: 0,
+            dispatch_cycle: 0,
+            issue_cycle: 0,
+        }
+    }
+
+    /// Whether this is a load.
+    pub fn is_load(&self) -> bool {
+        matches!(self.inst, Inst::Load { .. })
+    }
+
+    /// Whether this is a store.
+    pub fn is_store(&self) -> bool {
+        matches!(self.inst, Inst::Store { .. })
+    }
+
+    /// Whether the byte ranges of two memory operations overlap.
+    pub fn mem_overlaps(&self, other: &DynInst) -> bool {
+        match (self.eff_addr, other.eff_addr) {
+            (Some(a), Some(b)) => a < b + other.mem_size && b < a + self.mem_size,
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uarch_isa::{Reg, Width};
+
+    fn load_at(addr: u64, size: u64) -> DynInst {
+        let mut d = DynInst::new(
+            0,
+            0,
+            Inst::Load { rd: Reg::R1, base: Reg::R2, offset: 0, width: Width::Double, fp: false },
+        );
+        d.eff_addr = Some(addr);
+        d.mem_size = size;
+        d
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let a = load_at(100, 8);
+        let b = load_at(104, 8);
+        let c = load_at(108, 8);
+        assert!(a.mem_overlaps(&b));
+        assert!(!a.mem_overlaps(&c));
+        assert!(b.mem_overlaps(&c));
+    }
+
+    #[test]
+    fn unresolved_addresses_do_not_overlap() {
+        let a = load_at(100, 8);
+        let mut b = load_at(100, 8);
+        b.eff_addr = None;
+        assert!(!a.mem_overlaps(&b));
+    }
+}

@@ -1,0 +1,42 @@
+//! A cycle-driven out-of-order core with real speculative execution and a
+//! gem5-style statistics inventory.
+//!
+//! The core reproduces the mechanisms microarchitectural attacks exploit:
+//!
+//! - **Speculation past branches** — fetch follows a tournament predictor,
+//!   a 4096-entry BTB and a 16-entry return address stack; wrong-path
+//!   instructions execute and leave cache footprints before the squash.
+//! - **Late permission checks** — loads from kernel addresses forward their
+//!   data speculatively and fault only at commit (the Meltdown window).
+//! - **Timing read-out** — `rdcycle` is a serializing cycle-counter read, so
+//!   workloads can implement Flush+Reload / Prime+Probe / Flush+Flush timers
+//!   exactly as the PoCs do.
+//!
+//! # Example
+//!
+//! ```
+//! use sim_cpu::{Core, CoreConfig};
+//! use uarch_isa::{Assembler, Reg};
+//!
+//! let mut a = Assembler::new("demo");
+//! a.li(Reg::R1, 21);
+//! a.add(Reg::R2, Reg::R1, Reg::R1);
+//! a.halt();
+//! let mut core = Core::new(CoreConfig::default(), a.finish().unwrap());
+//! let summary = core.run(100);
+//! assert!(summary.halted);
+//! assert_eq!(core.reg(Reg::R2), 42);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bpred;
+pub mod config;
+pub mod core;
+pub mod dyninst;
+pub mod stats;
+pub mod tlb;
+
+pub use crate::core::{Core, MarkEvent, RunSummary, KERNEL_SPACE_BASE};
+pub use config::CoreConfig;
+pub use stats::CoreStats;

@@ -1,0 +1,134 @@
+//! Memory packet commands, mirroring gem5's `MemCmd`.
+
+use uarch_stats::StatKey;
+
+/// Command carried by a memory packet.
+///
+/// The subset of gem5's `MemCmd` that a single-core classic hierarchy
+/// produces. Buses record one [`trans_dist`](crate::Bus) entry per command;
+/// caches keep per-command access/hit/miss statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemCmd {
+    /// Demand data read request (CPU → L1D).
+    ReadReq,
+    /// Data returned for any read-class request.
+    ReadResp,
+    /// Demand data write request (CPU → L1D).
+    WriteReq,
+    /// Acknowledgement of a write.
+    WriteResp,
+    /// Read that may be shared (L1D read miss → L2).
+    ReadSharedReq,
+    /// Read of a clean (instruction) line (L1I miss → L2).
+    ReadCleanReq,
+    /// Read for exclusive ownership (write miss → L2/memory).
+    ReadExReq,
+    /// Eviction of a dirty line, carrying data.
+    WritebackDirty,
+    /// Eviction of a clean line that still writes data back (exclusive but
+    /// unmodified lines).
+    WritebackClean,
+    /// Notification that a clean line was dropped (no data).
+    CleanEvict,
+    /// Cache line flush (`clflush`) request.
+    FlushReq,
+    /// Invalidate a line without data transfer.
+    InvalidateReq,
+    /// Upgrade a shared line to exclusive without data transfer.
+    UpgradeReq,
+}
+
+impl MemCmd {
+    /// Number of distinct commands (equals `<MemCmd as StatKey>::COUNT`).
+    pub const COUNT: usize = 13;
+
+    /// All commands, in stat order.
+    pub const ALL: [MemCmd; 13] = [
+        MemCmd::ReadReq,
+        MemCmd::ReadResp,
+        MemCmd::WriteReq,
+        MemCmd::WriteResp,
+        MemCmd::ReadSharedReq,
+        MemCmd::ReadCleanReq,
+        MemCmd::ReadExReq,
+        MemCmd::WritebackDirty,
+        MemCmd::WritebackClean,
+        MemCmd::CleanEvict,
+        MemCmd::FlushReq,
+        MemCmd::InvalidateReq,
+        MemCmd::UpgradeReq,
+    ];
+
+    /// Whether the command expects data back (and therefore generates a
+    /// `ReadResp` on the same bus).
+    pub fn needs_response(self) -> bool {
+        matches!(
+            self,
+            MemCmd::ReadReq
+                | MemCmd::ReadSharedReq
+                | MemCmd::ReadCleanReq
+                | MemCmd::ReadExReq
+        )
+    }
+
+    /// Whether the command is an eviction (writeback or clean-evict).
+    pub fn is_eviction(self) -> bool {
+        matches!(
+            self,
+            MemCmd::WritebackDirty | MemCmd::WritebackClean | MemCmd::CleanEvict
+        )
+    }
+}
+
+impl StatKey for MemCmd {
+    const COUNT: usize = 13;
+
+    fn index(self) -> usize {
+        MemCmd::ALL.iter().position(|&c| c == self).expect("cmd in ALL")
+    }
+
+    fn label(i: usize) -> &'static str {
+        [
+            "ReadReq",
+            "ReadResp",
+            "WriteReq",
+            "WriteResp",
+            "ReadSharedReq",
+            "ReadCleanReq",
+            "ReadExReq",
+            "WritebackDirty",
+            "WritebackClean",
+            "CleanEvict",
+            "FlushReq",
+            "InvalidateReq",
+            "UpgradeReq",
+        ][i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stat_key_indices_are_dense() {
+        for (i, c) in MemCmd::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+
+    #[test]
+    fn read_class_commands_need_responses() {
+        assert!(MemCmd::ReadSharedReq.needs_response());
+        assert!(MemCmd::ReadCleanReq.needs_response());
+        assert!(!MemCmd::WritebackDirty.needs_response());
+        assert!(!MemCmd::CleanEvict.needs_response());
+    }
+
+    #[test]
+    fn eviction_classification() {
+        assert!(MemCmd::CleanEvict.is_eviction());
+        assert!(MemCmd::WritebackClean.is_eviction());
+        assert!(!MemCmd::ReadReq.is_eviction());
+    }
+}

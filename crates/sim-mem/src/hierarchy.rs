@@ -1,0 +1,418 @@
+//! The assembled memory hierarchy: L1I + L1D → tol2bus → L2 → membus →
+//! DRAM controller, with a flat functional backing store.
+
+use uarch_stats::{StatGroup, StatVisitor};
+
+use crate::bus::Bus;
+use crate::cache::{Cache, CacheConfig};
+use crate::cmd::MemCmd;
+use crate::dram::{DramConfig, MemCtrl};
+use crate::memory::Memory;
+
+const LINE: u64 = 64;
+
+/// Configuration of the whole hierarchy.
+#[derive(Debug, Clone)]
+pub struct HierarchyConfig {
+    /// L1 instruction cache.
+    pub l1i: CacheConfig,
+    /// L1 data cache.
+    pub l1d: CacheConfig,
+    /// Shared L2.
+    pub l2: CacheConfig,
+    /// DRAM controller.
+    pub dram: DramConfig,
+    /// L1↔L2 crossbar transfer latency.
+    pub tol2bus_latency: u64,
+    /// L2↔memory crossbar transfer latency.
+    pub membus_latency: u64,
+}
+
+impl Default for HierarchyConfig {
+    fn default() -> Self {
+        Self {
+            l1i: CacheConfig::l1i(),
+            l1d: CacheConfig::l1d(),
+            l2: CacheConfig::l2(),
+            dram: DramConfig::default(),
+            tol2bus_latency: 1,
+            membus_latency: 2,
+        }
+    }
+}
+
+/// Where an access was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessOutcome {
+    /// Hit in the first-level cache.
+    L1Hit,
+    /// Missed L1, hit L2.
+    L2Hit,
+    /// Missed both, went to memory.
+    MemAccess,
+    /// Coalesced onto an already-outstanding miss.
+    MshrCoalesced,
+}
+
+/// Result of a data load.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadResult {
+    /// Total latency in cycles.
+    pub latency: u64,
+    /// The loaded value.
+    pub value: u64,
+    /// Where the access was satisfied.
+    pub outcome: AccessOutcome,
+}
+
+/// The full memory system below the core.
+#[derive(Debug)]
+pub struct MemoryHierarchy {
+    l1i: Cache,
+    l1d: Cache,
+    l2: Cache,
+    tol2bus: Bus,
+    membus: Bus,
+    mem_ctrl: MemCtrl,
+    memory: Memory,
+}
+
+impl MemoryHierarchy {
+    /// Builds the hierarchy from a configuration.
+    pub fn new(cfg: HierarchyConfig) -> Self {
+        Self {
+            l1i: Cache::new(cfg.l1i),
+            l1d: Cache::new(cfg.l1d),
+            l2: Cache::new(cfg.l2),
+            tol2bus: Bus::new(cfg.tol2bus_latency),
+            membus: Bus::new(cfg.membus_latency),
+            mem_ctrl: MemCtrl::new(cfg.dram),
+            memory: Memory::new(),
+        }
+    }
+
+    /// The functional backing memory.
+    pub fn memory(&self) -> &Memory {
+        &self.memory
+    }
+
+    /// Mutable access to the functional backing memory (used to install
+    /// program data segments and by the core's commit path).
+    pub fn memory_mut(&mut self) -> &mut Memory {
+        &mut self.memory
+    }
+
+    /// The L1 data cache (for probes in tests and attack verification).
+    pub fn l1d(&self) -> &Cache {
+        &self.l1d
+    }
+
+    /// The L1 instruction cache.
+    pub fn l1i(&self) -> &Cache {
+        &self.l1i
+    }
+
+    /// The shared L2.
+    pub fn l2(&self) -> &Cache {
+        &self.l2
+    }
+
+    /// The DRAM controller.
+    pub fn mem_ctrl(&self) -> &MemCtrl {
+        &self.mem_ctrl
+    }
+
+    /// The L1↔L2 crossbar.
+    pub fn tol2bus(&self) -> &Bus {
+        &self.tol2bus
+    }
+
+    /// The L2↔memory crossbar.
+    pub fn membus(&self) -> &Bus {
+        &self.membus
+    }
+
+    /// Handles an L1 eviction packet: puts it on the L1↔L2 bus and applies
+    /// it to the L2.
+    fn l1_eviction(&mut self, ev: crate::cache::Eviction, now: u64) {
+        let bytes = if ev.cmd == MemCmd::CleanEvict { 0 } else { LINE };
+        self.tol2bus.send(ev.cmd, bytes, now);
+        match ev.cmd {
+            MemCmd::WritebackDirty => {
+                if let Some(l2ev) = self.l2.fill(ev.addr, false, true) {
+                    self.l2_eviction(l2ev, now);
+                }
+            }
+            MemCmd::WritebackClean => {
+                if let Some(l2ev) = self.l2.fill(ev.addr, false, false) {
+                    self.l2_eviction(l2ev, now);
+                }
+            }
+            _ => {} // CleanEvict: notification only
+        }
+    }
+
+    /// Handles an L2 eviction packet: membus traffic plus a DRAM write for
+    /// dirty data.
+    fn l2_eviction(&mut self, ev: crate::cache::Eviction, now: u64) {
+        let bytes = if ev.cmd == MemCmd::CleanEvict { 0 } else { LINE };
+        self.membus.send(ev.cmd, bytes, now);
+        if ev.cmd == MemCmd::WritebackDirty {
+            self.mem_ctrl.write(ev.addr, LINE, now);
+        }
+    }
+
+    /// The downstream path for an L1 miss: L2 access, then memory on an L2
+    /// miss. Returns (latency-below-L1, outcome).
+    fn below_l1(&mut self, l2cmd: MemCmd, addr: u64, now: u64, exclusive: bool) -> (u64, AccessOutcome) {
+        let mut lat = self.tol2bus.send(l2cmd, 0, now);
+        let l2res = self.l2.access(l2cmd, addr, now + lat);
+        lat += l2res.latency;
+        let outcome;
+        if l2res.hit {
+            outcome = AccessOutcome::L2Hit;
+        } else if let Some(ready) = l2res.coalesced_ready_at {
+            lat = lat.max(ready.saturating_sub(now));
+            outcome = AccessOutcome::MshrCoalesced;
+        } else {
+            // L2 miss → memory.
+            let memcmd = if exclusive { MemCmd::ReadExReq } else { MemCmd::ReadReq };
+            let mut below = self.membus.send(memcmd, 0, now + lat);
+            below += self.mem_ctrl.read(addr, LINE, now + lat + below);
+            below += self.membus.send(MemCmd::ReadResp, LINE, now + lat + below);
+            self.l2.complete_miss(l2cmd, addr, now + lat, below);
+            if let Some(ev) = self.l2.fill(addr, exclusive, false) {
+                self.l2_eviction(ev, now + lat + below);
+            }
+            lat += below + self.l2.config().response_latency;
+            outcome = AccessOutcome::MemAccess;
+        }
+        // Response back up the L1↔L2 bus.
+        lat += self.tol2bus.send(MemCmd::ReadResp, LINE, now + lat);
+        (lat, outcome)
+    }
+
+    /// Performs a timed data load: returns latency, value and where it hit.
+    pub fn load(&mut self, addr: u64, size: u64, now: u64) -> LoadResult {
+        let value = self.memory.read(addr, size);
+        let res = self.l1d.access(MemCmd::ReadReq, addr, now);
+        if res.hit {
+            return LoadResult { latency: res.latency, value, outcome: AccessOutcome::L1Hit };
+        }
+        if let Some(ready) = res.coalesced_ready_at {
+            return LoadResult {
+                latency: res.latency.max(ready.saturating_sub(now)),
+                value,
+                outcome: AccessOutcome::MshrCoalesced,
+            };
+        }
+        let (below, outcome) = self.below_l1(MemCmd::ReadSharedReq, addr, now + res.latency, false);
+        let total = res.latency + below;
+        self.l1d.complete_miss(MemCmd::ReadReq, addr, now, total);
+        if let Some(ev) = self.l1d.fill(addr, false, false) {
+            let wb_delay = self.l1d.reserve_write_buffer(now + total, 20);
+            self.l1_eviction(ev, now + total + wb_delay);
+        }
+        LoadResult { latency: total, value, outcome }
+    }
+
+    /// Performs a timed data store (write-allocate, write-back). The value
+    /// is written through to the functional backing store.
+    pub fn store(&mut self, addr: u64, size: u64, value: u64, now: u64) -> u64 {
+        self.memory.write(addr, size, value);
+        let res = self.l1d.access(MemCmd::WriteReq, addr, now);
+        if res.hit {
+            return res.latency;
+        }
+        if let Some(ready) = res.coalesced_ready_at {
+            return res.latency.max(ready.saturating_sub(now));
+        }
+        let (below, _) = self.below_l1(MemCmd::ReadExReq, addr, now + res.latency, true);
+        let total = res.latency + below;
+        self.l1d.complete_miss(MemCmd::WriteReq, addr, now, total);
+        if let Some(ev) = self.l1d.fill(addr, true, true) {
+            let wb_delay = self.l1d.reserve_write_buffer(now + total, 20);
+            self.l1_eviction(ev, now + total + wb_delay);
+        }
+        total
+    }
+
+    /// Performs a timed instruction fetch of the line containing `addr`.
+    pub fn fetch(&mut self, addr: u64, now: u64) -> (u64, AccessOutcome) {
+        let res = self.l1i.access(MemCmd::ReadCleanReq, addr, now);
+        if res.hit {
+            return (res.latency, AccessOutcome::L1Hit);
+        }
+        if let Some(ready) = res.coalesced_ready_at {
+            return (
+                res.latency.max(ready.saturating_sub(now)),
+                AccessOutcome::MshrCoalesced,
+            );
+        }
+        let (below, outcome) = self.below_l1(MemCmd::ReadCleanReq, addr, now + res.latency, false);
+        let total = res.latency + below;
+        self.l1i.complete_miss(MemCmd::ReadCleanReq, addr, now, total);
+        if let Some(ev) = self.l1i.fill(addr, true, false) {
+            self.l1_eviction(ev, now + total);
+        }
+        (total, outcome)
+    }
+
+    /// Flushes the line containing `addr` from the entire hierarchy
+    /// (`clflush`). The latency depends on where (and how dirty) the line
+    /// was — the timing signal Flush+Flush reads.
+    pub fn flush_line(&mut self, addr: u64, now: u64) -> u64 {
+        let mut lat = 10; // base cost of the flush micro-op
+        let in_l1 = self.l1d.probe(addr).is_some() || self.l1i.probe(addr).is_some();
+        let in_l2 = self.l2.probe(addr).is_some();
+
+        if in_l1 || in_l2 {
+            self.tol2bus.send(MemCmd::FlushReq, 0, now);
+        }
+        if let Some(ev) = self.l1d.invalidate(addr) {
+            lat += 15;
+            if ev.cmd == MemCmd::WritebackDirty {
+                self.tol2bus.send(MemCmd::WritebackDirty, LINE, now + lat);
+                self.membus.send(MemCmd::WritebackDirty, LINE, now + lat);
+                lat += 10 + self.mem_ctrl.write(ev.addr, LINE, now + lat);
+            }
+        }
+        if self.l1i.invalidate(addr).is_some() {
+            lat += 10;
+        }
+        if in_l2 {
+            self.membus.send(MemCmd::FlushReq, 0, now + lat);
+        }
+        if let Some(ev) = self.l2.invalidate(addr) {
+            lat += 20;
+            if ev.cmd == MemCmd::WritebackDirty {
+                self.membus.send(MemCmd::WritebackDirty, LINE, now + lat);
+                lat += 10 + self.mem_ctrl.write(ev.addr, LINE, now + lat);
+            }
+        }
+        lat
+    }
+
+    /// Whether the line containing `addr` is resident in the L1 data cache.
+    pub fn cached_in_l1d(&self, addr: u64) -> bool {
+        self.l1d.probe(addr).is_some()
+    }
+
+    /// Applies CEASER-style index randomization to the data-side caches
+    /// (the §IV-G1 mitigation a suspected cache attack triggers). Resident
+    /// lines are invalidated by the remap.
+    pub fn randomize_indexing(&mut self, key: u64) {
+        self.l1d.set_index_key(key);
+        self.l2.set_index_key(key.rotate_left(7));
+    }
+}
+
+impl StatGroup for MemoryHierarchy {
+    fn visit(&self, prefix: &str, v: &mut dyn StatVisitor) {
+        let p = |s: &str| {
+            if prefix.is_empty() {
+                s.to_string()
+            } else {
+                format!("{prefix}.{s}")
+            }
+        };
+        self.l1i.visit(&p("icache"), v);
+        self.l1d.visit(&p("dcache"), v);
+        self.l2.visit(&p("l2"), v);
+        self.tol2bus.visit(&p("tol2bus"), v);
+        self.membus.visit(&p("membus"), v);
+        self.mem_ctrl.visit(&p("mem_ctrls"), v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uarch_stats::Snapshot;
+
+    #[test]
+    fn load_miss_fills_all_levels() {
+        let mut h = MemoryHierarchy::new(HierarchyConfig::default());
+        h.memory_mut().write(0x4000, 8, 77);
+        let r = h.load(0x4000, 8, 0);
+        assert_eq!(r.outcome, AccessOutcome::MemAccess);
+        assert_eq!(r.value, 77);
+        assert!(h.cached_in_l1d(0x4000));
+        assert!(h.l2().probe(0x4000).is_some());
+        let r2 = h.load(0x4000, 8, r.latency + 1);
+        assert_eq!(r2.outcome, AccessOutcome::L1Hit);
+        assert!(r2.latency < r.latency);
+    }
+
+    #[test]
+    fn flush_removes_line_everywhere_and_costs_more_when_resident() {
+        let mut h = MemoryHierarchy::new(HierarchyConfig::default());
+        h.load(0x4000, 8, 0);
+        let lat_present = h.flush_line(0x4000, 100);
+        assert!(!h.cached_in_l1d(0x4000));
+        assert!(h.l2().probe(0x4000).is_none());
+        let lat_absent = h.flush_line(0x4000, 200);
+        assert!(
+            lat_present > lat_absent,
+            "flush of resident line ({lat_present}) must exceed absent ({lat_absent})"
+        );
+    }
+
+    #[test]
+    fn store_dirties_line_and_flush_writes_back() {
+        let mut h = MemoryHierarchy::new(HierarchyConfig::default());
+        h.store(0x9000, 8, 42, 0);
+        let lat_dirty = h.flush_line(0x9000, 100);
+        h.load(0x9000, 8, 200);
+        let lat_clean = h.flush_line(0x9000, 500);
+        assert!(lat_dirty > lat_clean, "dirty flush writes back");
+        assert_eq!(h.memory().read(0x9000, 8), 42);
+    }
+
+    #[test]
+    fn l2_hit_after_l1_eviction() {
+        let mut h = MemoryHierarchy::new(HierarchyConfig::default());
+        // L1D is 64KB 8-way = 128 sets. Fill 9 lines mapping to set 0 to
+        // force one eviction; the victim should still hit in L2.
+        let stride = 128 * 64; // one L1D set apart
+        for i in 0..9u64 {
+            h.load(0x10_0000 + i * stride, 8, i * 1000);
+        }
+        let r = h.load(0x10_0000, 8, 100_000);
+        assert_eq!(r.outcome, AccessOutcome::L2Hit);
+    }
+
+    #[test]
+    fn prime_like_sweep_emits_clean_evictions_on_tol2bus() {
+        let mut h = MemoryHierarchy::new(HierarchyConfig::default());
+        let stride = 128 * 64;
+        for i in 0..64u64 {
+            h.load(0x20_0000 + i * stride, 8, i * 500);
+        }
+        assert!(
+            h.tol2bus().stats().trans_dist.get(MemCmd::CleanEvict) > 0,
+            "L1 conflict evictions of clean lines must show up on the bus"
+        );
+    }
+
+    #[test]
+    fn fetch_uses_icache() {
+        let mut h = MemoryHierarchy::new(HierarchyConfig::default());
+        let (miss_lat, out) = h.fetch(0x100, 0);
+        assert_eq!(out, AccessOutcome::MemAccess);
+        let (hit_lat, out2) = h.fetch(0x104, miss_lat);
+        assert_eq!(out2, AccessOutcome::L1Hit);
+        assert!(hit_lat < miss_lat);
+    }
+
+    #[test]
+    fn stats_tree_has_expected_names() {
+        let h = MemoryHierarchy::new(HierarchyConfig::default());
+        let snap = Snapshot::of(&h, "system");
+        assert!(snap.get("system.dcache.ReadReq_misses").is_some());
+        assert!(snap.get("system.l2.ReadSharedReq_mshr_miss_latency").is_some());
+        assert!(snap.get("system.tol2bus.trans_dist::CleanEvict").is_some());
+        assert!(snap.get("system.mem_ctrls.selfRefreshEnergy").is_some());
+        assert!(snap.get("system.mem_ctrls.bytesReadWrQ").is_some());
+    }
+}

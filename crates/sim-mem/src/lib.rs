@@ -1,0 +1,43 @@
+//! The memory substrate: caches, buses, DRAM.
+//!
+//! Mirrors gem5's classic memory system closely enough that the statistics
+//! the PerSpectron paper selects features from all exist with their gem5
+//! names: per-command cache stats (`dcache.ReadReq_mshr_misses`,
+//! `l2.ReadSharedReq_miss_latency`), bus transaction distributions
+//! (`tol2bus.trans_dist::CleanEvict`), and DRAM controller stats
+//! (`mem_ctrls.bytesReadWrQ`, `mem_ctrls.bytesPerActivate`,
+//! `mem_ctrls.wrPerTurnAround`, `mem_ctrls.selfRefreshEnergy`).
+//!
+//! Design: the hierarchy is a *timing and state* model; data lives in the
+//! flat [`Memory`] backing store and is accessed functionally. With a single
+//! core and no DMA this is exact, and it keeps the out-of-order core free to
+//! replay/squash memory operations without corrupting data.
+//!
+//! # Example
+//!
+//! ```
+//! use sim_mem::{HierarchyConfig, MemoryHierarchy};
+//!
+//! let mut mem = MemoryHierarchy::new(HierarchyConfig::default());
+//! mem.memory_mut().write(0x1000, 8, 0xdead_beef);
+//! let miss = mem.load(0x1000, 8, 0);
+//! let hit = mem.load(0x1000, 8, miss.latency);
+//! assert!(hit.latency < miss.latency, "second access hits in L1D");
+//! assert_eq!(hit.value, 0xdead_beef);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bus;
+pub mod cache;
+pub mod cmd;
+pub mod dram;
+pub mod hierarchy;
+pub mod memory;
+
+pub use bus::Bus;
+pub use cache::{Cache, CacheConfig};
+pub use cmd::MemCmd;
+pub use dram::{DramConfig, MemCtrl, PowerState};
+pub use hierarchy::{AccessOutcome, HierarchyConfig, LoadResult, MemoryHierarchy};
+pub use memory::Memory;

@@ -1,0 +1,134 @@
+//! Flat backing memory.
+
+use std::collections::HashMap;
+
+const PAGE_SHIFT: u64 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+
+/// Sparse, zero-initialized flat physical memory.
+///
+/// Pages materialize on first touch. Values are little-endian.
+///
+/// # Example
+///
+/// ```
+/// use sim_mem::Memory;
+/// let mut m = Memory::new();
+/// m.write(0xfff, 8, 0x1122334455667788); // spans a page boundary
+/// assert_eq!(m.read(0xfff, 8), 0x1122334455667788);
+/// assert_eq!(m.read(0x1000, 1), 0x77);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct Memory {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl Memory {
+    /// Creates an empty (all-zero) memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn page(&self, addr: u64) -> Option<&[u8; PAGE_SIZE]> {
+        self.pages.get(&(addr >> PAGE_SHIFT)).map(|b| &**b)
+    }
+
+    fn page_mut(&mut self, addr: u64) -> &mut [u8; PAGE_SIZE] {
+        self.pages
+            .entry(addr >> PAGE_SHIFT)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]))
+    }
+
+    /// Reads one byte.
+    pub fn read_byte(&self, addr: u64) -> u8 {
+        self.page(addr)
+            .map(|p| p[(addr as usize) & (PAGE_SIZE - 1)])
+            .unwrap_or(0)
+    }
+
+    /// Writes one byte.
+    pub fn write_byte(&mut self, addr: u64, value: u8) {
+        self.page_mut(addr)[(addr as usize) & (PAGE_SIZE - 1)] = value;
+    }
+
+    /// Reads `size` bytes (1, 2, 4 or 8) little-endian.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is not 1, 2, 4 or 8.
+    pub fn read(&self, addr: u64, size: u64) -> u64 {
+        assert!(matches!(size, 1 | 2 | 4 | 8), "unsupported access size {size}");
+        let mut v: u64 = 0;
+        for i in 0..size {
+            v |= (self.read_byte(addr + i) as u64) << (8 * i);
+        }
+        v
+    }
+
+    /// Writes the low `size` bytes (1, 2, 4 or 8) of `value` little-endian.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is not 1, 2, 4 or 8.
+    pub fn write(&mut self, addr: u64, size: u64, value: u64) {
+        assert!(matches!(size, 1 | 2 | 4 | 8), "unsupported access size {size}");
+        for i in 0..size {
+            self.write_byte(addr + i, (value >> (8 * i)) as u8);
+        }
+    }
+
+    /// Copies a byte slice into memory at `addr`.
+    pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
+        for (i, b) in bytes.iter().enumerate() {
+            self.write_byte(addr + i as u64, *b);
+        }
+    }
+
+    /// Number of materialized 4 KiB pages.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untouched_memory_reads_zero() {
+        let m = Memory::new();
+        assert_eq!(m.read(0xdead_beef, 8), 0);
+        assert_eq!(m.resident_pages(), 0);
+    }
+
+    #[test]
+    fn little_endian_round_trip() {
+        let mut m = Memory::new();
+        m.write(0x100, 4, 0xaabbccdd);
+        assert_eq!(m.read(0x100, 1), 0xdd);
+        assert_eq!(m.read(0x103, 1), 0xaa);
+        assert_eq!(m.read(0x100, 4), 0xaabbccdd);
+    }
+
+    #[test]
+    fn cross_page_write_materializes_both_pages() {
+        let mut m = Memory::new();
+        m.write(0x1ffc, 8, u64::MAX);
+        assert_eq!(m.resident_pages(), 2);
+        assert_eq!(m.read(0x1ffc, 8), u64::MAX);
+    }
+
+    #[test]
+    fn write_bytes_copies_slice() {
+        let mut m = Memory::new();
+        m.write_bytes(0x40, &[1, 2, 3]);
+        assert_eq!(m.read(0x40, 1), 1);
+        assert_eq!(m.read(0x42, 1), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported access size")]
+    fn odd_size_panics() {
+        Memory::new().read(0, 3);
+    }
+}

@@ -1,0 +1,166 @@
+//! Bucketed distributions, gem5's `Stats::Distribution` analog.
+
+use crate::group::{StatItem, StatVisitor};
+
+/// A histogram over a fixed linear bucket range plus underflow/overflow,
+/// also reporting total sample count and mean.
+///
+/// A distribution named `missLatency` with 4 buckets over `[0, 400)` emits
+/// `missLatency::underflow`, `missLatency::0-99`, ... `missLatency::overflow`,
+/// `missLatency::total` and `missLatency::mean` — seven statistics from a
+/// single field, which is how gem5 reaches four-digit stat counts.
+///
+/// # Example
+///
+/// ```
+/// use uarch_stats::Distribution;
+/// let mut d = Distribution::new(0.0, 400.0, 4);
+/// d.record(10.0);
+/// d.record(950.0); // overflow
+/// assert_eq!(d.total(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Distribution {
+    lo: f64,
+    hi: f64,
+    buckets: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    sum: f64,
+    total: u64,
+}
+
+impl Distribution {
+    /// Creates a distribution with `n` equal buckets spanning `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `hi <= lo`.
+    pub fn new(lo: f64, hi: f64, n: usize) -> Self {
+        assert!(n > 0, "distribution needs at least one bucket");
+        assert!(hi > lo, "distribution range must be non-empty");
+        Self {
+            lo,
+            hi,
+            buckets: vec![0; n],
+            underflow: 0,
+            overflow: 0,
+            sum: 0.0,
+            total: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        self.sum += x;
+        self.total += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let width = (self.hi - self.lo) / self.buckets.len() as f64;
+            let idx = ((x - self.lo) / width) as usize;
+            let idx = idx.min(self.buckets.len() - 1);
+            self.buckets[idx] += 1;
+        }
+    }
+
+    /// Returns the total number of observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Returns the mean observation, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum / self.total as f64
+        }
+    }
+
+    /// Returns the count in bucket `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bucket(&self, i: usize) -> u64 {
+        self.buckets[i]
+    }
+
+    /// Returns the number of linear buckets.
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+}
+
+impl StatItem for Distribution {
+    fn visit_item(&self, prefix: &str, name: &str, v: &mut dyn StatVisitor) {
+        v.scalar(prefix, &format!("{name}::underflow"), self.underflow as f64);
+        let width = (self.hi - self.lo) / self.buckets.len() as f64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            let lo = self.lo + width * i as f64;
+            let hi = lo + width - 1.0;
+            v.scalar(
+                prefix,
+                &format!("{name}::{}-{}", lo as i64, hi.max(lo) as i64),
+                *b as f64,
+            );
+        }
+        v.scalar(prefix, &format!("{name}::overflow"), self.overflow as f64);
+        v.scalar(prefix, &format!("{name}::total"), self.total as f64);
+        v.scalar(prefix, &format!("{name}::mean"), self.mean());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Snapshot;
+    use crate::StatGroup;
+
+    struct Holder(Distribution);
+    impl StatGroup for Holder {
+        fn visit(&self, prefix: &str, v: &mut dyn StatVisitor) {
+            self.0.visit_item(prefix, "lat", v);
+        }
+    }
+
+    #[test]
+    fn records_land_in_the_right_bucket() {
+        let mut d = Distribution::new(0.0, 40.0, 4);
+        d.record(5.0); // bucket 0
+        d.record(15.0); // bucket 1
+        d.record(39.9); // bucket 3
+        assert_eq!(d.bucket(0), 1);
+        assert_eq!(d.bucket(1), 1);
+        assert_eq!(d.bucket(3), 1);
+        assert_eq!(d.total(), 3);
+    }
+
+    #[test]
+    fn underflow_and_overflow_are_tracked() {
+        let mut d = Distribution::new(10.0, 20.0, 2);
+        d.record(5.0);
+        d.record(25.0);
+        let snap = Snapshot::of(&Holder(d), "c");
+        assert_eq!(snap.get("c.lat::underflow"), Some(1.0));
+        assert_eq!(snap.get("c.lat::overflow"), Some(1.0));
+        assert_eq!(snap.get("c.lat::total"), Some(2.0));
+    }
+
+    #[test]
+    fn emits_buckets_plus_three_summary_stats() {
+        let d = Distribution::new(0.0, 100.0, 5);
+        let snap = Snapshot::of(&Holder(d), "c");
+        // underflow + 5 buckets + overflow + total + mean
+        assert_eq!(snap.names().len(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bucket")]
+    fn zero_buckets_panics() {
+        let _ = Distribution::new(0.0, 1.0, 0);
+    }
+}

@@ -1,0 +1,161 @@
+//! Stat groups: structs of statistics walked by a visitor to produce flat
+//! dotted names.
+
+/// Receives every leaf statistic of a walked [`StatGroup`].
+///
+/// `prefix` is the dotted path of the owning component (e.g. `"fetch"` or
+/// `"system.l2"`), `name` the statistic's own name. Implementors join them
+/// with [`join_name`].
+pub trait StatVisitor {
+    /// Called once per leaf statistic.
+    fn scalar(&mut self, prefix: &str, name: &str, value: f64);
+}
+
+/// Joins a component prefix and a statistic name into a gem5-style dotted
+/// name.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(uarch_stats::group::join_name("fetch", "SquashCycles"),
+///            "fetch.SquashCycles");
+/// assert_eq!(uarch_stats::group::join_name("", "numCycles"), "numCycles");
+/// ```
+pub fn join_name(prefix: &str, name: &str) -> String {
+    if prefix.is_empty() {
+        name.to_string()
+    } else {
+        format!("{prefix}.{name}")
+    }
+}
+
+/// A component's bundle of statistics.
+///
+/// Implemented by the [`stat_group!`](crate::stat_group) macro; visit walks
+/// every statistic in declaration order, which gives a stable schema.
+pub trait StatGroup {
+    /// Walks every statistic in the group, reporting each to `v` under
+    /// `prefix`.
+    fn visit(&self, prefix: &str, v: &mut dyn StatVisitor);
+}
+
+/// A single named item inside a [`StatGroup`]: either a leaf value or a
+/// nested group.
+pub trait StatItem {
+    /// Reports this item (and any sub-items) to `v`.
+    fn visit_item(&self, prefix: &str, name: &str, v: &mut dyn StatVisitor);
+}
+
+/// Defines a statistics struct and wires up [`StatGroup`]/[`StatItem`].
+///
+/// Each field maps to a gem5-style statistic name. Nested groups compose:
+/// naming a field whose type itself implements [`StatItem`] (as generated
+/// structs do) produces `prefix.field.*` names.
+///
+/// # Example
+///
+/// ```
+/// use uarch_stats::{stat_group, Counter, Snapshot};
+///
+/// stat_group! {
+///     /// Inner group.
+///     pub struct LsqStats {
+///         /// Loads squashed by mispredicted branches.
+///         pub squashed_loads: Counter => "squashedLoads",
+///     }
+/// }
+/// stat_group! {
+///     /// Outer group.
+///     pub struct IewStats {
+///         /// Cycles spent squashing.
+///         pub squash_cycles: Counter => "SquashCycles",
+///         /// Load/store queue statistics.
+///         pub lsq: LsqStats => "lsq",
+///     }
+/// }
+///
+/// let mut s = IewStats::default();
+/// s.lsq.squashed_loads.inc();
+/// let snap = Snapshot::of(&s, "iew");
+/// assert_eq!(snap.get("iew.lsq.squashedLoads"), Some(1.0));
+/// ```
+#[macro_export]
+macro_rules! stat_group {
+    (
+        $(#[$meta:meta])*
+        pub struct $name:ident {
+            $(
+                $(#[$fmeta:meta])*
+                pub $field:ident : $ty:ty => $sname:literal
+            ),* $(,)?
+        }
+    ) => {
+        $(#[$meta])*
+        #[derive(Debug, Default, Clone)]
+        pub struct $name {
+            $( $(#[$fmeta])* pub $field: $ty, )*
+        }
+
+        impl $crate::StatGroup for $name {
+            fn visit(&self, prefix: &str, v: &mut dyn $crate::StatVisitor) {
+                $( $crate::StatItem::visit_item(&self.$field, prefix, $sname, v); )*
+            }
+        }
+
+        impl $crate::StatItem for $name {
+            fn visit_item(&self, prefix: &str, name: &str, v: &mut dyn $crate::StatVisitor) {
+                let nested = $crate::group::join_name(prefix, name);
+                $crate::StatGroup::visit(self, &nested, v);
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Counter, Snapshot};
+
+    stat_group! {
+        /// Test group with two counters.
+        pub struct TwoCounters {
+            /// First.
+            pub a: Counter => "A",
+            /// Second.
+            pub b: Counter => "B",
+        }
+    }
+
+    stat_group! {
+        /// Nests `TwoCounters`.
+        pub struct Nest {
+            /// Inner group.
+            pub inner: TwoCounters => "inner",
+            /// A top-level counter.
+            pub top: Counter => "Top",
+        }
+    }
+
+    #[test]
+    fn visit_emits_declaration_order() {
+        let g = TwoCounters::default();
+        let snap = Snapshot::of(&g, "t");
+        assert_eq!(snap.names(), &["t.A".to_string(), "t.B".to_string()]);
+    }
+
+    #[test]
+    fn nested_groups_get_dotted_prefixes() {
+        let mut g = Nest::default();
+        g.inner.b.add(7);
+        g.top.add(2);
+        let snap = Snapshot::of(&g, "x");
+        assert_eq!(snap.get("x.inner.B"), Some(7.0));
+        assert_eq!(snap.get("x.Top"), Some(2.0));
+    }
+
+    #[test]
+    fn empty_prefix_omits_leading_dot() {
+        let g = TwoCounters::default();
+        let snap = Snapshot::of(&g, "");
+        assert_eq!(snap.names()[0], "A");
+    }
+}

@@ -1,0 +1,45 @@
+//! gem5-style hierarchical microarchitectural statistics.
+//!
+//! Every component of the simulated machine (fetch unit, rename unit, caches,
+//! DRAM controller, ...) owns a *stat group*: a plain struct whose fields are
+//! statistic values ([`Counter`], [`Scalar`], [`Distribution`], or a vector
+//! stat keyed by an enum, e.g. per-memory-command traffic). Groups are walked by a
+//! [`StatVisitor`], producing flat, dotted gem5-style names such as
+//! `fetch.SquashCycles` or `tol2bus.trans_dist::ReadSharedReq`.
+//!
+//! The [`sampler`] module turns repeated walks into a multi-dimensional time
+//! series: one row of per-interval deltas for every N committed instructions,
+//! exactly the trace format the PerSpectron paper collects from gem5.
+//!
+//! # Example
+//!
+//! ```
+//! use uarch_stats::{stat_group, Counter, StatGroup, Snapshot};
+//!
+//! stat_group! {
+//!     /// Statistics for a toy component.
+//!     pub struct ToyStats {
+//!         /// Cycles spent squashing.
+//!         pub squash_cycles: Counter => "SquashCycles",
+//!     }
+//! }
+//!
+//! let mut stats = ToyStats::default();
+//! stats.squash_cycles.add(3);
+//! let snap = Snapshot::of(&stats, "toy");
+//! assert_eq!(snap.get("toy.SquashCycles"), Some(3.0));
+//! ```
+//!
+#![warn(missing_docs)]
+
+pub mod dist;
+pub mod group;
+pub mod sampler;
+pub mod value;
+pub mod vecstat;
+
+pub use dist::Distribution;
+pub use group::{StatGroup, StatItem, StatVisitor};
+pub use sampler::{SampleTrace, Sampler, Schema, Snapshot};
+pub use value::{Average, Counter, Scalar};
+pub use vecstat::{StatKey, VectorStat};

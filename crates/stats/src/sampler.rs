@@ -1,0 +1,319 @@
+//! Sampling machinery: turning repeated stat walks into the
+//! multi-dimensional time series the detector trains on.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::group::{join_name, StatGroup, StatVisitor};
+
+/// One full walk of a stat group: flat names plus current values.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    names: Vec<String>,
+    values: Vec<f64>,
+}
+
+impl Snapshot {
+    /// Walks `group` under `prefix` and captures every statistic.
+    pub fn of<G: StatGroup + ?Sized>(group: &G, prefix: &str) -> Self {
+        let mut snap = Snapshot::default();
+        group.visit(prefix, &mut snap);
+        snap
+    }
+
+    /// Returns the value of statistic `name`, if present.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| self.values[i])
+    }
+
+    /// All statistic names, in visit order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// All values, aligned with [`Snapshot::names`].
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Number of statistics captured.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no statistic was captured.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+impl StatVisitor for Snapshot {
+    fn scalar(&mut self, prefix: &str, name: &str, value: f64) {
+        self.names.push(join_name(prefix, name));
+        self.values.push(value);
+    }
+}
+
+/// The (ordered) set of statistic names produced by a stat group walk.
+///
+/// Built once from the first snapshot; later samples only collect values and
+/// assert the count matches, avoiding per-sample string allocation.
+#[derive(Debug, Clone)]
+pub struct Schema {
+    names: Arc<Vec<String>>,
+    index: Arc<HashMap<String, usize>>,
+}
+
+impl Schema {
+    /// Builds a schema from a snapshot's names.
+    pub fn from_snapshot(snap: &Snapshot) -> Self {
+        let names: Vec<String> = snap.names().to_vec();
+        let index = names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), i))
+            .collect();
+        Self {
+            names: Arc::new(names),
+            index: Arc::new(index),
+        }
+    }
+
+    /// Number of statistics in the schema.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the schema is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// All names, in visit order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// The column index of `name`, if present.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.index.get(name).copied()
+    }
+
+    /// The name of column `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn name(&self, i: usize) -> &str {
+        &self.names[i]
+    }
+}
+
+/// Fast value-only collector reusing an existing [`Schema`].
+struct ValueCollector {
+    values: Vec<f64>,
+}
+
+impl StatVisitor for ValueCollector {
+    #[inline]
+    fn scalar(&mut self, _prefix: &str, _name: &str, value: f64) {
+        self.values.push(value);
+    }
+}
+
+/// Samples a stat group at intervals, producing per-interval deltas.
+///
+/// Statistics are cumulative; the paper's traces are per-window activity, so
+/// each call to [`Sampler::sample`] returns `current - previous` for every
+/// column.
+///
+/// # Example
+///
+/// ```
+/// use uarch_stats::{stat_group, Counter, Sampler};
+///
+/// stat_group! {
+///     /// Toy.
+///     pub struct T { /// c.
+///         pub c: Counter => "c" }
+/// }
+/// let mut t = T::default();
+/// let mut s = Sampler::new(&t, "t");
+/// t.c.add(5);
+/// assert_eq!(s.sample(&t), vec![5.0]);
+/// t.c.add(2);
+/// assert_eq!(s.sample(&t), vec![2.0]);
+/// ```
+#[derive(Debug)]
+pub struct Sampler {
+    schema: Schema,
+    prefix: String,
+    prev: Vec<f64>,
+}
+
+impl Sampler {
+    /// Creates a sampler whose baseline is the group's current values.
+    pub fn new<G: StatGroup + ?Sized>(group: &G, prefix: &str) -> Self {
+        let snap = Snapshot::of(group, prefix);
+        let schema = Schema::from_snapshot(&snap);
+        Self {
+            schema,
+            prefix: prefix.to_string(),
+            prev: snap.values().to_vec(),
+        }
+    }
+
+    /// The schema shared by every sample row.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Takes a sample: returns per-column deltas since the previous sample
+    /// (or since construction) and advances the baseline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group's walk produces a different number of statistics
+    /// than the schema (the group's shape must not change between samples).
+    pub fn sample<G: StatGroup + ?Sized>(&mut self, group: &G) -> Vec<f64> {
+        let mut c = ValueCollector {
+            values: Vec::with_capacity(self.schema.len()),
+        };
+        group.visit(&self.prefix, &mut c);
+        assert_eq!(
+            c.values.len(),
+            self.schema.len(),
+            "stat group shape changed between samples"
+        );
+        let delta: Vec<f64> = c
+            .values
+            .iter()
+            .zip(&self.prev)
+            .map(|(cur, prev)| cur - prev)
+            .collect();
+        self.prev = c.values;
+        delta
+    }
+}
+
+/// A recorded multi-dimensional time series: one delta row per sampling
+/// point, plus the committed-instruction count at each point.
+#[derive(Debug, Clone)]
+pub struct SampleTrace {
+    schema: Schema,
+    rows: Vec<Vec<f64>>,
+    insts: Vec<u64>,
+}
+
+impl SampleTrace {
+    /// Creates an empty trace over `schema`.
+    pub fn new(schema: Schema) -> Self {
+        Self {
+            schema,
+            rows: Vec::new(),
+            insts: Vec::new(),
+        }
+    }
+
+    /// Appends one sample row taken at `insts` committed instructions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width does not match the schema.
+    pub fn push(&mut self, insts: u64, row: Vec<f64>) {
+        assert_eq!(row.len(), self.schema.len(), "row width mismatch");
+        self.rows.push(row);
+        self.insts.push(insts);
+    }
+
+    /// The schema of every row.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The sample rows, oldest first.
+    pub fn rows(&self) -> &[Vec<f64>] {
+        &self.rows
+    }
+
+    /// Committed-instruction counts aligned with [`SampleTrace::rows`].
+    pub fn instruction_counts(&self) -> &[u64] {
+        &self.insts
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the trace holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The column of values for statistic `name` across all samples, if the
+    /// statistic exists.
+    pub fn column(&self, name: &str) -> Option<Vec<f64>> {
+        let i = self.schema.index_of(name)?;
+        Some(self.rows.iter().map(|r| r[i]).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{stat_group, Counter};
+
+    stat_group! {
+        /// Two-counter test group.
+        pub struct G {
+            /// a.
+            pub a: Counter => "a",
+            /// b.
+            pub b: Counter => "b",
+        }
+    }
+
+    #[test]
+    fn sampler_returns_deltas_not_cumulative() {
+        let mut g = G::default();
+        g.a.add(10);
+        let mut s = Sampler::new(&g, "g");
+        g.a.add(5);
+        g.b.add(1);
+        assert_eq!(s.sample(&g), vec![5.0, 1.0]);
+        assert_eq!(s.sample(&g), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn schema_index_lookup() {
+        let g = G::default();
+        let s = Sampler::new(&g, "g");
+        assert_eq!(s.schema().index_of("g.b"), Some(1));
+        assert_eq!(s.schema().index_of("g.missing"), None);
+        assert_eq!(s.schema().name(0), "g.a");
+    }
+
+    #[test]
+    fn trace_columns() {
+        let g = G::default();
+        let s = Sampler::new(&g, "g");
+        let mut t = SampleTrace::new(s.schema().clone());
+        t.push(10_000, vec![1.0, 2.0]);
+        t.push(20_000, vec![3.0, 4.0]);
+        assert_eq!(t.column("g.b"), Some(vec![2.0, 4.0]));
+        assert_eq!(t.instruction_counts(), &[10_000, 20_000]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn trace_rejects_wrong_width() {
+        let g = G::default();
+        let s = Sampler::new(&g, "g");
+        let mut t = SampleTrace::new(s.schema().clone());
+        t.push(0, vec![1.0]);
+    }
+}

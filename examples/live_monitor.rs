@@ -1,0 +1,54 @@
+//! Live monitor: deploy a trained detector as the paper's first line of
+//! defense — watch an unseen workload sample by sample and raise the alarm
+//! (with a confidence) the moment its footprint turns suspicious.
+//!
+//! ```text
+//! cargo run --release --example live_monitor
+//! ```
+
+use perspectron::trace::collect_trace;
+use perspectron::{CorpusSpec, PerSpectron};
+use workloads::spectre::{spectre_v1, SpectreV1Params, V1Variant};
+use workloads::{Class, Family, Workload};
+
+fn main() {
+    println!("training the detector on the standard corpus...");
+    let corpus = CorpusSpec::quick().collect();
+    let detector = PerSpectron::train(&corpus, 42);
+
+    // The monitored "process": a polymorphic Spectre variant the detector
+    // has never seen, sandwiched between benign phases — the realistic
+    // deployment story.
+    let suspect = Workload {
+        name: "unknown-process".into(),
+        class: Class::Malicious,
+        family: Family::SpectreV1,
+        program: spectre_v1(SpectreV1Params {
+            variant: V1Variant::MemcmpLeak,
+            delay_iters: 4000, // hides between stretches of benign work
+        }),
+    };
+    println!("monitoring '{}' (never seen in training)...\n", suspect.name);
+
+    let trace = collect_trace(&suspect, 300_000, 10_000);
+    let series = detector.confidence_series(&trace);
+    let mut alarmed = false;
+    for (i, c) in series.iter().enumerate() {
+        let at = (i + 1) * 10_000;
+        let status = if *c >= detector.threshold { "SUSPICIOUS" } else { "ok" };
+        println!("  [{at:>7} insts] confidence {c:>6.3}  {status}");
+        if *c >= detector.threshold && !alarmed {
+            alarmed = true;
+            println!(
+                "  >> ALARM raised: notifying the OS to isolate / monitor the process"
+            );
+            println!(
+                "  >> candidate mitigations: randomize cache indexing, inject branch-\n\
+                 \x20\x20   predictor noise, fence unsafe loads (paper §IV-G)"
+            );
+        }
+    }
+    if !alarmed {
+        println!("  no alarm raised (unexpected for this workload)");
+    }
+}

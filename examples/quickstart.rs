@@ -1,0 +1,61 @@
+//! Quickstart: collect a corpus, train PerSpectron, evaluate it, and peek
+//! at the learned weights.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use perspectron::{CorpusSpec, PerSpectron};
+
+fn main() {
+    // 1. Run every attack and benign workload on the simulated machine,
+    //    sampling all 1159 statistics every 10K committed instructions.
+    println!("collecting corpus (this simulates ~25 workloads)...");
+    let corpus = CorpusSpec::quick().collect();
+    println!(
+        "  {} workloads, {} samples, {} statistics each",
+        corpus.traces.len(),
+        corpus.total_samples(),
+        corpus.schema().len()
+    );
+
+    // 2. Train: k-sparse encoding, correlation grouping, replicated
+    //    feature selection, perceptron learning.
+    println!("training PerSpectron...");
+    let detector = PerSpectron::train(&corpus, 42);
+    println!(
+        "  selected {} features across the pipeline",
+        detector.selection().selected.len()
+    );
+
+    // 3. Evaluate on the corpus.
+    let report = detector.evaluate(&corpus);
+    println!(
+        "  accuracy {:.4}, recall {:.4}, false-positive rate {:.4}",
+        report.confusion.accuracy(),
+        report.confusion.recall(),
+        report.confusion.false_positive_rate()
+    );
+    if !report.false_positive_workloads.is_empty() {
+        println!("  false positives from: {:?}", report.false_positive_workloads);
+    }
+
+    // 4. Interpretability: the heaviest suspicious-leaning features.
+    println!("\nmost suspicious-leaning features:");
+    let mut all: Vec<(String, f64)> = detector
+        .explain()
+        .into_iter()
+        .flat_map(|(_, ws)| ws)
+        .collect();
+    all.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN weights"));
+    for (name, w) in all.iter().take(8) {
+        println!("  {w:>7.3}  {name}");
+    }
+
+    // 5. Hardware budget.
+    let cost = detector.hardware_cost();
+    println!(
+        "\nhardware: {} cycles per inference, {} bits of storage, {} multipliers",
+        cost.inference_cycles, cost.storage_bits, cost.multipliers
+    );
+}

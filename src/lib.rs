@@ -1,0 +1,21 @@
+//! Umbrella crate for the PerSpectron reproduction workspace.
+//!
+//! This crate exists to host the workspace-level [examples](https://github.com/perspectron)
+//! and cross-crate integration tests. The actual functionality lives in the
+//! member crates, re-exported here for convenience:
+//!
+//! - [`uarch_stats`] — the gem5-style statistics registry
+//! - [`uarch_isa`] — the simulated instruction set and assembler DSL
+//! - [`sim_mem`] — caches, buses and the DRAM controller
+//! - [`sim_cpu`] — the out-of-order core
+//! - [`workloads`] — attack and benign programs
+//! - [`mlkit`] — the from-scratch machine-learning toolkit
+//! - [`perspectron`] — the detector itself
+
+pub use mlkit;
+pub use perspectron;
+pub use sim_cpu;
+pub use sim_mem;
+pub use uarch_isa;
+pub use uarch_stats;
+pub use workloads;
