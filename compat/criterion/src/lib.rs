@@ -1,0 +1,265 @@
+//! Offline drop-in subset of the `criterion` 0.5 API.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the slice of `criterion` its benches use: [`Criterion`],
+//! benchmark groups, [`Bencher::iter`] / [`Bencher::iter_batched`],
+//! [`Throughput`], [`BatchSize`] and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. Instead of criterion's statistical engine it
+//! measures a wall-clock mean over a fixed measurement window and prints a
+//! one-line plain-text report per benchmark.
+
+#![warn(missing_docs)]
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benchmarked
+/// work.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// How per-iteration setup output is batched (accepted for API parity; the
+/// stub runs one setup per timed routine call regardless).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small routine input.
+    SmallInput,
+    /// Large routine input.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// Units of work per iteration, for derived rate reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Measurement driver handed to each benchmark closure.
+pub struct Bencher {
+    /// Mean wall-clock time per iteration, filled by `iter*`.
+    mean: Duration,
+    /// Iterations actually timed.
+    iters: u64,
+    /// Measurement window.
+    budget: Duration,
+}
+
+impl Bencher {
+    fn new(budget: Duration) -> Self {
+        Self {
+            mean: Duration::ZERO,
+            iters: 0,
+            budget,
+        }
+    }
+
+    /// Times `routine` repeatedly until the measurement window closes.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup + calibration round.
+        let start = Instant::now();
+        black_box(routine());
+        let probe = start.elapsed().max(Duration::from_nanos(1));
+        let target = (self.budget.as_nanos() / probe.as_nanos()).clamp(1, 1_000_000) as u64;
+        let start = Instant::now();
+        for _ in 0..target {
+            black_box(routine());
+        }
+        let total = start.elapsed();
+        self.iters = target;
+        self.mean = total / target as u32;
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Calibration round.
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        let probe = start.elapsed().max(Duration::from_nanos(1));
+        let target = (self.budget.as_nanos() / probe.as_nanos()).clamp(1, 1_000_000) as u64;
+        let mut total = Duration::ZERO;
+        for _ in 0..target {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.iters = target;
+        self.mean = total / target as u32;
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+fn report(name: &str, b: &Bencher, throughput: Option<Throughput>) {
+    let mut line = format!(
+        "{name:<40} time: {:>12}/iter ({} iters)",
+        fmt_duration(b.mean),
+        b.iters
+    );
+    if let Some(t) = throughput {
+        let secs = b.mean.as_secs_f64().max(1e-12);
+        match t {
+            Throughput::Elements(n) => {
+                line.push_str(&format!("  thrpt: {:.3} Melem/s", n as f64 / secs / 1e6));
+            }
+            Throughput::Bytes(n) => {
+                line.push_str(&format!(
+                    "  thrpt: {:.3} MiB/s",
+                    n as f64 / secs / (1 << 20) as f64
+                ));
+            }
+        }
+    }
+    println!("{line}");
+}
+
+/// A named group of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration work for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Accepted for API parity; the stub sizes runs by wall-clock budget.
+    pub fn sample_size(&mut self, _n: usize) {}
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        let mut b = Bencher::new(self.criterion.measurement_time);
+        f(&mut b);
+        report(&format!("{}/{id}", self.name), &b, self.throughput);
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark harness.
+pub struct Criterion {
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Keep runs short: the stub is for smoke-level numbers, and CI
+        // builds benches with --all-targets where speed matters.
+        let ms = std::env::var("CRITERION_STUB_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(200);
+        Self {
+            measurement_time: Duration::from_millis(ms),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.measurement_time);
+        f(&mut b);
+        report(id, &b, None);
+        self
+    }
+}
+
+/// Declares a function running the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` for a bench binary (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_measures_something() {
+        let mut b = Bencher::new(Duration::from_millis(5));
+        // black_box inside the loop keeps the routine from collapsing to a
+        // closed form whose integer-truncated mean rounds to zero.
+        b.iter(|| {
+            let mut x = 0u64;
+            for i in 0..256 {
+                x = black_box(x.wrapping_mul(6364136223846793005).wrapping_add(i));
+            }
+            x
+        });
+        assert!(b.iters >= 1);
+        assert!(b.mean > Duration::ZERO);
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut b = Bencher::new(Duration::from_millis(5));
+        b.iter_batched(
+            || vec![1u8; 64],
+            |v| v.iter().map(|&x| x as u64).sum::<u64>(),
+            BatchSize::SmallInput,
+        );
+        assert!(b.iters >= 1);
+    }
+
+    #[test]
+    fn groups_run_and_report() {
+        let mut c = Criterion {
+            measurement_time: Duration::from_millis(2),
+        };
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(10));
+        g.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+    }
+}

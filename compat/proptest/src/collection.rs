@@ -1,0 +1,187 @@
+//! Collection strategies: `vec`, `btree_set`, `btree_map`.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::{Range, RangeInclusive};
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A target size (or size range) for a generated collection.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // inclusive
+}
+
+impl SizeRange {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        self.lo + rng.next_index(self.hi - self.lo + 1)
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self { lo: n, hi: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        Self {
+            lo: r.start,
+            hi: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty collection size range");
+        Self {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
+    }
+}
+
+/// Strategy producing a `Vec` of values from an element strategy.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        let n = self.size.pick(rng);
+        (0..n).map(|_| self.element.new_value(rng)).collect()
+    }
+}
+
+/// Generates a `Vec` whose length is drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// Strategy producing a `BTreeSet`; duplicates are retried a bounded number
+/// of times, so the set may come out smaller than requested when the
+/// element domain is nearly exhausted.
+#[derive(Debug, Clone)]
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        let n = self.size.pick(rng);
+        let mut out = BTreeSet::new();
+        let mut attempts = 0;
+        while out.len() < n && attempts < n * 10 + 32 {
+            out.insert(self.element.new_value(rng));
+            attempts += 1;
+        }
+        out
+    }
+}
+
+/// Generates a `BTreeSet` with approximately `size` distinct elements.
+pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    BTreeSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// Strategy producing a `BTreeMap` (see [`btree_map`]).
+#[derive(Debug, Clone)]
+pub struct BTreeMapStrategy<K, V> {
+    key: K,
+    value: V,
+    size: SizeRange,
+}
+
+impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+where
+    K::Value: Ord,
+{
+    type Value = BTreeMap<K::Value, V::Value>;
+
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        let n = self.size.pick(rng);
+        let mut out = BTreeMap::new();
+        let mut attempts = 0;
+        while out.len() < n && attempts < n * 10 + 32 {
+            out.insert(self.key.new_value(rng), self.value.new_value(rng));
+            attempts += 1;
+        }
+        out
+    }
+}
+
+/// Generates a `BTreeMap` with approximately `size` distinct keys.
+pub fn btree_map<K: Strategy, V: Strategy>(
+    key: K,
+    value: V,
+    size: impl Into<SizeRange>,
+) -> BTreeMapStrategy<K, V>
+where
+    K::Value: Ord,
+{
+    BTreeMapStrategy {
+        key,
+        value,
+        size: size.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::any;
+
+    #[test]
+    fn vec_respects_size_range() {
+        let mut rng = TestRng::for_test("vecsize");
+        let s = vec(0u8..10, 3..7);
+        for _ in 0..200 {
+            let v = s.new_value(&mut rng);
+            assert!((3..7).contains(&v.len()), "len {}", v.len());
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    #[test]
+    fn exact_size_is_exact() {
+        let mut rng = TestRng::for_test("exact");
+        let s = vec(any::<u64>(), 4);
+        assert_eq!(s.new_value(&mut rng).len(), 4);
+    }
+
+    #[test]
+    fn sets_and_maps_reach_requested_sizes() {
+        let mut rng = TestRng::for_test("setmap");
+        let s = btree_set(0i32..1000, 2..30);
+        for _ in 0..50 {
+            assert!(s.new_value(&mut rng).len() >= 2);
+        }
+        let m = btree_map(0i32..200, any::<bool>(), 2..40);
+        for _ in 0..50 {
+            assert!(m.new_value(&mut rng).len() >= 2);
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Offline drop-in subset of the `proptest` 1.x API.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the slice of `proptest` its test suites use: the [`proptest!`]
+//! macro, [`Strategy`] with [`Strategy::prop_map`], numeric-range and tuple
+//! strategies, [`any`], [`Just`], [`prop_oneof!`], the [`collection`]
+//! combinators, and the `prop_assert*` / [`prop_assume!`] macros.
+//!
+//! Differences from the real crate: cases are generated from a
+//! deterministic per-test seed (derived from the test name), there is no
+//! shrinking, and `proptest-regressions` files are not consulted. Failures
+//! print the generated inputs via the assertion message instead of a
+//! minimized counterexample.
+
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{any, Any, Arbitrary, BoxedStrategy, Just, Map, Strategy, Union};
+pub use test_runner::{TestCaseError, TestRng};
+
+/// Commonly used items, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{any, Any, Arbitrary, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{TestCaseError, TestRng};
+    pub use crate::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+    /// Namespace alias mirroring `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Per-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// Declares property-based tests.
+///
+/// Each `#[test] fn name(arg in strategy, ...) { body }` item expands to an
+/// ordinary test that generates `config.cases` inputs and runs the body for
+/// each. The body may use `prop_assert*!` and `prop_assume!`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr) $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                for case in 0..config.cases {
+                    $(let $arg = $crate::Strategy::new_value(&$strat, &mut rng);)+
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { { $body } ::std::result::Result::Ok(()) })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => {}
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {}
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!("proptest case {case} failed: {msg}");
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition, failing the current case (not the whole process)
+/// with an optional formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Asserts two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "{}: {:?} != {:?}", format!($($fmt)*), l, r);
+    }};
+}
+
+/// Asserts two expressions are unequal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "{}: {:?} == {:?}", format!($($fmt)*), l, r);
+    }};
+}
+
+/// Rejects the current case (skips it) when the assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Strategy union: picks one of the listed strategies uniformly per case.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::strategy::boxed($strat)),+])
+    };
+}

@@ -1,0 +1,166 @@
+//! `uarch-lint`: static gadget analysis and stat-invariant checks over the
+//! whole workload corpus.
+//!
+//! Usage:
+//!
+//! ```text
+//! uarch-lint [--dot <workload-name>] [--no-run] [--insts N]
+//! ```
+//!
+//! Default mode prints one row per workload (attacks, polymorphic Spectre
+//! variants, benign suite) with the gadget kinds the static analyzer found,
+//! then runs the statistics-invariant checker on one attack and one benign
+//! workload. Exits non-zero if any benign workload has findings, any
+//! malicious workload has none, or a counter invariant is violated.
+//!
+//! `--dot <name>` prints the named workload's CFG in Graphviz format and
+//! exits.
+
+use std::collections::BTreeSet;
+
+use uarch_analysis::{analyze_program, check_program_run, lint_bindings, lint_schema};
+use uarch_isa::GadgetKind;
+use workloads::{attack_suite, benign_suite, polymorphic_suite, Class, Workload};
+
+fn corpus() -> Vec<Workload> {
+    let mut v = attack_suite();
+    v.extend(polymorphic_suite());
+    v.extend(benign_suite());
+    v
+}
+
+fn kinds_label(kinds: &BTreeSet<GadgetKind>) -> String {
+    if kinds.is_empty() {
+        "-".to_string()
+    } else {
+        kinds
+            .iter()
+            .map(|k| k.label())
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut dot: Option<String> = None;
+    let mut run_invariants = true;
+    let mut insts: u64 = 200_000;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--dot" => dot = it.next().cloned(),
+            "--no-run" => run_invariants = false,
+            "--insts" => {
+                insts = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--insts needs a number"));
+            }
+            other => usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let corpus = corpus();
+    if let Some(name) = dot {
+        let Some(w) = corpus.iter().find(|w| w.name == name) else {
+            eprintln!("no workload named `{name}`; known:");
+            for w in &corpus {
+                eprintln!("  {}", w.name);
+            }
+            std::process::exit(2);
+        };
+        let report = analyze_program(&w.program);
+        print!("{}", report.cfg.to_dot(&w.program));
+        return;
+    }
+
+    let mut failures = 0;
+    println!(
+        "{:<28} {:<10} {:>6} {:>6}  findings",
+        "workload", "class", "insts", "blocks"
+    );
+    println!("{}", "-".repeat(96));
+    for w in &corpus {
+        let report = analyze_program(&w.program);
+        let kinds = report.kinds();
+        let ok = match w.class {
+            Class::Benign => kinds.is_empty(),
+            Class::Malicious => !kinds.is_empty(),
+        };
+        if !ok {
+            failures += 1;
+        }
+        println!(
+            "{:<28} {:<10} {:>6} {:>6}  {}{}",
+            w.name,
+            if w.class == Class::Benign {
+                "benign"
+            } else {
+                "malicious"
+            },
+            w.program.len(),
+            report.cfg.blocks().len(),
+            kinds_label(&kinds),
+            if ok { "" } else { "  <-- UNEXPECTED" },
+        );
+    }
+    println!();
+
+    // Statistics schema + invariant bindings are workload-independent.
+    let probe = sim_cpu::Core::new(sim_cpu::CoreConfig::default(), {
+        let mut a = uarch_isa::Assembler::new("schema-probe");
+        a.halt();
+        a.finish().expect("probe assembles")
+    });
+    let snap = uarch_stats::Snapshot::of(&probe, "");
+    let schema_issues = lint_schema(snap.names());
+    let binding_issues = lint_bindings(&sim_cpu::stat_invariants(), &snap);
+    println!(
+        "stat schema: {} stats, {} schema issues, {} binding issues",
+        snap.len(),
+        schema_issues.len(),
+        binding_issues.len()
+    );
+    for issue in schema_issues.iter().chain(&binding_issues) {
+        println!("  schema: {issue}");
+        failures += 1;
+    }
+
+    if run_invariants {
+        let attack = attack_suite()
+            .into_iter()
+            .next()
+            .expect("attack suite non-empty");
+        let benign = benign_suite()
+            .into_iter()
+            .next()
+            .expect("benign suite non-empty");
+        for w in [attack, benign] {
+            let check = check_program_run(&w.program, insts, 8);
+            println!(
+                "invariants: {:<24} {} committed, {} samples: {}",
+                check.name,
+                check.committed,
+                check.samples,
+                if check.passed() { "ok" } else { "VIOLATIONS" }
+            );
+            for v in &check.violations {
+                println!("  violation: {v}");
+                failures += 1;
+            }
+        }
+    }
+
+    if failures > 0 {
+        eprintln!("\nuarch-lint: {failures} failure(s)");
+        std::process::exit(1);
+    }
+    println!("\nuarch-lint: all checks passed");
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("uarch-lint: {msg}");
+    eprintln!("usage: uarch-lint [--dot <workload-name>] [--no-run] [--insts N]");
+    std::process::exit(2);
+}

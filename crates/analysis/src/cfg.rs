@@ -1,0 +1,396 @@
+//! Control-flow graph construction over [`Program`]s.
+//!
+//! Basic blocks are maximal straight-line instruction runs; leaders are the
+//! entry point, every static branch/jump/call target, every instruction
+//! following a control transfer or `halt`, the fault handler, and — in
+//! programs that contain computed transfers (`jmp [r]` / `call [r]` /
+//! `setret`) — every code index that appears as an `li` immediate (a
+//! conservative address-taken approximation: `la`-style label
+//! materialization compiles to `li`, so any such index may become an
+//! indirect target). Programs without computed transfers skip the
+//! address-taken scan entirely, since small data constants would otherwise
+//! masquerade as code pointers and needlessly split blocks.
+//!
+//! Indirect control flow is approximated:
+//!
+//! - `ret` edges go to the fall-through block of every `call`/`call-ind`
+//!   site (the return-site approximation).
+//! - `jmp [r]` / `call [r]` edges go to every address-taken block.
+//!
+//! Reachability is computed from the entry block, the fault handler, and all
+//! address-taken blocks, so code only enterable through an indirect transfer
+//! or a fault is still considered live.
+
+use uarch_isa::{Inst, Program};
+
+/// One basic block: the half-open instruction range `[start, end)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BasicBlock {
+    /// Index of the block's first instruction (its leader).
+    pub start: usize,
+    /// One past the block's last instruction.
+    pub end: usize,
+    /// Successor blocks, as indices into [`Cfg::blocks`].
+    pub succs: Vec<usize>,
+}
+
+impl BasicBlock {
+    /// Index of the block's terminating instruction.
+    pub fn terminator(&self) -> usize {
+        self.end - 1
+    }
+}
+
+/// The control-flow graph of a program.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    blocks: Vec<BasicBlock>,
+    /// `block_of[i]` = index of the block containing instruction `i`.
+    block_of: Vec<usize>,
+    reachable: Vec<bool>,
+    roots: Vec<usize>,
+    address_taken: Vec<usize>,
+}
+
+impl Cfg {
+    /// Builds the CFG of `program`. Programs always have at least one
+    /// instruction (the assembler's implicit `li r0, 0` prologue), so the
+    /// graph always has an entry block.
+    pub fn build(program: &Program) -> Cfg {
+        let code = program.code();
+        let n = code.len();
+        assert!(n > 0, "programs have at least the implicit prologue");
+
+        // Leader discovery.
+        let mut leader = vec![false; n];
+        leader[0] = true;
+        if let Some(h) = program.fault_handler() {
+            if h < n {
+                leader[h] = true;
+            }
+        }
+        // The address-taken scan only matters when some instruction can
+        // consume a code pointer; `ret` is excluded because it is modeled by
+        // the return-site approximation instead.
+        let has_computed_targets = code.iter().any(|i| {
+            matches!(
+                i,
+                Inst::JumpInd { .. } | Inst::CallInd { .. } | Inst::SetRet { .. }
+            )
+        });
+        let mut address_taken_idx = Vec::new();
+        for (i, inst) in code.iter().enumerate() {
+            if let Some(t) = inst.static_target() {
+                if t < n {
+                    leader[t] = true;
+                }
+            }
+            if inst.ends_block() && i + 1 < n {
+                leader[i + 1] = true;
+            }
+            if let Inst::Li { imm, .. } = *inst {
+                // Address-taken approximation: an li of an in-range code
+                // index may flow into jmp-ind/call-ind/setret. Index 0 is
+                // the prologue's own `li r0, 0` and every small-constant li
+                // would alias it, so it is excluded.
+                if has_computed_targets && imm > 0 && (imm as u64) < n as u64 {
+                    let t = imm as usize;
+                    leader[t] = true;
+                    address_taken_idx.push(t);
+                }
+            }
+        }
+        address_taken_idx.sort_unstable();
+        address_taken_idx.dedup();
+
+        // Block formation.
+        let mut blocks = Vec::new();
+        let mut block_of = vec![0usize; n];
+        let mut start = 0;
+        for i in 0..n {
+            block_of[i] = blocks.len();
+            let last = i + 1 == n || leader[i + 1];
+            if last || code[i].ends_block() {
+                blocks.push(BasicBlock {
+                    start,
+                    end: i + 1,
+                    succs: Vec::new(),
+                });
+                start = i + 1;
+            }
+        }
+        let block_at = |idx: usize| block_of[idx];
+
+        // Return-site and address-taken target sets (block indices).
+        let mut return_sites = Vec::new();
+        for (i, inst) in code.iter().enumerate() {
+            if matches!(inst, Inst::Call { .. } | Inst::CallInd { .. }) && i + 1 < n {
+                return_sites.push(block_at(i + 1));
+            }
+        }
+        let address_taken: Vec<usize> = address_taken_idx.iter().map(|&t| block_at(t)).collect();
+
+        // Successor edges.
+        for blk in &mut blocks {
+            let term_idx = blk.terminator();
+            let term = code[term_idx];
+            let mut succs = Vec::new();
+            match term {
+                Inst::Branch { target, .. } => {
+                    if term_idx + 1 < n {
+                        succs.push(block_at(term_idx + 1));
+                    }
+                    if target < n {
+                        succs.push(block_at(target));
+                    }
+                }
+                Inst::Jump { target } => {
+                    if target < n {
+                        succs.push(block_at(target));
+                    }
+                }
+                Inst::Call { target } => {
+                    if target < n {
+                        succs.push(block_at(target));
+                    }
+                }
+                Inst::JumpInd { .. } => succs.extend(address_taken.iter().copied()),
+                Inst::CallInd { .. } => succs.extend(address_taken.iter().copied()),
+                Inst::Ret => succs.extend(return_sites.iter().copied()),
+                Inst::Halt => {}
+                // Fall-through block boundary (the next instruction is a
+                // leader for some other reason).
+                _ => {
+                    if term_idx + 1 < n {
+                        succs.push(block_at(term_idx + 1));
+                    }
+                }
+            }
+            succs.sort_unstable();
+            succs.dedup();
+            blk.succs = succs;
+        }
+
+        // Reachability from entry + fault handler + address-taken blocks.
+        let mut roots = vec![block_at(0)];
+        if let Some(h) = program.fault_handler() {
+            if h < n {
+                roots.push(block_at(h));
+            }
+        }
+        roots.extend(address_taken.iter().copied());
+        roots.sort_unstable();
+        roots.dedup();
+
+        let mut reachable = vec![false; blocks.len()];
+        let mut work: Vec<usize> = roots.clone();
+        while let Some(b) = work.pop() {
+            if std::mem::replace(&mut reachable[b], true) {
+                continue;
+            }
+            work.extend(blocks[b].succs.iter().copied());
+        }
+
+        Cfg {
+            blocks,
+            block_of,
+            reachable,
+            roots,
+            address_taken,
+        }
+    }
+
+    /// All basic blocks, in program order.
+    pub fn blocks(&self) -> &[BasicBlock] {
+        &self.blocks
+    }
+
+    /// The block containing instruction `idx`.
+    pub fn block_of(&self, idx: usize) -> usize {
+        self.block_of[idx]
+    }
+
+    /// Whether block `b` is reachable from any root.
+    pub fn is_reachable(&self, b: usize) -> bool {
+        self.reachable[b]
+    }
+
+    /// Root blocks of the reachability walk (entry, fault handler,
+    /// address-taken blocks).
+    pub fn roots(&self) -> &[usize] {
+        &self.roots
+    }
+
+    /// Blocks whose leader index appears as an `li` immediate (conservative
+    /// indirect-target set).
+    pub fn address_taken(&self) -> &[usize] {
+        &self.address_taken
+    }
+
+    /// Number of reachable blocks.
+    pub fn reachable_count(&self) -> usize {
+        self.reachable.iter().filter(|&&r| r).count()
+    }
+
+    /// The set of instruction indices in blocks reachable from `from_block`
+    /// following only intraprocedural edges plus call-target edges — `ret`
+    /// return-site edges are not traversed. This approximates the code a
+    /// call at the region's border can speculatively reach ("callee span").
+    pub fn span_from(&self, from_block: usize, code: &[Inst]) -> Vec<usize> {
+        let mut seen = vec![false; self.blocks.len()];
+        let mut work = vec![from_block];
+        let mut insts = Vec::new();
+        while let Some(b) = work.pop() {
+            if std::mem::replace(&mut seen[b], true) {
+                continue;
+            }
+            let blk = &self.blocks[b];
+            insts.extend(blk.start..blk.end);
+            if matches!(code[blk.terminator()], Inst::Ret) {
+                continue; // do not follow return-site approximation edges
+            }
+            work.extend(blk.succs.iter().copied());
+        }
+        insts.sort_unstable();
+        insts
+    }
+
+    /// Renders the CFG in Graphviz dot format. Unreachable blocks are drawn
+    /// dashed; root blocks are drawn with a double border.
+    pub fn to_dot(&self, program: &Program) -> String {
+        use std::fmt::Write;
+        let code = program.code();
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph \"{}\" {{", program.name());
+        let _ = writeln!(out, "  node [shape=box fontname=monospace];");
+        for (b, blk) in self.blocks.iter().enumerate() {
+            let mut label = format!("B{b} [{}..{})\\l", blk.start, blk.end);
+            for (i, inst) in code.iter().enumerate().take(blk.end).skip(blk.start) {
+                let _ = write!(label, "{i}: {inst}\\l");
+            }
+            let mut attrs = format!("label=\"{label}\"");
+            if !self.reachable[b] {
+                attrs.push_str(" style=dashed");
+            }
+            if self.roots.contains(&b) {
+                attrs.push_str(" peripheries=2");
+            }
+            let _ = writeln!(out, "  B{b} [{attrs}];");
+        }
+        for (b, blk) in self.blocks.iter().enumerate() {
+            for &s in &blk.succs {
+                let _ = writeln!(out, "  B{b} -> B{s};");
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uarch_isa::{Assembler, Reg};
+
+    fn diamond() -> Program {
+        let mut a = Assembler::new("diamond");
+        let (x, y) = (Reg::R1, Reg::R2);
+        a.li(x, 1);
+        let else_ = a.label();
+        let join = a.label();
+        a.beq(x, Reg::R0, else_);
+        a.li(y, 10);
+        a.jmp(join);
+        a.bind(else_);
+        a.li(y, 20);
+        a.bind(join);
+        a.halt();
+        a.finish().unwrap()
+    }
+
+    #[test]
+    fn diamond_has_four_reachable_blocks() {
+        let p = diamond();
+        let cfg = Cfg::build(&p);
+        // prologue+li+beq | li+jmp | li | halt
+        assert_eq!(cfg.blocks().len(), 4);
+        assert!((0..4).all(|b| cfg.is_reachable(b)));
+        assert_eq!(cfg.blocks()[0].succs.len(), 2);
+        let halt_block = cfg.block_of(p.len() - 1);
+        assert!(cfg.blocks()[halt_block].succs.is_empty());
+    }
+
+    #[test]
+    fn blocks_partition_the_program() {
+        let p = diamond();
+        let cfg = Cfg::build(&p);
+        let mut covered = 0;
+        for (b, blk) in cfg.blocks().iter().enumerate() {
+            assert!(blk.start < blk.end);
+            covered += blk.end - blk.start;
+            for i in blk.start..blk.end {
+                assert_eq!(cfg.block_of(i), b);
+            }
+        }
+        assert_eq!(covered, p.len());
+    }
+
+    #[test]
+    fn unreachable_code_is_flagged() {
+        let mut a = Assembler::new("dead");
+        let end = a.label();
+        a.jmp(end);
+        a.li(Reg::R1, 99); // dead
+        a.bind(end);
+        a.halt();
+        let p = a.finish().unwrap();
+        let cfg = Cfg::build(&p);
+        let dead_block = cfg.block_of(2);
+        assert!(!cfg.is_reachable(dead_block));
+        assert!(cfg.is_reachable(cfg.block_of(p.len() - 1)));
+    }
+
+    #[test]
+    fn ret_edges_use_return_site_approximation() {
+        let mut a = Assembler::new("callret");
+        let f = a.label();
+        a.call(f);
+        a.halt();
+        a.bind(f);
+        a.ret();
+        let p = a.finish().unwrap();
+        let cfg = Cfg::build(&p);
+        let ret_block = cfg.block_of(p.len() - 1);
+        let halt_block = cfg.block_of(2);
+        assert_eq!(cfg.blocks()[ret_block].succs, vec![halt_block]);
+    }
+
+    #[test]
+    fn address_taken_blocks_are_roots() {
+        let mut a = Assembler::new("indirect");
+        let g = a.label();
+        a.la(Reg::R5, g);
+        a.jmp_ind(Reg::R5);
+        a.bind(g);
+        a.halt();
+        let p = a.finish().unwrap();
+        let cfg = Cfg::build(&p);
+        let gb = cfg.block_of(3);
+        assert!(cfg.address_taken().contains(&gb));
+        assert!(cfg.is_reachable(gb));
+        // The indirect jump's successors are exactly the address-taken set.
+        let jb = cfg.block_of(2);
+        assert_eq!(cfg.blocks()[jb].succs, vec![gb]);
+    }
+
+    #[test]
+    fn dot_output_mentions_every_block() {
+        let p = diamond();
+        let cfg = Cfg::build(&p);
+        let dot = cfg.to_dot(&p);
+        assert!(dot.starts_with("digraph"));
+        for b in 0..cfg.blocks().len() {
+            assert!(dot.contains(&format!("B{b} [")), "missing node B{b}");
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! Stat-schema lint and post-run counter-invariant checking.
+//!
+//! Two layers:
+//!
+//! 1. **Schema lint** ([`lint_schema`], [`lint_bindings`]) — static checks
+//!    over the simulator's statistics inventory: names must be non-empty,
+//!    printable, unique, and every statistic referenced by a declared
+//!    invariant (see `sim_cpu::stat_invariants`) must actually exist.
+//! 2. **Run check** ([`check_program_run`]) — runs a program on the
+//!    simulator, snapshots the cumulative counters at regular intervals, and
+//!    evaluates the declared invariants over the series (`committed ≤
+//!    fetched`, `hits + misses = accesses`, per-sample monotonicity, ...).
+
+use sim_cpu::{Core, CoreConfig};
+use uarch_isa::Program;
+use uarch_stats::invariant::check_series;
+use uarch_stats::{InvariantKind, Snapshot, StatInvariant, Violation};
+
+/// A problem with the statistics schema itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchemaIssue {
+    /// The offending statistic (or invariant) name.
+    pub name: String,
+    /// What is wrong with it.
+    pub issue: String,
+}
+
+impl std::fmt::Display for SchemaIssue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.name, self.issue)
+    }
+}
+
+/// Lints the flat statistic names of a snapshot: non-empty, printable ASCII
+/// without whitespace, and free of duplicates (a duplicate name means two
+/// components visit the same key and one silently shadows the other in any
+/// name-indexed consumer).
+pub fn lint_schema(names: &[String]) -> Vec<SchemaIssue> {
+    let mut issues = Vec::new();
+    let mut seen = std::collections::BTreeMap::new();
+    for name in names {
+        if name.is_empty() {
+            issues.push(SchemaIssue {
+                name: "<empty>".into(),
+                issue: "empty stat name".into(),
+            });
+            continue;
+        }
+        if name
+            .chars()
+            .any(|c| c.is_whitespace() || !c.is_ascii_graphic())
+        {
+            issues.push(SchemaIssue {
+                name: name.clone(),
+                issue: "contains whitespace or non-printable characters".into(),
+            });
+        }
+        *seen.entry(name.clone()).or_insert(0usize) += 1;
+    }
+    for (name, count) in seen {
+        if count > 1 {
+            issues.push(SchemaIssue {
+                name,
+                issue: format!("declared {count} times"),
+            });
+        }
+    }
+    issues
+}
+
+/// Every statistic referenced by `invariants` must exist in the snapshot —
+/// an invariant that stops binding would otherwise rot silently.
+pub fn lint_bindings(invariants: &[StatInvariant], snap: &Snapshot) -> Vec<SchemaIssue> {
+    let mut issues = Vec::new();
+    for inv in invariants {
+        let refs: Vec<&String> = match &inv.kind {
+            InvariantKind::Le(a, b) | InvariantKind::Eq(a, b) => vec![a, b],
+            InvariantKind::SumEq(terms, total) => {
+                terms.iter().chain(std::iter::once(total)).collect()
+            }
+            InvariantKind::Monotonic(s) => vec![s],
+        };
+        for name in refs {
+            if snap.get(name).is_none() {
+                issues.push(SchemaIssue {
+                    name: inv.name.to_string(),
+                    issue: format!("references unknown statistic `{name}`"),
+                });
+            }
+        }
+    }
+    issues
+}
+
+/// Result of running a program and checking the counter invariants.
+#[derive(Debug)]
+pub struct RunCheck {
+    /// Program name.
+    pub name: String,
+    /// Instructions actually committed.
+    pub committed: u64,
+    /// Number of cumulative snapshots taken.
+    pub samples: usize,
+    /// All invariant violations across the snapshot series.
+    pub violations: Vec<Violation>,
+}
+
+impl RunCheck {
+    /// Whether every invariant held in every sample.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Runs `program` for up to `max_insts` committed instructions, snapshotting
+/// the cumulative statistics `samples` times, and evaluates `invariants`
+/// over the series.
+pub fn check_run(
+    program: &Program,
+    invariants: &[StatInvariant],
+    max_insts: u64,
+    samples: usize,
+) -> RunCheck {
+    let mut core = Core::new(CoreConfig::default(), program.clone());
+    let chunk = (max_insts / samples.max(1) as u64).max(1);
+    let mut series = Vec::new();
+    for _ in 0..samples.max(1) {
+        let summary = core.run(chunk);
+        series.push(Snapshot::of(&core, ""));
+        if summary.halted {
+            break;
+        }
+    }
+    RunCheck {
+        name: program.name().to_string(),
+        committed: series
+            .last()
+            .and_then(|s| s.get("commit.committedInsts"))
+            .unwrap_or(0.0) as u64,
+        samples: series.len(),
+        violations: check_series(invariants, &series),
+    }
+}
+
+/// [`check_run`] against the core's own declared invariants
+/// (`sim_cpu::stat_invariants`).
+pub fn check_program_run(program: &Program, max_insts: u64, samples: usize) -> RunCheck {
+    check_run(program, &sim_cpu::stat_invariants(), max_insts, samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uarch_stats::{stat_group, Counter};
+
+    #[test]
+    fn schema_lint_flags_duplicates_and_bad_names() {
+        let names = vec![
+            "a.b".to_string(),
+            "a.b".to_string(),
+            "has space".to_string(),
+            String::new(),
+            "fine.name".to_string(),
+        ];
+        let issues = lint_schema(&names);
+        assert!(issues.iter().any(|i| i.issue.contains("2 times")));
+        assert!(issues.iter().any(|i| i.issue.contains("whitespace")));
+        assert!(issues.iter().any(|i| i.issue.contains("empty")));
+        assert_eq!(issues.len(), 3);
+    }
+
+    #[test]
+    fn core_schema_is_clean_and_invariants_bind() {
+        let core = Core::new(CoreConfig::default(), {
+            let mut a = uarch_isa::Assembler::new("noop");
+            a.halt();
+            a.finish().unwrap()
+        });
+        let snap = Snapshot::of(&core, "");
+        assert!(
+            lint_schema(snap.names()).is_empty(),
+            "{:?}",
+            lint_schema(snap.names())
+        );
+        let bindings = lint_bindings(&sim_cpu::stat_invariants(), &snap);
+        assert!(bindings.is_empty(), "{bindings:?}");
+    }
+
+    stat_group! {
+        /// A component with an intentionally inconsistent counter pair.
+        pub struct BrokenStats {
+            /// Fetched instructions.
+            pub fetched: Counter => "fetched",
+            /// Committed instructions (corrupted to exceed fetched).
+            pub committed: Counter => "committed",
+        }
+    }
+
+    #[test]
+    fn deliberately_broken_counter_is_caught() {
+        let mut s = BrokenStats::default();
+        s.fetched.add(100);
+        s.committed.add(150); // corruption: committed > fetched
+        let inv = [StatInvariant::le(
+            "committed-le-fetched",
+            "cpu.committed",
+            "cpu.fetched",
+        )];
+        let series = [Snapshot::of(&s, "cpu")];
+        let v = check_series(&inv, &series);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].invariant, "committed-le-fetched");
+    }
+}

@@ -1,0 +1,76 @@
+//! Static analysis over the simulated ISA: CFG construction, speculative
+//! taint tracking with gadget detection, and statistics-invariant lints.
+//!
+//! Three passes over a [`uarch_isa::Program`]:
+//!
+//! 1. [`cfg`] — basic blocks, successor edges (with return-site and
+//!    address-taken approximations for indirect flow), reachability, and a
+//!    Graphviz emitter.
+//! 2. [`taint`] — a forward dataflow fixpoint tracking where register
+//!    values come from (memory, flushed lines, kernel space, cycle
+//!    counters), feeding six detectors for the gadget patterns behind
+//!    Spectre, Meltdown and the timing-channel attacks.
+//! 3. [`invariants`] — a schema lint over the simulator's statistics
+//!    inventory plus a post-run checker asserting counter consistency
+//!    (`committed ≤ fetched`, `hits + misses = accesses`, monotonicity).
+//!
+//! The `uarch-lint` binary runs all passes over every workload in the
+//! `workloads` crate and prints a findings table; the static verdicts are
+//! locked in by regression tests (`tests/regression.rs`).
+//!
+//! # Example
+//!
+//! ```
+//! use uarch_analysis::analyze_program;
+//! use uarch_isa::GadgetKind;
+//! use workloads::{spectre::spectre_v1, SpectreV1Params};
+//!
+//! let report = analyze_program(&spectre_v1(SpectreV1Params::default()));
+//! assert!(report.kinds().contains(&GadgetKind::SpecBoundsBypass));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cfg;
+pub mod invariants;
+pub mod taint;
+
+use std::collections::BTreeSet;
+
+use uarch_isa::{GadgetKind, Program};
+
+pub use cfg::{BasicBlock, Cfg};
+pub use invariants::{check_program_run, lint_bindings, lint_schema, RunCheck, SchemaIssue};
+pub use taint::{Finding, TaintResult};
+
+/// The combined static-analysis result for one program.
+#[derive(Debug)]
+pub struct ProgramReport {
+    /// Program name.
+    pub name: String,
+    /// The control-flow graph.
+    pub cfg: Cfg,
+    /// Converged taint facts.
+    pub taint: TaintResult,
+    /// Detected gadgets, ordered by instruction index.
+    pub findings: Vec<Finding>,
+}
+
+impl ProgramReport {
+    /// The distinct gadget kinds found.
+    pub fn kinds(&self) -> BTreeSet<GadgetKind> {
+        self.findings.iter().map(|f| f.kind).collect()
+    }
+}
+
+/// Runs the CFG and taint passes over one program.
+pub fn analyze_program(program: &Program) -> ProgramReport {
+    let cfg = Cfg::build(program);
+    let (taint, findings) = taint::analyze(program, &cfg);
+    ProgramReport {
+        name: program.name().to_string(),
+        cfg,
+        taint,
+        findings,
+    }
+}

@@ -1,0 +1,122 @@
+//! Property tests for the CFG builder over arbitrary (even ill-formed)
+//! instruction streams: block structure must always partition the program,
+//! successor edges must stay in bounds, and `halt` blocks must be terminal.
+
+use proptest::collection;
+use proptest::prelude::*;
+use uarch_analysis::Cfg;
+use uarch_isa::{AluOp, Cond, Inst, Program, Reg, Width};
+
+/// Decodes one generated `(selector, operand)` pair into an instruction.
+/// Control targets are folded into `0..n` so programs stay self-contained,
+/// but no assembler-level invariant (binding, termination) is guaranteed.
+fn decode(sel: u8, operand: usize, n: usize) -> Inst {
+    let t = operand % n;
+    let r = Reg::from_index(operand % Reg::COUNT).unwrap();
+    match sel % 12 {
+        0 => Inst::Nop,
+        1 => Inst::Li {
+            rd: r,
+            imm: operand as i64 - 8,
+        },
+        2 => Inst::AluI {
+            op: AluOp::Add,
+            rd: r,
+            ra: r,
+            imm: 1,
+        },
+        3 => Inst::Load {
+            rd: r,
+            base: r,
+            offset: 0,
+            width: Width::Byte,
+            fp: false,
+        },
+        4 => Inst::Branch {
+            cond: Cond::Eq,
+            ra: r,
+            rb: Reg::R0,
+            target: t,
+        },
+        5 => Inst::Jump { target: t },
+        6 => Inst::Call { target: t },
+        7 => Inst::Ret,
+        8 => Inst::Halt,
+        9 => Inst::JumpInd { base: r },
+        10 => Inst::CallInd { base: r },
+        _ => Inst::Flush { base: r, offset: 0 },
+    }
+}
+
+fn program_from(raw: &[(u8, usize)], fault: usize) -> Program {
+    let n = raw.len();
+    let code: Vec<Inst> = raw.iter().map(|&(sel, op)| decode(sel, op, n)).collect();
+    let handler = if fault.is_multiple_of(4) {
+        Some(fault % n)
+    } else {
+        None
+    };
+    Program::new("prop-cfg", code, Vec::new(), handler)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn blocks_partition_every_program(
+        raw in collection::vec((0u8..=255, 0usize..256), 1..64),
+        fault in 0usize..256,
+    ) {
+        let p = program_from(&raw, fault);
+        let cfg = Cfg::build(&p);
+        let mut covered = vec![0u32; p.len()];
+        let mut prev_end = 0;
+        for (b, blk) in cfg.blocks().iter().enumerate() {
+            prop_assert!(blk.start < blk.end, "empty block {b}");
+            prop_assert_eq!(blk.start, prev_end, "blocks must tile in order");
+            prev_end = blk.end;
+            for (i, slot) in covered.iter_mut().enumerate().take(blk.end).skip(blk.start) {
+                *slot += 1;
+                prop_assert_eq!(cfg.block_of(i), b);
+            }
+        }
+        prop_assert_eq!(prev_end, p.len());
+        prop_assert!(covered.iter().all(|&c| c == 1),
+            "every instruction lives in exactly one block");
+    }
+
+    #[test]
+    fn successor_edges_stay_in_bounds(
+        raw in collection::vec((0u8..=255, 0usize..256), 1..64),
+        fault in 0usize..256,
+    ) {
+        let p = program_from(&raw, fault);
+        let cfg = Cfg::build(&p);
+        for blk in cfg.blocks() {
+            for &s in &blk.succs {
+                prop_assert!(s < cfg.blocks().len(), "successor out of bounds");
+                // A successor edge lands on a block start, which is a leader
+                // by construction; round-tripping through block_of proves it.
+                prop_assert_eq!(cfg.block_of(cfg.blocks()[s].start), s);
+            }
+        }
+        for &r in cfg.roots() {
+            prop_assert!(cfg.is_reachable(r), "roots are reachable");
+        }
+    }
+
+    #[test]
+    fn halt_blocks_are_terminal(
+        raw in collection::vec((0u8..=255, 0usize..256), 1..64),
+        fault in 0usize..256,
+    ) {
+        let p = program_from(&raw, fault);
+        let cfg = Cfg::build(&p);
+        for blk in cfg.blocks() {
+            if matches!(p.code()[blk.terminator()], Inst::Halt) {
+                prop_assert!(blk.succs.is_empty(),
+                    "halt-terminated block must have no successors");
+            }
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Regression lock-in for the static analyzer's verdicts over the whole
+//! workload corpus: every attack family must be flagged with exactly its
+//! expected gadget kinds, and every benign workload must come back clean.
+
+use std::collections::BTreeSet;
+
+use uarch_analysis::{analyze_program, check_program_run};
+use uarch_isa::GadgetKind;
+use workloads::{attack_suite, bandwidth_suite, benign_suite, polymorphic_suite, Family, Workload};
+
+/// The expected static verdict for a workload, keyed by its attack family.
+fn expected(w: &Workload) -> BTreeSet<GadgetKind> {
+    use GadgetKind as G;
+    match w.family {
+        Family::SpectreV1 => BTreeSet::from([G::SpecBoundsBypass, G::TimedLoad]),
+        Family::SpectreV2 => BTreeSet::from([G::BtbInjection, G::TimedLoad]),
+        Family::SpectreRsb => BTreeSet::from([G::RetHijack, G::TimedLoad]),
+        Family::Meltdown | Family::BreakingKslr | Family::CacheOut => {
+            BTreeSet::from([G::KernelRead, G::TimedLoad])
+        }
+        Family::FlushReload | Family::PrimeProbe => BTreeSet::from([G::TimedLoad]),
+        Family::FlushFlush => BTreeSet::from([G::TimedFlush]),
+        // The calibration loops exercise just the probe primitive of their
+        // parent attack.
+        Family::Calibration => {
+            if w.name.ends_with("-ff") {
+                BTreeSet::from([G::TimedFlush])
+            } else {
+                BTreeSet::from([G::TimedLoad])
+            }
+        }
+        Family::Benign => BTreeSet::new(),
+    }
+}
+
+fn check(w: &Workload) {
+    let report = analyze_program(&w.program);
+    assert_eq!(
+        report.kinds(),
+        expected(w),
+        "workload {}: findings {:#?}",
+        w.name,
+        report.findings
+    );
+}
+
+#[test]
+fn attack_suite_verdicts_are_exact() {
+    for w in attack_suite() {
+        check(&w);
+    }
+}
+
+#[test]
+fn polymorphic_variants_are_all_flagged() {
+    for w in polymorphic_suite() {
+        check(&w);
+    }
+}
+
+#[test]
+fn bandwidth_reduced_variants_are_still_flagged() {
+    for (_, w) in bandwidth_suite() {
+        check(&w);
+    }
+}
+
+#[test]
+fn benign_suite_is_clean() {
+    for w in benign_suite() {
+        let report = analyze_program(&w.program);
+        assert!(
+            report.findings.is_empty(),
+            "benign workload {} flagged: {:#?}",
+            w.name,
+            report.findings
+        );
+    }
+}
+
+#[test]
+fn every_workload_cfg_is_fully_reachable_enough_to_analyze() {
+    // Sanity floor: the CFG must find more than one block and reach most of
+    // the program (workloads are loops; only deliberately-speculative
+    // gadget stubs may be architecturally unreachable).
+    for w in attack_suite().iter().chain(benign_suite().iter()) {
+        let report = analyze_program(&w.program);
+        let blocks = report.cfg.blocks().len();
+        assert!(blocks > 1, "{}: degenerate CFG", w.name);
+        assert!(
+            report.cfg.reachable_count() * 2 > blocks,
+            "{}: most blocks should be reachable",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn stat_invariants_hold_on_attack_and_benign_runs() {
+    let attack = attack_suite().into_iter().next().unwrap();
+    let benign = benign_suite().into_iter().next().unwrap();
+    for w in [attack, benign] {
+        let check = check_program_run(&w.program, 60_000, 4);
+        assert!(
+            check.committed > 10_000,
+            "{}: too few committed",
+            check.name
+        );
+        assert!(
+            check.passed(),
+            "{}: counter invariants violated: {:#?}",
+            check.name,
+            check.violations
+        );
+    }
+}

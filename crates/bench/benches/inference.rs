@@ -11,14 +11,22 @@ use rand::{Rng, SeedableRng};
 const FEATURES: usize = 106;
 
 fn sample_row(rng: &mut StdRng) -> Vec<f64> {
-    (0..FEATURES).map(|_| f64::from(rng.gen_bool(0.2))).collect()
+    (0..FEATURES)
+        .map(|_| f64::from(rng.gen_bool(0.2)))
+        .collect()
 }
 
 fn training_set(rng: &mut StdRng, n: usize) -> (Vec<Vec<f64>>, Vec<i8>) {
     let x: Vec<Vec<f64>> = (0..n).map(|_| sample_row(rng)).collect();
     let y: Vec<i8> = x
         .iter()
-        .map(|r| if r.iter().sum::<f64>() > FEATURES as f64 * 0.2 { 1 } else { -1 })
+        .map(|r| {
+            if r.iter().sum::<f64>() > FEATURES as f64 * 0.2 {
+                1
+            } else {
+                -1
+            }
+        })
         .collect();
     (x, y)
 }
@@ -49,11 +57,19 @@ fn bench_inference(c: &mut Criterion) {
     });
     group.bench_function("knn_k3_2000rows", |b| {
         let mut r = StdRng::seed_from_u64(23);
-        b.iter_batched(|| sample_row(&mut r), |row| knn.predict(&row), BatchSize::SmallInput)
+        b.iter_batched(
+            || sample_row(&mut r),
+            |row| knn.predict(&row),
+            BatchSize::SmallInput,
+        )
     });
     group.bench_function("mlp_16_hidden", |b| {
         let mut r = StdRng::seed_from_u64(23);
-        b.iter_batched(|| sample_row(&mut r), |row| mlp.predict(&row), BatchSize::SmallInput)
+        b.iter_batched(
+            || sample_row(&mut r),
+            |row| mlp.predict(&row),
+            BatchSize::SmallInput,
+        )
     });
     group.finish();
 }

@@ -20,8 +20,10 @@ fn bench_simulator(c: &mut Criterion) {
     });
     group.bench_function("spectre_v1_50k_insts", |b| {
         b.iter(|| {
-            let mut core =
-                Core::new(CoreConfig::default(), spectre_v1(SpectreV1Params::default()));
+            let mut core = Core::new(
+                CoreConfig::default(),
+                spectre_v1(SpectreV1Params::default()),
+            );
             core.run(INSTS)
         })
     });

@@ -28,7 +28,11 @@ fn fold_accuracies(
             let yt: Vec<i8> = split.train.iter().map(|&i| y[i]).collect();
             let mut p = Perceptron::new(indices.len());
             p.fit(&xt, &yt);
-            let correct = split.test.iter().filter(|&&i| p.predict(&x[i]) == y[i]).count();
+            let correct = split
+                .test
+                .iter()
+                .filter(|&&i| p.predict(&x[i]) == y[i])
+                .count();
             correct as f64 / split.test.len().max(1) as f64
         })
         .collect()
@@ -77,17 +81,27 @@ fn main() {
         .iter()
         .map(|(name, accs)| {
             let (mean, ci) = mean_confidence(accs);
-            let per_fold = accs.iter().map(|a| format!("{a:.3}")).collect::<Vec<_>>().join(" / ");
+            let per_fold = accs
+                .iter()
+                .map(|a| format!("{a:.3}"))
+                .collect::<Vec<_>>()
+                .join(" / ");
             vec![name.to_string(), format!("{mean:.4} ±{ci:.4}"), per_fold]
         })
         .collect();
     println!(
         "{}",
-        render_table(&["configuration", "mean accuracy (95% CI)", "per-fold"], &rows)
+        render_table(
+            &["configuration", "mean accuracy (95% CI)", "per-fold"],
+            &rows
+        )
     );
     println!(
         "top-N selection overlaps the replicated selection in {} of {} features",
-        top_n.iter().filter(|i| selection.selected.contains(i)).count(),
+        top_n
+            .iter()
+            .filter(|i| selection.selected.contains(i))
+            .count(),
         top_n.len()
     );
 }

@@ -16,9 +16,8 @@ fn main() {
         println!("[{component}]");
         for (name, w) in weights.iter().take(6) {
             let bar_len = (w.abs() * 10.0).min(30.0) as usize;
-            let bar: String = std::iter::repeat(if *w >= 0.0 { '+' } else { '-' })
-                .take(bar_len.max(1))
-                .collect();
+            let bar: String =
+                std::iter::repeat_n(if *w >= 0.0 { '+' } else { '-' }, bar_len.max(1)).collect();
             println!("  {w:>8.3}  {bar:<30} {name}");
         }
         println!();

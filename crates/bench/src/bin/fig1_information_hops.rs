@@ -13,7 +13,10 @@ use perspectron_bench::render_table;
 const FEATURES: [(&str, &str); 4] = [
     ("f1=ReadResp", "membus.trans_dist::ReadResp"),
     ("f2=commitNonSpecStalls", "commit.NonSpecStalls"),
-    ("f3=PendingQuiesceStallCycles", "fetch.PendingQuiesceStallCycles"),
+    (
+        "f3=PendingQuiesceStallCycles",
+        "fetch.PendingQuiesceStallCycles",
+    ),
     ("f4=CleanEvict", "tol2bus.trans_dist::CleanEvict"),
 ];
 
@@ -50,11 +53,8 @@ fn main() {
     let mut rows = Vec::new();
     for (w, t) in corpus.traces.iter().enumerate() {
         let mut cells = vec![t.name.clone()];
-        let samples: Vec<&perspectron::Sample> = dataset
-            .samples
-            .iter()
-            .filter(|s| s.workload == w)
-            .collect();
+        let samples: Vec<&perspectron::Sample> =
+            dataset.samples.iter().filter(|s| s.workload == w).collect();
         let mut bits = String::from("<");
         for (&i, _) in idx.iter().zip(FEATURES.iter()) {
             let mean: f64 =
@@ -65,7 +65,11 @@ fn main() {
         }
         bits.pop();
         bits.push('>');
-        let label = if t.class == workloads::Class::Malicious { "suspicious" } else { "safe" };
+        let label = if t.class == workloads::Class::Malicious {
+            "suspicious"
+        } else {
+            "safe"
+        };
         cells.push(format!("{label}: {bits}"));
         rows.push(cells);
     }

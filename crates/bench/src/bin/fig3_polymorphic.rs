@@ -11,7 +11,10 @@ fn main() {
     let insts = if quick { 150_000 } else { 400_000 };
 
     println!("FIGURE 3: perceptron output vs instructions, polymorphic Spectre variants");
-    println!("(pre-threshold confidence per 10K-instruction sample; threshold = {:.2})\n", detector.threshold);
+    println!(
+        "(pre-threshold confidence per 10K-instruction sample; threshold = {:.2})\n",
+        detector.threshold
+    );
 
     let mut all_detected = true;
     let mut first_flags = Vec::new();

@@ -12,13 +12,19 @@ fn main() {
     let insts = if quick { 200_000 } else { 800_000 };
 
     println!("FIGURE 4: perceptron output vs instructions, SpectreV1 bandwidths");
-    println!("(threshold = {:.2}; leak marks from the simulator)\n", detector.threshold);
+    println!(
+        "(threshold = {:.2}; leak marks from the simulator)\n",
+        detector.threshold
+    );
 
     let mut rows = Vec::new();
     for (bw, w) in workloads::bandwidth_suite() {
         let trace = collect_trace(&w, insts, 10_000);
         let series = detector.confidence_series(&trace);
-        println!("{}", render_series(&format!("spectre-v1 {bw:.2}x"), &series));
+        println!(
+            "{}",
+            render_series(&format!("spectre-v1 {bw:.2}x"), &series)
+        );
         let first_flag = series
             .iter()
             .position(|&c| c >= detector.threshold)
@@ -31,7 +37,9 @@ fn main() {
         rows.push((bw, first_flag, first_leak));
     }
 
-    println!("\nbandwidth | first flagged (insts) | first byte leaked (insts) | detected pre-leak?");
+    println!(
+        "\nbandwidth | first flagged (insts) | first byte leaked (insts) | detected pre-leak?"
+    );
     for (bw, flag, leak) in rows {
         let pre = match (flag, leak) {
             (Some(f), Some(l)) => {

@@ -26,7 +26,11 @@ fn main() {
         let test_idx = &split.test;
 
         let mut train_ds = dataset.clone();
-        train_ds.samples = split.train.iter().map(|&i| dataset.samples[i].clone()).collect();
+        train_ds.samples = split
+            .train
+            .iter()
+            .map(|&i| dataset.samples[i].clone())
+            .collect();
         let det = PerSpectron::train_with_selection(&train_ds, selection);
 
         let scores: Vec<f64> = test_idx
@@ -56,7 +60,9 @@ fn main() {
         let best = roc
             .iter()
             .max_by(|a, b| {
-                (a.tpr - a.fpr).partial_cmp(&(b.tpr - b.fpr)).expect("no NaN")
+                (a.tpr - a.fpr)
+                    .partial_cmp(&(b.tpr - b.fpr))
+                    .expect("no NaN")
             })
             .expect("non-empty");
         println!(

@@ -32,22 +32,37 @@ fn main() {
     println!("MITIGATION DEMO (§IV-G): countermeasures triggered on detection\n");
 
     // --- SpectreV1 vs branch-predictor noise ---
-    let mut baseline = Core::new(CoreConfig::default(), spectre_v1(SpectreV1Params::default()));
+    let mut baseline = Core::new(
+        CoreConfig::default(),
+        spectre_v1(SpectreV1Params::default()),
+    );
     baseline.run(INSTS);
-    let mut noisy = Core::new(CoreConfig::default(), spectre_v1(SpectreV1Params::default()));
+    let mut noisy = Core::new(
+        CoreConfig::default(),
+        spectre_v1(SpectreV1Params::default()),
+    );
     noisy.set_bp_noise(0.3);
     noisy.run(INSTS);
     println!("SpectreV1, {INSTS} instructions:");
-    println!("  no mitigation        : {:>2}/16 secret bytes leaked", leaked_bytes(&baseline));
+    println!(
+        "  no mitigation        : {:>2}/16 secret bytes leaked",
+        leaked_bytes(&baseline)
+    );
     println!(
         "  30% predictor noise  : {:>2}/16 secret bytes leaked",
         leaked_bytes(&noisy)
     );
 
     // --- Prime+Probe vs index randomization ---
-    let mut pp_base = Core::new(CoreConfig::default(), workloads::cache_attacks::prime_probe());
+    let mut pp_base = Core::new(
+        CoreConfig::default(),
+        workloads::cache_attacks::prime_probe(),
+    );
     pp_base.run(3_000_000);
-    let mut pp_rand = Core::new(CoreConfig::default(), workloads::cache_attacks::prime_probe());
+    let mut pp_rand = Core::new(
+        CoreConfig::default(),
+        workloads::cache_attacks::prime_probe(),
+    );
     pp_rand.randomize_cache_indexing(0x5DEECE66D);
     pp_rand.run(3_000_000);
     println!("\nPrime+Probe, 3M instructions:");

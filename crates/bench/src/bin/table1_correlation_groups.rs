@@ -10,9 +10,7 @@ fn main() {
     let selection = FeatureSelection::select(&dataset, &SelectionConfig::default());
 
     let groups = selection.replicated_groups(2);
-    println!(
-        "TABLE I: highly correlated feature groups (|c| >= 0.98) spanning >= 2 components"
-    );
+    println!("TABLE I: highly correlated feature groups (|c| >= 0.98) spanning >= 2 components");
     println!(
         "total correlation groups: {} (cross-component: {})\n",
         selection.groups.len(),

@@ -183,8 +183,14 @@ fn main() {
     // Hardware cost appendix.
     println!("hardware cost detail:");
     let costs = [
-        ("PerSpectron (106 inputs)", HardwareCost::perceptron(selection.selected.len(), 60)),
-        ("KNN (stored corpus)", HardwareCost::knn(ks.len() * 2 / 3, selection.selected.len())),
+        (
+            "PerSpectron (106 inputs)",
+            HardwareCost::perceptron(selection.selected.len(), 60),
+        ),
+        (
+            "KNN (stored corpus)",
+            HardwareCost::knn(ks.len() * 2 / 3, selection.selected.len()),
+        ),
         (
             "NN (106x16 MLP)",
             HardwareCost::neural_network(selection.selected.len() * 16 + 16 * 2),

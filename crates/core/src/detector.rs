@@ -63,8 +63,8 @@ impl PerSpectron {
         perceptron.margin = 2.0;
         perceptron.positive_weight = 3.0;
         perceptron.fit(&x, &y);
-        let weight_norm: f64 = perceptron.weights().iter().map(|w| w.abs()).sum::<f64>()
-            + perceptron.bias().abs();
+        let weight_norm: f64 =
+            perceptron.weights().iter().map(|w| w.abs()).sum::<f64>() + perceptron.bias().abs();
         Self {
             selection,
             perceptron,
@@ -128,7 +128,11 @@ impl PerSpectron {
         let mut fp = std::collections::BTreeSet::new();
         let mut fneg = std::collections::BTreeSet::new();
         for t in &corpus.traces {
-            let label = if t.class == workloads::Class::Malicious { 1i8 } else { -1 };
+            let label = if t.class == workloads::Class::Malicious {
+                1i8
+            } else {
+                -1
+            };
             for c in self.confidence_series(t) {
                 let p = if c >= self.threshold { 1i8 } else { -1 };
                 predicted.push(p);

@@ -92,7 +92,12 @@ impl FoldSpec {
             fams.retain(|f| !self.held_out_families.contains(f) && *f != Family::Calibration);
             fams.iter().map(|f| f.label()).collect()
         };
-        format!("{} | D_k: {} | D_-k: {}", self.k, dk.join(", "), dmk.join(", "))
+        format!(
+            "{} | D_k: {} | D_-k: {}",
+            self.k,
+            dk.join(", "),
+            dmk.join(", ")
+        )
     }
 }
 
@@ -140,14 +145,16 @@ mod tests {
         assert!(!split.train.is_empty() && !split.test.is_empty());
         for &i in &split.train {
             let s = &dataset.samples[i];
-            assert_ne!(s.family, Family::SpectreRsb, "held-out family leaked into train");
+            assert_ne!(
+                s.family,
+                Family::SpectreRsb,
+                "held-out family leaked into train"
+            );
             assert_ne!(corpus.traces[s.workload].name, "bzip2");
         }
         for &i in &split.test {
             let s = &dataset.samples[i];
-            assert!(
-                s.family == Family::SpectreRsb || corpus.traces[s.workload].name == "bzip2"
-            );
+            assert!(s.family == Family::SpectreRsb || corpus.traces[s.workload].name == "bzip2");
         }
     }
 

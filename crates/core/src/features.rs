@@ -33,8 +33,14 @@ pub fn binary_mutual_information(col: &[f64], y: &[i8]) -> f64 {
         let b = usize::from(l > 0);
         joint[a][b] += 1.0;
     }
-    let pa = [(joint[0][0] + joint[0][1]) / n, (joint[1][0] + joint[1][1]) / n];
-    let pb = [(joint[0][0] + joint[1][0]) / n, (joint[0][1] + joint[1][1]) / n];
+    let pa = [
+        (joint[0][0] + joint[0][1]) / n,
+        (joint[1][0] + joint[1][1]) / n,
+    ];
+    let pb = [
+        (joint[0][0] + joint[1][0]) / n,
+        (joint[0][1] + joint[1][1]) / n,
+    ];
     let mut mi = 0.0;
     for a in 0..2 {
         for b in 0..2 {
@@ -117,8 +123,7 @@ impl FeatureSelection {
         let live: Vec<usize> = (0..n_features)
             .filter(|&i| {
                 let first = columns[i][0];
-                relevance[i] >= cfg.min_relevance
-                    && columns[i].iter().any(|&v| v != first)
+                relevance[i] >= cfg.min_relevance && columns[i].iter().any(|&v| v != first)
             })
             .collect();
 
@@ -153,16 +158,18 @@ impl FeatureSelection {
             .into_values()
             .filter(|m| m.len() >= 2)
             .map(|mut members| {
-                members.sort_by(|&a, &b| {
-                    relevance[b].partial_cmp(&relevance[a]).expect("no NaN")
-                });
+                members.sort_by(|&a, &b| relevance[b].partial_cmp(&relevance[a]).expect("no NaN"));
                 let span = members
                     .iter()
                     .map(|&i| component_of(dataset.schema.name(i)))
                     .collect::<std::collections::HashSet<_>>()
                     .len();
                 let best = relevance[members[0]];
-                CorrelationGroup { members, component_span: span, relevance: best }
+                CorrelationGroup {
+                    members,
+                    component_span: span,
+                    relevance: best,
+                }
             })
             .collect();
         groups.sort_by(|a, b| b.relevance.partial_cmp(&a.relevance).expect("no NaN"));
@@ -203,9 +210,7 @@ impl FeatureSelection {
                     // Within a component, keep only one member per
                     // correlation group (decorrelation); cross-component
                     // replicas stay (the replicated-detector premise).
-                    let dedup_key = group_of
-                        .get(&cand)
-                        .map(|&g| (comp.to_string(), g));
+                    let dedup_key = group_of.get(&cand).map(|&g| (comp.to_string(), g));
                     if let Some(key) = &dedup_key {
                         if used_groups_per_component.contains(key) {
                             continue;
@@ -229,7 +234,12 @@ impl FeatureSelection {
             .iter()
             .map(|&i| dataset.schema.name(i).to_string())
             .collect();
-        Self { selected, names, groups, relevance }
+        Self {
+            selected,
+            names,
+            groups,
+            relevance,
+        }
     }
 
     /// Groups spanning at least `min_span` components, most relevant first
@@ -295,7 +305,10 @@ mod tests {
         // Replication: selected features span many components.
         let comps: std::collections::HashSet<_> =
             sel.names.iter().map(|n| component_of(n)).collect();
-        assert!(comps.len() >= 8, "selection should span components, got {comps:?}");
+        assert!(
+            comps.len() >= 8,
+            "selection should span components, got {comps:?}"
+        );
         // There are cross-component correlation groups (Table I's premise).
         assert!(
             !sel.replicated_groups(2).is_empty(),

@@ -43,11 +43,13 @@ impl MulticlassDetector {
             p.target_error = 0.002;
             p.positive_weight = 3.0;
             p.fit(&x, &y);
-            let norm: f64 =
-                p.weights().iter().map(|w| w.abs()).sum::<f64>() + p.bias().abs();
+            let norm: f64 = p.weights().iter().map(|w| w.abs()).sum::<f64>() + p.bias().abs();
             heads.push((fam, p, norm.max(1e-12)));
         }
-        Self { heads, selected: selection.selected.clone() }
+        Self {
+            heads,
+            selected: selection.selected.clone(),
+        }
     }
 
     /// The families this classifier can name.
@@ -81,9 +83,21 @@ impl MulticlassDetector {
                     _ => {}
                 }
             }
-            let p = if tp + fp == 0 { 0.0 } else { tp as f64 / (tp + fp) as f64 };
-            let r = if tp + fn_ == 0 { 0.0 } else { tp as f64 / (tp + fn_) as f64 };
-            f1s.push(if p + r == 0.0 { 0.0 } else { 2.0 * p * r / (p + r) });
+            let p = if tp + fp == 0 {
+                0.0
+            } else {
+                tp as f64 / (tp + fp) as f64
+            };
+            let r = if tp + fn_ == 0 {
+                0.0
+            } else {
+                tp as f64 / (tp + fn_) as f64
+            };
+            f1s.push(if p + r == 0.0 {
+                0.0
+            } else {
+                2.0 * p * r / (p + r)
+            });
         }
         f1s.iter().sum::<f64>() / f1s.len().max(1) as f64
     }
@@ -100,8 +114,14 @@ mod tests {
     fn names_the_attack_family_on_training_data() {
         let mut all = workloads::full_suite();
         all.retain(|w| {
-            ["spectre-v1-classic", "meltdown", "flush-flush", "bzip2", "povray"]
-                .contains(&w.name.as_str())
+            [
+                "spectre-v1-classic",
+                "meltdown",
+                "flush-flush",
+                "bzip2",
+                "povray",
+            ]
+            .contains(&w.name.as_str())
         });
         let corpus = CorpusSpec {
             insts_per_workload: 120_000,
@@ -115,7 +135,10 @@ mod tests {
 
         assert!(mc.families().len() >= 4);
         let f1 = mc.training_macro_f1(&dataset);
-        assert!(f1 > 0.8, "multi-way training F1 should be high, got {f1:.3}");
+        assert!(
+            f1 > 0.8,
+            "multi-way training F1 should be high, got {f1:.3}"
+        );
 
         // Spot-check: a meltdown sample classifies as meltdown.
         let meltdown_sample = dataset

@@ -43,8 +43,7 @@ impl RhmdDetector {
             "subset fraction must be in (0, 1]"
         );
         let mut rng = StdRng::seed_from_u64(seed);
-        let subset_len =
-            ((selection.selected.len() as f64 * subset_fraction) as usize).max(8);
+        let subset_len = ((selection.selected.len() as f64 * subset_fraction) as usize).max(8);
         let y = dataset.y();
         let mut members = Vec::with_capacity(n_members);
         for _ in 0..n_members {
@@ -62,8 +61,7 @@ impl RhmdDetector {
             p.target_error = 0.002;
             p.positive_weight = 3.0;
             p.fit(&x, &y);
-            let norm: f64 =
-                p.weights().iter().map(|w| w.abs()).sum::<f64>() + p.bias().abs();
+            let norm: f64 = p.weights().iter().map(|w| w.abs()).sum::<f64>() + p.bias().abs();
             members.push((subset, p, norm.max(1e-12)));
         }
         Self { members, rng }
@@ -166,9 +164,7 @@ mod tests {
         let dataset = Dataset::from_corpus(&corpus, Encoding::KSparse);
         let selection = FeatureSelection::select(&dataset, &SelectionConfig::default());
         let rhmd = RhmdDetector::train(&dataset, &selection, 4, 0.4, 7);
-        let subsets: Vec<_> = (0..4)
-            .map(|m| rhmd.members[m].0.clone())
-            .collect();
+        let subsets: Vec<_> = (0..4).map(|m| rhmd.members[m].0.clone()).collect();
         assert!(
             subsets.windows(2).any(|w| w[0] != w[1]),
             "random subsets should differ"

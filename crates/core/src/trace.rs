@@ -71,11 +71,12 @@ impl CorpusSpec {
         let traces: Vec<LabeledTrace> = self
             .workloads
             .iter()
-            .map(|w| {
-                collect_trace(w, self.insts_per_workload, self.sample_interval)
-            })
+            .map(|w| collect_trace(w, self.insts_per_workload, self.sample_interval))
             .collect();
-        CollectedCorpus { traces, sample_interval: self.sample_interval }
+        CollectedCorpus {
+            traces,
+            sample_interval: self.sample_interval,
+        }
     }
 }
 
@@ -119,7 +120,11 @@ impl CollectedCorpus {
     ///
     /// Panics if the corpus is empty.
     pub fn schema(&self) -> &Schema {
-        self.traces.first().expect("non-empty corpus").trace.schema()
+        self.traces
+            .first()
+            .expect("non-empty corpus")
+            .trace
+            .schema()
     }
 
     /// Total number of samples across all traces.
@@ -168,7 +173,11 @@ mod tests {
             .expect("spectre trace present");
         assert_eq!(spectre.class, Class::Malicious);
         assert!(!spectre.marks.is_empty(), "attack should mark leak events");
-        let benign = corpus.traces.iter().find(|t| t.name == "bzip2").expect("bzip2");
+        let benign = corpus
+            .traces
+            .iter()
+            .find(|t| t.name == "bzip2")
+            .expect("bzip2");
         assert_eq!(benign.class, Class::Benign);
         assert!(benign.marks.is_empty());
     }

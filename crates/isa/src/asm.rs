@@ -114,13 +114,21 @@ impl Assembler {
 
     /// Adds an initialized user-space data segment.
     pub fn data(&mut self, base: u64, bytes: impl Into<Vec<u8>>) {
-        self.segments.push(Segment { base, data: bytes.into(), kernel: false });
+        self.segments.push(Segment {
+            base,
+            data: bytes.into(),
+            kernel: false,
+        });
     }
 
     /// Adds an initialized kernel-only data segment (loads from it fault at
     /// commit; Meltdown territory).
     pub fn kernel_data(&mut self, base: u64, bytes: impl Into<Vec<u8>>) {
-        self.segments.push(Segment { base, data: bytes.into(), kernel: true });
+        self.segments.push(Segment {
+            base,
+            data: bytes.into(),
+            kernel: true,
+        });
     }
 
     /// Registers the fault handler: committing a faulting instruction
@@ -225,32 +233,68 @@ impl Assembler {
 
     /// `rd = mem64[ra + offset]`
     pub fn load(&mut self, rd: Reg, base: Reg, offset: i64) {
-        self.emit(Inst::Load { rd, base, offset, width: Width::Double, fp: false });
+        self.emit(Inst::Load {
+            rd,
+            base,
+            offset,
+            width: Width::Double,
+            fp: false,
+        });
     }
 
     /// `rd = mem8[ra + offset]`
     pub fn loadb(&mut self, rd: Reg, base: Reg, offset: i64) {
-        self.emit(Inst::Load { rd, base, offset, width: Width::Byte, fp: false });
+        self.emit(Inst::Load {
+            rd,
+            base,
+            offset,
+            width: Width::Byte,
+            fp: false,
+        });
     }
 
     /// Float load (`FloatMemRead` op class).
     pub fn floadd(&mut self, rd: Reg, base: Reg, offset: i64) {
-        self.emit(Inst::Load { rd, base, offset, width: Width::Double, fp: true });
+        self.emit(Inst::Load {
+            rd,
+            base,
+            offset,
+            width: Width::Double,
+            fp: true,
+        });
     }
 
     /// `mem64[ra + offset] = rs`
     pub fn store(&mut self, rs: Reg, base: Reg, offset: i64) {
-        self.emit(Inst::Store { rs, base, offset, width: Width::Double, fp: false });
+        self.emit(Inst::Store {
+            rs,
+            base,
+            offset,
+            width: Width::Double,
+            fp: false,
+        });
     }
 
     /// `mem8[ra + offset] = rs`
     pub fn storeb(&mut self, rs: Reg, base: Reg, offset: i64) {
-        self.emit(Inst::Store { rs, base, offset, width: Width::Byte, fp: false });
+        self.emit(Inst::Store {
+            rs,
+            base,
+            offset,
+            width: Width::Byte,
+            fp: false,
+        });
     }
 
     /// Float store (`FloatMemWrite` op class).
     pub fn fstored(&mut self, rs: Reg, base: Reg, offset: i64) {
-        self.emit(Inst::Store { rs, base, offset, width: Width::Double, fp: true });
+        self.emit(Inst::Store {
+            rs,
+            base,
+            offset,
+            width: Width::Double,
+            fp: true,
+        });
     }
 
     /// `clflush [ra + offset]`
@@ -262,7 +306,12 @@ impl Assembler {
 
     fn branch_to(&mut self, cond: Cond, ra: Reg, rb: Reg, label: Label) {
         self.patches.push((self.code.len(), label));
-        self.emit(Inst::Branch { cond, ra, rb, target: usize::MAX });
+        self.emit(Inst::Branch {
+            cond,
+            ra,
+            rb,
+            target: usize::MAX,
+        });
     }
 
     /// Branch if `ra == rb`.
@@ -400,7 +449,12 @@ impl Assembler {
             Some(l) => Some(self.labels[l.0].ok_or(AsmError::UnboundLabel(l))?),
             None => None,
         };
-        Ok(Program::new(self.name, self.code, self.segments, fault_handler))
+        Ok(Program::new(
+            self.name,
+            self.code,
+            self.segments,
+            fault_handler,
+        ))
     }
 }
 
@@ -430,7 +484,12 @@ mod tests {
         let p = a.finish().unwrap();
         assert_eq!(
             p.code()[1],
-            Inst::Branch { cond: Cond::Ne, ra: Reg::R1, rb: Reg::R2, target: 1 }
+            Inst::Branch {
+                cond: Cond::Ne,
+                ra: Reg::R1,
+                rb: Reg::R2,
+                target: 1
+            }
         );
     }
 
@@ -460,7 +519,13 @@ mod tests {
         a.bind(f);
         a.ret();
         let p = a.finish().unwrap();
-        assert_eq!(p.code()[1], Inst::Li { rd: Reg::R5, imm: 3 });
+        assert_eq!(
+            p.code()[1],
+            Inst::Li {
+                rd: Reg::R5,
+                imm: 3
+            }
+        );
     }
 
     #[test]

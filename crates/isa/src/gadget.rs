@@ -1,0 +1,91 @@
+//! The attack-gadget taxonomy shared by the static analyzer and the
+//! workload corpus.
+//!
+//! [`GadgetKind`] names the statically recognizable code patterns that the
+//! `uarch-analysis` crate's taint pass reports. It lives in the ISA crate —
+//! not the analyzer — so that workload builders can annotate each program
+//! with the findings it is *expected* to produce without depending on the
+//! analyzer itself, and the analyzer can in turn depend on the workloads for
+//! its regression corpus.
+
+/// A statically recognizable attack-gadget pattern.
+///
+/// Each variant corresponds to one of the invariant code footprints the
+/// PerSpectron paper's attack corpus exhibits: the transient-execution
+/// disclosure gadgets (Spectre/Meltdown) and the timed cache-channel
+/// measurement primitives (Flush+Reload / Flush+Flush / Prime+Probe).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum GadgetKind {
+    /// Spectre-V1 shape: a dependent load pair (a tainted-index load whose
+    /// result forms the address of a second load) in the speculative shadow
+    /// of a conditional bounds check that resolves against flushed — and
+    /// therefore slow — memory.
+    SpecBoundsBypass,
+    /// Meltdown shape: a load from kernel-space whose (transiently
+    /// forwarded) result feeds the address of a second load.
+    KernelRead,
+    /// Spectre-V2 ingredient: an indirect call or jump whose target register
+    /// is derived from memory, letting an attacker steer speculation by
+    /// controlling the load's latency or value.
+    BtbInjection,
+    /// SpectreRSB ingredient: a `setret` that redirects the architectural
+    /// return away from the call fall-through, desynchronizing the return
+    /// stack so the fall-through executes speculatively.
+    RetHijack,
+    /// Cache-channel read-out: a load bracketed by two cycle-counter reads
+    /// whose difference is computed (the Flush+Reload / Prime+Probe timing
+    /// measurement).
+    TimedLoad,
+    /// Flush+Flush read-out: a `clflush` bracketed by two cycle-counter
+    /// reads whose difference is computed (timing the flush itself, the
+    /// attack that never loads).
+    TimedFlush,
+}
+
+impl GadgetKind {
+    /// All kinds, in report order.
+    pub const ALL: [GadgetKind; 6] = [
+        GadgetKind::SpecBoundsBypass,
+        GadgetKind::KernelRead,
+        GadgetKind::BtbInjection,
+        GadgetKind::RetHijack,
+        GadgetKind::TimedLoad,
+        GadgetKind::TimedFlush,
+    ];
+
+    /// Short stable identifier used in reports and findings tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            GadgetKind::SpecBoundsBypass => "spec-bounds-bypass",
+            GadgetKind::KernelRead => "kernel-read",
+            GadgetKind::BtbInjection => "btb-injection",
+            GadgetKind::RetHijack => "ret-hijack",
+            GadgetKind::TimedLoad => "timed-load",
+            GadgetKind::TimedFlush => "timed-flush",
+        }
+    }
+}
+
+impl std::fmt::Display for GadgetKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_unique_and_cover_all() {
+        let mut labels: Vec<_> = GadgetKind::ALL.iter().map(|k| k.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), GadgetKind::ALL.len());
+    }
+
+    #[test]
+    fn display_matches_label() {
+        assert_eq!(GadgetKind::TimedLoad.to_string(), "timed-load");
+    }
+}

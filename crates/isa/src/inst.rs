@@ -135,7 +135,7 @@ impl Width {
 /// Marks execute as no-ops but the simulator records them with a
 /// committed-instruction timestamp, letting experiments know exactly when a
 /// workload entered an attack phase or recovered a secret byte.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum MarkKind {
     /// The attacker just recovered (leaked) one secret byte.
     LeakByte,
@@ -162,18 +162,50 @@ pub enum Inst {
     /// Load immediate: `rd = imm`.
     Li { rd: Reg, imm: i64 },
     /// Integer ALU, register-register: `rd = ra op rb`.
-    Alu { op: AluOp, rd: Reg, ra: Reg, rb: Reg },
+    Alu {
+        op: AluOp,
+        rd: Reg,
+        ra: Reg,
+        rb: Reg,
+    },
     /// Integer ALU, register-immediate: `rd = ra op imm`.
-    AluI { op: AluOp, rd: Reg, ra: Reg, imm: i64 },
+    AluI {
+        op: AluOp,
+        rd: Reg,
+        ra: Reg,
+        imm: i64,
+    },
     /// Floating-point / SIMD op: `rd = ra op rb` (unary ops ignore `rb`).
-    Falu { op: FaluOp, rd: Reg, ra: Reg, rb: Reg },
+    Falu {
+        op: FaluOp,
+        rd: Reg,
+        ra: Reg,
+        rb: Reg,
+    },
     /// Load: `rd = mem[ra + offset]`. `fp` marks a float load for op-class
     /// accounting.
-    Load { rd: Reg, base: Reg, offset: i64, width: Width, fp: bool },
+    Load {
+        rd: Reg,
+        base: Reg,
+        offset: i64,
+        width: Width,
+        fp: bool,
+    },
     /// Store: `mem[ra + offset] = rs`.
-    Store { rs: Reg, base: Reg, offset: i64, width: Width, fp: bool },
+    Store {
+        rs: Reg,
+        base: Reg,
+        offset: i64,
+        width: Width,
+        fp: bool,
+    },
     /// Conditional branch to instruction index `target`.
-    Branch { cond: Cond, ra: Reg, rb: Reg, target: usize },
+    Branch {
+        cond: Cond,
+        ra: Reg,
+        rb: Reg,
+        target: usize,
+    },
     /// Unconditional jump to instruction index `target`.
     Jump { target: usize },
     /// Indirect jump to the instruction index held in `base`.
@@ -227,9 +259,12 @@ impl Inst {
             | Inst::Ret => OpClass::IntAlu,
             Inst::Flush { .. } => OpClass::MemWrite,
             Inst::SetRet { .. } => OpClass::IntAlu,
-            Inst::Fence | Inst::Membar | Inst::RdCycle { .. } | Inst::Mark(_) | Inst::Nop | Inst::Halt => {
-                OpClass::NoOpClass
-            }
+            Inst::Fence
+            | Inst::Membar
+            | Inst::RdCycle { .. }
+            | Inst::Mark(_)
+            | Inst::Nop
+            | Inst::Halt => OpClass::NoOpClass,
         }
     }
 
@@ -257,7 +292,10 @@ impl Inst {
     /// Whether rename must serialize on this instruction (drain older
     /// instructions before dispatching it).
     pub fn is_serializing(self) -> bool {
-        matches!(self, Inst::Fence | Inst::RdCycle { .. } | Inst::SetRet { .. })
+        matches!(
+            self,
+            Inst::Fence | Inst::RdCycle { .. } | Inst::SetRet { .. }
+        )
     }
 
     /// Whether this instruction is non-speculative: it may only execute once
@@ -277,6 +315,44 @@ impl Inst {
             | Inst::RdCycle { rd } => Some(rd),
             _ => None,
         }
+    }
+
+    /// The statically known control-flow target (an instruction index), if
+    /// this instruction has one. Indirect jumps/calls and returns have no
+    /// static target.
+    pub fn static_target(self) -> Option<usize> {
+        match self {
+            Inst::Branch { target, .. } | Inst::Jump { target } | Inst::Call { target } => {
+                Some(target)
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether control can reach the next sequential instruction after this
+    /// one executes. False for unconditional transfers and `halt`; true for
+    /// conditional branches (not-taken path) and calls (via the matching
+    /// return).
+    pub fn falls_through(self) -> bool {
+        !matches!(
+            self,
+            Inst::Jump { .. } | Inst::JumpInd { .. } | Inst::Ret | Inst::Halt
+        )
+    }
+
+    /// Whether this instruction terminates a basic block (any control-flow
+    /// transfer or `halt`).
+    pub fn ends_block(self) -> bool {
+        self.is_control() || matches!(self, Inst::Halt)
+    }
+
+    /// Whether this is an indirect control transfer (target held in a
+    /// register or on the return stack).
+    pub fn is_indirect_control(self) -> bool {
+        matches!(
+            self,
+            Inst::JumpInd { .. } | Inst::CallInd { .. } | Inst::Ret
+        )
     }
 
     /// The source registers (up to two).
@@ -303,13 +379,40 @@ impl std::fmt::Display for Inst {
             Inst::Alu { op, rd, ra, rb } => write!(f, "{op:?} {rd}, {ra}, {rb}"),
             Inst::AluI { op, rd, ra, imm } => write!(f, "{op:?}i {rd}, {ra}, {imm}"),
             Inst::Falu { op, rd, ra, rb } => write!(f, "{op:?} {rd}, {ra}, {rb}"),
-            Inst::Load { rd, base, offset, width, fp } => {
-                write!(f, "{}ld.{:?} {rd}, [{base}{offset:+}]", if fp { "f" } else { "" }, width)
+            Inst::Load {
+                rd,
+                base,
+                offset,
+                width,
+                fp,
+            } => {
+                write!(
+                    f,
+                    "{}ld.{:?} {rd}, [{base}{offset:+}]",
+                    if fp { "f" } else { "" },
+                    width
+                )
             }
-            Inst::Store { rs, base, offset, width, fp } => {
-                write!(f, "{}st.{:?} {rs}, [{base}{offset:+}]", if fp { "f" } else { "" }, width)
+            Inst::Store {
+                rs,
+                base,
+                offset,
+                width,
+                fp,
+            } => {
+                write!(
+                    f,
+                    "{}st.{:?} {rs}, [{base}{offset:+}]",
+                    if fp { "f" } else { "" },
+                    width
+                )
             }
-            Inst::Branch { cond, ra, rb, target } => {
+            Inst::Branch {
+                cond,
+                ra,
+                rb,
+                target,
+            } => {
                 write!(f, "b{cond:?} {ra}, {rb} -> {target}")
             }
             Inst::Jump { target } => write!(f, "jmp {target}"),
@@ -379,7 +482,10 @@ impl StatKey for OpClass {
     const COUNT: usize = 16;
 
     fn index(self) -> usize {
-        OpClass::ALL.iter().position(|&c| c == self).expect("op class in ALL")
+        OpClass::ALL
+            .iter()
+            .position(|&c| c == self)
+            .expect("op class in ALL")
     }
 
     fn label(i: usize) -> &'static str {
@@ -418,13 +524,24 @@ mod tests {
 
     #[test]
     fn op_class_of_mul_is_int_mult() {
-        let i = Inst::Alu { op: AluOp::Mul, rd: Reg::R1, ra: Reg::R2, rb: Reg::R3 };
+        let i = Inst::Alu {
+            op: AluOp::Mul,
+            rd: Reg::R1,
+            ra: Reg::R2,
+            rb: Reg::R3,
+        };
         assert_eq!(i.op_class(), OpClass::IntMult);
     }
 
     #[test]
     fn float_load_uses_float_mem_read() {
-        let i = Inst::Load { rd: Reg::R1, base: Reg::R2, offset: 0, width: Width::Double, fp: true };
+        let i = Inst::Load {
+            rd: Reg::R1,
+            base: Reg::R2,
+            offset: 0,
+            width: Width::Double,
+            fp: true,
+        };
         assert_eq!(i.op_class(), OpClass::FloatMemRead);
     }
 
@@ -438,7 +555,13 @@ mod tests {
 
     #[test]
     fn sources_of_store_include_data_register() {
-        let i = Inst::Store { rs: Reg::R7, base: Reg::R8, offset: 4, width: Width::Byte, fp: false };
+        let i = Inst::Store {
+            rs: Reg::R7,
+            base: Reg::R8,
+            offset: 4,
+            width: Width::Byte,
+            fp: false,
+        };
         assert_eq!(i.sources(), (Some(Reg::R8), Some(Reg::R7)));
         assert_eq!(i.dest(), None);
     }
@@ -454,11 +577,24 @@ mod tests {
 
     #[test]
     fn display_disassembles_readably() {
-        let i = Inst::Load { rd: Reg::R3, base: Reg::R7, offset: -8, width: Width::Byte, fp: false };
+        let i = Inst::Load {
+            rd: Reg::R3,
+            base: Reg::R7,
+            offset: -8,
+            width: Width::Byte,
+            fp: false,
+        };
         assert_eq!(i.to_string(), "ld.Byte r3, [r7-8]");
         assert_eq!(Inst::Ret.to_string(), "ret");
         assert_eq!(Inst::Jump { target: 12 }.to_string(), "jmp 12");
-        assert_eq!(Inst::Flush { base: Reg::R1, offset: 0 }.to_string(), "clflush [r1+0]");
+        assert_eq!(
+            Inst::Flush {
+                base: Reg::R1,
+                offset: 0
+            }
+            .to_string(),
+            "clflush [r1+0]"
+        );
     }
 
     #[test]
@@ -466,5 +602,36 @@ mod tests {
         assert!(Inst::Ret.is_control());
         assert!(Inst::Jump { target: 3 }.is_control());
         assert!(!Inst::Nop.is_control());
+    }
+
+    #[test]
+    fn static_targets_and_fallthrough() {
+        let b = Inst::Branch {
+            cond: Cond::Eq,
+            ra: Reg::R1,
+            rb: Reg::R2,
+            target: 7,
+        };
+        assert_eq!(b.static_target(), Some(7));
+        assert!(b.falls_through());
+        assert!(b.ends_block());
+
+        let j = Inst::Jump { target: 3 };
+        assert_eq!(j.static_target(), Some(3));
+        assert!(!j.falls_through());
+
+        let c = Inst::Call { target: 9 };
+        assert_eq!(c.static_target(), Some(9));
+        assert!(c.falls_through(), "calls return to their fall-through");
+
+        assert_eq!(Inst::Ret.static_target(), None);
+        assert!(!Inst::Ret.falls_through());
+        assert!(Inst::Ret.is_indirect_control());
+        assert!(Inst::CallInd { base: Reg::R5 }.is_indirect_control());
+
+        assert!(Inst::Halt.ends_block());
+        assert!(!Inst::Halt.falls_through());
+        assert!(!Inst::Nop.ends_block());
+        assert!(Inst::Nop.falls_through());
     }
 }

@@ -31,11 +31,13 @@
 #![warn(missing_docs)]
 
 pub mod asm;
+pub mod gadget;
 pub mod inst;
 pub mod program;
 pub mod reg;
 
 pub use asm::{AsmError, Assembler, Label};
+pub use gadget::GadgetKind;
 pub use inst::{AluOp, Cond, FaluOp, Inst, MarkKind, OpClass, Width};
 pub use program::{Program, Segment};
 pub use reg::Reg;

@@ -103,8 +103,16 @@ mod tests {
             "t",
             vec![Inst::Halt],
             vec![
-                Segment { base: 0x1000, data: vec![0; 64], kernel: false },
-                Segment { base: 0x8000, data: vec![0; 64], kernel: true },
+                Segment {
+                    base: 0x1000,
+                    data: vec![0; 64],
+                    kernel: false,
+                },
+                Segment {
+                    base: 0x8000,
+                    data: vec![0; 64],
+                    kernel: true,
+                },
             ],
             None,
         );

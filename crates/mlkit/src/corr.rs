@@ -44,7 +44,11 @@ pub fn correlation_matrix(columns: &[Vec<f64>]) -> Vec<Vec<f64>> {
         .iter()
         .map(|c| {
             let n = c.len() as f64;
-            let mean = if c.is_empty() { 0.0 } else { c.iter().sum::<f64>() / n };
+            let mean = if c.is_empty() {
+                0.0
+            } else {
+                c.iter().sum::<f64>() / n
+            };
             let centered: Vec<f64> = c.iter().map(|v| v - mean).collect();
             let norm = centered.iter().map(|v| v * v).sum::<f64>().sqrt();
             (centered, norm)
@@ -106,10 +110,10 @@ mod tests {
             vec![1.0, 0.0, 1.0],
         ];
         let m = correlation_matrix(&cols);
-        for i in 0..3 {
-            assert!((m[i][i] - 1.0).abs() < 1e-12);
-            for j in 0..3 {
-                assert!((m[i][j] - m[j][i]).abs() < 1e-12);
+        for (i, row) in m.iter().enumerate() {
+            assert!((row[i] - 1.0).abs() < 1e-12);
+            for (j, v) in row.iter().enumerate() {
+                assert!((v - m[j][i]).abs() < 1e-12);
             }
         }
         assert!((m[0][1] + 1.0).abs() < 1e-12);

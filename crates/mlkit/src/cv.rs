@@ -4,6 +4,10 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
+/// `(train_x, train_y, test_x, test_y)` rows materialized by
+/// [`GroupSplit::apply`].
+pub type SplitData = (Vec<Vec<f64>>, Vec<i8>, Vec<Vec<f64>>, Vec<i8>);
+
 /// Stratified K-fold: partitions sample indices into `k` folds with class
 /// proportions roughly equal in each fold ("3-fold stratified splitting
 /// with randomization" in the paper's §V).
@@ -58,11 +62,7 @@ impl GroupSplit {
     }
 
     /// Materializes the train/test feature rows and labels.
-    pub fn apply<'a>(
-        &self,
-        x: &'a [Vec<f64>],
-        y: &'a [i8],
-    ) -> (Vec<Vec<f64>>, Vec<i8>, Vec<Vec<f64>>, Vec<i8>) {
+    pub fn apply<'a>(&self, x: &'a [Vec<f64>], y: &'a [i8]) -> SplitData {
         let take = |idx: &[usize]| -> (Vec<Vec<f64>>, Vec<i8>) {
             (
                 idx.iter().map(|&i| x[i].clone()).collect(),
@@ -101,7 +101,10 @@ mod tests {
     #[test]
     fn seed_determines_split() {
         let labels = vec![1i8; 10];
-        assert_eq!(stratified_kfold(&labels, 2, 5), stratified_kfold(&labels, 2, 5));
+        assert_eq!(
+            stratified_kfold(&labels, 2, 5),
+            stratified_kfold(&labels, 2, 5)
+        );
     }
 
     #[test]

@@ -34,7 +34,11 @@ impl Knn {
     /// Panics if `k == 0`.
     pub fn new(k: usize) -> Self {
         assert!(k > 0, "k must be positive");
-        Self { k, x: Vec::new(), y: Vec::new() }
+        Self {
+            k,
+            x: Vec::new(),
+            y: Vec::new(),
+        }
     }
 
     /// Number of stored training rows (the hardware-cost driver).

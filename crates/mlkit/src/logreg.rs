@@ -69,7 +69,12 @@ impl Classifier for LogisticRegression {
 
     fn score(&self, row: &[f64]) -> f64 {
         debug_assert_eq!(row.len(), self.weights.len());
-        self.weights.iter().zip(row).map(|(w, v)| w * v).sum::<f64>() + self.bias
+        self.weights
+            .iter()
+            .zip(row)
+            .map(|(w, v)| w * v)
+            .sum::<f64>()
+            + self.bias
     }
 }
 

@@ -102,7 +102,11 @@ pub fn roc_curve(scores: &[f64], truth: &[i8]) -> Vec<RocPoint> {
     let mut order: Vec<usize> = (0..scores.len()).collect();
     order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("no NaN scores"));
 
-    let mut points = vec![RocPoint { fpr: 0.0, tpr: 0.0, threshold: f64::INFINITY }];
+    let mut points = vec![RocPoint {
+        fpr: 0.0,
+        tpr: 0.0,
+        threshold: f64::INFINITY,
+    }];
     let (mut tp, mut fp) = (0usize, 0usize);
     let mut i = 0;
     while i < order.len() {
@@ -117,8 +121,16 @@ pub fn roc_curve(scores: &[f64], truth: &[i8]) -> Vec<RocPoint> {
             i += 1;
         }
         points.push(RocPoint {
-            fpr: if neg == 0 { 0.0 } else { fp as f64 / neg as f64 },
-            tpr: if pos == 0 { 0.0 } else { tp as f64 / pos as f64 },
+            fpr: if neg == 0 {
+                0.0
+            } else {
+                fp as f64 / neg as f64
+            },
+            tpr: if pos == 0 {
+                0.0
+            } else {
+                tp as f64 / pos as f64
+            },
             threshold: t,
         });
     }
@@ -155,7 +167,15 @@ mod tests {
     #[test]
     fn confusion_counts_all_four_cells() {
         let c = confusion(&[1, 1, -1, -1], &[1, -1, 1, -1]);
-        assert_eq!(c, Confusion { tp: 1, fp: 1, tn: 1, fn_: 1 });
+        assert_eq!(
+            c,
+            Confusion {
+                tp: 1,
+                fp: 1,
+                tn: 1,
+                fn_: 1
+            }
+        );
         assert_eq!(c.accuracy(), 0.5);
         assert_eq!(c.precision(), 0.5);
         assert_eq!(c.recall(), 0.5);

@@ -41,7 +41,11 @@ impl Mlp {
         let scale = 1.0 / (n_features as f64).sqrt();
         Self {
             w1: (0..hidden)
-                .map(|_| (0..n_features).map(|_| rng.gen_range(-scale..scale)).collect())
+                .map(|_| {
+                    (0..n_features)
+                        .map(|_| rng.gen_range(-scale..scale))
+                        .collect()
+                })
                 .collect(),
             b1: vec![0.0; hidden],
             w2: (0..hidden).map(|_| rng.gen_range(-0.5..0.5)).collect(),
@@ -75,8 +79,7 @@ impl Classifier for Mlp {
         for _ in 0..self.epochs {
             for (row, &label) in x.iter().zip(y) {
                 let h = self.hidden_out(row);
-                let out: f64 =
-                    self.w2.iter().zip(&h).map(|(w, v)| w * v).sum::<f64>() + self.b2;
+                let out: f64 = self.w2.iter().zip(&h).map(|(w, v)| w * v).sum::<f64>() + self.b2;
                 let target = label as f64;
                 let err = target - out.tanh();
                 let dout = err * (1.0 - out.tanh() * out.tanh());

@@ -127,7 +127,12 @@ impl Classifier for Perceptron {
 
     fn score(&self, row: &[f64]) -> f64 {
         debug_assert_eq!(row.len(), self.weights.len());
-        self.weights.iter().zip(row).map(|(w, v)| w * v).sum::<f64>() + self.bias
+        self.weights
+            .iter()
+            .zip(row)
+            .map(|(w, v)| w * v)
+            .sum::<f64>()
+            + self.bias
     }
 }
 
@@ -152,12 +157,8 @@ mod tests {
         }
         let mut p = Perceptron::new(2);
         p.fit(&x, &y);
-        let acc = x
-            .iter()
-            .zip(&y)
-            .filter(|(r, &l)| p.predict(r) == l)
-            .count() as f64
-            / x.len() as f64;
+        let acc =
+            x.iter().zip(&y).filter(|(r, &l)| p.predict(r) == l).count() as f64 / x.len() as f64;
         assert!(acc > 0.95, "perceptron should separate, got {acc}");
     }
 

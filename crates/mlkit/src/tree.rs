@@ -42,7 +42,11 @@ pub struct DecisionTree {
 impl DecisionTree {
     /// Creates a tree with the given depth and split-size limits.
     pub fn new(max_depth: usize, min_samples: usize) -> Self {
-        Self { root: None, max_depth, min_samples }
+        Self {
+            root: None,
+            max_depth,
+            min_samples,
+        }
     }
 
     /// Number of decision nodes (for hardware-cost discussions).
@@ -75,16 +79,15 @@ impl DecisionTree {
 
     fn build(&self, x: &[Vec<f64>], y: &[i8], idx: &[usize], depth: usize) -> Node {
         let pos = idx.iter().filter(|&&i| y[i] > 0).count();
-        if depth >= self.max_depth
-            || idx.len() < self.min_samples
-            || pos == 0
-            || pos == idx.len()
-        {
-            return Node::Leaf { label: Self::majority(y, idx) };
+        if depth >= self.max_depth || idx.len() < self.min_samples || pos == 0 || pos == idx.len() {
+            return Node::Leaf {
+                label: Self::majority(y, idx),
+            };
         }
 
         let n_features = x[0].len();
         let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, gini)
+        #[allow(clippy::needless_range_loop)] // `f` indexes columns, not `x` rows
         for f in 0..n_features {
             // Candidate thresholds: midpoints of sorted unique values
             // (subsampled for speed on wide data).
@@ -118,19 +121,23 @@ impl DecisionTree {
                 }
                 let g = (l as f64 * Self::gini(lp, l) + r as f64 * Self::gini(rp, r))
                     / idx.len() as f64;
-                if best.map_or(true, |(_, _, bg)| g < bg) {
+                if best.is_none_or(|(_, _, bg)| g < bg) {
                     best = Some((f, t, g));
                 }
             }
         }
 
         let Some((feature, threshold, _)) = best else {
-            return Node::Leaf { label: Self::majority(y, idx) };
+            return Node::Leaf {
+                label: Self::majority(y, idx),
+            };
         };
         let (li, ri): (Vec<usize>, Vec<usize>) =
             idx.iter().partition(|&&i| x[i][feature] <= threshold);
         if li.is_empty() || ri.is_empty() {
-            return Node::Leaf { label: Self::majority(y, idx) };
+            return Node::Leaf {
+                label: Self::majority(y, idx),
+            };
         }
         Node::Split {
             feature,
@@ -154,8 +161,17 @@ impl Classifier for DecisionTree {
         loop {
             match node {
                 Node::Leaf { label } => return *label as f64,
-                Node::Split { feature, threshold, left, right } => {
-                    node = if row[*feature] <= *threshold { left } else { right };
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if row[*feature] <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
                 }
             }
         }

@@ -1,6 +1,8 @@
 //! Property-based tests for the ML toolkit.
 
-use mlkit::{auc, confusion, pearson, roc_curve, stratified_kfold, Classifier, DecisionTree, Knn, Perceptron};
+use mlkit::{
+    auc, confusion, pearson, roc_curve, stratified_kfold, Classifier, DecisionTree, Knn, Perceptron,
+};
 use proptest::prelude::*;
 
 proptest! {

@@ -78,7 +78,11 @@ impl TournamentPredictor {
         let choice_idx = (self.ghr as usize) & (csize - 1);
         let used_global = self.choice_ctrs[choice_idx] >= 2;
 
-        let taken = if used_global { global_taken } else { local_taken };
+        let taken = if used_global {
+            global_taken
+        } else {
+            local_taken
+        };
         let cp = PredCheckpoint {
             ghr: self.ghr,
             ras_tos: 0,
@@ -144,7 +148,9 @@ pub struct Btb {
 impl Btb {
     /// Creates a BTB with `size` entries.
     pub fn new(size: usize) -> Self {
-        Self { entries: vec![None; size] }
+        Self {
+            entries: vec![None; size],
+        }
     }
 
     /// Looks up the predicted target for `pc`.
@@ -172,7 +178,10 @@ pub struct Ras {
 impl Ras {
     /// Creates a RAS with `entries` slots.
     pub fn new(entries: usize) -> Self {
-        Self { stack: vec![0; entries], tos: 0 }
+        Self {
+            stack: vec![0; entries],
+            tos: 0,
+        }
     }
 
     /// Current top-of-stack index and value (for checkpoints).
@@ -231,7 +240,10 @@ mod tests {
             p.update(pc, outcome, pred, &cp);
             outcome = !outcome;
         }
-        assert!(correct > 80, "local history should capture alternation: {correct}/100");
+        assert!(
+            correct > 80,
+            "local history should capture alternation: {correct}/100"
+        );
     }
 
     #[test]
@@ -300,7 +312,11 @@ mod tests {
         let mut p = TournamentPredictor::new(256, 1024, 1024);
         let before = p.ghr();
         let (pred, cp) = p.predict(123);
-        assert_ne!(p.ghr(), before << 1 | (!pred as u64), "ghr speculatively updated");
+        assert_ne!(
+            p.ghr(),
+            before << 1 | (!pred as u64),
+            "ghr speculatively updated"
+        );
         p.restore_ghr(cp.ghr);
         assert_eq!(p.ghr(), before);
     }

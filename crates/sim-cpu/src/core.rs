@@ -253,7 +253,11 @@ impl Core {
         while !self.halted && self.committed < target && self.cycle < cycle_cap {
             self.step();
         }
-        RunSummary { committed: self.committed, cycles: self.cycle, halted: self.halted }
+        RunSummary {
+            committed: self.committed,
+            cycles: self.cycle,
+            halted: self.halted,
+        }
     }
 
     /// Advances the machine one cycle.
@@ -485,7 +489,14 @@ impl Core {
     fn resolve_branch(&mut self, seq: u64, mispredict: bool) {
         let (inst, pc, taken, pred_taken, cp, actual_target) = {
             let d = self.inst_of(seq);
-            (d.inst, d.pc, d.actual_taken, d.predicted_taken, d.checkpoint, d.actual_target)
+            (
+                d.inst,
+                d.pc,
+                d.actual_taken,
+                d.predicted_taken,
+                d.checkpoint,
+                d.actual_target,
+            )
         };
         self.stats.iew.exec_branches.inc();
         {
@@ -519,10 +530,8 @@ impl Core {
                 }
                 self.btb.update(pc, actual_target);
             }
-            Inst::Ret => {
-                if mispredict {
-                    self.stats.bpred.ras_incorrect.inc();
-                }
+            Inst::Ret if mispredict => {
+                self.stats.bpred.ras_incorrect.inc();
             }
             Inst::Jump { .. } | Inst::Call { .. } => {
                 self.btb.update(pc, actual_target);
@@ -569,7 +578,10 @@ impl Core {
             | OpClass::FloatSqrt
             | OpClass::FloatCvt => 2,
             OpClass::SimdAdd | OpClass::SimdMult | OpClass::SimdCvt => 3,
-            OpClass::MemRead | OpClass::MemWrite | OpClass::FloatMemRead | OpClass::FloatMemWrite => 4,
+            OpClass::MemRead
+            | OpClass::MemWrite
+            | OpClass::FloatMemRead
+            | OpClass::FloatMemWrite => 4,
         }
     }
 
@@ -615,11 +627,7 @@ impl Core {
                 if d.non_spec && !d.can_exec_non_spec {
                     continue;
                 }
-                let srcs_ready = d
-                    .srcs
-                    .iter()
-                    .flatten()
-                    .all(|&p| self.phys_ready[p]);
+                let srcs_ready = d.srcs.iter().flatten().all(|&p| self.phys_ready[p]);
                 (srcs_ready, d.inst.op_class())
             };
             if !ready {
@@ -632,7 +640,10 @@ impl Core {
             }
             if matches!(
                 class,
-                OpClass::MemRead | OpClass::MemWrite | OpClass::FloatMemRead | OpClass::FloatMemWrite
+                OpClass::MemRead
+                    | OpClass::MemWrite
+                    | OpClass::FloatMemRead
+                    | OpClass::FloatMemWrite
             ) && fu_avail[4] == 0
             {
                 self.stats.iq.fu_full.inc(class);
@@ -656,7 +667,10 @@ impl Core {
             if class != OpClass::NoOpClass {
                 let pool = if matches!(
                     class,
-                    OpClass::MemRead | OpClass::MemWrite | OpClass::FloatMemRead | OpClass::FloatMemWrite
+                    OpClass::MemRead
+                        | OpClass::MemWrite
+                        | OpClass::FloatMemRead
+                        | OpClass::FloatMemWrite
                 ) {
                     4
                 } else {
@@ -703,9 +717,7 @@ impl Core {
     /// memory-order violation `(store_seq, load_pc)` if one occurred.
     fn execute_at_issue(&mut self, seq: u64) -> Option<(u64, usize)> {
         let d = self.inst_of(seq).clone();
-        let v = |i: usize| -> u64 {
-            d.srcs[i].map(|p| self.phys_regs[p]).unwrap_or(0)
-        };
+        let v = |i: usize| -> u64 { d.srcs[i].map(|p| self.phys_regs[p]).unwrap_or(0) };
         let class = d.inst.op_class();
         let base_lat = self.exec_latency(class);
         let mut ready = self.cycle + base_lat;
@@ -720,7 +732,10 @@ impl Core {
         let mut violation = None;
         let mut fwd_youngest_out: Option<u64> = None;
 
-        self.stats.cpu.int_regfile_reads.add(d.srcs.iter().flatten().count() as u64);
+        self.stats
+            .cpu
+            .int_regfile_reads
+            .add(d.srcs.iter().flatten().count() as u64);
 
         match d.inst {
             Inst::Li { imm, .. } => result = imm as u64,
@@ -768,9 +783,8 @@ impl Core {
                                 && s.is_store()
                                 && s.issued
                                 && !s.squashed
-                                && s.eff_addr.map_or(false, |sa| {
-                                    sa <= b_addr && b_addr < sa + s.mem_size
-                                })
+                                && s.eff_addr
+                                    .is_some_and(|sa| sa <= b_addr && b_addr < sa + s.mem_size)
                         })
                         .max_by_key(|s| s.seq);
                     match src {
@@ -778,8 +792,7 @@ impl Core {
                             let sa = st.eff_addr.expect("checked");
                             *byte = (st.result >> ((b_addr - sa) * 8)) as u8;
                             any_fwd = true;
-                            fwd_oldest =
-                                Some(fwd_oldest.map_or(st.seq, |f: u64| f.min(st.seq)));
+                            fwd_oldest = Some(fwd_oldest.map_or(st.seq, |f: u64| f.min(st.seq)));
                         }
                         None => {
                             *byte = self.mem.memory().read_byte(b_addr);
@@ -849,8 +862,8 @@ impl Core {
                             // younger than this one cannot have read stale
                             // data; anything else (memory bytes, or bytes
                             // from an older store) must replay.
-                            && l.fwd_youngest_seq.map_or(true, |f| f < seq)
-                            && l.eff_addr.map_or(false, |la| {
+                            && l.fwd_youngest_seq.is_none_or(|f| f < seq)
+                            && l.eff_addr.is_some_and(|la| {
                                 la < addr + mem_size && addr < la + l.mem_size
                             })
                     })
@@ -1400,8 +1413,16 @@ impl Core {
 
     fn end_of_cycle(&mut self) {
         self.stats.cpu.num_cycles.inc();
-        self.stats.fetch.queue_occupancy.0.record(self.fetch_q.len() as f64);
-        self.stats.decode.queue_occupancy.0.record(self.decode_q.len() as f64);
+        self.stats
+            .fetch
+            .queue_occupancy
+            .0
+            .record(self.fetch_q.len() as f64);
+        self.stats
+            .decode
+            .queue_occupancy
+            .0
+            .record(self.decode_q.len() as f64);
         for e in [
             &mut self.stats.fetch.power,
             &mut self.stats.decode.power,
@@ -1424,8 +1445,18 @@ impl Core {
             self.stats.cpu.idle_cycles.inc();
         }
         self.stats.iq.occupancy.0.record(self.iq_used as f64);
-        self.stats.iew.lsq.lq_occupancy.0.record(self.lq_used as f64);
-        self.stats.iew.lsq.sq_occupancy.0.record(self.sq_used as f64);
+        self.stats
+            .iew
+            .lsq
+            .lq_occupancy
+            .0
+            .record(self.lq_used as f64);
+        self.stats
+            .iew
+            .lsq
+            .sq_occupancy
+            .0
+            .record(self.sq_used as f64);
         self.cycle += 1;
     }
 
@@ -1678,7 +1709,7 @@ mod tests {
         a.on_fault(handler);
         a.li(Reg::R1, KERNEL_SPACE_BASE as i64);
         a.loadb(Reg::R2, Reg::R1, 0); // faulting kernel load
-        // Dependent access: index into user array by the secret.
+                                      // Dependent access: index into user array by the secret.
         a.shli(Reg::R3, Reg::R2, 6);
         a.li(Reg::R4, 0x1000);
         a.add(Reg::R4, Reg::R4, Reg::R3);
@@ -1746,7 +1777,11 @@ mod tests {
             core.stats().bpred.ras_incorrect.value() >= 1,
             "tampered return address must mispredict the RAS"
         );
-        assert_eq!(core.reg(Reg::R8), 0, "gadget must not commit architecturally");
+        assert_eq!(
+            core.reg(Reg::R8),
+            0,
+            "gadget must not commit architecturally"
+        );
     }
 
     #[test]

@@ -148,7 +148,13 @@ mod tests {
         let mut d = DynInst::new(
             0,
             0,
-            Inst::Load { rd: Reg::R1, base: Reg::R2, offset: 0, width: Width::Double, fp: false },
+            Inst::Load {
+                rd: Reg::R1,
+                base: Reg::R2,
+                offset: 0,
+                width: Width::Double,
+                fp: false,
+            },
         );
         d.eff_addr = Some(addr);
         d.mem_size = size;

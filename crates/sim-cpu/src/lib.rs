@@ -39,4 +39,4 @@ pub mod tlb;
 
 pub use crate::core::{Core, MarkEvent, RunSummary, KERNEL_SPACE_BASE};
 pub use config::CoreConfig;
-pub use stats::CoreStats;
+pub use stats::{stat_invariants, CoreStats};

@@ -40,11 +40,21 @@ impl StatKey for CtrlKind {
     const COUNT: usize = 6;
 
     fn index(self) -> usize {
-        CtrlKind::ALL.iter().position(|&k| k == self).expect("kind in ALL")
+        CtrlKind::ALL
+            .iter()
+            .position(|&k| k == self)
+            .expect("kind in ALL")
     }
 
     fn label(i: usize) -> &'static str {
-        ["CondBranch", "Jump", "JumpIndirect", "Call", "CallIndirect", "Return"][i]
+        [
+            "CondBranch",
+            "Jump",
+            "JumpIndirect",
+            "Call",
+            "CallIndirect",
+            "Return",
+        ][i]
     }
 }
 
@@ -588,6 +598,92 @@ impl StatGroup for CoreStats {
         self.dtb.visit(&p("dtlb"), v);
         self.cpu.visit(prefix, v);
     }
+}
+
+/// Consistency invariants every snapshot of [`CoreStats`] (taken with an
+/// empty prefix) must satisfy.
+///
+/// These are the relations the counters encode by construction: a committed
+/// instruction was fetched, a TLB access either hit or missed, cycle
+/// counters only grow. The `uarch-analysis` crate checks them after runs;
+/// violations mean a stat was double-counted, dropped, or updated in the
+/// wrong place.
+pub fn stat_invariants() -> Vec<uarch_stats::StatInvariant> {
+    use uarch_stats::StatInvariant as I;
+    vec![
+        // The pipeline can only commit what it fetched.
+        I::le(
+            "committed-le-fetched",
+            "commit.committedInsts",
+            "fetch.Insts",
+        ),
+        I::le("decoded-le-fetched", "decode.DecodedInsts", "fetch.Insts"),
+        I::le(
+            "renamed-le-decoded",
+            "rename.RenamedInsts",
+            "decode.DecodedInsts",
+        ),
+        I::le(
+            "committed-le-renamed",
+            "commit.committedInsts",
+            "rename.RenamedInsts",
+        ),
+        // Committed sub-categories are bounded by total commits.
+        I::le(
+            "branches-le-committed",
+            "commit.branches",
+            "commit.committedInsts",
+        ),
+        I::le(
+            "membars-le-committed",
+            "commit.membars",
+            "commit.committedInsts",
+        ),
+        I::le("loads-le-refs", "commit.loads", "commit.refs"),
+        I::le("refs-le-committed", "commit.refs", "commit.committedInsts"),
+        I::le(
+            "mispredicts-le-branches",
+            "commit.branchMispredicts",
+            "commit.branches",
+        ),
+        // TLB hit/miss accounting must tile the accesses exactly.
+        I::sum_eq(
+            "dtb-read-tiling",
+            &["dtb.rdHits", "dtb.rdMisses"],
+            "dtb.rdAccesses",
+        ),
+        I::sum_eq(
+            "dtb-write-tiling",
+            &["dtb.wrHits", "dtb.wrMisses"],
+            "dtb.wrAccesses",
+        ),
+        I::sum_eq(
+            "itb-read-tiling",
+            &["itb.rdHits", "itb.rdMisses"],
+            "itb.rdAccesses",
+        ),
+        // Predictor hit counters are bounded by their lookup counters.
+        I::le(
+            "cond-incorrect-le-predicted",
+            "branchPred.condIncorrect",
+            "branchPred.condPredicted",
+        ),
+        I::le(
+            "btb-hits-le-lookups",
+            "branchPred.BTBHits",
+            "branchPred.BTBLookups",
+        ),
+        I::le(
+            "indirect-hits-le-lookups",
+            "branchPred.indirectHits",
+            "branchPred.indirectLookups",
+        ),
+        // Progress counters never move backwards between samples.
+        I::monotonic("cycles-monotone", "numCycles"),
+        I::monotonic("fetched-monotone", "fetch.Insts"),
+        I::monotonic("committed-monotone", "commit.committedInsts"),
+        I::monotonic("faults-monotone", "commit.faults"),
+    ]
 }
 
 #[cfg(test)]

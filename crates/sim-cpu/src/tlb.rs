@@ -75,7 +75,7 @@ mod tests {
         t.access(0x2000);
         t.access(0x1000); // refresh page 1
         t.access(0x3000); // evicts page 2
-        assert_eq!(t.access(0x1000).1, false);
-        assert_eq!(t.access(0x2000).1, true);
+        assert!(!t.access(0x1000).1);
+        assert!(t.access(0x2000).1);
     }
 }

@@ -16,12 +16,21 @@ fn leaked_bytes(core: &Core) -> usize {
 
 #[test]
 fn predictor_noise_breaks_spectre_v1() {
-    let mut baseline = Core::new(CoreConfig::default(), spectre_v1(SpectreV1Params::default()));
+    let mut baseline = Core::new(
+        CoreConfig::default(),
+        spectre_v1(SpectreV1Params::default()),
+    );
     baseline.run(1_200_000);
     let leaked_clean = leaked_bytes(&baseline);
-    assert!(leaked_clean >= 10, "baseline attack must work ({leaked_clean})");
+    assert!(
+        leaked_clean >= 10,
+        "baseline attack must work ({leaked_clean})"
+    );
 
-    let mut noisy = Core::new(CoreConfig::default(), spectre_v1(SpectreV1Params::default()));
+    let mut noisy = Core::new(
+        CoreConfig::default(),
+        spectre_v1(SpectreV1Params::default()),
+    );
     noisy.set_bp_noise(0.5);
     noisy.run(1_200_000);
     let leaked_noisy = leaked_bytes(&noisy);
@@ -38,7 +47,10 @@ fn predictor_noise_breaks_spectre_v1() {
 
 #[test]
 fn index_randomization_breaks_prime_probe() {
-    let mut base = Core::new(CoreConfig::default(), workloads::cache_attacks::prime_probe());
+    let mut base = Core::new(
+        CoreConfig::default(),
+        workloads::cache_attacks::prime_probe(),
+    );
     base.run(2_500_000);
     let hits_base = (0..32u64)
         .filter(|&i| {
@@ -49,7 +61,10 @@ fn index_randomization_breaks_prime_probe() {
         .count();
     assert!(hits_base >= 16, "baseline P+P must work ({hits_base}/32)");
 
-    let mut rand = Core::new(CoreConfig::default(), workloads::cache_attacks::prime_probe());
+    let mut rand = Core::new(
+        CoreConfig::default(),
+        workloads::cache_attacks::prime_probe(),
+    );
     rand.randomize_cache_indexing(0x5DEECE66D);
     rand.run(2_500_000);
     let hits_rand = (0..32u64)

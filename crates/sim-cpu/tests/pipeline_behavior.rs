@@ -298,8 +298,14 @@ fn flush_of_dirty_line_takes_longest() {
     let dirty = core.reg(Reg::R11) - core.reg(Reg::R10);
     let clean = core.reg(Reg::R13) - core.reg(Reg::R12);
     let absent = core.reg(Reg::R15) - core.reg(Reg::R14);
-    assert!(dirty > clean, "dirty flush ({dirty}) > clean flush ({clean})");
-    assert!(clean > absent, "clean flush ({clean}) > absent flush ({absent})");
+    assert!(
+        dirty > clean,
+        "dirty flush ({dirty}) > clean flush ({clean})"
+    );
+    assert!(
+        clean > absent,
+        "clean flush ({clean}) > absent flush ({absent})"
+    );
 }
 
 #[test]
@@ -331,7 +337,12 @@ fn wrong_path_loads_install_cache_lines() {
     // After i==100 the line is cached architecturally; the point is the
     // machine ALSO touched it speculatively earlier — count accesses.
     assert!(
-        core.mem().l1d().stats().cmd.accesses(sim_mem::MemCmd::ReadReq) > 0,
+        core.mem()
+            .l1d()
+            .stats()
+            .cmd
+            .accesses(sim_mem::MemCmd::ReadReq)
+            > 0,
         "loads flowed through the data cache"
     );
     assert!(
@@ -360,7 +371,11 @@ fn partial_store_overlap_forwards_merged_bytes() {
     });
     a.halt();
     let core = run(a, 10_000);
-    assert_eq!(core.reg(Reg::R3), 0xa5a5a500, "store byte must merge over memory bytes");
+    assert_eq!(
+        core.reg(Reg::R3),
+        0xa5a5a500,
+        "store byte must merge over memory bytes"
+    );
 }
 
 #[test]

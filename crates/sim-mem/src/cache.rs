@@ -172,7 +172,11 @@ impl StatItem for PerCmdStats {
         for i in 0..MemCmd::COUNT {
             let label = MemCmd::label(i);
             v.scalar(prefix, &format!("{label}_hits"), self.hits[i] as f64);
-            v.scalar(prefix, &format!("{label}_hit_latency"), self.hit_latency[i] as f64);
+            v.scalar(
+                prefix,
+                &format!("{label}_hit_latency"),
+                self.hit_latency[i] as f64,
+            );
             let avg_miss = if self.misses[i] == 0 {
                 0.0
             } else {
@@ -180,10 +184,26 @@ impl StatItem for PerCmdStats {
             };
             v.scalar(prefix, &format!("{label}_avg_miss_latency"), avg_miss);
             v.scalar(prefix, &format!("{label}_misses"), self.misses[i] as f64);
-            v.scalar(prefix, &format!("{label}_accesses"), self.accesses[i] as f64);
-            v.scalar(prefix, &format!("{label}_miss_latency"), self.miss_latency[i] as f64);
-            v.scalar(prefix, &format!("{label}_mshr_hits"), self.mshr_hits[i] as f64);
-            v.scalar(prefix, &format!("{label}_mshr_misses"), self.mshr_misses[i] as f64);
+            v.scalar(
+                prefix,
+                &format!("{label}_accesses"),
+                self.accesses[i] as f64,
+            );
+            v.scalar(
+                prefix,
+                &format!("{label}_miss_latency"),
+                self.miss_latency[i] as f64,
+            );
+            v.scalar(
+                prefix,
+                &format!("{label}_mshr_hits"),
+                self.mshr_hits[i] as f64,
+            );
+            v.scalar(
+                prefix,
+                &format!("{label}_mshr_misses"),
+                self.mshr_misses[i] as f64,
+            );
             v.scalar(
                 prefix,
                 &format!("{label}_mshr_miss_latency"),
@@ -268,8 +288,12 @@ impl StatGroup for CacheStats {
     fn visit(&self, prefix: &str, v: &mut dyn StatVisitor) {
         self.cmd.visit_item(prefix, "", v);
         self.agg.visit(prefix, v);
-        self.miss_latency_dist.0.visit_item(prefix, "missLatencyDist", v);
-        self.set_occupancy.0.visit_item(prefix, "setOccupancyDist", v);
+        self.miss_latency_dist
+            .0
+            .visit_item(prefix, "missLatencyDist", v);
+        self.set_occupancy
+            .0
+            .visit_item(prefix, "setOccupancyDist", v);
     }
 }
 
@@ -312,7 +336,12 @@ impl Cache {
         Self {
             sets: vec![
                 vec![
-                    Line { tag: 0, state: LineState::Shared, last_use: 0, valid: false };
+                    Line {
+                        tag: 0,
+                        state: LineState::Shared,
+                        last_use: 0,
+                        valid: false
+                    };
                     cfg.assoc
                 ];
                 sets
@@ -392,7 +421,10 @@ impl Cache {
         let i = cmd.index();
         self.stats.cmd.accesses[i] += 1;
         self.stats.agg.overall_accesses.inc();
-        let demand = matches!(cmd, MemCmd::ReadReq | MemCmd::WriteReq | MemCmd::ReadCleanReq);
+        let demand = matches!(
+            cmd,
+            MemCmd::ReadReq | MemCmd::WriteReq | MemCmd::ReadCleanReq
+        );
         if demand {
             self.stats.agg.demand_accesses.inc();
         }
@@ -509,7 +541,12 @@ impl Cache {
 
         // Invalid way available?
         if let Some(line) = self.sets[set].iter_mut().find(|l| !l.valid) {
-            *line = Line { tag, state, last_use: clock, valid: true };
+            *line = Line {
+                tag,
+                state,
+                last_use: clock,
+                valid: true,
+            };
             self.stats.agg.tags_in_use.inc();
             return None;
         }
@@ -521,7 +558,12 @@ impl Cache {
             .expect("assoc > 0");
         let ev_addr = victim.tag;
         let ev_state = victim.state;
-        *victim = Line { tag, state, last_use: clock, valid: true };
+        *victim = Line {
+            tag,
+            state,
+            last_use: clock,
+            valid: true,
+        };
         self.stats.agg.replacements.inc();
 
         let cmd = match ev_state {
@@ -558,15 +600,23 @@ impl Cache {
         let tag = self.line_addr(addr);
         let set = self.set_index(addr);
         self.mshrs.retain(|&(a, _, _)| a != tag);
-        let line = self.sets[set].iter_mut().find(|l| l.valid && l.tag == tag)?;
+        let line = self.sets[set]
+            .iter_mut()
+            .find(|l| l.valid && l.tag == tag)?;
         line.valid = false;
         self.stats.agg.flush_invalidations.inc();
         self.stats.agg.flush_hits.inc();
         if line.state == LineState::Dirty {
             self.stats.agg.writebacks.inc();
-            Some(Eviction { addr: tag, cmd: MemCmd::WritebackDirty })
+            Some(Eviction {
+                addr: tag,
+                cmd: MemCmd::WritebackDirty,
+            })
         } else {
-            Some(Eviction { addr: tag, cmd: MemCmd::CleanEvict })
+            Some(Eviction {
+                addr: tag,
+                cmd: MemCmd::CleanEvict,
+            })
         }
     }
 

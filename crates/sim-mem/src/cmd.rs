@@ -64,10 +64,7 @@ impl MemCmd {
     pub fn needs_response(self) -> bool {
         matches!(
             self,
-            MemCmd::ReadReq
-                | MemCmd::ReadSharedReq
-                | MemCmd::ReadCleanReq
-                | MemCmd::ReadExReq
+            MemCmd::ReadReq | MemCmd::ReadSharedReq | MemCmd::ReadCleanReq | MemCmd::ReadExReq
         )
     }
 
@@ -84,7 +81,10 @@ impl StatKey for MemCmd {
     const COUNT: usize = 13;
 
     fn index(self) -> usize {
-        MemCmd::ALL.iter().position(|&c| c == self).expect("cmd in ALL")
+        MemCmd::ALL
+            .iter()
+            .position(|&c| c == self)
+            .expect("cmd in ALL")
     }
 
     fn label(i: usize) -> &'static str {

@@ -9,8 +9,8 @@
 use std::collections::VecDeque;
 
 use uarch_stats::{
-    stat_group, Average, Counter, Distribution, Scalar, StatGroup, StatItem, StatKey,
-    StatVisitor, VectorStat,
+    stat_group, Average, Counter, Distribution, Scalar, StatGroup, StatItem, StatKey, StatVisitor,
+    VectorStat,
 };
 
 /// Wrapper giving the queue-length distributions a default bucket layout.
@@ -83,7 +83,10 @@ impl StatKey for PowerState {
     const COUNT: usize = 5;
 
     fn index(self) -> usize {
-        PowerState::ALL.iter().position(|&s| s == self).expect("state in ALL")
+        PowerState::ALL
+            .iter()
+            .position(|&s| s == self)
+            .expect("state in ALL")
     }
 
     fn label(i: usize) -> &'static str {
@@ -267,9 +270,13 @@ impl MemCtrl {
             self.stats
                 .memory_state_time
                 .add(PowerState::PrechargePowerDown, pd.min(gap - sr));
-            self.stats.memory_state_time.add(PowerState::SelfRefresh, sr);
+            self.stats
+                .memory_state_time
+                .add(PowerState::SelfRefresh, sr);
             self.stats.self_refresh_energy.add(sr as f64 * 0.4);
-            self.stats.pre_back_energy.add(pd.min(gap - sr) as f64 * 0.8);
+            self.stats
+                .pre_back_energy
+                .add(pd.min(gap - sr) as f64 * 0.8);
             // Entering self-refresh closes all rows.
             for (row, bytes) in self.open_row.iter_mut().zip(&mut self.bytes_this_row) {
                 *row = None;
@@ -367,9 +374,7 @@ impl MemCtrl {
         self.stats.avg_q_lat.record(lat as f64);
         self.stats.read_latency_dist.0.record(lat as f64);
         self.stats.memory_state_time.add(PowerState::Active, lat);
-        self.stats
-            .total_energy
-            .set(self.total_energy_now());
+        self.stats.total_energy.set(self.total_energy_now());
         self.last_busy = now + lat;
         lat
     }
@@ -434,9 +439,11 @@ mod tests {
 
     #[test]
     fn write_queue_fills_then_drains() {
-        let mut cfg = DramConfig::default();
-        cfg.write_queue = 4;
-        cfg.wq_drain_to = 1;
+        let cfg = DramConfig {
+            write_queue: 4,
+            wq_drain_to: 1,
+            ..Default::default()
+        };
         let mut m = MemCtrl::new(cfg);
         for i in 0..4 {
             m.write(0x1000 * i, 64, i);
@@ -447,9 +454,11 @@ mod tests {
 
     #[test]
     fn turnaround_records_writes_per_switch() {
-        let mut cfg = DramConfig::default();
-        cfg.write_queue = 2;
-        cfg.wq_drain_to = 0;
+        let cfg = DramConfig {
+            write_queue: 2,
+            wq_drain_to: 0,
+            ..Default::default()
+        };
         let mut m = MemCtrl::new(cfg);
         m.write(0x0, 64, 0);
         m.write(0x4000, 64, 1); // triggers drain → bus to Writes
@@ -480,9 +489,11 @@ mod tests {
 
     #[test]
     fn bytes_per_activate_records_on_row_close() {
-        let mut cfg = DramConfig::default();
-        cfg.banks = 1;
-        cfg.row_size = 128;
+        let cfg = DramConfig {
+            banks: 1,
+            row_size: 128,
+            ..Default::default()
+        };
         let mut m = MemCtrl::new(cfg);
         m.read(0x00, 64, 0);
         m.read(0x40, 64, 10); // same row: 128 bytes accumulated

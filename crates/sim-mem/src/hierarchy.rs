@@ -135,7 +135,11 @@ impl MemoryHierarchy {
     /// Handles an L1 eviction packet: puts it on the L1↔L2 bus and applies
     /// it to the L2.
     fn l1_eviction(&mut self, ev: crate::cache::Eviction, now: u64) {
-        let bytes = if ev.cmd == MemCmd::CleanEvict { 0 } else { LINE };
+        let bytes = if ev.cmd == MemCmd::CleanEvict {
+            0
+        } else {
+            LINE
+        };
         self.tol2bus.send(ev.cmd, bytes, now);
         match ev.cmd {
             MemCmd::WritebackDirty => {
@@ -155,7 +159,11 @@ impl MemoryHierarchy {
     /// Handles an L2 eviction packet: membus traffic plus a DRAM write for
     /// dirty data.
     fn l2_eviction(&mut self, ev: crate::cache::Eviction, now: u64) {
-        let bytes = if ev.cmd == MemCmd::CleanEvict { 0 } else { LINE };
+        let bytes = if ev.cmd == MemCmd::CleanEvict {
+            0
+        } else {
+            LINE
+        };
         self.membus.send(ev.cmd, bytes, now);
         if ev.cmd == MemCmd::WritebackDirty {
             self.mem_ctrl.write(ev.addr, LINE, now);
@@ -164,7 +172,13 @@ impl MemoryHierarchy {
 
     /// The downstream path for an L1 miss: L2 access, then memory on an L2
     /// miss. Returns (latency-below-L1, outcome).
-    fn below_l1(&mut self, l2cmd: MemCmd, addr: u64, now: u64, exclusive: bool) -> (u64, AccessOutcome) {
+    fn below_l1(
+        &mut self,
+        l2cmd: MemCmd,
+        addr: u64,
+        now: u64,
+        exclusive: bool,
+    ) -> (u64, AccessOutcome) {
         let mut lat = self.tol2bus.send(l2cmd, 0, now);
         let l2res = self.l2.access(l2cmd, addr, now + lat);
         lat += l2res.latency;
@@ -176,7 +190,11 @@ impl MemoryHierarchy {
             outcome = AccessOutcome::MshrCoalesced;
         } else {
             // L2 miss → memory.
-            let memcmd = if exclusive { MemCmd::ReadExReq } else { MemCmd::ReadReq };
+            let memcmd = if exclusive {
+                MemCmd::ReadExReq
+            } else {
+                MemCmd::ReadReq
+            };
             let mut below = self.membus.send(memcmd, 0, now + lat);
             below += self.mem_ctrl.read(addr, LINE, now + lat + below);
             below += self.membus.send(MemCmd::ReadResp, LINE, now + lat + below);
@@ -197,7 +215,11 @@ impl MemoryHierarchy {
         let value = self.memory.read(addr, size);
         let res = self.l1d.access(MemCmd::ReadReq, addr, now);
         if res.hit {
-            return LoadResult { latency: res.latency, value, outcome: AccessOutcome::L1Hit };
+            return LoadResult {
+                latency: res.latency,
+                value,
+                outcome: AccessOutcome::L1Hit,
+            };
         }
         if let Some(ready) = res.coalesced_ready_at {
             return LoadResult {
@@ -213,7 +235,11 @@ impl MemoryHierarchy {
             let wb_delay = self.l1d.reserve_write_buffer(now + total, 20);
             self.l1_eviction(ev, now + total + wb_delay);
         }
-        LoadResult { latency: total, value, outcome }
+        LoadResult {
+            latency: total,
+            value,
+            outcome,
+        }
     }
 
     /// Performs a timed data store (write-allocate, write-back). The value
@@ -251,7 +277,8 @@ impl MemoryHierarchy {
         }
         let (below, outcome) = self.below_l1(MemCmd::ReadCleanReq, addr, now + res.latency, false);
         let total = res.latency + below;
-        self.l1i.complete_miss(MemCmd::ReadCleanReq, addr, now, total);
+        self.l1i
+            .complete_miss(MemCmd::ReadCleanReq, addr, now, total);
         if let Some(ev) = self.l1i.fill(addr, true, false) {
             self.l1_eviction(ev, now + total);
         }
@@ -410,7 +437,9 @@ mod tests {
         let h = MemoryHierarchy::new(HierarchyConfig::default());
         let snap = Snapshot::of(&h, "system");
         assert!(snap.get("system.dcache.ReadReq_misses").is_some());
-        assert!(snap.get("system.l2.ReadSharedReq_mshr_miss_latency").is_some());
+        assert!(snap
+            .get("system.l2.ReadSharedReq_mshr_miss_latency")
+            .is_some());
         assert!(snap.get("system.tol2bus.trans_dist::CleanEvict").is_some());
         assert!(snap.get("system.mem_ctrls.selfRefreshEnergy").is_some());
         assert!(snap.get("system.mem_ctrls.bytesReadWrQ").is_some());

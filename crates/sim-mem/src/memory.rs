@@ -57,7 +57,10 @@ impl Memory {
     ///
     /// Panics if `size` is not 1, 2, 4 or 8.
     pub fn read(&self, addr: u64, size: u64) -> u64 {
-        assert!(matches!(size, 1 | 2 | 4 | 8), "unsupported access size {size}");
+        assert!(
+            matches!(size, 1 | 2 | 4 | 8),
+            "unsupported access size {size}"
+        );
         let mut v: u64 = 0;
         for i in 0..size {
             v |= (self.read_byte(addr + i) as u64) << (8 * i);
@@ -71,7 +74,10 @@ impl Memory {
     ///
     /// Panics if `size` is not 1, 2, 4 or 8.
     pub fn write(&mut self, addr: u64, size: u64, value: u64) {
-        assert!(matches!(size, 1 | 2 | 4 | 8), "unsupported access size {size}");
+        assert!(
+            matches!(size, 1 | 2 | 4 | 8),
+            "unsupported access size {size}"
+        );
         for i in 0..size {
             self.write_byte(addr + i, (value >> (8 * i)) as u8);
         }

@@ -1,7 +1,7 @@
 //! Property-based tests for the memory substrate.
 
 use proptest::prelude::*;
-use sim_mem::{Cache, CacheConfig, HierarchyConfig, Memory, MemCmd, MemoryHierarchy};
+use sim_mem::{Cache, CacheConfig, HierarchyConfig, MemCmd, Memory, MemoryHierarchy};
 
 proptest! {
     #[test]

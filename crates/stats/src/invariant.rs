@@ -1,0 +1,286 @@
+//! Declarative consistency invariants over statistic snapshots.
+//!
+//! A [`StatInvariant`] states a relation between counters that must hold in
+//! every snapshot a correct simulator produces — `committed ≤ fetched`,
+//! `hits + misses = accesses`, monotone growth of cycle counters across a
+//! sample series. Components declare their invariants next to their stat
+//! groups (e.g. `sim_cpu::stat_invariants()`); the `uarch-analysis` crate
+//! evaluates them against [`Snapshot`]s after a run, turning silent counter
+//! corruption into a checkable lint.
+//!
+//! Invariants reference statistics by their flat dotted snapshot names. A
+//! referenced name that is absent from the snapshot is itself reported as a
+//! violation: an invariant that silently stops binding would otherwise rot.
+
+use crate::sampler::Snapshot;
+
+/// The relation an invariant asserts between named statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InvariantKind {
+    /// `lhs ≤ rhs` (within [`TOLERANCE`]).
+    Le(String, String),
+    /// `lhs = rhs` (within [`TOLERANCE`]).
+    Eq(String, String),
+    /// `terms[0] + terms[1] + ... = total` (within [`TOLERANCE`]).
+    SumEq(Vec<String>, String),
+    /// The statistic never decreases from one snapshot to the next. Only
+    /// meaningful for series checks; a single snapshot trivially satisfies
+    /// it.
+    Monotonic(String),
+}
+
+/// Absolute slack allowed when comparing floating-point counter values.
+pub const TOLERANCE: f64 = 1e-6;
+
+/// A named consistency condition over statistic snapshots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatInvariant {
+    /// Stable identifier used in reports (e.g. `commit-le-fetch`).
+    pub name: &'static str,
+    /// The relation asserted.
+    pub kind: InvariantKind,
+}
+
+impl StatInvariant {
+    /// `lhs ≤ rhs`.
+    pub fn le(name: &'static str, lhs: &str, rhs: &str) -> Self {
+        Self {
+            name,
+            kind: InvariantKind::Le(lhs.to_string(), rhs.to_string()),
+        }
+    }
+
+    /// `lhs = rhs`.
+    pub fn eq(name: &'static str, lhs: &str, rhs: &str) -> Self {
+        Self {
+            name,
+            kind: InvariantKind::Eq(lhs.to_string(), rhs.to_string()),
+        }
+    }
+
+    /// `sum(terms) = total`.
+    pub fn sum_eq(name: &'static str, terms: &[&str], total: &str) -> Self {
+        Self {
+            name,
+            kind: InvariantKind::SumEq(
+                terms.iter().map(|s| s.to_string()).collect(),
+                total.to_string(),
+            ),
+        }
+    }
+
+    /// The statistic never decreases across a sample series.
+    pub fn monotonic(name: &'static str, stat: &str) -> Self {
+        Self {
+            name,
+            kind: InvariantKind::Monotonic(stat.to_string()),
+        }
+    }
+}
+
+/// A failed invariant, with enough context to debug the counter drift.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// Name of the violated invariant.
+    pub invariant: &'static str,
+    /// Human-readable description of what went wrong.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.invariant, self.detail)
+    }
+}
+
+fn lookup(
+    snap: &Snapshot,
+    name: &str,
+    invariant: &'static str,
+    out: &mut Vec<Violation>,
+) -> Option<f64> {
+    match snap.get(name) {
+        Some(v) => Some(v),
+        None => {
+            out.push(Violation {
+                invariant,
+                detail: format!("statistic `{name}` missing from snapshot"),
+            });
+            None
+        }
+    }
+}
+
+/// Checks every invariant against one snapshot. [`InvariantKind::Monotonic`]
+/// invariants only validate that the statistic exists.
+pub fn check_snapshot(invariants: &[StatInvariant], snap: &Snapshot) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for inv in invariants {
+        match &inv.kind {
+            InvariantKind::Le(lhs, rhs) => {
+                let (Some(l), Some(r)) = (
+                    lookup(snap, lhs, inv.name, &mut out),
+                    lookup(snap, rhs, inv.name, &mut out),
+                ) else {
+                    continue;
+                };
+                if l > r + TOLERANCE {
+                    out.push(Violation {
+                        invariant: inv.name,
+                        detail: format!("{lhs} = {l} exceeds {rhs} = {r}"),
+                    });
+                }
+            }
+            InvariantKind::Eq(lhs, rhs) => {
+                let (Some(l), Some(r)) = (
+                    lookup(snap, lhs, inv.name, &mut out),
+                    lookup(snap, rhs, inv.name, &mut out),
+                ) else {
+                    continue;
+                };
+                if (l - r).abs() > TOLERANCE {
+                    out.push(Violation {
+                        invariant: inv.name,
+                        detail: format!("{lhs} = {l} differs from {rhs} = {r}"),
+                    });
+                }
+            }
+            InvariantKind::SumEq(terms, total) => {
+                let mut sum = 0.0;
+                let mut ok = true;
+                for t in terms {
+                    match lookup(snap, t, inv.name, &mut out) {
+                        Some(v) => sum += v,
+                        None => ok = false,
+                    }
+                }
+                let Some(tot) = lookup(snap, total, inv.name, &mut out) else {
+                    continue;
+                };
+                if ok && (sum - tot).abs() > TOLERANCE {
+                    out.push(Violation {
+                        invariant: inv.name,
+                        detail: format!(
+                            "sum({}) = {sum} differs from {total} = {tot}",
+                            terms.join(" + ")
+                        ),
+                    });
+                }
+            }
+            InvariantKind::Monotonic(stat) => {
+                lookup(snap, stat, inv.name, &mut out);
+            }
+        }
+    }
+    out
+}
+
+/// Checks every invariant against an ordered series of snapshots (e.g. one
+/// per sampling interval). Relational invariants must hold in each snapshot;
+/// monotonic invariants must additionally never decrease between consecutive
+/// snapshots.
+pub fn check_series(invariants: &[StatInvariant], series: &[Snapshot]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (i, snap) in series.iter().enumerate() {
+        for v in check_snapshot(invariants, snap) {
+            out.push(Violation {
+                invariant: v.invariant,
+                detail: format!("[sample {i}] {}", v.detail),
+            });
+        }
+    }
+    for inv in invariants {
+        if let InvariantKind::Monotonic(stat) = &inv.kind {
+            for (i, pair) in series.windows(2).enumerate() {
+                let (Some(prev), Some(next)) = (pair[0].get(stat), pair[1].get(stat)) else {
+                    continue; // absence already reported per snapshot
+                };
+                if next + TOLERANCE < prev {
+                    out.push(Violation {
+                        invariant: inv.name,
+                        detail: format!(
+                            "`{stat}` decreased from {prev} (sample {i}) to {next} (sample {})",
+                            i + 1
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{stat_group, Counter};
+
+    stat_group! {
+        /// Fake component for invariant tests.
+        pub struct FakeStats {
+            /// Accesses.
+            pub accesses: Counter => "accesses",
+            /// Hits.
+            pub hits: Counter => "hits",
+            /// Misses.
+            pub misses: Counter => "misses",
+        }
+    }
+
+    fn snap(accesses: u64, hits: u64, misses: u64) -> Snapshot {
+        let mut s = FakeStats::default();
+        s.accesses.add(accesses);
+        s.hits.add(hits);
+        s.misses.add(misses);
+        Snapshot::of(&s, "c")
+    }
+
+    fn invariants() -> Vec<StatInvariant> {
+        vec![
+            StatInvariant::le("hits-le-accesses", "c.hits", "c.accesses"),
+            StatInvariant::sum_eq("hits-plus-misses", &["c.hits", "c.misses"], "c.accesses"),
+            StatInvariant::monotonic("accesses-monotone", "c.accesses"),
+        ]
+    }
+
+    #[test]
+    fn consistent_counters_pass() {
+        assert!(check_snapshot(&invariants(), &snap(10, 7, 3)).is_empty());
+    }
+
+    #[test]
+    fn broken_sum_is_caught() {
+        let v = check_snapshot(&invariants(), &snap(10, 7, 5));
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].invariant, "hits-plus-misses");
+    }
+
+    #[test]
+    fn broken_bound_is_caught() {
+        let v = check_snapshot(&invariants(), &snap(5, 7, 3));
+        assert!(v.iter().any(|v| v.invariant == "hits-le-accesses"));
+    }
+
+    #[test]
+    fn missing_stat_is_a_violation() {
+        let inv = [StatInvariant::le(
+            "needs-missing",
+            "c.hits",
+            "c.nonexistent",
+        )];
+        let v = check_snapshot(&inv, &snap(1, 1, 0));
+        assert_eq!(v.len(), 1);
+        assert!(v[0].detail.contains("nonexistent"));
+    }
+
+    #[test]
+    fn monotonic_checks_series_order() {
+        let series = [snap(5, 5, 0), snap(9, 8, 1), snap(7, 7, 0)];
+        let v = check_series(&invariants(), &series);
+        assert!(
+            v.iter()
+                .any(|v| v.invariant == "accesses-monotone" && v.detail.contains("decreased")),
+            "got {v:?}"
+        );
+    }
+}

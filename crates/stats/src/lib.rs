@@ -34,12 +34,14 @@
 
 pub mod dist;
 pub mod group;
+pub mod invariant;
 pub mod sampler;
 pub mod value;
 pub mod vecstat;
 
 pub use dist::Distribution;
 pub use group::{StatGroup, StatItem, StatVisitor};
+pub use invariant::{InvariantKind, StatInvariant, Violation};
 pub use sampler::{SampleTrace, Sampler, Schema, Snapshot};
 pub use value::{Average, Counter, Scalar};
 pub use vecstat::{StatKey, VectorStat};

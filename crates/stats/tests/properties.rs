@@ -1,7 +1,9 @@
 //! Property-based tests for the statistics substrate.
 
 use proptest::prelude::*;
-use uarch_stats::{stat_group, Counter, Distribution, Sampler, Snapshot, StatGroup, StatItem, StatVisitor};
+use uarch_stats::{
+    stat_group, Counter, Distribution, Sampler, Snapshot, StatGroup, StatItem, StatVisitor,
+};
 
 stat_group! {
     /// Three-counter test group.

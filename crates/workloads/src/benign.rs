@@ -15,7 +15,9 @@ use uarch_isa::{Assembler, FaluOp, Program, Reg};
 fn pseudo_bytes(n: usize, mut state: u64) -> Vec<u8> {
     let mut out = Vec::with_capacity(n);
     for _ in 0..n {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         out.push((state >> 33) as u8);
     }
     out
@@ -386,7 +388,7 @@ pub fn povray() -> Program {
     let outer = a.label();
     a.bind(outer);
     a.li(Reg::R10, 4096); // rays
-    // Seed FP values.
+                          // Seed FP values.
     a.li(Reg::R11, 3);
     a.falu(FaluOp::FCvtIf, Reg::R12, Reg::R11, Reg::R0); // 3.0
     a.li(Reg::R11, 7);

@@ -264,7 +264,10 @@ pub fn prime_probe() -> Program {
     // polluting the attacker's own monitored sets. (Real PoCs fight the
     // same self-interference.)
     a.li(Reg::R5, PRIME_ARENA as i64);
-    a.li(Reg::R6, (PRIME_ARENA + (L1D_SETS * L1D_WAYS - 1) * LINE) as i64);
+    a.li(
+        Reg::R6,
+        (PRIME_ARENA + (L1D_SETS * L1D_WAYS - 1) * LINE) as i64,
+    );
     let prime_sweep = a.label();
     a.bind(prime_sweep);
     a.loadb(Reg::R7, Reg::R5, 0);
@@ -287,10 +290,18 @@ pub fn prime_probe() -> Program {
     a.bind(bulk_way);
     a.li(Reg::R5, L1D_SET_STRIDE as i64);
     a.mul(Reg::R5, Reg::R5, w);
-    a.addi(Reg::R5, Reg::R5, (PRIME_ARENA + MONITORED_LINES * LINE) as i64);
+    a.addi(
+        Reg::R5,
+        Reg::R5,
+        (PRIME_ARENA + MONITORED_LINES * LINE) as i64,
+    );
     // One line short of the way block: the exit misprediction's wrong-path
     // load lands in set 127 instead of wrapping to set 0.
-    a.addi(Reg::R6, Reg::R5, ((L1D_SETS - MONITORED_LINES - 1) * LINE) as i64);
+    a.addi(
+        Reg::R6,
+        Reg::R5,
+        ((L1D_SETS - MONITORED_LINES - 1) * LINE) as i64,
+    );
     let bulk_sweep = a.label();
     a.bind(bulk_sweep);
     a.loadb(Reg::R7, Reg::R5, 0);
@@ -492,7 +503,10 @@ mod tests {
     #[test]
     fn flush_reload_recovers_victim_nibbles() {
         let (correct, _, core) = recovered_nibbles(flush_reload(), 2_000_000);
-        assert!(correct >= 24, "F+R should recover most nibbles, got {correct}/32");
+        assert!(
+            correct >= 24,
+            "F+R should recover most nibbles, got {correct}/32"
+        );
         assert!(
             core.stats().fetch.pending_quiesce_stall_cycles.value() > 0,
             "F+R's membar timing leaves a quiesce footprint"
@@ -502,7 +516,10 @@ mod tests {
     #[test]
     fn flush_flush_recovers_without_attacker_loads() {
         let (correct, _, core) = recovered_nibbles(flush_flush(), 2_000_000);
-        assert!(correct >= 20, "F+F should recover nibbles, got {correct}/32");
+        assert!(
+            correct >= 20,
+            "F+F should recover nibbles, got {correct}/32"
+        );
         assert!(
             core.stats().commit.non_spec_stalls.value() > 0,
             "flush storms stall commit non-speculatively"
@@ -512,7 +529,10 @@ mod tests {
     #[test]
     fn prime_probe_detects_victim_set() {
         let (correct, _, core) = recovered_nibbles(prime_probe(), 4_000_000);
-        assert!(correct >= 16, "P+P should recover nibbles, got {correct}/32");
+        assert!(
+            correct >= 16,
+            "P+P should recover nibbles, got {correct}/32"
+        );
         assert!(
             core.mem()
                 .tol2bus()

@@ -41,8 +41,15 @@ pub mod regs {
     use uarch_isa::Reg;
 
     /// Scratch registers the kit helpers may clobber.
-    pub const SCRATCH: [Reg; 7] =
-        [Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5, Reg::R6, Reg::R7];
+    pub const SCRATCH: [Reg; 7] = [
+        Reg::R1,
+        Reg::R2,
+        Reg::R3,
+        Reg::R4,
+        Reg::R5,
+        Reg::R6,
+        Reg::R7,
+    ];
 }
 
 /// Emits a probe sweep over the 256 lines of [`PROBE_ARRAY`], timing each
@@ -145,7 +152,10 @@ pub fn emit_record_result(a: &mut Assembler, slot: Reg, byte: Reg) {
 /// `array1` + its size, the user secret, and the results buffer.
 pub fn install_common_segments(a: &mut Assembler) {
     a.data(PROBE_ARRAY, vec![1u8; 256 * LINE as usize]);
-    a.data(ARRAY1, vec![0u8, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15]);
+    a.data(
+        ARRAY1,
+        vec![0u8, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15],
+    );
     a.data(ARRAY1_SIZE_ADDR, 16u64.to_le_bytes().to_vec());
     a.data(USER_SECRET, SECRET.to_vec());
     a.data(RESULTS, vec![0u8; 64]);
@@ -169,7 +179,11 @@ mod tests {
         let mut core = Core::new(CoreConfig::default(), a.finish().unwrap());
         core.run(2_000_000);
         assert!(core.halted());
-        assert_eq!(core.reg(Reg::R20), 0x41, "fastest probe line = touched line");
+        assert_eq!(
+            core.reg(Reg::R20),
+            0x41,
+            "fastest probe line = touched line"
+        );
     }
 
     #[test]

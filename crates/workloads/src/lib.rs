@@ -90,7 +90,12 @@ pub struct Workload {
 
 impl Workload {
     fn new(class: Class, family: Family, program: Program) -> Self {
-        Self { name: program.name().to_string(), class, family, program }
+        Self {
+            name: program.name().to_string(),
+            class,
+            family,
+            program,
+        }
     }
 }
 
@@ -99,7 +104,11 @@ impl Workload {
 pub fn attack_suite() -> Vec<Workload> {
     use Class::Malicious as M;
     vec![
-        Workload::new(M, Family::SpectreV1, spectre::spectre_v1(SpectreV1Params::default())),
+        Workload::new(
+            M,
+            Family::SpectreV1,
+            spectre::spectre_v1(SpectreV1Params::default()),
+        ),
         Workload::new(M, Family::SpectreV2, spectre::spectre_v2()),
         Workload::new(M, Family::SpectreRsb, spectre::spectre_rsb()),
         Workload::new(M, Family::Meltdown, meltdown::meltdown()),
@@ -143,7 +152,10 @@ pub fn polymorphic_suite() -> Vec<Workload> {
             Workload::new(
                 Class::Malicious,
                 Family::SpectreV1,
-                spectre::spectre_v1(SpectreV1Params { variant, delay_iters: 0 }),
+                spectre::spectre_v1(SpectreV1Params {
+                    variant,
+                    delay_iters: 0,
+                }),
             )
         })
         .collect()
@@ -203,8 +215,7 @@ mod tests {
 
     #[test]
     fn families_cover_the_paper_table_iii_folds() {
-        let fams: std::collections::HashSet<_> =
-            attack_suite().iter().map(|w| w.family).collect();
+        let fams: std::collections::HashSet<_> = attack_suite().iter().map(|w| w.family).collect();
         for f in [
             Family::SpectreV1,
             Family::SpectreV2,

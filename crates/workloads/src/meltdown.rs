@@ -182,7 +182,10 @@ mod tests {
                 hits += 1;
             }
         }
-        assert!(hits >= SECRET.len() / 2, "Meltdown should leak, got {hits} bytes");
+        assert!(
+            hits >= SECRET.len() / 2,
+            "Meltdown should leak, got {hits} bytes"
+        );
         assert!(core.stats().commit.faults.value() > 10);
     }
 

@@ -89,7 +89,10 @@ pub struct SpectreV1Params {
 
 impl Default for SpectreV1Params {
     fn default() -> Self {
-        Self { variant: V1Variant::Classic, delay_iters: 0 }
+        Self {
+            variant: V1Variant::Classic,
+            delay_iters: 0,
+        }
     }
 }
 
@@ -432,7 +435,7 @@ pub fn spectre_v2() -> Program {
     a.alu(uarch_isa::AluOp::Slt, Reg::R9, Reg::R21, Reg::R26);
     a.sub(Reg::R9, Reg::R0, Reg::R9); // all-ones while training
     a.xori(Reg::R8, Reg::R9, -1); // all-ones on the attack iteration
-    // Target selection.
+                                  // Target selection.
     a.li(Reg::R5, TARGET_SLOT as i64);
     a.flush(Reg::R5, 0);
     a.fence();
@@ -546,7 +549,11 @@ mod tests {
                 }
             }
         }
-        let rate = if total == 0 { 0.0 } else { hits as f64 / total as f64 };
+        let rate = if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        };
         (rate, core)
     }
 
@@ -584,7 +591,10 @@ mod tests {
     #[test]
     fn all_polymorphic_variants_assemble_and_run() {
         for v in V1Variant::POLYMORPHIC {
-            let p = spectre_v1(SpectreV1Params { variant: v, delay_iters: 0 });
+            let p = spectre_v1(SpectreV1Params {
+                variant: v,
+                delay_iters: 0,
+            });
             let mut core = Core::new(CoreConfig::default(), p);
             let s = core.run(100_000);
             assert!(s.committed > 10_000, "variant {v:?} must make progress");

@@ -1,0 +1,74 @@
+//! Every attack builder must assemble and carry the simulator-mark
+//! annotations experiments rely on (phase boundaries, leak events); benign
+//! builders must carry none, since marks are what labels attack phases in
+//! collected traces.
+
+use std::collections::BTreeSet;
+
+use uarch_isa::{Inst, MarkKind, Program};
+use workloads::{attack_suite, bandwidth_suite, benign_suite, polymorphic_suite, Family, Workload};
+
+fn marks(p: &Program) -> BTreeSet<MarkKind> {
+    p.code()
+        .iter()
+        .filter_map(|i| match i {
+            Inst::Mark(k) => Some(*k),
+            _ => None,
+        })
+        .collect()
+}
+
+fn assert_attack_marks(w: &Workload) {
+    let m = marks(&w.program);
+    assert!(!w.program.is_empty(), "{}: empty program", w.name);
+    assert!(
+        m.contains(&MarkKind::PhasePrime),
+        "{}: missing PhasePrime",
+        w.name
+    );
+    assert!(
+        m.contains(&MarkKind::IterationEnd),
+        "{}: missing IterationEnd",
+        w.name
+    );
+    // Calibration loops only measure the probe primitive; full attacks
+    // annotate the speculation window, the disclosure phase and each
+    // recovered byte.
+    if w.family != Family::Calibration {
+        for k in [
+            MarkKind::PhaseSpeculate,
+            MarkKind::PhaseProbe,
+            MarkKind::LeakByte,
+        ] {
+            assert!(m.contains(&k), "{}: missing {k:?}", w.name);
+        }
+    }
+}
+
+#[test]
+fn attack_builders_assemble_with_phase_marks() {
+    for w in attack_suite() {
+        assert_attack_marks(&w);
+    }
+}
+
+#[test]
+fn polymorphic_and_bandwidth_variants_keep_their_marks() {
+    for w in polymorphic_suite() {
+        assert_attack_marks(&w);
+    }
+    for (_, w) in bandwidth_suite() {
+        assert_attack_marks(&w);
+    }
+}
+
+#[test]
+fn benign_builders_carry_no_marks() {
+    for w in benign_suite() {
+        assert!(
+            marks(&w.program).is_empty(),
+            "{}: benign programs must not carry attack-phase marks",
+            w.name
+        );
+    }
+}

@@ -57,7 +57,10 @@ fn main() {
         ("commit.SquashedInsts", s.commit.squashed_insts.value()),
         ("lsq.squashedLoads", s.iew.lsq.squashed_loads.value()),
         ("commit.NonSpecStalls", s.commit.non_spec_stalls.value()),
-        ("rename.serializeStallCycles", s.rename.serialize_stall_cycles.value()),
+        (
+            "rename.serializeStallCycles",
+            s.rename.serialize_stall_cycles.value(),
+        ),
         ("rename.UndoneMaps", s.rename.undone_maps.value()),
         ("fetch.IcacheSquashes", s.fetch.icache_squashes.value()),
     ] {

@@ -28,20 +28,25 @@ fn main() {
             delay_iters: 4000, // hides between stretches of benign work
         }),
     };
-    println!("monitoring '{}' (never seen in training)...\n", suspect.name);
+    println!(
+        "monitoring '{}' (never seen in training)...\n",
+        suspect.name
+    );
 
     let trace = collect_trace(&suspect, 300_000, 10_000);
     let series = detector.confidence_series(&trace);
     let mut alarmed = false;
     for (i, c) in series.iter().enumerate() {
         let at = (i + 1) * 10_000;
-        let status = if *c >= detector.threshold { "SUSPICIOUS" } else { "ok" };
+        let status = if *c >= detector.threshold {
+            "SUSPICIOUS"
+        } else {
+            "ok"
+        };
         println!("  [{at:>7} insts] confidence {c:>6.3}  {status}");
         if *c >= detector.threshold && !alarmed {
             alarmed = true;
-            println!(
-                "  >> ALARM raised: notifying the OS to isolate / monitor the process"
-            );
+            println!("  >> ALARM raised: notifying the OS to isolate / monitor the process");
             println!(
                 "  >> candidate mitigations: randomize cache indexing, inject branch-\n\
                  \x20\x20   predictor noise, fence unsafe loads (paper §IV-G)"

@@ -37,7 +37,10 @@ fn main() {
         report.confusion.false_positive_rate()
     );
     if !report.false_positive_workloads.is_empty() {
-        println!("  false positives from: {:?}", report.false_positive_workloads);
+        println!(
+            "  false positives from: {:?}",
+            report.false_positive_workloads
+        );
     }
 
     // 4. Interpretability: the heaviest suspicious-leaning features.

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Repo lint gate: formatting, clippy (warnings are errors), and the static
+# gadget/stat-invariant analyzer over the full workload corpus.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> uarch-lint (static analysis + stat invariants)"
+cargo run --release -p uarch-analysis --bin uarch-lint
+
+echo "lint: all clean"

@@ -46,7 +46,10 @@ fn spectre_rsb_exfiltrates_the_secret() {
 fn meltdown_reads_kernel_memory() {
     let core = run("meltdown", 2_500_000);
     assert!(leaked_bytes(&core) >= 10, "got {}", leaked_bytes(&core));
-    assert!(core.stats().commit.faults.value() > 10, "meltdown faults repeatedly");
+    assert!(
+        core.stats().commit.faults.value() > 10,
+        "meltdown faults repeatedly"
+    );
 }
 
 #[test]
@@ -58,7 +61,11 @@ fn breaking_kaslr_locates_the_mapped_region() {
 
 #[test]
 fn cache_attacks_recover_victim_nibbles() {
-    for (name, min_correct) in [("flush-reload", 20), ("flush-flush", 16), ("prime-probe", 16)] {
+    for (name, min_correct) in [
+        ("flush-reload", 20),
+        ("flush-flush", 16),
+        ("prime-probe", 16),
+    ] {
         let core = run(name, 3_000_000);
         let correct = (0..32u64)
             .filter(|&i| {

@@ -5,7 +5,9 @@
 use std::sync::OnceLock;
 
 use perspectron::dataset::Encoding;
-use perspectron::{paper_folds, CorpusSpec, Dataset, FeatureSelection, PerSpectron, SelectionConfig};
+use perspectron::{
+    paper_folds, CorpusSpec, Dataset, FeatureSelection, PerSpectron, SelectionConfig,
+};
 use perspectron_repro::mlkit::Classifier;
 use workloads::{Class, Family};
 
@@ -78,7 +80,11 @@ fn detector_generalizes_to_held_out_attack_families() {
     let fold = &paper_folds()[0];
     let split = fold.split(c, &dataset);
     let mut train_ds = dataset.clone();
-    train_ds.samples = split.train.iter().map(|&i| dataset.samples[i].clone()).collect();
+    train_ds.samples = split
+        .train
+        .iter()
+        .map(|&i| dataset.samples[i].clone())
+        .collect();
     let det = PerSpectron::train_with_selection(&train_ds, selection);
 
     let mut per_family: std::collections::HashMap<Family, (usize, usize)> =
@@ -109,7 +115,11 @@ fn detector_generalizes_to_held_out_attack_families() {
         // calibration kin being the only eviction-pattern exemplar), a
         // minority of its windows are flagged; every other family is
         // detected in (nearly) all windows.
-        let floor = if *family == Family::PrimeProbe { 0.15 } else { 0.5 };
+        let floor = if *family == Family::PrimeProbe {
+            0.15
+        } else {
+            0.5
+        };
         assert!(
             rate > floor,
             "held-out family {family:?} detected at only {rate:.2}"

@@ -39,7 +39,13 @@ fn reference_run(program: &Program) -> ([u64; 32], Vec<u8>) {
                 regs[rd.index()] = ref_alu(op, regs[ra.index()], imm as u64);
                 pc + 1
             }
-            Inst::Load { rd, base, offset, width, .. } => {
+            Inst::Load {
+                rd,
+                base,
+                offset,
+                width,
+                ..
+            } => {
                 let addr = regs[base.index()].wrapping_add(offset as u64);
                 assert!(
                     addr >= DATA_BASE && addr + width.bytes() <= DATA_BASE + DATA_LEN,
@@ -52,7 +58,13 @@ fn reference_run(program: &Program) -> ([u64; 32], Vec<u8>) {
                 regs[rd.index()] = v;
                 pc + 1
             }
-            Inst::Store { rs, base, offset, width, .. } => {
+            Inst::Store {
+                rs,
+                base,
+                offset,
+                width,
+                ..
+            } => {
                 let addr = regs[base.index()].wrapping_add(offset as u64);
                 assert!(
                     addr >= DATA_BASE && addr + width.bytes() <= DATA_BASE + DATA_LEN,
@@ -63,7 +75,12 @@ fn reference_run(program: &Program) -> ([u64; 32], Vec<u8>) {
                 }
                 pc + 1
             }
-            Inst::Branch { cond, ra, rb, target } => {
+            Inst::Branch {
+                cond,
+                ra,
+                rb,
+                target,
+            } => {
                 if cond.eval(regs[ra.index()], regs[rb.index()]) {
                     target
                 } else {
@@ -157,7 +174,12 @@ fn reg_of(i: u8) -> Reg {
 /// equals unsigned).
 fn emit_clamped_addr(a: &mut Assembler, base: Reg, width: Width) {
     a.alui(AluOp::And, Reg::R2, base, 0xff);
-    a.alui(AluOp::Rem, Reg::R1, Reg::R2, (DATA_LEN - width.bytes()) as i64);
+    a.alui(
+        AluOp::Rem,
+        Reg::R1,
+        Reg::R2,
+        (DATA_LEN - width.bytes()) as i64,
+    );
     a.alui(AluOp::Add, Reg::R1, Reg::R1, DATA_BASE as i64);
 }
 
@@ -182,12 +204,24 @@ fn build_program(ops: &[GenOp]) -> Program {
             GenOp::Load(d, base, w) => {
                 let width = width_of(w);
                 emit_clamped_addr(&mut a, reg_of(base), width);
-                a.emit(Inst::Load { rd: reg_of(d), base: Reg::R1, offset: 0, width, fp: false });
+                a.emit(Inst::Load {
+                    rd: reg_of(d),
+                    base: Reg::R1,
+                    offset: 0,
+                    width,
+                    fp: false,
+                });
             }
             GenOp::Store(s, base, w) => {
                 let width = width_of(w);
                 emit_clamped_addr(&mut a, reg_of(base), width);
-                a.emit(Inst::Store { rs: reg_of(s), base: Reg::R1, offset: 0, width, fp: false });
+                a.emit(Inst::Store {
+                    rs: reg_of(s),
+                    base: Reg::R1,
+                    offset: 0,
+                    width,
+                    fp: false,
+                });
             }
             GenOp::SkipIf(x, y) => {
                 if skip.is_none() {
@@ -219,9 +253,9 @@ proptest! {
         let summary = core.run(200_000);
         prop_assert!(summary.halted, "random program must halt");
 
-        for i in 8..24 {
+        for (i, &expect) in expect_regs.iter().enumerate().take(24).skip(8) {
             let r = Reg::from_index(i).expect("valid");
-            prop_assert_eq!(core.reg(r), expect_regs[i], "register r{} differs", i);
+            prop_assert_eq!(core.reg(r), expect, "register r{} differs", i);
         }
         for (off, &b) in expect_mem.iter().enumerate() {
             prop_assert_eq!(
