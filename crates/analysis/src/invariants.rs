@@ -122,11 +122,14 @@ pub fn check_run(
     samples: usize,
 ) -> RunCheck {
     let mut core = Core::new(CoreConfig::default(), program.clone());
+    // Resolve the stat schema once; every snapshot in the series is a
+    // value-only walk against it instead of re-deriving all 1159 names.
+    let schema = core.stat_schema();
     let chunk = (max_insts / samples.max(1) as u64).max(1);
     let mut series = Vec::new();
     for _ in 0..samples.max(1) {
         let summary = core.run(chunk);
-        series.push(Snapshot::of(&core, ""));
+        series.push(Snapshot::with_schema(&schema, &core, ""));
         if summary.halted {
             break;
         }

@@ -1,0 +1,139 @@
+//! Corpus-collection throughput: the streaming, parallel sample pipeline
+//! against the serial baseline, plus the per-sample allocation story
+//! (schema-resolved value-only sampling vs. re-walking the stat tree into
+//! a fresh name/value snapshot every interval, as the pre-streaming
+//! pipeline did).
+//!
+//! Writes the measured numbers to `BENCH_pipeline.json` at the workspace
+//! root. `PERSPECTRON_QUICK=1` shrinks the corpus for CI smoke runs.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use perspectron::CorpusSpec;
+use sim_cpu::{Core, CoreConfig};
+use uarch_stats::{SampleSink, Sampler, Snapshot};
+
+/// Counts every heap allocation so the bench can report allocations per
+/// sample for the old and new sampling paths.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+fn bench_spec() -> CorpusSpec {
+    let quick = std::env::var("PERSPECTRON_QUICK").is_ok();
+    let mut spec = CorpusSpec::quick();
+    if quick {
+        spec.insts_per_workload = 30_000;
+        spec.workloads.truncate(6);
+    }
+    spec
+}
+
+/// Discards rows; measures pure sampling cost.
+struct NullSink {
+    samples: u64,
+}
+
+impl SampleSink for NullSink {
+    fn on_sample(&mut self, _insts: u64, _row: &[f64]) {
+        self.samples += 1;
+    }
+}
+
+/// Allocation counts per sampled interval for the legacy snapshot-per-
+/// interval path vs. the schema-resolved streaming sampler.
+fn allocation_comparison(samples: u64) -> (f64, f64) {
+    let mut core = Core::new(CoreConfig::default(), workloads::benign::hmmer());
+    core.run(10_000);
+
+    // Legacy shape: every interval re-walks the stat tree into a fresh
+    // Snapshot, allocating ~1159 dotted names plus the value vector.
+    let before = allocations();
+    for _ in 0..samples {
+        criterion::black_box(Snapshot::of(&core, ""));
+    }
+    let snapshot_allocs = (allocations() - before) as f64 / samples as f64;
+
+    // Streaming shape: schema resolved once, value-only walks into
+    // reusable buffers, rows emitted by reference.
+    let mut sampler = Sampler::new(&core, "");
+    let mut sink = NullSink { samples: 0 };
+    let before = allocations();
+    for i in 0..samples {
+        sampler.sample_into(&core, i * 10_000, &mut sink);
+    }
+    let streaming_allocs = (allocations() - before) as f64 / samples as f64;
+    (snapshot_allocs, streaming_allocs)
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let spec = bench_spec();
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    // One measured pass each for the JSON report (criterion's own loop
+    // below reports the steady-state timing).
+    let start = Instant::now();
+    let serial = spec.collect_serial();
+    let serial_secs = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    let parallel = spec.collect_with_threads(threads);
+    let parallel_secs = start.elapsed().as_secs_f64();
+    assert_eq!(serial.total_samples(), parallel.total_samples());
+    let samples = serial.total_samples() as u64;
+    let insts: u64 = spec.insts_per_workload * spec.workloads.len() as u64;
+
+    let (snapshot_allocs, streaming_allocs) = allocation_comparison(samples.max(1));
+
+    let json = format!(
+        "{{\n  \"bench\": \"corpus_collection_quick\",\n  \"workloads\": {},\n  \"insts_per_workload\": {},\n  \"samples\": {},\n  \"threads\": {},\n  \"serial_secs\": {:.3},\n  \"parallel_secs\": {:.3},\n  \"speedup\": {:.2},\n  \"serial_samples_per_sec\": {:.1},\n  \"parallel_samples_per_sec\": {:.1},\n  \"allocs_per_sample_snapshot_path\": {:.1},\n  \"allocs_per_sample_streaming_path\": {:.1},\n  \"alloc_reduction\": {:.1}\n}}\n",
+        spec.workloads.len(),
+        spec.insts_per_workload,
+        samples,
+        threads,
+        serial_secs,
+        parallel_secs,
+        serial_secs / parallel_secs.max(1e-9),
+        samples as f64 / serial_secs.max(1e-9),
+        samples as f64 / parallel_secs.max(1e-9),
+        snapshot_allocs,
+        streaming_allocs,
+        snapshot_allocs / streaming_allocs.max(1.0),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json");
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("could not write BENCH_pipeline.json: {e}");
+    }
+    println!("{json}");
+
+    let mut group = c.benchmark_group("corpus_collection");
+    group.throughput(Throughput::Elements(insts));
+    group.sample_size(10);
+    group.bench_function("serial", |b| b.iter(|| spec.collect_serial()));
+    group.bench_function("parallel", |b| {
+        b.iter(|| spec.collect_with_threads(threads))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -2,7 +2,7 @@
 //! polymorphic Spectre variants (none seen in training). All variants
 //! should be flagged suspicious at the same sampling interval.
 
-use perspectron::trace::collect_trace;
+use perspectron::trace::stream_trace;
 use perspectron_bench::{render_series, trained_detector};
 
 fn main() {
@@ -19,12 +19,14 @@ fn main() {
     let mut all_detected = true;
     let mut first_flags = Vec::new();
     for w in workloads::polymorphic_suite() {
-        let trace = collect_trace(&w, insts, 10_000);
-        let series = detector.confidence_series(&trace);
-        let first_flag = series.iter().position(|&c| c >= detector.threshold);
+        // Online scoring: the detector rides the sample stream, no trace
+        // is materialized.
+        let mut monitor = detector.streaming();
+        stream_trace(&w, insts, 10_000, &mut monitor);
+        let series: Vec<f64> = monitor.verdicts().iter().map(|v| v.confidence).collect();
         println!("{}", render_series(&w.name, &series));
-        match first_flag {
-            Some(i) => first_flags.push((w.name.clone(), (i + 1) * 10_000)),
+        match monitor.first_alarm() {
+            Some(v) => first_flags.push((w.name.clone(), v.at_inst)),
             None => {
                 all_detected = false;
                 println!("    !! never flagged");

@@ -2,7 +2,7 @@
 //! reduced bandwidths (1.0x / 0.75x / 0.5x / 0.25x), plus the
 //! detected-before-first-leak check.
 
-use perspectron::trace::collect_trace;
+use perspectron::trace::stream_trace;
 use perspectron_bench::{render_series, trained_detector};
 use uarch_isa::MarkKind;
 
@@ -19,18 +19,17 @@ fn main() {
 
     let mut rows = Vec::new();
     for (bw, w) in workloads::bandwidth_suite() {
-        let trace = collect_trace(&w, insts, 10_000);
-        let series = detector.confidence_series(&trace);
+        // Online scoring: verdicts arrive per interval while the core runs;
+        // the returned marks give the ground-truth leak times.
+        let mut monitor = detector.streaming();
+        let marks = stream_trace(&w, insts, 10_000, &mut monitor);
+        let series: Vec<f64> = monitor.verdicts().iter().map(|v| v.confidence).collect();
         println!(
             "{}",
             render_series(&format!("spectre-v1 {bw:.2}x"), &series)
         );
-        let first_flag = series
-            .iter()
-            .position(|&c| c >= detector.threshold)
-            .map(|i| ((i + 1) * 10_000) as u64);
-        let first_leak = trace
-            .marks
+        let first_flag = monitor.first_alarm().map(|v| v.at_inst);
+        let first_leak = marks
             .iter()
             .find(|m| m.kind == MarkKind::LeakByte)
             .map(|m| m.at_inst);

@@ -5,8 +5,9 @@
 
 use perspectron::{CollectedCorpus, CorpusSpec, PerSpectron};
 
-/// Standard corpus for the experiment binaries. Setting
-/// `PERSPECTRON_QUICK=1` in the environment switches to a fast
+/// Standard corpus for the experiment binaries, collected in parallel
+/// across all available cores through the streaming sample pipeline.
+/// Setting `PERSPECTRON_QUICK=1` in the environment switches to a fast
 /// smoke-test configuration.
 pub fn experiment_corpus(interval: u64) -> CollectedCorpus {
     let quick = std::env::var("PERSPECTRON_QUICK").is_ok();

@@ -1,10 +1,14 @@
 //! Flattening a collected corpus into a labeled sample matrix.
 
+use std::sync::Arc;
+
 use uarch_stats::Schema;
 use workloads::{Class, Family};
 
-use crate::encode::MaxMatrix;
+use crate::encode::{MaxMatrix, RowEncoder};
 use crate::trace::CollectedCorpus;
+
+pub use crate::encode::Encoding;
 
 /// One labeled sample (a single sampling window of one workload).
 #[derive(Debug, Clone)]
@@ -19,15 +23,6 @@ pub struct Sample {
     pub family: Family,
     /// Committed-instruction count when the sample was taken.
     pub at_inst: u64,
-}
-
-/// How samples encode feature values.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Encoding {
-    /// Max-normalized continuous values in `[0, 1]`.
-    Normalized,
-    /// The paper's k-sparse 0/1 representation.
-    KSparse,
 }
 
 /// A flattened dataset over the full 1159-statistic space.
@@ -48,16 +43,13 @@ impl Dataset {
     /// matrix is fitted on the same corpus (the paper's offline profiling).
     pub fn from_corpus(corpus: &CollectedCorpus, encoding: Encoding) -> Self {
         let max_matrix = MaxMatrix::fit(corpus);
+        let encoder = RowEncoder::new(Arc::new(max_matrix.clone()), encoding);
         let mut samples = Vec::with_capacity(corpus.total_samples());
         for (w, t) in corpus.traces.iter().enumerate() {
             let y = if t.class == Class::Malicious { 1 } else { -1 };
-            for (j, row) in t.trace.rows().iter().enumerate() {
-                let x = match encoding {
-                    Encoding::Normalized => max_matrix.normalize(row, j),
-                    Encoding::KSparse => max_matrix.binarize(row, j),
-                };
+            for (j, row) in t.trace.rows().enumerate() {
                 samples.push(Sample {
-                    x,
+                    x: encoder.encode(row, j),
                     y,
                     workload: w,
                     family: t.family,

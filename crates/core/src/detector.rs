@@ -1,11 +1,15 @@
 //! The PerSpectron detector: a hardware-style perceptron over the selected
 //! replicated invariant features.
 
+use std::sync::Arc;
+
 use mlkit::{confusion, Classifier, Confusion, Perceptron};
 
 use crate::dataset::{Dataset, Encoding};
+use crate::encode::{MaxMatrix, RowEncoder};
 use crate::features::{component_of, FeatureSelection, SelectionConfig};
 use crate::hardware::HardwareCost;
+use crate::stream::StreamingDetector;
 use crate::trace::{CollectedCorpus, LabeledTrace};
 
 /// Evaluation summary of a detector over a corpus.
@@ -34,10 +38,11 @@ pub struct PerSpectron {
 }
 
 /// What the detector needs to encode unseen traces the same way the
-/// training corpus was encoded.
+/// training corpus was encoded. The max matrix is shared (`Arc`) so
+/// streaming detectors deployed per-process don't copy it.
 #[derive(Debug, Clone)]
 struct DatasetBlueprint {
-    max_matrix: crate::encode::MaxMatrix,
+    max_matrix: Arc<MaxMatrix>,
 }
 
 impl PerSpectron {
@@ -71,7 +76,7 @@ impl PerSpectron {
             threshold: 0.0,
             weight_norm: weight_norm.max(1e-12),
             dataset_blueprint: DatasetBlueprint {
-                max_matrix: dataset.max_matrix.clone(),
+                max_matrix: Arc::new(dataset.max_matrix.clone()),
             },
         }
     }
@@ -106,17 +111,37 @@ impl PerSpectron {
         self.confidence(full_row) >= self.threshold
     }
 
+    /// The reference maxima the detector encodes unseen samples with.
+    pub fn max_matrix(&self) -> &Arc<MaxMatrix> {
+        &self.dataset_blueprint.max_matrix
+    }
+
+    /// A per-sample k-sparse encoder over the full statistic space, backed
+    /// by the training-time maxima.
+    pub fn input_encoder(&self) -> RowEncoder {
+        RowEncoder::new(self.dataset_blueprint.max_matrix.clone(), Encoding::KSparse)
+    }
+
+    /// An online, per-interval detector sharing this detector's weights
+    /// and encoding — plug it into a [`uarch_stats::SampleSink`] producer
+    /// (e.g. [`sim_cpu::Core::run_with_sink`]) to score every sampling
+    /// window the moment it closes.
+    pub fn streaming(&self) -> StreamingDetector {
+        StreamingDetector::new(self)
+    }
+
     /// Per-sample confidences over an unseen trace (encoded with the
     /// training-time max matrix). This is the y-axis of Figures 3 and 4.
     pub fn confidence_series(&self, trace: &LabeledTrace) -> Vec<f64> {
+        let encoder = self.input_encoder();
+        let mut buf = Vec::with_capacity(encoder.width());
         trace
             .trace
             .rows()
-            .iter()
             .enumerate()
             .map(|(j, row)| {
-                let enc = self.dataset_blueprint.max_matrix.binarize(row, j);
-                self.confidence(&enc)
+                encoder.encode_into(row, j, &mut buf);
+                self.confidence(&buf)
             })
             .collect()
     }

@@ -1,7 +1,24 @@
 //! The paper's hardware-friendly input representation: per-sampling-point
 //! maxima (matrix *M*) and k-sparse 0/1 binarization.
+//!
+//! All per-sample scaling/binarization funnels through one helper,
+//! [`RowEncoder`]: every feature view (the full 1159-statistic space, the
+//! selected replicated-invariant subset, the committed-state MAP baseline)
+//! is the same encoder with a different projection, both in batch dataset
+//! construction and in the streaming per-interval path.
+
+use std::sync::Arc;
 
 use crate::trace::CollectedCorpus;
+
+/// How samples encode feature values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Encoding {
+    /// Max-normalized continuous values in `[0, 1]`.
+    Normalized,
+    /// The paper's k-sparse 0/1 representation.
+    KSparse,
+}
 
 /// The matrix *M* of §IV-C: `M[i][j]` is the maximum observed value of
 /// counter `i` at execution (sampling) point `j` across the reference
@@ -13,6 +30,27 @@ pub struct MaxMatrix {
     maxima: Vec<Vec<f64>>,
     /// Global per-feature maxima (fallback past the last stored column).
     global: Vec<f64>,
+}
+
+/// Scales one raw counter delta against its reference maximum and applies
+/// the encoding: the single place the normalize/binarize arithmetic lives.
+#[inline]
+fn encode_value(max: f64, value: f64, encoding: Encoding) -> f64 {
+    let scaled = if max == 0.0 {
+        0.0
+    } else {
+        (value.abs() / max).min(1.0)
+    };
+    match encoding {
+        Encoding::Normalized => scaled,
+        Encoding::KSparse => {
+            if scaled > 0.5 {
+                1.0
+            } else {
+                0.0
+            }
+        }
+    }
 }
 
 impl MaxMatrix {
@@ -32,7 +70,7 @@ impl MaxMatrix {
         let mut maxima = vec![vec![0.0f64; depth]; width];
         let mut global = vec![0.0f64; width];
         for t in &corpus.traces {
-            for (j, row) in t.trace.rows().iter().enumerate() {
+            for (j, row) in t.trace.rows().enumerate() {
                 for (i, &v) in row.iter().enumerate() {
                     let v = v.abs();
                     if v > maxima[i][j] {
@@ -74,23 +112,92 @@ impl MaxMatrix {
     pub fn normalize(&self, row: &[f64], j: usize) -> Vec<f64> {
         row.iter()
             .enumerate()
-            .map(|(i, &v)| {
-                let m = self.max_at(i, j);
-                if m == 0.0 {
-                    0.0
-                } else {
-                    (v.abs() / m).min(1.0)
-                }
-            })
+            .map(|(i, &v)| encode_value(self.max_at(i, j), v, Encoding::Normalized))
             .collect()
     }
 
     /// Encodes one raw sample row into the k-sparse 0/1 representation.
     pub fn binarize(&self, row: &[f64], j: usize) -> Vec<f64> {
-        self.normalize(row, j)
-            .into_iter()
-            .map(|v| if v > 0.5 { 1.0 } else { 0.0 })
+        row.iter()
+            .enumerate()
+            .map(|(i, &v)| encode_value(self.max_at(i, j), v, Encoding::KSparse))
             .collect()
+    }
+}
+
+/// Encodes raw per-interval delta rows into model inputs: scaling by the
+/// reference maxima, the chosen [`Encoding`], and an optional feature
+/// projection, with an allocation-free `encode_into` for streaming use.
+///
+/// This is the one per-sample normalization/binarization helper shared by
+/// every feature view — construct it directly for the full space, or via
+/// [`FeatureSelection::encoder`](crate::features::FeatureSelection::encoder)
+/// / [`map_features::map_encoder`](crate::map_features::map_encoder) for
+/// the projected views.
+#[derive(Debug, Clone)]
+pub struct RowEncoder {
+    max: Arc<MaxMatrix>,
+    encoding: Encoding,
+    /// Schema indices to keep, in output order; `None` keeps every column.
+    projection: Option<Vec<usize>>,
+}
+
+impl RowEncoder {
+    /// Creates a full-width encoder over the fitted maxima.
+    pub fn new(max: Arc<MaxMatrix>, encoding: Encoding) -> Self {
+        Self {
+            max,
+            encoding,
+            projection: None,
+        }
+    }
+
+    /// Restricts the output to the given schema indices (builder style).
+    pub fn with_projection(mut self, indices: Vec<usize>) -> Self {
+        self.projection = Some(indices);
+        self
+    }
+
+    /// The encoding applied to every value.
+    pub fn encoding(&self) -> Encoding {
+        self.encoding
+    }
+
+    /// The fitted reference maxima.
+    pub fn max_matrix(&self) -> &MaxMatrix {
+        &self.max
+    }
+
+    /// Output width: projected count, or the full feature count.
+    pub fn width(&self) -> usize {
+        self.projection
+            .as_ref()
+            .map_or(self.max.features(), Vec::len)
+    }
+
+    /// Encodes a raw full-width delta row taken at sampling point `j` into
+    /// `out` (cleared first). Reusing `out` across calls makes the
+    /// per-interval transform allocation-free.
+    pub fn encode_into(&self, row: &[f64], j: usize, out: &mut Vec<f64>) {
+        out.clear();
+        match &self.projection {
+            None => out.extend(
+                row.iter()
+                    .enumerate()
+                    .map(|(i, &v)| encode_value(self.max.max_at(i, j), v, self.encoding)),
+            ),
+            Some(p) => out.extend(
+                p.iter()
+                    .map(|&i| encode_value(self.max.max_at(i, j), row[i], self.encoding)),
+            ),
+        }
+    }
+
+    /// Allocating convenience wrapper around [`RowEncoder::encode_into`].
+    pub fn encode(&self, row: &[f64], j: usize) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.width());
+        self.encode_into(row, j, &mut out);
+        out
     }
 }
 
@@ -116,7 +223,7 @@ mod tests {
         let s = Sampler::new(&g, "t");
         let mut trace = SampleTrace::new(s.schema().clone());
         for (j, r) in rows.into_iter().enumerate() {
-            trace.push((j as u64 + 1) * 10_000, r);
+            trace.push((j as u64 + 1) * 10_000, &r);
         }
         CollectedCorpus {
             traces: vec![LabeledTrace {
@@ -166,5 +273,27 @@ mod tests {
         let m = MaxMatrix::fit(&c);
         assert_eq!(m.max_at(0, 99), 20.0);
         assert_eq!(m.normalize(&[10.0, 1.0], 99), vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn row_encoder_matches_max_matrix_paths() {
+        let c = toy_corpus(vec![vec![10.0, 4.0], vec![2.0, 8.0]]);
+        let m = Arc::new(MaxMatrix::fit(&c));
+        let row = [6.0, 4.0];
+        for j in 0..2 {
+            let norm = RowEncoder::new(m.clone(), Encoding::Normalized).encode(&row, j);
+            assert_eq!(norm, m.normalize(&row, j));
+            let bits = RowEncoder::new(m.clone(), Encoding::KSparse).encode(&row, j);
+            assert_eq!(bits, m.binarize(&row, j));
+        }
+    }
+
+    #[test]
+    fn row_encoder_projection_selects_and_orders_columns() {
+        let c = toy_corpus(vec![vec![10.0, 4.0]]);
+        let m = Arc::new(MaxMatrix::fit(&c));
+        let enc = RowEncoder::new(m, Encoding::Normalized).with_projection(vec![1, 0]);
+        assert_eq!(enc.width(), 2);
+        assert_eq!(enc.encode(&[5.0, 4.0], 0), vec![1.0, 0.5]);
     }
 }

@@ -242,6 +242,18 @@ impl FeatureSelection {
         }
     }
 
+    /// A per-sample encoder projecting raw delta rows onto the selected
+    /// features — the same shared normalization/binarization helper the MAP
+    /// view uses (see [`crate::map_features::map_encoder`]), so every view
+    /// encodes samples identically.
+    pub fn encoder(
+        &self,
+        max: std::sync::Arc<crate::encode::MaxMatrix>,
+        encoding: crate::encode::Encoding,
+    ) -> crate::encode::RowEncoder {
+        crate::encode::RowEncoder::new(max, encoding).with_projection(self.selected.clone())
+    }
+
     /// Groups spanning at least `min_span` components, most relevant first
     /// (the Table I view).
     pub fn replicated_groups(&self, min_span: usize) -> Vec<&CorrelationGroup> {

@@ -16,6 +16,14 @@
 //!    features; classify with a confidence output and a 0.25 threshold.
 //! 5. [`hardware`] — the hardware cost model (sequential-adder latency,
 //!    storage bits) justifying "low hardware complexity" in Table IV.
+//! 6. [`stream`] — the online deployment shape: per-interval featurization
+//!    and classification as a [`uarch_stats::SampleSink`], scoring every
+//!    sampling window the moment the simulator closes it.
+//!
+//! Collection itself is streaming and parallel: [`CorpusSpec::collect`]
+//! fans workloads out across threads (deterministic per-workload seeds,
+//! ordered merge) and each core pushes schema-resolved, value-only delta
+//! rows into columnar traces.
 //!
 //! # Example
 //!
@@ -40,14 +48,16 @@ pub mod hardware;
 pub mod map_features;
 pub mod multiclass;
 pub mod rhmd;
+pub mod stream;
 pub mod trace;
 
 pub use dataset::{Dataset, Sample};
 pub use detector::{DetectionReport, PerSpectron};
-pub use encode::MaxMatrix;
+pub use encode::{Encoding, MaxMatrix, RowEncoder};
 pub use eval::{paper_folds, FoldSpec};
 pub use features::{component_of, FeatureSelection, SelectionConfig};
 pub use hardware::HardwareCost;
 pub use multiclass::MulticlassDetector;
 pub use rhmd::RhmdDetector;
+pub use stream::{IntervalVerdict, StreamingDetector, StreamingFeaturizer};
 pub use trace::{CollectedCorpus, CorpusSpec, LabeledTrace};

@@ -3,7 +3,11 @@
 //! Table IV to show that malware-detector features miss microarchitectural
 //! attacks.
 
+use std::sync::Arc;
+
 use uarch_stats::Schema;
+
+use crate::encode::{Encoding, MaxMatrix, RowEncoder};
 
 /// Resolves the MAP-style feature set against the schema: instruction-mix
 /// distribution, memory access counts and architectural branch events —
@@ -42,6 +46,15 @@ pub fn map_feature_indices(schema: &Schema) -> Vec<usize> {
         }
     }
     idx
+}
+
+/// A per-sample encoder projecting raw delta rows onto the MAP feature
+/// set — the same shared normalization/binarization helper the selected
+/// invariant view uses (see
+/// [`FeatureSelection::encoder`](crate::features::FeatureSelection::encoder)),
+/// so both baselines see identically encoded samples.
+pub fn map_encoder(schema: &Schema, max: Arc<MaxMatrix>, encoding: Encoding) -> RowEncoder {
+    RowEncoder::new(max, encoding).with_projection(map_feature_indices(schema))
 }
 
 #[cfg(test)]

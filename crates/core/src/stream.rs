@@ -1,0 +1,221 @@
+//! Online per-interval processing: [`uarch_stats::SampleSink`] consumers
+//! that featurize and classify each sampling window the moment the
+//! simulator emits it — the deployment shape of the paper's hardware unit,
+//! which scores every 10K-instruction period as it closes rather than
+//! after the run.
+//!
+//! Two sinks are provided. [`StreamingFeaturizer`] applies the shared
+//! [`RowEncoder`] transform incrementally, producing exactly the rows a
+//! batch [`Dataset`](crate::dataset::Dataset) build would. A
+//! [`StreamingDetector`] goes one step further and scores each encoded
+//! window with a trained [`PerSpectron`], recording a verdict per
+//! interval; its decisions are bit-identical to the batch
+//! [`PerSpectron::confidence_series`] path because both run the same
+//! encoder and the same perceptron.
+
+use uarch_stats::SampleSink;
+
+use crate::detector::PerSpectron;
+use crate::encode::RowEncoder;
+
+/// The encoded feature vectors produced one interval at a time.
+///
+/// This is the batch featurization loop turned inside out: instead of
+/// materializing a full trace and encoding it row by row afterwards, the
+/// featurizer is plugged into the producer as a [`SampleSink`] and
+/// transforms each delta row as it arrives, tracking the sampling-point
+/// cursor (the column of the max matrix) itself.
+#[derive(Debug, Clone)]
+pub struct StreamingFeaturizer {
+    encoder: RowEncoder,
+    rows: Vec<Vec<f64>>,
+    insts: Vec<u64>,
+    point: usize,
+}
+
+impl StreamingFeaturizer {
+    /// Creates a featurizer applying `encoder` to every incoming row.
+    pub fn new(encoder: RowEncoder) -> Self {
+        Self {
+            encoder,
+            rows: Vec::new(),
+            insts: Vec::new(),
+            point: 0,
+        }
+    }
+
+    /// The encoded feature rows, oldest first.
+    pub fn rows(&self) -> &[Vec<f64>] {
+        &self.rows
+    }
+
+    /// Committed-instruction counts aligned with
+    /// [`StreamingFeaturizer::rows`].
+    pub fn instruction_counts(&self) -> &[u64] {
+        &self.insts
+    }
+
+    /// Consumes the featurizer, yielding the encoded rows.
+    pub fn into_rows(self) -> Vec<Vec<f64>> {
+        self.rows
+    }
+
+    /// Rewinds the sampling-point cursor and clears accumulated rows, for
+    /// reuse on a fresh run.
+    pub fn reset(&mut self) {
+        self.rows.clear();
+        self.insts.clear();
+        self.point = 0;
+    }
+}
+
+impl SampleSink for StreamingFeaturizer {
+    fn on_sample(&mut self, insts: u64, row: &[f64]) {
+        self.rows.push(self.encoder.encode(row, self.point));
+        self.insts.push(insts);
+        self.point += 1;
+    }
+}
+
+/// One per-interval classification decision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IntervalVerdict {
+    /// Committed-instruction count when the window closed.
+    pub at_inst: u64,
+    /// Normalized perceptron output in `[-1, 1]`.
+    pub confidence: f64,
+    /// Whether the confidence cleared the detector's threshold.
+    pub suspicious: bool,
+}
+
+/// An online detector: scores every sampling window against a trained
+/// [`PerSpectron`] as the window closes, exactly as the hardware perceptron
+/// would — encode the window's counter deltas k-sparsely, sum the weights
+/// of the set bits, compare against the threshold.
+///
+/// Construct via [`PerSpectron::streaming`], then hand it to any
+/// [`SampleSink`] producer:
+///
+/// ```no_run
+/// use perspectron::trace::stream_trace;
+/// use perspectron::{CorpusSpec, PerSpectron};
+///
+/// let corpus = CorpusSpec::quick().collect();
+/// let detector = PerSpectron::train(&corpus, 42);
+/// let mut monitor = detector.streaming();
+/// let suspect = &workloads::full_suite()[0];
+/// stream_trace(suspect, 300_000, 10_000, &mut monitor);
+/// if let Some(v) = monitor.first_alarm() {
+///     println!("alarm at {} insts (confidence {:.2})", v.at_inst, v.confidence);
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamingDetector {
+    detector: PerSpectron,
+    encoder: RowEncoder,
+    buf: Vec<f64>,
+    point: usize,
+    verdicts: Vec<IntervalVerdict>,
+}
+
+impl StreamingDetector {
+    /// Wraps a trained detector for online use.
+    pub fn new(detector: &PerSpectron) -> Self {
+        let encoder = detector.input_encoder();
+        let width = encoder.width();
+        Self {
+            detector: detector.clone(),
+            encoder,
+            buf: Vec::with_capacity(width),
+            point: 0,
+            verdicts: Vec::new(),
+        }
+    }
+
+    /// Every per-interval verdict so far, oldest first.
+    pub fn verdicts(&self) -> &[IntervalVerdict] {
+        &self.verdicts
+    }
+
+    /// Whether any window has been flagged suspicious.
+    pub fn alarmed(&self) -> bool {
+        self.verdicts.iter().any(|v| v.suspicious)
+    }
+
+    /// The first suspicious window, if any — the detection latency story.
+    pub fn first_alarm(&self) -> Option<&IntervalVerdict> {
+        self.verdicts.iter().find(|v| v.suspicious)
+    }
+
+    /// Rewinds the sampling-point cursor and clears verdicts, for reuse on
+    /// a fresh process.
+    pub fn reset(&mut self) {
+        self.verdicts.clear();
+        self.point = 0;
+    }
+}
+
+impl SampleSink for StreamingDetector {
+    fn on_sample(&mut self, insts: u64, row: &[f64]) {
+        self.encoder.encode_into(row, self.point, &mut self.buf);
+        let confidence = self.detector.confidence(&self.buf);
+        self.verdicts.push(IntervalVerdict {
+            at_inst: insts,
+            confidence,
+            suspicious: confidence >= self.detector.threshold,
+        });
+        self.point += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{Dataset, Encoding};
+    use crate::trace::{stream_trace, CorpusSpec};
+    use std::sync::Arc;
+
+    fn tiny_spec() -> CorpusSpec {
+        let mut all = workloads::full_suite();
+        all.retain(|w| w.name == "flush-reload" || w.name == "hmmer");
+        CorpusSpec {
+            insts_per_workload: 60_000,
+            sample_interval: 10_000,
+            workloads: all,
+        }
+    }
+
+    #[test]
+    fn streaming_featurizer_matches_batch_dataset_rows() {
+        let spec = tiny_spec();
+        let corpus = spec.collect();
+        let ds = Dataset::from_corpus(&corpus, Encoding::KSparse);
+        let encoder = RowEncoder::new(Arc::new(ds.max_matrix.clone()), Encoding::KSparse);
+        let mut streamed: Vec<Vec<f64>> = Vec::new();
+        for w in &spec.workloads {
+            let mut f = StreamingFeaturizer::new(encoder.clone());
+            stream_trace(w, spec.insts_per_workload, spec.sample_interval, &mut f);
+            streamed.extend(f.into_rows());
+        }
+        let batch: Vec<&Vec<f64>> = ds.samples.iter().map(|s| &s.x).collect();
+        assert_eq!(streamed.len(), batch.len());
+        for (a, b) in streamed.iter().zip(batch) {
+            assert_eq!(a, b, "streamed features must be bit-identical to batch");
+        }
+    }
+
+    #[test]
+    fn streaming_detector_reset_rewinds_the_cursor() {
+        let spec = tiny_spec();
+        let corpus = spec.collect();
+        let det = PerSpectron::train(&corpus, 7);
+        let mut mon = det.streaming();
+        let w = &spec.workloads[0];
+        stream_trace(w, 30_000, 10_000, &mut mon);
+        let first = mon.verdicts().to_vec();
+        assert!(!first.is_empty());
+        mon.reset();
+        stream_trace(w, 30_000, 10_000, &mut mon);
+        assert_eq!(mon.verdicts(), &first[..], "reset must replay identically");
+    }
+}

@@ -1,9 +1,32 @@
 //! Trace collection: running labeled workloads on the simulator and
 //! sampling all statistics at a fixed instruction granularity.
+//!
+//! Collection is streaming and parallel: each workload's core emits
+//! per-interval delta rows through a [`SampleSink`] (no post-hoc stat-tree
+//! walks), and [`CorpusSpec::collect`] fans the workloads out across
+//! scoped threads with deterministic per-workload seeds and an ordered
+//! merge — the parallel corpus is byte-for-byte identical to a serial one.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use sim_cpu::{Core, CoreConfig, MarkEvent};
-use uarch_stats::{SampleTrace, Sampler, Schema};
+use uarch_stats::{SampleSink, SampleTrace, Schema};
 use workloads::{Class, Family, Workload};
+
+/// Base seed for per-workload noise-RNG derivation.
+const CORPUS_SEED: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Deterministic per-workload seed: FNV-1a over the workload name, folded
+/// into the corpus base seed. Depends only on the name — never on the
+/// collection order or the thread that runs the workload.
+pub fn workload_seed(name: &str) -> u64 {
+    let mut h = CORPUS_SEED;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
 
 /// A sampled statistics time series for one workload run.
 #[derive(Debug, Clone)]
@@ -14,7 +37,7 @@ pub struct LabeledTrace {
     pub class: Class,
     /// Attack family (or benign).
     pub family: Family,
-    /// Per-interval statistic deltas.
+    /// Per-interval statistic deltas (columnar, schema-shared).
     pub trace: SampleTrace,
     /// Simulator marks committed during the run (leak/phase events).
     pub marks: Vec<MarkEvent>,
@@ -66,8 +89,15 @@ impl CorpusSpec {
         self
     }
 
-    /// Runs every workload and collects its trace.
+    /// Runs every workload and collects its trace, fanning out across all
+    /// available cores. Identical output to [`CorpusSpec::collect_serial`].
     pub fn collect(&self) -> CollectedCorpus {
+        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        self.collect_with_threads(threads)
+    }
+
+    /// Serial reference collection (one workload after another).
+    pub fn collect_serial(&self) -> CollectedCorpus {
         let traces: Vec<LabeledTrace> = self
             .workloads
             .iter()
@@ -78,23 +108,60 @@ impl CorpusSpec {
             sample_interval: self.sample_interval,
         }
     }
+
+    /// Collects with an explicit worker-thread count. Workloads are handed
+    /// out through a shared cursor; every worker runs its workloads with
+    /// seeds derived from the workload *name*, and the merge reorders
+    /// results back to spec order — so the corpus is independent of the
+    /// thread count and byte-equal to the serial path.
+    pub fn collect_with_threads(&self, threads: usize) -> CollectedCorpus {
+        let n = self.workloads.len();
+        let threads = threads.clamp(1, n.max(1));
+        if threads <= 1 {
+            return self.collect_serial();
+        }
+        let next = AtomicUsize::new(0);
+        let mut indexed: Vec<(usize, LabeledTrace)> = Vec::with_capacity(n);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let next = &next;
+                    s.spawn(move || {
+                        let mut out = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            let w = &self.workloads[i];
+                            out.push((
+                                i,
+                                collect_trace(w, self.insts_per_workload, self.sample_interval),
+                            ));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            for h in handles {
+                indexed.extend(h.join().expect("collection worker panicked"));
+            }
+        });
+        indexed.sort_by_key(|(i, _)| *i);
+        CollectedCorpus {
+            traces: indexed.into_iter().map(|(_, t)| t).collect(),
+            sample_interval: self.sample_interval,
+        }
+    }
 }
 
-/// Runs one workload and samples its statistics.
+/// Runs one workload and samples its statistics, streaming each interval
+/// into a columnar trace.
 pub fn collect_trace(w: &Workload, insts: u64, interval: u64) -> LabeledTrace {
     let mut core = Core::new(CoreConfig::default(), w.program.clone());
-    let mut sampler = Sampler::new(&core, "");
-    let mut trace = SampleTrace::new(sampler.schema().clone());
-    let mut next = interval;
-    while next <= insts {
-        core.run(next - core.committed_insts());
-        if core.halted() || core.committed_insts() < next {
-            break; // program ended or stalled
-        }
-        let row = sampler.sample(&core);
-        trace.push(core.committed_insts(), row);
-        next += interval;
-    }
+    core.set_noise_seed(workload_seed(&w.name));
+    let mut trace = SampleTrace::new(core.stat_schema());
+    core.run_with_sink(insts, interval, &mut trace);
     LabeledTrace {
         name: w.name.clone(),
         class: w.class,
@@ -102,6 +169,21 @@ pub fn collect_trace(w: &Workload, insts: u64, interval: u64) -> LabeledTrace {
         trace,
         marks: core.marks().to_vec(),
     }
+}
+
+/// Runs one workload, streaming each sampled interval straight into an
+/// arbitrary sink (an online detector, a featurizer, a channel) instead of
+/// materializing a trace. Returns the committed marks.
+pub fn stream_trace(
+    w: &Workload,
+    insts: u64,
+    interval: u64,
+    sink: &mut dyn SampleSink,
+) -> Vec<MarkEvent> {
+    let mut core = Core::new(CoreConfig::default(), w.program.clone());
+    core.set_noise_seed(workload_seed(&w.name));
+    core.run_with_sink(insts, interval, sink);
+    core.marks().to_vec()
 }
 
 /// A collected corpus: one trace per workload, sharing a schema.
@@ -161,6 +243,26 @@ mod tests {
     fn schema_covers_all_1159_stats() {
         let corpus = tiny_spec().collect();
         assert_eq!(corpus.schema().len(), 1159);
+    }
+
+    #[test]
+    fn parallel_collection_is_byte_equal_to_serial() {
+        let spec = tiny_spec();
+        let serial = spec.collect_serial();
+        let parallel = spec.collect_with_threads(2);
+        assert_eq!(serial.traces.len(), parallel.traces.len());
+        for (a, b) in serial.traces.iter().zip(&parallel.traces) {
+            assert_eq!(a.name, b.name, "merge must preserve spec order");
+            assert_eq!(a.trace.flat_values(), b.trace.flat_values());
+            assert_eq!(a.trace.instruction_counts(), b.trace.instruction_counts());
+            assert_eq!(a.marks, b.marks);
+        }
+    }
+
+    #[test]
+    fn workload_seeds_are_stable_and_name_derived() {
+        assert_eq!(workload_seed("bzip2"), workload_seed("bzip2"));
+        assert_ne!(workload_seed("bzip2"), workload_seed("hmmer"));
     }
 
     #[test]

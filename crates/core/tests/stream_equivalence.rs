@@ -1,0 +1,99 @@
+//! Batch/stream and serial/parallel equivalence: the streaming pipeline
+//! must be a pure refactoring of the batch path — bit-identical feature
+//! matrices, identical detector verdicts, byte-equal corpora — on the full
+//! `CorpusSpec::quick()` suite.
+
+use std::sync::{Arc, OnceLock};
+
+use perspectron::stream::StreamingFeaturizer;
+use perspectron::trace::stream_trace;
+use perspectron::{CollectedCorpus, CorpusSpec, Dataset, Encoding, PerSpectron, RowEncoder};
+
+fn spec() -> CorpusSpec {
+    CorpusSpec::quick()
+}
+
+fn serial_corpus() -> &'static CollectedCorpus {
+    static C: OnceLock<CollectedCorpus> = OnceLock::new();
+    C.get_or_init(|| spec().collect_serial())
+}
+
+#[test]
+fn parallel_collection_is_byte_equal_to_serial_on_quick() {
+    let serial = serial_corpus();
+    let parallel = spec().collect_with_threads(4);
+    assert_eq!(serial.traces.len(), parallel.traces.len());
+    for (a, b) in serial.traces.iter().zip(&parallel.traces) {
+        assert_eq!(a.name, b.name, "ordered merge must preserve spec order");
+        assert_eq!(a.class, b.class);
+        assert_eq!(a.family, b.family);
+        assert_eq!(
+            a.trace.flat_values(),
+            b.trace.flat_values(),
+            "{}: parallel trace bytes differ from serial",
+            a.name
+        );
+        assert_eq!(a.trace.instruction_counts(), b.trace.instruction_counts());
+        assert_eq!(a.marks, b.marks, "{}: marks differ", a.name);
+    }
+}
+
+#[test]
+fn streaming_features_are_bit_identical_to_batch_on_quick() {
+    let corpus = serial_corpus();
+    let ds = Dataset::from_corpus(corpus, Encoding::KSparse);
+    let encoder = RowEncoder::new(Arc::new(ds.max_matrix.clone()), Encoding::KSparse);
+
+    let mut streamed: Vec<Vec<f64>> = Vec::with_capacity(ds.len());
+    for w in &spec().workloads {
+        let mut f = StreamingFeaturizer::new(encoder.clone());
+        stream_trace(w, spec().insts_per_workload, spec().sample_interval, &mut f);
+        streamed.extend(f.into_rows());
+    }
+
+    assert_eq!(streamed.len(), ds.len(), "sample counts must match");
+    for (i, (s, b)) in streamed.iter().zip(&ds.samples).enumerate() {
+        assert!(
+            s.iter().zip(&b.x).all(|(a, b)| a.to_bits() == b.to_bits()),
+            "sample {i}: streamed feature row not bit-identical to batch"
+        );
+    }
+}
+
+#[test]
+fn streaming_verdicts_match_batch_confidence_series_on_quick() {
+    let corpus = serial_corpus();
+    let detector = PerSpectron::train(corpus, 42);
+
+    for (w, t) in spec().workloads.iter().zip(&corpus.traces) {
+        let batch: Vec<f64> = detector.confidence_series(t);
+        let mut monitor = detector.streaming();
+        stream_trace(
+            w,
+            spec().insts_per_workload,
+            spec().sample_interval,
+            &mut monitor,
+        );
+        let verdicts = monitor.verdicts();
+        assert_eq!(
+            verdicts.len(),
+            batch.len(),
+            "{}: interval counts differ",
+            w.name
+        );
+        for (v, c) in verdicts.iter().zip(&batch) {
+            assert_eq!(
+                v.confidence.to_bits(),
+                c.to_bits(),
+                "{}: online confidence must be bit-identical to batch",
+                w.name
+            );
+            assert_eq!(
+                v.suspicious,
+                *c >= detector.threshold,
+                "{}: online verdict must match batch thresholding",
+                w.name
+            );
+        }
+    }
+}

@@ -11,7 +11,7 @@ use std::collections::VecDeque;
 
 use sim_mem::{AccessOutcome, HierarchyConfig, MemoryHierarchy};
 use uarch_isa::{AluOp, FaluOp, Inst, MarkKind, OpClass, Program, Reg};
-use uarch_stats::{StatGroup, StatVisitor};
+use uarch_stats::{SampleSink, Sampler, Schema, StatGroup, StatVisitor};
 
 use crate::bpred::{Btb, PredCheckpoint, Ras, TournamentPredictor};
 use crate::config::CoreConfig;
@@ -228,6 +228,19 @@ impl Core {
         self.bp_noise_ppm = (p.clamp(0.0, 1.0) * 1_000_000.0) as u32;
     }
 
+    /// Reseeds the branch-predictor noise RNG. Seeding is deterministic:
+    /// the same seed always reproduces the same flip sequence, so corpus
+    /// collection can give every workload its own stable stream regardless
+    /// of which thread runs it. A zero seed is remapped (xorshift sticks at
+    /// zero).
+    pub fn set_noise_seed(&mut self, seed: u64) {
+        self.noise_rng = if seed == 0 {
+            0x9e37_79b9_7f4a_7c15
+        } else {
+            seed
+        };
+    }
+
     /// Applies CEASER-style cache index randomization (see
     /// [`MemoryHierarchy::randomize_indexing`]).
     pub fn randomize_cache_indexing(&mut self, key: u64) {
@@ -258,6 +271,48 @@ impl Core {
             cycles: self.cycle,
             halted: self.halted,
         }
+    }
+
+    /// Resolves the core's full statistic schema (all 1159 dotted names)
+    /// without sampling. The returned schema shares storage with every
+    /// clone, so it is cheap to hand to sinks and worker threads.
+    pub fn stat_schema(&self) -> Schema {
+        Schema::of(self, "")
+    }
+
+    /// Runs until the program halts or `insts` instructions commit,
+    /// emitting one per-interval stat-delta row to `sink` every `interval`
+    /// committed instructions — the paper's online sampling unit, observed
+    /// as it happens instead of materialized after the run.
+    ///
+    /// The sampler's baseline is the core's *current* counters, so deltas
+    /// cover exactly the instructions executed by this call. Sampling stops
+    /// early if the program halts or stalls before reaching the next
+    /// interval boundary (a final partial window is never emitted, matching
+    /// the batch collector).
+    pub fn run_with_sink(
+        &mut self,
+        insts: u64,
+        interval: u64,
+        sink: &mut dyn SampleSink,
+    ) -> RunSummary {
+        assert!(interval > 0, "sampling interval must be positive");
+        let mut sampler = Sampler::new(&*self, "");
+        let mut next = interval;
+        let mut summary = RunSummary {
+            committed: self.committed,
+            cycles: self.cycle,
+            halted: self.halted,
+        };
+        while next <= insts {
+            summary = self.run(next - self.committed_insts());
+            if self.halted() || self.committed_insts() < next {
+                break; // program ended or stalled
+            }
+            sampler.sample_into(&*self, self.committed_insts(), sink);
+            next += interval;
+        }
+        summary
     }
 
     /// Advances the machine one cycle.

@@ -168,45 +168,41 @@ impl PerCmdStats {
 
 impl StatItem for PerCmdStats {
     fn visit_item(&self, prefix: &str, _name: &str, v: &mut dyn StatVisitor) {
+        use std::fmt::Write;
         use uarch_stats::StatKey;
+        // One scratch name reused across all per-command statistics: this
+        // walk runs once per sampling interval on every cache in the
+        // hierarchy, so nine format! calls per command label add up.
+        let mut sub = String::with_capacity(32);
+        let mut emit = |sub: &mut String, label: &str, suffix: &str, value: f64| {
+            sub.clear();
+            let _ = write!(sub, "{label}{suffix}");
+            v.scalar(prefix, sub, value);
+        };
         for i in 0..MemCmd::COUNT {
             let label = MemCmd::label(i);
-            v.scalar(prefix, &format!("{label}_hits"), self.hits[i] as f64);
-            v.scalar(
-                prefix,
-                &format!("{label}_hit_latency"),
-                self.hit_latency[i] as f64,
-            );
+            emit(&mut sub, label, "_hits", self.hits[i] as f64);
+            emit(&mut sub, label, "_hit_latency", self.hit_latency[i] as f64);
             let avg_miss = if self.misses[i] == 0 {
                 0.0
             } else {
                 self.miss_latency[i] as f64 / self.misses[i] as f64
             };
-            v.scalar(prefix, &format!("{label}_avg_miss_latency"), avg_miss);
-            v.scalar(prefix, &format!("{label}_misses"), self.misses[i] as f64);
-            v.scalar(
-                prefix,
-                &format!("{label}_accesses"),
-                self.accesses[i] as f64,
-            );
-            v.scalar(
-                prefix,
-                &format!("{label}_miss_latency"),
+            emit(&mut sub, label, "_avg_miss_latency", avg_miss);
+            emit(&mut sub, label, "_misses", self.misses[i] as f64);
+            emit(&mut sub, label, "_accesses", self.accesses[i] as f64);
+            emit(
+                &mut sub,
+                label,
+                "_miss_latency",
                 self.miss_latency[i] as f64,
             );
-            v.scalar(
-                prefix,
-                &format!("{label}_mshr_hits"),
-                self.mshr_hits[i] as f64,
-            );
-            v.scalar(
-                prefix,
-                &format!("{label}_mshr_misses"),
-                self.mshr_misses[i] as f64,
-            );
-            v.scalar(
-                prefix,
-                &format!("{label}_mshr_miss_latency"),
+            emit(&mut sub, label, "_mshr_hits", self.mshr_hits[i] as f64);
+            emit(&mut sub, label, "_mshr_misses", self.mshr_misses[i] as f64);
+            emit(
+                &mut sub,
+                label,
+                "_mshr_miss_latency",
                 self.mshr_miss_latency[i] as f64,
             );
         }

@@ -51,8 +51,12 @@ pub struct PerBankActivations(pub Vec<u64>);
 
 impl StatItem for PerBankActivations {
     fn visit_item(&self, prefix: &str, name: &str, v: &mut dyn StatVisitor) {
+        use std::fmt::Write;
+        let mut sub = String::with_capacity(name.len() + 8);
         for (i, c) in self.0.iter().enumerate() {
-            v.scalar(prefix, &format!("{name}::{i}"), *c as f64);
+            sub.clear();
+            let _ = write!(sub, "{name}::{i}");
+            v.scalar(prefix, &sub, *c as f64);
         }
     }
 }

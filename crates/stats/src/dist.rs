@@ -97,20 +97,29 @@ impl Distribution {
 
 impl StatItem for Distribution {
     fn visit_item(&self, prefix: &str, name: &str, v: &mut dyn StatVisitor) {
-        v.scalar(prefix, &format!("{name}::underflow"), self.underflow as f64);
+        use std::fmt::Write;
+        // One scratch subname reused across buckets (walks run every
+        // sampling interval; a format! per bucket is measurable).
+        let mut sub = String::with_capacity(name.len() + 24);
+        let mut emit = |sub: &mut String, tail: std::fmt::Arguments<'_>, value: f64| {
+            sub.clear();
+            let _ = write!(sub, "{name}::{tail}");
+            v.scalar(prefix, sub, value);
+        };
+        emit(&mut sub, format_args!("underflow"), self.underflow as f64);
         let width = (self.hi - self.lo) / self.buckets.len() as f64;
         for (i, b) in self.buckets.iter().enumerate() {
             let lo = self.lo + width * i as f64;
             let hi = lo + width - 1.0;
-            v.scalar(
-                prefix,
-                &format!("{name}::{}-{}", lo as i64, hi.max(lo) as i64),
+            emit(
+                &mut sub,
+                format_args!("{}-{}", lo as i64, hi.max(lo) as i64),
                 *b as f64,
             );
         }
-        v.scalar(prefix, &format!("{name}::overflow"), self.overflow as f64);
-        v.scalar(prefix, &format!("{name}::total"), self.total as f64);
-        v.scalar(prefix, &format!("{name}::mean"), self.mean());
+        emit(&mut sub, format_args!("overflow"), self.overflow as f64);
+        emit(&mut sub, format_args!("total"), self.total as f64);
+        emit(&mut sub, format_args!("mean"), self.mean());
     }
 }
 

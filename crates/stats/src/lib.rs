@@ -9,7 +9,10 @@
 //!
 //! The [`sampler`] module turns repeated walks into a multi-dimensional time
 //! series: one row of per-interval deltas for every N committed instructions,
-//! exactly the trace format the PerSpectron paper collects from gem5.
+//! exactly the trace format the PerSpectron paper collects from gem5. Names
+//! are resolved once per run into a shared [`Schema`]; per-interval rows are
+//! value-only and stream through the [`SampleSink`] trait into columnar
+//! [`SampleTrace`]s or online consumers.
 //!
 //! # Example
 //!
@@ -42,6 +45,6 @@ pub mod vecstat;
 pub use dist::Distribution;
 pub use group::{StatGroup, StatItem, StatVisitor};
 pub use invariant::{InvariantKind, StatInvariant, Violation};
-pub use sampler::{SampleTrace, Sampler, Schema, Snapshot};
+pub use sampler::{SampleSink, SampleTrace, Sampler, Schema, Snapshot};
 pub use value::{Average, Counter, Scalar};
 pub use vecstat::{StatKey, VectorStat};

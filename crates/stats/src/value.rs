@@ -165,8 +165,13 @@ impl Average {
 
 impl StatItem for Average {
     fn visit_item(&self, prefix: &str, name: &str, v: &mut dyn StatVisitor) {
-        v.scalar(prefix, &format!("{name}_sum"), self.sum);
-        v.scalar(prefix, &format!("{name}_avg"), self.mean());
+        use std::fmt::Write;
+        let mut sub = String::with_capacity(name.len() + 4);
+        let _ = write!(sub, "{name}_sum");
+        v.scalar(prefix, &sub, self.sum);
+        sub.truncate(name.len());
+        let _ = write!(sub, "_avg");
+        v.scalar(prefix, &sub, self.mean());
     }
 }
 

@@ -86,8 +86,14 @@ impl<K: StatKey> Default for VectorStat<K> {
 
 impl<K: StatKey> StatItem for VectorStat<K> {
     fn visit_item(&self, prefix: &str, name: &str, v: &mut dyn StatVisitor) {
+        use std::fmt::Write;
+        // One scratch subname reused across labels: walks happen once per
+        // sampling interval, so per-label format! allocations add up.
+        let mut sub = String::with_capacity(name.len() + 18);
         for (i, c) in self.counts.iter().enumerate() {
-            v.scalar(prefix, &format!("{name}::{}", K::label(i)), *c as f64);
+            sub.clear();
+            let _ = write!(sub, "{name}::{}", K::label(i));
+            v.scalar(prefix, &sub, *c as f64);
         }
     }
 }

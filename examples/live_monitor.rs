@@ -1,18 +1,22 @@
 //! Live monitor: deploy a trained detector as the paper's first line of
-//! defense — watch an unseen workload sample by sample and raise the alarm
-//! (with a confidence) the moment its footprint turns suspicious.
+//! defense — an online [`perspectron::StreamingDetector`] plugged directly
+//! into the running core's sample stream, scoring every 10K-instruction
+//! window the moment it closes and raising the alarm (with a confidence)
+//! as soon as the footprint turns suspicious. No trace is ever
+//! materialized: the monitor sees each interval once, exactly as the
+//! hardware perceptron would.
 //!
 //! ```text
 //! cargo run --release --example live_monitor
 //! ```
 
-use perspectron::trace::collect_trace;
+use perspectron::trace::stream_trace;
 use perspectron::{CorpusSpec, PerSpectron};
 use workloads::spectre::{spectre_v1, SpectreV1Params, V1Variant};
 use workloads::{Class, Family, Workload};
 
 fn main() {
-    println!("training the detector on the standard corpus...");
+    println!("training the detector on the standard corpus (parallel collection)...");
     let corpus = CorpusSpec::quick().collect();
     let detector = PerSpectron::train(&corpus, 42);
 
@@ -33,18 +37,19 @@ fn main() {
         suspect.name
     );
 
-    let trace = collect_trace(&suspect, 300_000, 10_000);
-    let series = detector.confidence_series(&trace);
+    // The detector rides the sample stream: each interval is encoded and
+    // scored online, no trace retained.
+    let mut monitor = detector.streaming();
+    stream_trace(&suspect, 300_000, 10_000, &mut monitor);
+
     let mut alarmed = false;
-    for (i, c) in series.iter().enumerate() {
-        let at = (i + 1) * 10_000;
-        let status = if *c >= detector.threshold {
-            "SUSPICIOUS"
-        } else {
-            "ok"
-        };
-        println!("  [{at:>7} insts] confidence {c:>6.3}  {status}");
-        if *c >= detector.threshold && !alarmed {
+    for v in monitor.verdicts() {
+        let status = if v.suspicious { "SUSPICIOUS" } else { "ok" };
+        println!(
+            "  [{:>7} insts] confidence {:>6.3}  {status}",
+            v.at_inst, v.confidence
+        );
+        if v.suspicious && !alarmed {
             alarmed = true;
             println!("  >> ALARM raised: notifying the OS to isolate / monitor the process");
             println!(
@@ -53,7 +58,12 @@ fn main() {
             );
         }
     }
-    if !alarmed {
+    if let Some(v) = monitor.first_alarm() {
+        println!(
+            "\nfirst alarm at {} committed instructions (confidence {:.3})",
+            v.at_inst, v.confidence
+        );
+    } else {
         println!("  no alarm raised (unexpected for this workload)");
     }
 }
