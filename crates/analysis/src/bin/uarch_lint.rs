@@ -18,7 +18,9 @@
 
 use std::collections::BTreeSet;
 
-use uarch_analysis::{analyze_program, check_program_run, lint_bindings, lint_schema};
+use uarch_analysis::{
+    analyze_program, check_program_run, lint_bindings, lint_component_coverage, lint_schema,
+};
 use uarch_isa::GadgetKind;
 use workloads::{attack_suite, benign_suite, polymorphic_suite, Class, Workload};
 
@@ -116,13 +118,19 @@ fn main() {
     let snap = uarch_stats::Snapshot::of(&probe, "");
     let schema_issues = lint_schema(snap.names());
     let binding_issues = lint_bindings(&sim_cpu::stat_invariants(), &snap);
+    let coverage_issues = lint_component_coverage(snap.names());
     println!(
-        "stat schema: {} stats, {} schema issues, {} binding issues",
+        "stat schema: {} stats, {} schema issues, {} binding issues, {} component-coverage issues",
         snap.len(),
         schema_issues.len(),
-        binding_issues.len()
+        binding_issues.len(),
+        coverage_issues.len()
     );
-    for issue in schema_issues.iter().chain(&binding_issues) {
+    for issue in schema_issues
+        .iter()
+        .chain(&binding_issues)
+        .chain(&coverage_issues)
+    {
         println!("  schema: {issue}");
         failures += 1;
     }

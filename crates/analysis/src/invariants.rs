@@ -14,7 +14,9 @@
 use sim_cpu::{Core, CoreConfig};
 use uarch_isa::Program;
 use uarch_stats::invariant::check_series;
-use uarch_stats::{InvariantKind, Snapshot, StatInvariant, Violation};
+use uarch_stats::{
+    ComponentId, ComponentRegistry, InvariantKind, Snapshot, StatInvariant, Violation,
+};
 
 /// A problem with the statistics schema itself.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -62,6 +64,37 @@ pub fn lint_schema(names: &[String]) -> Vec<SchemaIssue> {
             issues.push(SchemaIssue {
                 name,
                 issue: format!("declared {count} times"),
+            });
+        }
+    }
+    issues
+}
+
+/// Lints the schema against the shared component registry: every statistic
+/// name must resolve to one of the paper's 17 pipeline components
+/// ([`ComponentRegistry::component_of`]), and every registered component
+/// must own at least one statistic. Together the two directions assert that
+/// the component prefixes *partition* the schema — no orphan stats, no
+/// silent components.
+pub fn lint_component_coverage(names: &[String]) -> Vec<SchemaIssue> {
+    let mut issues = Vec::new();
+    let mut seen: std::collections::BTreeSet<ComponentId> = std::collections::BTreeSet::new();
+    for name in names {
+        match ComponentRegistry::component_of(name) {
+            Some(c) => {
+                seen.insert(c);
+            }
+            None => issues.push(SchemaIssue {
+                name: name.clone(),
+                issue: "prefix does not resolve to any registered pipeline component".into(),
+            }),
+        }
+    }
+    for c in ComponentId::ALL {
+        if !seen.contains(&c) {
+            issues.push(SchemaIssue {
+                name: c.name().to_string(),
+                issue: "registered component owns no statistic in the schema".into(),
             });
         }
     }
@@ -187,6 +220,22 @@ mod tests {
         );
         let bindings = lint_bindings(&sim_cpu::stat_invariants(), &snap);
         assert!(bindings.is_empty(), "{bindings:?}");
+        let coverage = lint_component_coverage(snap.names());
+        assert!(coverage.is_empty(), "{coverage:?}");
+    }
+
+    #[test]
+    fn component_coverage_flags_orphans_and_silent_components() {
+        // An orphan prefix and a schema too small to cover all 17
+        // components both surface as issues.
+        let names = vec!["bogus.stat".to_string(), "fetch.SquashCycles".to_string()];
+        let issues = lint_component_coverage(&names);
+        assert!(issues
+            .iter()
+            .any(|i| i.name == "bogus.stat" && i.issue.contains("does not resolve")));
+        assert!(issues
+            .iter()
+            .any(|i| i.name == "decode" && i.issue.contains("owns no statistic")));
     }
 
     stat_group! {

@@ -3,7 +3,7 @@
 //!
 //! Three passes over a [`uarch_isa::Program`]:
 //!
-//! 1. [`cfg`] — basic blocks, successor edges (with return-site and
+//! 1. [`mod@cfg`] — basic blocks, successor edges (with return-site and
 //!    address-taken approximations for indirect flow), reachability, and a
 //!    Graphviz emitter.
 //! 2. [`taint`] — a forward dataflow fixpoint tracking where register
@@ -40,7 +40,9 @@ use std::collections::BTreeSet;
 use uarch_isa::{GadgetKind, Program};
 
 pub use cfg::{BasicBlock, Cfg};
-pub use invariants::{check_program_run, lint_bindings, lint_schema, RunCheck, SchemaIssue};
+pub use invariants::{
+    check_program_run, lint_bindings, lint_component_coverage, lint_schema, RunCheck, SchemaIssue,
+};
 pub use taint::{Finding, TaintResult};
 
 /// The combined static-analysis result for one program.

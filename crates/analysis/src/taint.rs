@@ -640,7 +640,7 @@ pub fn analyze(program: &Program, cfg: &Cfg) -> (TaintResult, Vec<Finding>) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use uarch_isa::{Assembler, Reg};
+    use uarch_isa::{AsmError, Assembler, Reg};
 
     fn kinds(p: &Program) -> BTreeSet<GadgetKind> {
         let cfg = Cfg::build(p);
@@ -679,7 +679,7 @@ mod tests {
         a.loadb(Reg::R6, y, 0);
         a.bind(skip);
         a.halt();
-        a.finish().unwrap()
+        a.finish().expect("mini-spectre assembles")
     }
 
     #[test]
@@ -696,7 +696,7 @@ mod tests {
     }
 
     #[test]
-    fn kernel_dependent_load_is_flagged() {
+    fn kernel_dependent_load_is_flagged() -> Result<(), AsmError> {
         let mut a = Assembler::new("mini-meltdown");
         a.kernel_data(0x8000_0000, vec![42u8; 8]);
         a.data(PROBE as u64, vec![0u8; 64 * 256]);
@@ -707,12 +707,13 @@ mod tests {
         a.addi(y, y, PROBE);
         a.loadb(Reg::R3, y, 0);
         a.halt();
-        let p = a.finish().unwrap();
+        let p = a.finish()?;
         assert_eq!(kinds(&p), BTreeSet::from([GadgetKind::KernelRead]));
+        Ok(())
     }
 
     #[test]
-    fn memory_loaded_indirect_target_is_flagged() {
+    fn memory_loaded_indirect_target_is_flagged() -> Result<(), AsmError> {
         let mut a = Assembler::new("mini-btb");
         a.data(0x2000, vec![0u8; 8]);
         let f = a.label();
@@ -722,12 +723,13 @@ mod tests {
         a.halt();
         a.bind(f);
         a.ret();
-        let p = a.finish().unwrap();
+        let p = a.finish()?;
         assert_eq!(kinds(&p), BTreeSet::from([GadgetKind::BtbInjection]));
+        Ok(())
     }
 
     #[test]
-    fn register_indirect_target_is_clean() {
+    fn register_indirect_target_is_clean() -> Result<(), AsmError> {
         let mut a = Assembler::new("mini-ind-clean");
         let f = a.label();
         a.la(Reg::R2, f);
@@ -735,12 +737,13 @@ mod tests {
         a.halt();
         a.bind(f);
         a.ret();
-        let p = a.finish().unwrap();
+        let p = a.finish()?;
         assert!(kinds(&p).is_empty());
+        Ok(())
     }
 
     #[test]
-    fn unmatched_set_ret_is_flagged_and_matched_one_is_not() {
+    fn unmatched_set_ret_is_flagged_and_matched_one_is_not() -> Result<(), AsmError> {
         let mut bad = Assembler::new("mini-rsb");
         let (f, elsewhere) = (bad.label(), bad.label());
         bad.la(Reg::R9, elsewhere);
@@ -751,7 +754,7 @@ mod tests {
         bad.bind(f);
         bad.set_ret(Reg::R9);
         bad.ret();
-        let p = bad.finish().unwrap();
+        let p = bad.finish()?;
         assert_eq!(kinds(&p), BTreeSet::from([GadgetKind::RetHijack]));
 
         let mut ok = Assembler::new("mini-rsb-ok");
@@ -764,12 +767,13 @@ mod tests {
         ok.bind(f);
         ok.set_ret(Reg::R9); // restores the genuine return site
         ok.ret();
-        let p = ok.finish().unwrap();
+        let p = ok.finish()?;
         assert!(kinds(&p).is_empty());
+        Ok(())
     }
 
     #[test]
-    fn timed_load_and_timed_flush_probes() {
+    fn timed_load_and_timed_flush_probes() -> Result<(), AsmError> {
         let mut a = Assembler::new("mini-timer");
         a.data(0x2000, vec![0u8; 64]);
         a.li(Reg::R1, 0x2000);
@@ -782,15 +786,16 @@ mod tests {
         a.rdcycle(Reg::R6);
         a.sub(Reg::R6, Reg::R6, Reg::R5);
         a.halt();
-        let p = a.finish().unwrap();
+        let p = a.finish()?;
         assert_eq!(
             kinds(&p),
             BTreeSet::from([GadgetKind::TimedLoad, GadgetKind::TimedFlush])
         );
+        Ok(())
     }
 
     #[test]
-    fn benign_pointer_chasing_is_clean() {
+    fn benign_pointer_chasing_is_clean() -> Result<(), AsmError> {
         // Dependent loads under a forward branch, but nothing is flushed and
         // no timer brackets them: ordinary linked-list code.
         let mut a = Assembler::new("mini-chase");
@@ -807,12 +812,13 @@ mod tests {
         a.bnez(Reg::R2, top);
         a.bind(done);
         a.halt();
-        let p = a.finish().unwrap();
+        let p = a.finish()?;
         assert!(kinds(&p).is_empty());
+        Ok(())
     }
 
     #[test]
-    fn leak_comparison_implicit_flow_is_caught() {
+    fn leak_comparison_implicit_flow_is_caught() -> Result<(), AsmError> {
         // The predicate-encoding variant: the secret byte only influences
         // which constant is materialized, never flows into the address as
         // data.
@@ -841,7 +847,8 @@ mod tests {
         a.loadb(Reg::R8, Reg::R7, 0);
         a.bind(skip);
         a.halt();
-        let p = a.finish().unwrap();
+        let p = a.finish()?;
         assert_eq!(kinds(&p), BTreeSet::from([GadgetKind::SpecBoundsBypass]));
+        Ok(())
     }
 }

@@ -49,6 +49,22 @@ fn bench_spec() -> CorpusSpec {
     spec
 }
 
+/// The worker count the parallel pass actually runs with.
+///
+/// `PERSPECTRON_BENCH_THREADS` overrides; otherwise non-smoke runs use at
+/// least 4 workers (so the parallel path is genuinely exercised even on
+/// small hosts), smoke runs stay at the host parallelism. Always clamped to
+/// the workload count, mirroring `try_collect_with_threads`.
+fn worker_threads(n_workloads: usize) -> usize {
+    let available = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let quick = std::env::var("PERSPECTRON_QUICK").is_ok();
+    let requested = std::env::var("PERSPECTRON_BENCH_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok());
+    let t = requested.unwrap_or(if quick { available } else { available.max(4) });
+    t.clamp(1, n_workloads.max(1))
+}
+
 /// Discards rows; measures pure sampling cost.
 struct NullSink {
     samples: u64,
@@ -63,7 +79,10 @@ impl SampleSink for NullSink {
 /// Allocation counts per sampled interval for the legacy snapshot-per-
 /// interval path vs. the schema-resolved streaming sampler.
 fn allocation_comparison(samples: u64) -> (f64, f64) {
-    let mut core = Core::new(CoreConfig::default(), workloads::benign::hmmer());
+    let mut core = Core::new(
+        CoreConfig::default(),
+        workloads::benign::hmmer().expect("hmmer assembles"),
+    );
     core.run(10_000);
 
     // Legacy shape: every interval re-walks the stat tree into a fresh
@@ -88,7 +107,8 @@ fn allocation_comparison(samples: u64) -> (f64, f64) {
 
 fn bench_pipeline(c: &mut Criterion) {
     let spec = bench_spec();
-    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let available = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let threads = worker_threads(spec.workloads.len());
 
     // One measured pass each for the JSON report (criterion's own loop
     // below reports the steady-state timing).
@@ -105,11 +125,12 @@ fn bench_pipeline(c: &mut Criterion) {
     let (snapshot_allocs, streaming_allocs) = allocation_comparison(samples.max(1));
 
     let json = format!(
-        "{{\n  \"bench\": \"corpus_collection_quick\",\n  \"workloads\": {},\n  \"insts_per_workload\": {},\n  \"samples\": {},\n  \"threads\": {},\n  \"serial_secs\": {:.3},\n  \"parallel_secs\": {:.3},\n  \"speedup\": {:.2},\n  \"serial_samples_per_sec\": {:.1},\n  \"parallel_samples_per_sec\": {:.1},\n  \"allocs_per_sample_snapshot_path\": {:.1},\n  \"allocs_per_sample_streaming_path\": {:.1},\n  \"alloc_reduction\": {:.1}\n}}\n",
+        "{{\n  \"bench\": \"corpus_collection_quick\",\n  \"workloads\": {},\n  \"insts_per_workload\": {},\n  \"samples\": {},\n  \"threads\": {},\n  \"available_parallelism\": {},\n  \"serial_secs\": {:.3},\n  \"parallel_secs\": {:.3},\n  \"speedup\": {:.2},\n  \"serial_samples_per_sec\": {:.1},\n  \"parallel_samples_per_sec\": {:.1},\n  \"allocs_per_sample_snapshot_path\": {:.1},\n  \"allocs_per_sample_streaming_path\": {:.1},\n  \"alloc_reduction\": {:.1}\n}}\n",
         spec.workloads.len(),
         spec.insts_per_workload,
         samples,
         threads,
+        available,
         serial_secs,
         parallel_secs,
         serial_secs / parallel_secs.max(1e-9),

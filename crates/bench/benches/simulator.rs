@@ -14,7 +14,10 @@ fn bench_simulator(c: &mut Criterion) {
 
     group.bench_function("benign_hmmer_50k_insts", |b| {
         b.iter(|| {
-            let mut core = Core::new(CoreConfig::default(), workloads::benign::hmmer());
+            let mut core = Core::new(
+                CoreConfig::default(),
+                workloads::benign::hmmer().expect("hmmer assembles"),
+            );
             core.run(INSTS)
         })
     });
@@ -28,7 +31,10 @@ fn bench_simulator(c: &mut Criterion) {
         })
     });
     group.bench_function("stat_snapshot_1159", |b| {
-        let mut core = Core::new(CoreConfig::default(), workloads::benign::hmmer());
+        let mut core = Core::new(
+            CoreConfig::default(),
+            workloads::benign::hmmer().expect("hmmer assembles"),
+        );
         core.run(10_000);
         b.iter(|| uarch_stats::Snapshot::of(&core, ""))
     });

@@ -78,10 +78,16 @@ fn main() {
     // --- Performance cost on benign work (why it's gated on detection) ---
     // hmmer has well-predicted branches, so the injected noise is visible
     // (sjeng's random branches already mispredict constantly).
-    let mut bench = Core::new(CoreConfig::default(), workloads::benign::hmmer());
+    let mut bench = Core::new(
+        CoreConfig::default(),
+        workloads::benign::hmmer().expect("hmmer assembles"),
+    );
     bench.run(500_000);
     let ipc_clean = bench.committed_insts() as f64 / bench.cycles() as f64;
-    let mut bench_noisy = Core::new(CoreConfig::default(), workloads::benign::hmmer());
+    let mut bench_noisy = Core::new(
+        CoreConfig::default(),
+        workloads::benign::hmmer().expect("hmmer assembles"),
+    );
     bench_noisy.set_bp_noise(0.05);
     bench_noisy.run(500_000);
     let ipc_noisy = bench_noisy.committed_insts() as f64 / bench_noisy.cycles() as f64;

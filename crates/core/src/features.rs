@@ -7,16 +7,12 @@ use crate::dataset::Dataset;
 
 /// The pipeline component a statistic belongs to, derived from its dotted
 /// name prefix (the paper partitions the 1159 statistics into 17
-/// components).
+/// components). Resolution delegates to the shared
+/// [`ComponentRegistry`](uarch_stats::ComponentRegistry), so feature
+/// grouping, stat registration and the analysis lints all agree on the
+/// taxonomy.
 pub fn component_of(name: &str) -> &str {
-    let prefix = name.split('.').next().unwrap_or(name);
-    match prefix {
-        // The dtlb alias is the same physical component as dtb.
-        "dtlb" => "dtb",
-        // Statistics with no dot are CPU-level counters.
-        p if p == name && !name.contains('.') => "cpu",
-        p => p,
-    }
+    uarch_stats::ComponentRegistry::label_of(name)
 }
 
 /// Mutual information (in bits) between a binarized feature column and the

@@ -7,9 +7,7 @@
 //! scoped threads with deterministic per-workload seeds and an ordered
 //! merge — the parallel corpus is byte-for-byte identical to a serial one.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-
-use sim_cpu::{Core, CoreConfig, MarkEvent};
+use sim_cpu::{Core, CoreConfig, MarkEvent, SimError};
 use uarch_stats::{SampleSink, SampleTrace, Schema};
 use workloads::{Class, Family, Workload};
 
@@ -91,99 +89,152 @@ impl CorpusSpec {
 
     /// Runs every workload and collects its trace, fanning out across all
     /// available cores. Identical output to [`CorpusSpec::collect_serial`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on a simulator error (see [`CorpusSpec::try_collect`]).
     pub fn collect(&self) -> CollectedCorpus {
-        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
-        self.collect_with_threads(threads)
+        self.try_collect().expect("corpus collection failed")
     }
 
     /// Serial reference collection (one workload after another).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a simulator error (see [`CorpusSpec::try_collect_serial`]).
     pub fn collect_serial(&self) -> CollectedCorpus {
-        let traces: Vec<LabeledTrace> = self
-            .workloads
-            .iter()
-            .map(|w| collect_trace(w, self.insts_per_workload, self.sample_interval))
-            .collect();
-        CollectedCorpus {
-            traces,
-            sample_interval: self.sample_interval,
-        }
+        self.try_collect_serial().expect("corpus collection failed")
     }
 
-    /// Collects with an explicit worker-thread count. Workloads are handed
-    /// out through a shared cursor; every worker runs its workloads with
-    /// seeds derived from the workload *name*, and the merge reorders
-    /// results back to spec order — so the corpus is independent of the
-    /// thread count and byte-equal to the serial path.
+    /// Collects with an explicit worker-thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a simulator error (see
+    /// [`CorpusSpec::try_collect_with_threads`]).
     pub fn collect_with_threads(&self, threads: usize) -> CollectedCorpus {
+        self.try_collect_with_threads(threads)
+            .expect("corpus collection failed")
+    }
+
+    /// Fallible variant of [`CorpusSpec::collect`]: fans out across all
+    /// available cores and reports the first simulator error instead of
+    /// panicking.
+    pub fn try_collect(&self) -> Result<CollectedCorpus, SimError> {
+        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        self.try_collect_with_threads(threads)
+    }
+
+    /// Fallible serial reference collection (one workload after another).
+    pub fn try_collect_serial(&self) -> Result<CollectedCorpus, SimError> {
+        let traces = self
+            .workloads
+            .iter()
+            .map(|w| try_collect_trace(w, self.insts_per_workload, self.sample_interval))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(CollectedCorpus {
+            traces,
+            sample_interval: self.sample_interval,
+        })
+    }
+
+    /// Fallible collection with an explicit worker-thread count.
+    ///
+    /// The workload list is pre-partitioned into contiguous chunks, one per
+    /// worker, and every worker writes its traces directly into its own
+    /// slice of the result — no shared cursor to contend on and no
+    /// post-join sort-merge. Seeds derive from the workload *name*, so the
+    /// corpus is independent of the thread count and byte-equal to the
+    /// serial path.
+    pub fn try_collect_with_threads(&self, threads: usize) -> Result<CollectedCorpus, SimError> {
         let n = self.workloads.len();
         let threads = threads.clamp(1, n.max(1));
         if threads <= 1 {
-            return self.collect_serial();
+            return self.try_collect_serial();
         }
-        let next = AtomicUsize::new(0);
-        let mut indexed: Vec<(usize, LabeledTrace)> = Vec::with_capacity(n);
+        let chunk = n.div_ceil(threads);
+        let mut slots: Vec<Option<Result<LabeledTrace, SimError>>> = Vec::new();
+        slots.resize_with(n, || None);
         std::thread::scope(|s| {
-            let handles: Vec<_> = (0..threads)
-                .map(|_| {
-                    let next = &next;
-                    s.spawn(move || {
-                        let mut out = Vec::new();
-                        loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            if i >= n {
-                                break;
-                            }
-                            let w = &self.workloads[i];
-                            out.push((
-                                i,
-                                collect_trace(w, self.insts_per_workload, self.sample_interval),
-                            ));
-                        }
-                        out
-                    })
-                })
-                .collect();
-            for h in handles {
-                indexed.extend(h.join().expect("collection worker panicked"));
+            for (ws, out) in self.workloads.chunks(chunk).zip(slots.chunks_mut(chunk)) {
+                s.spawn(move || {
+                    for (w, slot) in ws.iter().zip(out.iter_mut()) {
+                        *slot = Some(try_collect_trace(
+                            w,
+                            self.insts_per_workload,
+                            self.sample_interval,
+                        ));
+                    }
+                });
             }
         });
-        indexed.sort_by_key(|(i, _)| *i);
-        CollectedCorpus {
-            traces: indexed.into_iter().map(|(_, t)| t).collect(),
+        let traces = slots
+            .into_iter()
+            .map(|s| s.expect("worker filled its slot"))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(CollectedCorpus {
+            traces,
             sample_interval: self.sample_interval,
-        }
+        })
     }
 }
 
 /// Runs one workload and samples its statistics, streaming each interval
 /// into a columnar trace.
+///
+/// # Panics
+///
+/// Panics on a simulator error (see [`try_collect_trace`]).
 pub fn collect_trace(w: &Workload, insts: u64, interval: u64) -> LabeledTrace {
-    let mut core = Core::new(CoreConfig::default(), w.program.clone());
+    try_collect_trace(w, insts, interval).expect("trace collection failed")
+}
+
+/// Fallible variant of [`collect_trace`].
+pub fn try_collect_trace(
+    w: &Workload,
+    insts: u64,
+    interval: u64,
+) -> Result<LabeledTrace, SimError> {
+    let mut core = Core::try_new(CoreConfig::default(), w.program.clone())?;
     core.set_noise_seed(workload_seed(&w.name));
     let mut trace = SampleTrace::new(core.stat_schema());
-    core.run_with_sink(insts, interval, &mut trace);
-    LabeledTrace {
+    core.run_with_sink(insts, interval, &mut trace)?;
+    Ok(LabeledTrace {
         name: w.name.clone(),
         class: w.class,
         family: w.family,
         trace,
         marks: core.marks().to_vec(),
-    }
+    })
 }
 
 /// Runs one workload, streaming each sampled interval straight into an
 /// arbitrary sink (an online detector, a featurizer, a channel) instead of
 /// materializing a trace. Returns the committed marks.
+///
+/// # Panics
+///
+/// Panics on a simulator error (see [`try_stream_trace`]).
 pub fn stream_trace(
     w: &Workload,
     insts: u64,
     interval: u64,
     sink: &mut dyn SampleSink,
 ) -> Vec<MarkEvent> {
-    let mut core = Core::new(CoreConfig::default(), w.program.clone());
+    try_stream_trace(w, insts, interval, sink).expect("trace streaming failed")
+}
+
+/// Fallible variant of [`stream_trace`].
+pub fn try_stream_trace(
+    w: &Workload,
+    insts: u64,
+    interval: u64,
+    sink: &mut dyn SampleSink,
+) -> Result<Vec<MarkEvent>, SimError> {
+    let mut core = Core::try_new(CoreConfig::default(), w.program.clone())?;
     core.set_noise_seed(workload_seed(&w.name));
-    core.run_with_sink(insts, interval, sink);
-    core.marks().to_vec()
+    core.run_with_sink(insts, interval, sink)?;
+    Ok(core.marks().to_vec())
 }
 
 /// A collected corpus: one trace per workload, sharing a schema.

@@ -1,0 +1,94 @@
+//! The component registry must partition the full statistic schema.
+//!
+//! PerSpectron's replicated-detector premise rests on a fixed taxonomy: the
+//! 1159 statistics split across exactly 17 pipeline components. These tests
+//! pin that partition against the live schema and check that the shared
+//! registry reproduces the legacy string-parsing convention on every name.
+
+use std::collections::BTreeMap;
+
+use sim_cpu::{Core, CoreConfig};
+use uarch_stats::{ComponentId, ComponentRegistry};
+
+/// The schema as the collector sees it: all 1159 flat stat names.
+fn schema_names() -> Vec<String> {
+    let core = Core::new(CoreConfig::default(), {
+        let mut a = uarch_isa::Assembler::new("schema-probe");
+        a.halt();
+        a.finish().expect("probe assembles")
+    });
+    core.stat_schema().names().to_vec()
+}
+
+/// The legacy prefix parser `component_of` used before the registry
+/// existed, kept verbatim as the reference implementation.
+fn legacy_component_of(name: &str) -> &str {
+    let prefix = name.split('.').next().unwrap_or(name);
+    match prefix {
+        "dtlb" => "dtb",
+        p if p == name && !name.contains('.') => "cpu",
+        p => p,
+    }
+}
+
+#[test]
+fn seventeen_components_partition_all_1159_stat_names() {
+    let names = schema_names();
+    assert_eq!(
+        names.len(),
+        1159,
+        "schema must expose the paper's 1159 stats"
+    );
+    assert_eq!(ComponentId::ALL.len(), 17);
+
+    // Every name resolves to exactly one component (total coverage)...
+    let mut per_component: BTreeMap<ComponentId, usize> = BTreeMap::new();
+    for name in &names {
+        let c = ComponentRegistry::component_of(name)
+            .unwrap_or_else(|| panic!("stat `{name}` resolves to no component"));
+        *per_component.entry(c).or_default() += 1;
+    }
+    // ...and every component owns at least one name (no silent members).
+    for c in ComponentId::ALL {
+        assert!(
+            per_component.get(&c).copied().unwrap_or(0) > 0,
+            "component {:?} owns no statistic",
+            c
+        );
+    }
+    assert_eq!(per_component.len(), 17, "partition must use all 17 cells");
+    assert_eq!(per_component.values().sum::<usize>(), 1159);
+}
+
+#[test]
+fn registry_labels_match_the_legacy_parser_on_every_schema_name() {
+    for name in schema_names() {
+        assert_eq!(
+            perspectron::component_of(&name),
+            legacy_component_of(&name),
+            "registry and legacy parser disagree on `{name}`"
+        );
+        assert_eq!(
+            ComponentRegistry::label_of(&name),
+            legacy_component_of(&name),
+            "ComponentRegistry::label_of diverges on `{name}`"
+        );
+    }
+}
+
+#[test]
+fn alias_prefixes_resolve_to_their_owning_component() {
+    let names = schema_names();
+    let lsq: Vec<&String> = names.iter().filter(|n| n.starts_with("lsq.")).collect();
+    let dtlb: Vec<&String> = names.iter().filter(|n| n.starts_with("dtlb.")).collect();
+    assert!(
+        !lsq.is_empty() && !dtlb.is_empty(),
+        "alias groups must exist"
+    );
+    for n in lsq {
+        assert_eq!(ComponentRegistry::component_of(n), Some(ComponentId::Iew));
+    }
+    for n in dtlb {
+        assert_eq!(ComponentRegistry::component_of(n), Some(ComponentId::Dtb));
+    }
+}

@@ -1,5 +1,7 @@
 //! Core configuration (the paper's Table II).
 
+use crate::error::SimError;
+
 /// Out-of-order core parameters.
 ///
 /// Defaults reproduce the simulated architecture of the paper's Table II:
@@ -114,6 +116,65 @@ impl Default for CoreConfig {
 }
 
 impl CoreConfig {
+    /// Checks that the configuration describes a machine the pipeline can
+    /// actually run: non-zero stage widths and buffer depths, and enough
+    /// physical registers to map every architectural register with at
+    /// least one left over for renaming.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] naming the offending parameter.
+    pub fn validate(&self) -> Result<(), SimError> {
+        let invalid = |param: &'static str, value: usize, reason: &'static str| {
+            Err(SimError::InvalidConfig {
+                param,
+                value: value as u64,
+                reason,
+            })
+        };
+        for (param, value) in [
+            ("fetch_width", self.fetch_width),
+            ("decode_width", self.decode_width),
+            ("rename_width", self.rename_width),
+            ("issue_width", self.issue_width),
+            ("commit_width", self.commit_width),
+            ("rob_entries", self.rob_entries),
+            ("iq_entries", self.iq_entries),
+            ("lq_entries", self.lq_entries),
+            ("sq_entries", self.sq_entries),
+            ("fetch_queue", self.fetch_queue),
+            ("decode_queue", self.decode_queue),
+            ("ras_entries", self.ras_entries),
+            ("btb_entries", self.btb_entries),
+            ("local_predictor_size", self.local_predictor_size),
+            ("global_predictor_size", self.global_predictor_size),
+            ("choice_predictor_size", self.choice_predictor_size),
+            ("int_alu_units", self.int_alu_units),
+            ("mem_ports", self.mem_ports),
+            ("dtlb_entries", self.dtlb_entries),
+            ("itlb_entries", self.itlb_entries),
+        ] {
+            if value == 0 {
+                return invalid(param, value, "must be positive");
+            }
+        }
+        if self.phys_int_regs <= uarch_isa::Reg::COUNT {
+            return invalid(
+                "phys_int_regs",
+                self.phys_int_regs,
+                "must exceed the architectural register count",
+            );
+        }
+        if self.inst_bytes == 0 {
+            return Err(SimError::InvalidConfig {
+                param: "inst_bytes",
+                value: 0,
+                reason: "must be positive",
+            });
+        }
+        Ok(())
+    }
+
     /// Renders the configuration as the paper's Table II.
     pub fn to_table(&self) -> String {
         format!(

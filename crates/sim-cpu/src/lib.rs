@@ -34,9 +34,13 @@ pub mod bpred;
 pub mod config;
 pub mod core;
 pub mod dyninst;
+pub mod error;
+pub mod pipeline;
 pub mod stats;
 pub mod tlb;
 
-pub use crate::core::{Core, MarkEvent, RunSummary, KERNEL_SPACE_BASE};
+pub use crate::core::{Core, CoreStatsView, MarkEvent, RunSummary, KERNEL_SPACE_BASE};
 pub use config::CoreConfig;
-pub use stats::{stat_invariants, CoreStats};
+pub use error::SimError;
+pub use pipeline::{PipelineComponent, SquashRequest, TrapRequest};
+pub use stats::stat_invariants;

@@ -1,0 +1,556 @@
+//! The execute/writeback stage: functional-unit evaluation at issue
+//! (through the [`FuWakeup`] port), completion and writeback, branch
+//! resolution and predictor repair.
+
+use sim_mem::{AccessOutcome, MemoryHierarchy};
+use uarch_isa::{AluOp, FaluOp, Inst, OpClass, Program};
+use uarch_stats::registry::ComponentId;
+use uarch_stats::{StatGroup, StatVisitor};
+
+use crate::config::CoreConfig;
+use crate::core::KERNEL_SPACE_BASE;
+use crate::stats::{CpuStats, IewStats, IqStats, TlbStats};
+use crate::tlb::Tlb;
+
+use super::{join_prefix, PipelineComponent, Predictors, RegFile, SquashRequest, Window};
+
+/// The execute/writeback stage.
+///
+/// Owns the D-TLB and the `iew` statistic group (including its `lsq` and
+/// `memDep` sub-units, also published under their top-level aliases) plus
+/// the `dtb`/`dtlb` TLB counters.
+#[derive(Debug)]
+pub struct ExecuteStage {
+    pub(crate) dtlb: Tlb,
+    pub(crate) stats: IewStats,
+    pub(crate) dtb: TlbStats,
+    dtlb_entries: usize,
+}
+
+/// Execute's view of the machine for the completion tick.
+pub struct ExecutePorts<'a> {
+    pub(crate) window: &'a mut Window,
+    pub(crate) regs: &'a mut RegFile,
+    pub(crate) pred: &'a mut Predictors,
+    pub(crate) iq_stats: &'a mut IqStats,
+    pub(crate) cpu: &'a mut CpuStats,
+    pub(crate) cycle: u64,
+}
+
+/// The issue → execute wakeup port: everything a functional unit touches
+/// when an instruction is evaluated at issue time.
+pub struct FuWakeup<'a> {
+    pub(crate) cfg: &'a CoreConfig,
+    pub(crate) program: &'a Program,
+    pub(crate) mem: &'a mut MemoryHierarchy,
+    pub(crate) window: &'a mut Window,
+    pub(crate) regs: &'a mut RegFile,
+    pub(crate) cpu: &'a mut CpuStats,
+    pub(crate) cycle: u64,
+}
+
+impl ExecuteStage {
+    pub(crate) fn new(cfg: &CoreConfig) -> Self {
+        Self {
+            dtlb: Tlb::new(cfg.dtlb_entries, 20),
+            stats: IewStats::default(),
+            dtb: TlbStats::default(),
+            dtlb_entries: cfg.dtlb_entries,
+        }
+    }
+
+    pub(crate) fn exec_latency(class: OpClass) -> u64 {
+        match class {
+            OpClass::NoOpClass => 1,
+            OpClass::IntAlu => 1,
+            OpClass::IntMult => 3,
+            OpClass::IntDiv => 12,
+            OpClass::FloatAdd => 4,
+            OpClass::FloatMult => 5,
+            OpClass::FloatDiv => 12,
+            OpClass::FloatSqrt => 16,
+            OpClass::FloatCvt => 3,
+            OpClass::SimdAdd | OpClass::SimdMult | OpClass::SimdCvt => 2,
+            OpClass::MemRead | OpClass::FloatMemRead => 1,
+            OpClass::MemWrite | OpClass::FloatMemWrite => 1,
+        }
+    }
+
+    /// Computes an instruction's result as it issues; returns a detected
+    /// memory-order violation `(load_seq, load_pc)` if one occurred.
+    pub(crate) fn execute_at_issue(
+        &mut self,
+        seq: u64,
+        w: &mut FuWakeup<'_>,
+    ) -> Option<(u64, usize)> {
+        let d = w.window.inst_of(seq).clone();
+        let v = |i: usize| -> u64 { d.srcs[i].map(|p| w.regs.phys_regs[p]).unwrap_or(0) };
+        let class = d.inst.op_class();
+        let base_lat = Self::exec_latency(class);
+        let mut ready = w.cycle + base_lat;
+        let mut result = 0u64;
+        let mut eff_addr = None;
+        let mut mem_size = 0u64;
+        let mut fault = false;
+        let mut forwarded = false;
+        let mut mem_outstanding = false;
+        let mut actual_taken = false;
+        let mut actual_target = d.fall_through;
+        let mut violation = None;
+        let mut fwd_youngest_out: Option<u64> = None;
+
+        w.cpu
+            .int_regfile_reads
+            .add(d.srcs.iter().flatten().count() as u64);
+
+        match d.inst {
+            Inst::Li { imm, .. } => result = imm as u64,
+            Inst::Alu { op, .. } => {
+                result = alu_compute(op, v(0), v(1));
+                w.cpu.int_alu_accesses.inc();
+            }
+            Inst::AluI { op, imm, .. } => {
+                result = alu_compute(op, v(0), imm as u64);
+                w.cpu.int_alu_accesses.inc();
+            }
+            Inst::Falu { op, .. } => {
+                result = falu_compute(op, v(0), v(1));
+                w.cpu.fp_alu_accesses.inc();
+            }
+            Inst::Load { offset, width, .. } => {
+                let addr = v(0).wrapping_add(offset as u64);
+                eff_addr = Some(addr);
+                mem_size = width.bytes();
+                self.stats.mem_dep.lookups.inc();
+                let (tlb_lat, tlb_miss) = self.dtlb.access(addr);
+                self.dtb.rd_accesses.inc();
+                if tlb_miss {
+                    self.dtb.rd_misses.inc();
+                    self.dtb.walk_cycles.add(tlb_lat);
+                } else {
+                    self.dtb.rd_hits.inc();
+                }
+                fault = addr >= KERNEL_SPACE_BASE || w.program.is_kernel_addr(addr);
+                // Store-to-load forwarding: merge, byte by byte, the
+                // youngest older in-flight store covering each loaded byte
+                // over the memory image (uncommitted stores are only
+                // visible in the store queue, not in memory).
+                let mut any_fwd = false;
+                let mut all_fwd = true;
+                let mut fwd_oldest: Option<u64> = None;
+                let mut bytes = [0u8; 8];
+                for (k, byte) in bytes.iter_mut().enumerate().take(mem_size as usize) {
+                    let b_addr = addr + k as u64;
+                    let src = w
+                        .window
+                        .rob
+                        .iter()
+                        .filter(|s| {
+                            s.seq < seq
+                                && s.is_store()
+                                && s.issued
+                                && !s.squashed
+                                && s.eff_addr
+                                    .is_some_and(|sa| sa <= b_addr && b_addr < sa + s.mem_size)
+                        })
+                        .max_by_key(|s| s.seq);
+                    match src {
+                        Some(st) => {
+                            let sa = st.eff_addr.expect("checked");
+                            *byte = (st.result >> ((b_addr - sa) * 8)) as u8;
+                            any_fwd = true;
+                            fwd_oldest = Some(fwd_oldest.map_or(st.seq, |f: u64| f.min(st.seq)));
+                        }
+                        None => {
+                            *byte = w.mem.memory().read_byte(b_addr);
+                            all_fwd = false;
+                        }
+                    }
+                }
+                // The violation-check exemption is only sound when EVERY
+                // byte came from the store queue; the oldest contributor
+                // bounds which later-resolving stores can be ignored.
+                fwd_youngest_out = if all_fwd { fwd_oldest } else { None };
+                if any_fwd {
+                    result = bytes[..mem_size as usize]
+                        .iter()
+                        .enumerate()
+                        .fold(0u64, |v, (k, &b)| v | (b as u64) << (8 * k));
+                    if all_fwd {
+                        // Cleanly satisfied by the store queue.
+                        forwarded = true;
+                        ready = w.cycle + 2 + tlb_lat;
+                        self.stats.lsq.forw_loads.inc();
+                        self.stats.lsq.forw_distance.0.record(1.0);
+                    } else {
+                        // Partial overlap: merge and replay more slowly.
+                        ready = w.cycle + 10 + tlb_lat;
+                        self.stats.lsq.rescheduled_loads.inc();
+                    }
+                } else {
+                    let res = w.mem.load(addr, mem_size, w.cycle + tlb_lat);
+                    result = res.value;
+                    ready = w.cycle + base_lat + tlb_lat + res.latency;
+                    mem_outstanding = res.outcome != AccessOutcome::L1Hit;
+                    self.stats
+                        .lsq
+                        .load_latency
+                        .0
+                        .record((ready - w.cycle) as f64);
+                }
+            }
+            Inst::Store { offset, width, .. } => {
+                let addr = v(0).wrapping_add(offset as u64);
+                eff_addr = Some(addr);
+                mem_size = width.bytes();
+                result = v(1); // store data
+                let (tlb_lat, tlb_miss) = self.dtlb.access(addr);
+                self.dtb.wr_accesses.inc();
+                if tlb_miss {
+                    self.dtb.wr_misses.inc();
+                    self.dtb.walk_cycles.add(tlb_lat);
+                } else {
+                    self.dtb.wr_hits.inc();
+                }
+                ready = w.cycle + base_lat + tlb_lat;
+                fault = addr >= KERNEL_SPACE_BASE || w.program.is_kernel_addr(addr);
+                // Memory-order violation: a younger load already executed
+                // against this address.
+                let conflict = w
+                    .window
+                    .rob
+                    .iter()
+                    .filter(|l| {
+                        l.seq > seq
+                            && l.is_load()
+                            && l.issued
+                            && !l.squashed
+                            // A load whose bytes all came from a store
+                            // younger than this one cannot have read stale
+                            // data; anything else (memory bytes, or bytes
+                            // from an older store) must replay.
+                            && l.fwd_youngest_seq.is_none_or(|f| f < seq)
+                            && l.eff_addr.is_some_and(|la| {
+                                la < addr + mem_size && addr < la + l.mem_size
+                            })
+                    })
+                    .map(|l| (l.seq, l.pc))
+                    .min();
+                if let Some((lseq, lpc)) = conflict {
+                    violation = Some((lseq, lpc));
+                }
+            }
+            Inst::Branch { cond, .. } => {
+                actual_taken = cond.eval(v(0), v(1));
+                actual_target = if actual_taken {
+                    branch_target(d.inst)
+                } else {
+                    d.fall_through
+                };
+            }
+            Inst::Jump { target } => {
+                actual_taken = true;
+                actual_target = target;
+            }
+            Inst::JumpInd { .. } => {
+                actual_taken = true;
+                actual_target = v(0) as usize;
+                ready = w.cycle + 3; // indirect target resolution
+            }
+            Inst::Call { target } => {
+                actual_taken = true;
+                actual_target = target;
+            }
+            Inst::CallInd { .. } => {
+                actual_taken = true;
+                actual_target = v(0) as usize;
+                ready = w.cycle + 3;
+            }
+            Inst::Ret => {
+                actual_taken = true;
+                actual_target = d.actual_target; // resolved at rename
+                ready = w.cycle + 8; // return address stack-memory read
+            }
+            Inst::SetRet { .. } => {
+                // Effect applied at rename; execution is a no-op.
+            }
+            Inst::Flush { offset, .. } => {
+                let addr = v(0).wrapping_add(offset as u64);
+                eff_addr = Some(addr);
+                let lat = w.mem.flush_line(addr, w.cycle);
+                self.stats.flush_latency.0.record(lat as f64);
+                ready = w.cycle + lat;
+            }
+            Inst::Fence => {
+                ready = w.cycle + 1;
+            }
+            Inst::Membar => {
+                ready = w.cycle + w.cfg.membar_drain;
+            }
+            Inst::RdCycle { .. } => {
+                result = w.cycle;
+                w.cpu.misc_regfile_reads.inc();
+                w.cpu.misc_regfile_writes.inc();
+            }
+            Inst::Mark(_) | Inst::Nop | Inst::Halt => {}
+        }
+
+        {
+            let now = w.cycle;
+            let di = w.window.inst_mut(seq);
+            di.issued = true;
+            di.issue_cycle = now;
+            di.in_iq = false;
+            di.result = result;
+            di.ready_cycle = ready;
+            di.eff_addr = eff_addr;
+            di.mem_size = mem_size;
+            di.fault = fault;
+            di.forwarded = forwarded;
+            di.fwd_youngest_seq = fwd_youngest_out;
+            di.mem_outstanding = mem_outstanding;
+            di.actual_taken = actual_taken;
+            if !matches!(di.inst, Inst::Ret) {
+                di.actual_target = actual_target;
+            }
+        }
+        w.window.iq_used -= 1;
+        violation
+    }
+
+    /// Resolves one control instruction, updating predictor state; returns
+    /// the squash request on a misprediction.
+    fn resolve_branch(
+        &mut self,
+        seq: u64,
+        mispredict: bool,
+        p: &mut ExecutePorts<'_>,
+    ) -> Option<SquashRequest> {
+        let (inst, pc, taken, pred_taken, cp, actual_target) = {
+            let d = p.window.inst_of(seq);
+            (
+                d.inst,
+                d.pc,
+                d.actual_taken,
+                d.predicted_taken,
+                d.checkpoint,
+                d.actual_target,
+            )
+        };
+        self.stats.exec_branches.inc();
+        {
+            let fetched_at = p.window.inst_of(seq).fetch_cycle;
+            self.stats
+                .resolution_delay
+                .0
+                .record(p.cycle.saturating_sub(fetched_at) as f64);
+        }
+
+        match inst {
+            Inst::Branch { .. } => {
+                p.pred.bp.update(pc, taken, pred_taken, &cp);
+                p.pred.stats.updates.inc();
+                if mispredict {
+                    p.pred.stats.cond_incorrect.inc();
+                    if pred_taken {
+                        self.stats.predicted_taken_incorrect.inc();
+                    } else {
+                        self.stats.predicted_not_taken_incorrect.inc();
+                    }
+                }
+                if taken {
+                    p.pred.btb.update(pc, actual_target);
+                }
+            }
+            Inst::JumpInd { .. } | Inst::CallInd { .. } => {
+                if mispredict {
+                    p.pred.stats.indirect_mispredicted.inc();
+                }
+                p.pred.btb.update(pc, actual_target);
+            }
+            Inst::Ret if mispredict => {
+                p.pred.stats.ras_incorrect.inc();
+            }
+            Inst::Jump { .. } | Inst::Call { .. } => {
+                p.pred.btb.update(pc, actual_target);
+            }
+            _ => {}
+        }
+
+        if mispredict {
+            {
+                let d = p.window.inst_mut(seq);
+                d.mispredicted = true;
+            }
+            self.stats.branch_mispredicts.inc();
+            // Repair speculative predictor state.
+            if matches!(inst, Inst::Branch { .. }) {
+                // bp.update already repaired the GHR.
+            } else {
+                p.pred.bp.restore_ghr(cp.ghr);
+            }
+            p.pred.ras.restore(cp.ras_tos, cp.ras_top);
+            // Re-apply this instruction's own RAS operation.
+            match inst {
+                Inst::Call { .. } | Inst::CallInd { .. } => p.pred.ras.push(pc + 1),
+                Inst::Ret => {
+                    let _ = p.pred.ras.pop();
+                }
+                _ => {}
+            }
+            return Some(SquashRequest {
+                after: seq,
+                redirect: Some(actual_target),
+                trap: None,
+            });
+        }
+        None
+    }
+}
+
+impl PipelineComponent for ExecuteStage {
+    type Ports<'a> = ExecutePorts<'a>;
+
+    fn component_id(&self) -> ComponentId {
+        ComponentId::Iew
+    }
+
+    fn tick(&mut self, mut p: ExecutePorts<'_>) -> Option<SquashRequest> {
+        // Collect completions this cycle.
+        let mut completions: Vec<u64> = Vec::new();
+        for d in &p.window.rob {
+            if d.issued && !d.executed && !d.squashed && d.ready_cycle <= p.cycle {
+                completions.push(d.seq);
+            }
+        }
+        for seq in completions {
+            let (dest, result, is_ctrl, is_load) = {
+                let d = p.window.inst_mut(seq);
+                d.executed = true;
+                d.mem_outstanding = false;
+                (d.dest_phys, d.result, d.inst.is_control(), d.is_load())
+            };
+            if let Some(phys) = dest {
+                p.regs.phys_regs[phys] = result;
+                p.regs.phys_ready[phys] = true;
+                p.cpu.int_regfile_writes.inc();
+            }
+            self.stats.executed_insts.inc();
+            self.stats.power.dynamic_energy.add(1.4);
+            {
+                let class = p.window.inst_of(seq).inst.op_class();
+                p.iq_stats.executed_class.inc(class);
+            }
+            if is_load {
+                self.stats.executed_load_insts.inc();
+            }
+            if is_ctrl {
+                // Resolve at most one control instruction per cycle (the
+                // oldest); younger ones will re-resolve after any squash.
+                let mispredict = {
+                    let d = p.window.inst_of(seq);
+                    d.predicted_target != d.actual_target
+                        || (matches!(d.inst, Inst::Branch { .. })
+                            && d.predicted_taken != d.actual_taken)
+                };
+                let req = self.resolve_branch(seq, mispredict, &mut p);
+                if req.is_some() {
+                    // Squash requested; stop processing younger completions
+                    // (the orchestrator squashes them before issue runs).
+                    return req;
+                }
+            }
+        }
+        None
+    }
+
+    fn reset(&mut self) {
+        let entries = self.dtlb_entries;
+        *self = Self {
+            dtlb: Tlb::new(entries, 20),
+            stats: IewStats::default(),
+            dtb: TlbStats::default(),
+            dtlb_entries: entries,
+        };
+    }
+
+    fn visit_stats(&self, prefix: &str, v: &mut dyn StatVisitor) {
+        let iew = ComponentId::Iew;
+        self.stats.visit(&join_prefix(prefix, iew.prefix()), v);
+        self.stats
+            .lsq
+            .visit(&join_prefix(prefix, iew.alias_prefixes()[0]), v);
+        self.stats
+            .mem_dep
+            .visit(&join_prefix(prefix, iew.alias_prefixes()[1]), v);
+        let dtb = ComponentId::Dtb;
+        self.dtb.visit(&join_prefix(prefix, dtb.prefix()), v);
+        self.dtb
+            .visit(&join_prefix(prefix, dtb.alias_prefixes()[0]), v);
+    }
+}
+
+pub(crate) fn branch_target(inst: Inst) -> usize {
+    match inst {
+        Inst::Branch { target, .. } => target,
+        _ => unreachable!("only conditional branches"),
+    }
+}
+
+pub(crate) fn alu_compute(op: AluOp, a: u64, b: u64) -> u64 {
+    match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::Mul => a.wrapping_mul(b),
+        AluOp::Div => {
+            if b == 0 {
+                u64::MAX
+            } else {
+                ((a as i64).wrapping_div(b as i64)) as u64
+            }
+        }
+        AluOp::Rem => {
+            if b == 0 {
+                a
+            } else {
+                ((a as i64).wrapping_rem(b as i64)) as u64
+            }
+        }
+        AluOp::And => a & b,
+        AluOp::Or => a | b,
+        AluOp::Xor => a ^ b,
+        AluOp::Shl => a.wrapping_shl(b as u32 & 63),
+        AluOp::Shr => a.wrapping_shr(b as u32 & 63),
+        AluOp::Sar => ((a as i64).wrapping_shr(b as u32 & 63)) as u64,
+        AluOp::Slt => ((a as i64) < (b as i64)) as u64,
+        AluOp::Sltu => (a < b) as u64,
+    }
+}
+
+pub(crate) fn falu_compute(op: FaluOp, a: u64, b: u64) -> u64 {
+    let fa = f64::from_bits(a);
+    let fb = f64::from_bits(b);
+    match op {
+        FaluOp::FAdd => (fa + fb).to_bits(),
+        FaluOp::FSub => (fa - fb).to_bits(),
+        FaluOp::FMul => (fa * fb).to_bits(),
+        FaluOp::FDiv => (fa / fb).to_bits(),
+        FaluOp::FSqrt => fa.abs().sqrt().to_bits(),
+        FaluOp::FCvtIf => (a as i64 as f64).to_bits(),
+        FaluOp::FCvtFi => fa as i64 as u64,
+        FaluOp::VAdd | FaluOp::VMul | FaluOp::VCvt => {
+            let mut out = 0u64;
+            for lane in 0..4 {
+                let la = (a >> (16 * lane)) as u16;
+                let lb = (b >> (16 * lane)) as u16;
+                let r = match op {
+                    FaluOp::VAdd => la.wrapping_add(lb),
+                    FaluOp::VMul => la.wrapping_mul(lb),
+                    _ => la.min(255),
+                };
+                out |= (r as u64) << (16 * lane);
+            }
+            out
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! The fetch stage: instruction supply, branch prediction, I-TLB and
+//! I-cache timing, trap redirect delivery.
+
+use sim_mem::{AccessOutcome, MemoryHierarchy};
+use uarch_isa::{Inst, Program};
+use uarch_stats::registry::ComponentId;
+use uarch_stats::{StatGroup, StatVisitor};
+
+use crate::config::CoreConfig;
+use crate::dyninst::DynInst;
+use crate::stats::{CpuStats, FetchStats, TlbStats};
+use crate::tlb::Tlb;
+
+use super::{ctrl_kind, join_prefix, FetchToDecode, PipelineComponent, Predictors, SquashRequest};
+
+/// The fetch stage.
+///
+/// Owns the speculative pc, the sequence-number allocator, the I-TLB, the
+/// fetch-side stall machinery (I-cache misses, squash penalty, pending
+/// traps) and the `fetch` / `itb` statistic groups.
+#[derive(Debug)]
+pub struct FetchStage {
+    pub(crate) pc: usize,
+    pub(crate) next_seq: u64,
+    pub(crate) fetch_stopped: bool,
+    pub(crate) fetch_resume_at: u64,
+    pub(crate) icache_outstanding: bool,
+    pub(crate) icache_stall_until: u64,
+    pub(crate) current_fetch_line: Option<u64>,
+    pub(crate) trap_pending_until: u64,
+    pub(crate) trap_redirect: usize,
+    pub(crate) itlb: Tlb,
+    pub(crate) stats: FetchStats,
+    pub(crate) itb: TlbStats,
+    itlb_entries: usize,
+}
+
+/// Fetch's view of the machine for one tick.
+pub struct FetchPorts<'a> {
+    pub(crate) cfg: &'a CoreConfig,
+    pub(crate) program: &'a Program,
+    pub(crate) mem: &'a mut MemoryHierarchy,
+    pub(crate) pred: &'a mut Predictors,
+    pub(crate) cpu: &'a mut CpuStats,
+    /// Outbound port into decode.
+    pub(crate) out: &'a mut FetchToDecode,
+    /// Occupancy of the decode → rename port (back-pressure signal).
+    pub(crate) decode_q_len: usize,
+    /// A memory barrier is in flight: fetch must quiesce.
+    pub(crate) quiesce: bool,
+    pub(crate) halted: bool,
+    pub(crate) cycle: u64,
+}
+
+impl FetchStage {
+    pub(crate) fn new(cfg: &CoreConfig) -> Self {
+        Self {
+            pc: 0,
+            next_seq: 1,
+            fetch_stopped: false,
+            fetch_resume_at: 0,
+            icache_outstanding: false,
+            icache_stall_until: 0,
+            current_fetch_line: None,
+            trap_pending_until: 0,
+            trap_redirect: 0,
+            itlb: Tlb::new(cfg.itlb_entries, 20),
+            stats: FetchStats::default(),
+            itb: TlbStats::default(),
+            itlb_entries: cfg.itlb_entries,
+        }
+    }
+
+    /// Delivers a trap recognized at commit: stalls fetch for the trap
+    /// latency and redirects to the handler (or reports that the machine
+    /// must halt when there is none). Must run *after* the accompanying
+    /// squash walk, mirroring the commit stage's original ordering.
+    pub(crate) fn take_trap(&mut self, handler: Option<usize>, pending_until: u64) -> bool {
+        self.trap_pending_until = pending_until;
+        let halt = match handler {
+            Some(h) => {
+                self.trap_redirect = h;
+                self.fetch_stopped = false;
+                false
+            }
+            None => true,
+        };
+        self.pc = self.trap_redirect;
+        halt
+    }
+}
+
+impl PipelineComponent for FetchStage {
+    type Ports<'a> = FetchPorts<'a>;
+
+    fn component_id(&self) -> ComponentId {
+        ComponentId::Fetch
+    }
+
+    fn tick(&mut self, p: FetchPorts<'_>) -> Option<SquashRequest> {
+        if p.halted || self.fetch_stopped {
+            self.stats.idle_cycles.inc();
+            return None;
+        }
+        if p.cycle < self.trap_pending_until {
+            self.stats.pending_trap_stall_cycles.inc();
+            return None;
+        }
+        if p.cycle < self.fetch_resume_at {
+            self.stats.squash_cycles.inc();
+            return None;
+        }
+        if p.quiesce {
+            self.stats.pending_quiesce_stall_cycles.inc();
+            p.cpu.quiesce_cycles.inc();
+            return None;
+        }
+        if self.icache_outstanding {
+            if p.cycle < self.icache_stall_until {
+                self.stats.icache_stall_cycles.inc();
+                return None;
+            }
+            self.icache_outstanding = false;
+        }
+        if p.out.len() >= p.cfg.fetch_queue {
+            if p.decode_q_len >= p.cfg.decode_queue {
+                self.stats.misc_stall_cycles.inc();
+            } else {
+                self.stats.blocked_cycles.inc();
+            }
+            return None;
+        }
+
+        let mut fetched = 0usize;
+        while fetched < p.cfg.fetch_width && p.out.len() < p.cfg.fetch_queue {
+            // I-cache access on line crossings.
+            let byte_addr = p.cfg.icode_base + self.pc as u64 * p.cfg.inst_bytes;
+            let line = byte_addr / 64;
+            if self.current_fetch_line != Some(line) {
+                let (itlb_lat, itlb_miss) = self.itlb.access(byte_addr);
+                self.itb.rd_accesses.inc();
+                if itlb_miss {
+                    self.itb.rd_misses.inc();
+                    self.itb.walk_cycles.add(itlb_lat);
+                } else {
+                    self.itb.rd_hits.inc();
+                }
+                let (lat, outcome) = p.mem.fetch(byte_addr, p.cycle);
+                self.current_fetch_line = Some(line);
+                self.stats.cache_lines.inc();
+                if outcome != AccessOutcome::L1Hit || itlb_lat > 0 {
+                    self.icache_outstanding = true;
+                    self.icache_stall_until = p.cycle + lat + itlb_lat;
+                    break;
+                }
+            }
+
+            let inst = p.program.fetch(self.pc).unwrap_or(Inst::Halt);
+            let mut d = DynInst::new(self.next_seq, self.pc, inst);
+            d.fetch_cycle = p.cycle;
+            self.next_seq += 1;
+            self.stats.insts.inc();
+            self.stats.power.dynamic_energy.add(0.8);
+            match inst {
+                Inst::Load { .. } => p.cpu.num_load_insts.inc(),
+                Inst::Store { .. } => p.cpu.num_store_insts.inc(),
+                i if i.is_control() => p.cpu.num_branches.inc(),
+                _ => {}
+            }
+            if let Some(k) = ctrl_kind(inst) {
+                self.stats.branch_kind.inc(k);
+                p.pred.stats.lookup_kind.inc(k);
+            }
+            fetched += 1;
+
+            // Branch prediction.
+            let (ras_tos, ras_top) = p.pred.ras.checkpoint();
+            let mut next_pc = self.pc + 1;
+            if inst.is_control() {
+                self.stats.branches.inc();
+                p.pred.stats.lookups.inc();
+                match inst {
+                    Inst::Branch { target, .. } => {
+                        let (mut taken, mut cp) = p.pred.bp.predict(self.pc);
+                        if p.pred.noise_flip() {
+                            taken = !taken;
+                        }
+                        cp.ras_tos = ras_tos;
+                        cp.ras_top = ras_top;
+                        d.checkpoint = cp;
+                        d.predicted_taken = taken;
+                        p.pred.stats.cond_predicted.inc();
+                        p.pred.stats.btb_lookups.inc();
+                        if p.pred.btb.lookup(self.pc).is_some() {
+                            p.pred.stats.btb_hits.inc();
+                        }
+                        if taken {
+                            self.stats.predicted_branches.inc();
+                            next_pc = target;
+                        }
+                    }
+                    Inst::Jump { target } => {
+                        d.predicted_taken = true;
+                        d.checkpoint = p.pred.checkpoint(ras_tos, ras_top);
+                        next_pc = target;
+                    }
+                    Inst::Call { target } => {
+                        d.predicted_taken = true;
+                        d.checkpoint = p.pred.checkpoint(ras_tos, ras_top);
+                        p.pred.ras.push(self.pc + 1);
+                        next_pc = target;
+                    }
+                    Inst::JumpInd { .. } | Inst::CallInd { .. } => {
+                        d.predicted_taken = true;
+                        d.checkpoint = p.pred.checkpoint(ras_tos, ras_top);
+                        p.pred.stats.indirect_lookups.inc();
+                        p.pred.stats.btb_lookups.inc();
+                        if let Some(t) = p.pred.btb.lookup(self.pc) {
+                            p.pred.stats.indirect_hits.inc();
+                            p.pred.stats.btb_hits.inc();
+                            next_pc = t;
+                        }
+                        if matches!(inst, Inst::CallInd { .. }) {
+                            p.pred.ras.push(self.pc + 1);
+                        }
+                    }
+                    Inst::Ret => {
+                        d.predicted_taken = true;
+                        d.checkpoint = p.pred.checkpoint(ras_tos, ras_top);
+                        p.pred.stats.ras_used.inc();
+                        next_pc = p.pred.ras.pop();
+                    }
+                    _ => unreachable!("is_control covers all control insts"),
+                }
+                d.predicted_target = next_pc;
+            }
+
+            self.pc = next_pc;
+            let is_halt = matches!(inst, Inst::Halt);
+            p.out.0.push_back(d);
+            if is_halt {
+                self.fetch_stopped = true;
+                p.cpu.num_fetch_suspends.inc();
+                break;
+            }
+        }
+        self.stats.nisn_dist.0.record(fetched as f64);
+        if fetched > 0 {
+            self.stats.cycles.inc();
+        }
+        None
+    }
+
+    fn reset(&mut self) {
+        let entries = self.itlb_entries;
+        *self = Self {
+            pc: 0,
+            next_seq: 1,
+            fetch_stopped: false,
+            fetch_resume_at: 0,
+            icache_outstanding: false,
+            icache_stall_until: 0,
+            current_fetch_line: None,
+            trap_pending_until: 0,
+            trap_redirect: 0,
+            itlb: Tlb::new(entries, 20),
+            stats: FetchStats::default(),
+            itb: TlbStats::default(),
+            itlb_entries: entries,
+        };
+    }
+
+    fn visit_stats(&self, prefix: &str, v: &mut dyn StatVisitor) {
+        self.stats
+            .visit(&join_prefix(prefix, ComponentId::Fetch.prefix()), v);
+        self.itb
+            .visit(&join_prefix(prefix, ComponentId::Itb.prefix()), v);
+    }
+}

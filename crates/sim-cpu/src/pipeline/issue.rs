@@ -1,0 +1,183 @@
+//! The issue stage: wakeup/select over the instruction queue, functional
+//! unit arbitration, and dispatch into execute through the
+//! [`FuWakeup`] port.
+
+use uarch_isa::OpClass;
+use uarch_stats::registry::ComponentId;
+use uarch_stats::{StatGroup, StatVisitor};
+
+use crate::stats::IqStats;
+
+use super::execute::{ExecuteStage, FuWakeup};
+use super::{join_prefix, PipelineComponent, SquashRequest};
+
+/// The issue stage. Owns the `iq` statistic group; the instructions it
+/// schedules live in the shared window.
+#[derive(Debug, Default)]
+pub struct IssueStage {
+    pub(crate) stats: IqStats,
+}
+
+/// Issue's view of the machine for one tick: the execute stage it wakes
+/// up, and the machine resources the functional units touch.
+pub struct IssuePorts<'a> {
+    pub(crate) exec: &'a mut ExecuteStage,
+    pub(crate) wake: FuWakeup<'a>,
+}
+
+fn fu_pool(class: OpClass) -> usize {
+    match class {
+        OpClass::IntAlu | OpClass::NoOpClass => 0,
+        OpClass::IntMult | OpClass::IntDiv => 1,
+        OpClass::FloatAdd
+        | OpClass::FloatMult
+        | OpClass::FloatDiv
+        | OpClass::FloatSqrt
+        | OpClass::FloatCvt => 2,
+        OpClass::SimdAdd | OpClass::SimdMult | OpClass::SimdCvt => 3,
+        OpClass::MemRead | OpClass::MemWrite | OpClass::FloatMemRead | OpClass::FloatMemWrite => 4,
+    }
+}
+
+impl PipelineComponent for IssueStage {
+    type Ports<'a> = IssuePorts<'a>;
+
+    fn component_id(&self) -> ComponentId {
+        ComponentId::Iq
+    }
+
+    fn tick(&mut self, mut p: IssuePorts<'_>) -> Option<SquashRequest> {
+        let w = &mut p.wake;
+        let mut fu_avail = [
+            w.cfg.int_alu_units,
+            w.cfg.int_mult_units,
+            w.cfg.fp_units,
+            w.cfg.simd_units,
+            w.cfg.mem_ports,
+        ];
+        let mut issued_this_cycle = 0usize;
+        let mut violation: Option<(u64, usize)> = None;
+
+        // Gather candidates (oldest first).
+        let seqs: Vec<u64> = w.window.rob.iter().map(|d| d.seq).collect();
+        for seq in seqs {
+            if issued_this_cycle >= w.cfg.issue_width {
+                break;
+            }
+            let (ready, class) = {
+                let d = w.window.inst_of(seq);
+                if !d.in_iq || d.issued || d.squashed {
+                    continue;
+                }
+                if d.non_spec && !d.can_exec_non_spec {
+                    continue;
+                }
+                let srcs_ready = d.srcs.iter().flatten().all(|&r| w.regs.phys_ready[r]);
+                (srcs_ready, d.inst.op_class())
+            };
+            if !ready {
+                continue;
+            }
+            let pool = fu_pool(class);
+            if class != OpClass::NoOpClass && class != OpClass::IntAlu && fu_avail[pool] == 0 {
+                self.stats.fu_full.inc(class);
+                continue;
+            }
+            if matches!(
+                class,
+                OpClass::MemRead
+                    | OpClass::MemWrite
+                    | OpClass::FloatMemRead
+                    | OpClass::FloatMemWrite
+            ) && fu_avail[4] == 0
+            {
+                self.stats.fu_full.inc(class);
+                continue;
+            }
+            // Loads blocked by a saturated L1D MSHR pool reschedule.
+            if w.window.inst_of(seq).is_load() {
+                let outstanding = w
+                    .window
+                    .rob
+                    .iter()
+                    .filter(|d| d.mem_outstanding && !d.squashed)
+                    .count();
+                if outstanding >= w.mem.l1d().config().mshrs {
+                    p.exec.stats.lsq.rescheduled_loads.inc();
+                    p.exec.stats.lsq.blocked_loads.inc();
+                    p.exec.stats.lsq.cache_blocked.inc();
+                    continue;
+                }
+            }
+
+            if class != OpClass::NoOpClass {
+                let pool = if matches!(
+                    class,
+                    OpClass::MemRead
+                        | OpClass::MemWrite
+                        | OpClass::FloatMemRead
+                        | OpClass::FloatMemWrite
+                ) {
+                    4
+                } else {
+                    pool
+                };
+                if fu_avail[pool] > 0 {
+                    fu_avail[pool] -= 1;
+                    if fu_avail[pool] == 0 {
+                        self.stats.fu_busy.inc(class);
+                    }
+                }
+            }
+            issued_this_cycle += 1;
+            let v = p.exec.execute_at_issue(seq, w);
+            // Per-issue bookkeeping lives here (the IQ owns it).
+            self.stats.issued_inst_type.inc(class);
+            let dispatch = w.window.inst_of(seq).dispatch_cycle;
+            self.stats
+                .issue_delay
+                .0
+                .record(w.cycle.saturating_sub(dispatch) as f64);
+            self.stats.power.dynamic_energy.add(1.1);
+            if let Some(v) = v {
+                violation = Some(v);
+                break;
+            }
+        }
+
+        self.stats.insts_issued.add(issued_this_cycle as u64);
+        self.stats
+            .issued_per_cycle
+            .0
+            .record(issued_this_cycle as f64);
+        if issued_this_cycle == 0 {
+            self.stats.empty_issue_cycles.inc();
+            p.exec.stats.idle_cycles.inc();
+        }
+
+        if let Some((load_seq, load_pc)) = violation {
+            // Memory order violation: squash from the conflicting load
+            // (the rollback point and the redirect pc MUST come from the
+            // same scan, or instructions between them are silently lost).
+            p.exec.stats.mem_order_violation_events.inc();
+            p.exec.stats.lsq.mem_order_violation.inc();
+            p.exec.stats.mem_dep.conflicting_stores.inc();
+            p.exec.stats.mem_dep.conflicting_loads.inc();
+            return Some(SquashRequest {
+                after: load_seq - 1,
+                redirect: Some(load_pc),
+                trap: None,
+            });
+        }
+        None
+    }
+
+    fn reset(&mut self) {
+        self.stats = IqStats::default();
+    }
+
+    fn visit_stats(&self, prefix: &str, v: &mut dyn StatVisitor) {
+        self.stats
+            .visit(&join_prefix(prefix, ComponentId::Iq.prefix()), v);
+    }
+}

@@ -1,0 +1,273 @@
+//! The pipeline stages as first-class components.
+//!
+//! Each stage module owns its architectural state and its statistics and
+//! implements [`PipelineComponent`]; the [`Core`](crate::Core) is only an
+//! orchestrator that wires the stages together through small typed ports:
+//!
+//! * fetch → decode through [`FetchToDecode`],
+//! * decode → rename through [`DecodeToRename`],
+//! * issue → execute through the [`FuWakeup`](execute::FuWakeup) port
+//!   (functional-unit wakeup at issue),
+//! * commit/execute/issue → squash through [`SquashRequest`], applied by
+//!   the [`SquashUnit`](squash::SquashUnit) between stage ticks.
+//!
+//! Cross-stage *resources* — the instruction window, the physical register
+//! file, the predictors — are shared structs the orchestrator lends to each
+//! stage for the duration of its tick, so every stage's footprint is spelled
+//! out in its ports struct instead of hiding behind `&mut self` on one
+//! monolithic core.
+
+use std::collections::VecDeque;
+
+use uarch_isa::{Inst, Reg};
+use uarch_stats::registry::ComponentId;
+use uarch_stats::StatVisitor;
+
+use crate::bpred::{Btb, PredCheckpoint, Ras, TournamentPredictor};
+use crate::config::CoreConfig;
+use crate::dyninst::DynInst;
+use crate::stats::{BPredStats, CtrlKind};
+
+pub mod commit;
+pub mod decode;
+pub mod execute;
+pub mod fetch;
+pub mod issue;
+pub mod rename;
+pub mod squash;
+
+/// A pipeline stage that can be ticked once per cycle.
+///
+/// Stages own their architectural state and statistics; everything else
+/// they touch is passed in through their `Ports` type, which the
+/// orchestrating [`Core`](crate::Core) constructs from the shared machine
+/// resources each cycle. A tick may request a squash (mispredict, memory
+/// order violation, fault); the orchestrator applies it through the
+/// [`SquashUnit`](squash::SquashUnit) before the next stage runs, exactly
+/// where the monolithic core performed it inline.
+pub trait PipelineComponent {
+    /// The stage's view of the rest of the machine for one tick.
+    type Ports<'a>;
+
+    /// The registry component this stage's statistics belong to.
+    fn component_id(&self) -> ComponentId;
+
+    /// Advances the stage one cycle.
+    fn tick(&mut self, ports: Self::Ports<'_>) -> Option<SquashRequest>;
+
+    /// Restores power-on state (architectural state and statistics).
+    fn reset(&mut self);
+
+    /// Visits the statistic groups this stage owns, registered under the
+    /// component's canonical prefix relative to `prefix`.
+    fn visit_stats(&self, prefix: &str, v: &mut dyn StatVisitor);
+}
+
+/// A squash demand raised by a stage tick.
+///
+/// `after` is the last sequence number to survive; everything younger is
+/// rolled back. `redirect` is the corrected fetch pc (`None` leaves the pc
+/// to the trap path). `trap` carries commit's fault delivery, applied by
+/// the orchestrator after the squash walk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SquashRequest {
+    /// Last surviving sequence number.
+    pub after: u64,
+    /// Corrected fetch pc, if the squashing stage resolved one.
+    pub redirect: Option<usize>,
+    /// Fault delivery accompanying the squash (commit only).
+    pub trap: Option<TrapRequest>,
+}
+
+/// Commit's fault-delivery half of a [`SquashRequest`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrapRequest {
+    /// Fault handler entry point; `None` halts the machine.
+    pub handler: Option<usize>,
+}
+
+/// The fetch → decode port: fetched instructions waiting to decode.
+#[derive(Debug, Default)]
+pub struct FetchToDecode(pub(crate) VecDeque<DynInst>);
+
+/// The decode → rename port: decoded instructions waiting to rename.
+#[derive(Debug, Default)]
+pub struct DecodeToRename(pub(crate) VecDeque<DynInst>);
+
+macro_rules! queue_api {
+    ($ty:ident) => {
+        impl $ty {
+            /// Instructions currently buffered in the port.
+            pub fn len(&self) -> usize {
+                self.0.len()
+            }
+
+            /// Whether the port is empty.
+            pub fn is_empty(&self) -> bool {
+                self.0.is_empty()
+            }
+        }
+    };
+}
+queue_api!(FetchToDecode);
+queue_api!(DecodeToRename);
+
+/// One undoable rename-map update (new mapping for `arch`, displacing
+/// `old_phys`), tagged with the renaming instruction's sequence number.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct HistEntry {
+    pub(crate) seq: u64,
+    pub(crate) arch: usize,
+    pub(crate) new_phys: usize,
+    pub(crate) old_phys: usize,
+}
+
+/// The physical register file and rename map, shared by rename (allocate),
+/// issue/execute (read/write), commit (retire) and squash (roll back).
+#[derive(Debug)]
+pub struct RegFile {
+    pub(crate) map_table: [usize; Reg::COUNT],
+    pub(crate) free_list: VecDeque<usize>,
+    pub(crate) phys_regs: Vec<u64>,
+    pub(crate) phys_ready: Vec<bool>,
+    pub(crate) history: VecDeque<HistEntry>,
+}
+
+impl RegFile {
+    pub(crate) fn new(phys: usize) -> Self {
+        let mut map_table = [0usize; Reg::COUNT];
+        for (i, m) in map_table.iter_mut().enumerate() {
+            *m = i;
+        }
+        Self {
+            map_table,
+            free_list: (Reg::COUNT..phys).collect(),
+            phys_regs: vec![0; phys],
+            phys_ready: vec![true; phys],
+            history: VecDeque::new(),
+        }
+    }
+
+    /// Architectural value of register `r` (through the rename map).
+    pub fn read_arch(&self, r: Reg) -> u64 {
+        self.phys_regs[self.map_table[r.index()]]
+    }
+}
+
+/// The instruction window: the ROB plus the occupancy counters of the
+/// queues that back-pressure rename (IQ, LQ, SQ) and the in-flight
+/// memory-barrier count that quiesces fetch.
+#[derive(Debug, Default)]
+pub struct Window {
+    pub(crate) rob: VecDeque<DynInst>,
+    pub(crate) iq_used: usize,
+    pub(crate) lq_used: usize,
+    pub(crate) sq_used: usize,
+    pub(crate) membars_in_flight: usize,
+}
+
+impl Window {
+    /// Instructions currently in flight in the window.
+    pub fn len(&self) -> usize {
+        self.rob.len()
+    }
+
+    /// Whether the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rob.is_empty()
+    }
+
+    pub(crate) fn inst_of(&self, seq: u64) -> &DynInst {
+        let i = self
+            .rob
+            .binary_search_by_key(&seq, |d| d.seq)
+            .expect("seq in rob");
+        &self.rob[i]
+    }
+
+    pub(crate) fn inst_mut(&mut self, seq: u64) -> &mut DynInst {
+        let i = self
+            .rob
+            .binary_search_by_key(&seq, |d| d.seq)
+            .expect("seq in rob");
+        &mut self.rob[i]
+    }
+}
+
+/// The branch-prediction machinery: tournament predictor, BTB and RAS,
+/// plus the deterministic mistraining-noise source (§IV-G1) and the
+/// `branchPred` statistics.
+#[derive(Debug)]
+pub struct Predictors {
+    pub(crate) bp: TournamentPredictor,
+    pub(crate) btb: Btb,
+    pub(crate) ras: Ras,
+    pub(crate) bp_noise_ppm: u32,
+    pub(crate) noise_rng: u64,
+    pub(crate) stats: BPredStats,
+}
+
+impl Predictors {
+    pub(crate) fn new(cfg: &CoreConfig) -> Self {
+        Self {
+            bp: TournamentPredictor::new(
+                cfg.local_predictor_size,
+                cfg.global_predictor_size,
+                cfg.choice_predictor_size,
+            ),
+            btb: Btb::new(cfg.btb_entries),
+            ras: Ras::new(cfg.ras_entries),
+            bp_noise_ppm: 0,
+            noise_rng: 0x243f_6a88_85a3_08d3,
+            stats: BPredStats::default(),
+        }
+    }
+
+    /// Draws one noise decision: whether to flip the next conditional
+    /// prediction (xorshift64*, deterministic per seed).
+    pub(crate) fn noise_flip(&mut self) -> bool {
+        if self.bp_noise_ppm == 0 {
+            return false;
+        }
+        self.noise_rng ^= self.noise_rng << 13;
+        self.noise_rng ^= self.noise_rng >> 7;
+        self.noise_rng ^= self.noise_rng << 17;
+        (self.noise_rng % 1_000_000) < self.bp_noise_ppm as u64
+    }
+
+    /// A predictor checkpoint capturing the current GHR alongside the
+    /// caller's RAS coordinates, for squash recovery.
+    pub(crate) fn checkpoint(&self, ras_tos: usize, ras_top: usize) -> PredCheckpoint {
+        PredCheckpoint {
+            ghr: self.bp.ghr(),
+            ras_tos,
+            ras_top,
+            local_idx: 0,
+            global_idx: 0,
+            choice_idx: 0,
+            used_global: false,
+        }
+    }
+}
+
+/// Joins a visit prefix with a component prefix the way
+/// [`StatGroup`] walks expect (no leading dot at top level).
+pub(crate) fn join_prefix(prefix: &str, seg: &str) -> String {
+    if prefix.is_empty() {
+        seg.to_string()
+    } else {
+        format!("{prefix}.{seg}")
+    }
+}
+
+pub(crate) fn ctrl_kind(inst: Inst) -> Option<CtrlKind> {
+    match inst {
+        Inst::Branch { .. } => Some(CtrlKind::CondBranch),
+        Inst::Jump { .. } => Some(CtrlKind::Jump),
+        Inst::JumpInd { .. } => Some(CtrlKind::JumpIndirect),
+        Inst::Call { .. } => Some(CtrlKind::Call),
+        Inst::CallInd { .. } => Some(CtrlKind::CallIndirect),
+        Inst::Ret => Some(CtrlKind::Return),
+        _ => None,
+    }
+}

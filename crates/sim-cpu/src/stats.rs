@@ -7,8 +7,7 @@
 
 use uarch_isa::OpClass;
 use uarch_stats::{
-    stat_group, Counter, Distribution, Scalar, StatGroup, StatItem, StatKey, StatVisitor,
-    VectorStat,
+    stat_group, Counter, Distribution, Scalar, StatItem, StatKey, StatVisitor, VectorStat,
 };
 
 /// Control-flow instruction kinds (for per-kind predictor and commit
@@ -541,67 +540,8 @@ stat_group! {
     }
 }
 
-/// All statistics of the core (the memory hierarchy visits separately).
-#[derive(Debug, Default, Clone)]
-pub struct CoreStats {
-    /// Fetch stage.
-    pub fetch: FetchStats,
-    /// Decode stage.
-    pub decode: DecodeStats,
-    /// Rename stage.
-    pub rename: RenameStats,
-    /// Instruction queue.
-    pub iq: IqStats,
-    /// Issue/execute/writeback (owns LSQ + memDep groups).
-    pub iew: IewStats,
-    /// Commit stage.
-    pub commit: CommitStats,
-    /// Reorder buffer.
-    pub rob: RobStats,
-    /// Branch predictor.
-    pub bpred: BPredStats,
-    /// Data TLB.
-    pub dtb: TlbStats,
-    /// Instruction TLB.
-    pub itb: TlbStats,
-    /// CPU-level counters.
-    pub cpu: CpuStats,
-}
-
-impl StatGroup for CoreStats {
-    fn visit(&self, prefix: &str, v: &mut dyn StatVisitor) {
-        let p = |s: &str| {
-            if prefix.is_empty() {
-                s.to_string()
-            } else {
-                format!("{prefix}.{s}")
-            }
-        };
-        self.fetch.visit(&p("fetch"), v);
-        self.decode.visit(&p("decode"), v);
-        self.rename.visit(&p("rename"), v);
-        self.iq.visit(&p("iq"), v);
-        self.iew.visit(&p("iew"), v);
-        // gem5 (and the paper's Table I) also exposes the LSQ and memDep
-        // groups at top level (`lsq.squashedLoads`, `memDep.conflictingStores`)
-        // in addition to the nested `iew.lsq.thread0.*` names; emit both.
-        self.iew.lsq.visit(&p("lsq"), v);
-        self.iew.mem_dep.visit(&p("memDep"), v);
-        self.commit.visit(&p("commit"), v);
-        self.rob.visit(&p("rob"), v);
-        self.bpred.visit(&p("branchPred"), v);
-        self.dtb.visit(&p("dtb"), v);
-        self.itb.visit(&p("itb"), v);
-        // Table I spells the data TLB both `dtb` and `dtlb`; emit the alias
-        // so either name resolves (they are perfectly correlated features,
-        // which is exactly the paper's replicated-feature premise).
-        self.dtb.visit(&p("dtlb"), v);
-        self.cpu.visit(prefix, v);
-    }
-}
-
-/// Consistency invariants every snapshot of [`CoreStats`] (taken with an
-/// empty prefix) must satisfy.
+/// Consistency invariants every snapshot of a [`Core`](crate::Core)
+/// (taken with an empty prefix) must satisfy.
 ///
 /// These are the relations the counters encode by construction: a committed
 /// instruction was fetched, a TLB access either hit or missed, cycle
@@ -688,13 +628,20 @@ pub fn stat_invariants() -> Vec<uarch_stats::StatInvariant> {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use uarch_stats::Snapshot;
+
+    /// Snapshots a freshly built machine (the stage components now own the
+    /// stat groups, so the full core is the only place all of them meet).
+    fn machine_snapshot() -> Snapshot {
+        let mut a = uarch_isa::Assembler::new("census");
+        a.halt();
+        let core = crate::Core::new(crate::CoreConfig::default(), a.finish().expect("assembles"));
+        Snapshot::of(&core, "")
+    }
 
     #[test]
     fn paper_table_i_names_all_exist() {
-        let s = CoreStats::default();
-        let snap = Snapshot::of(&s, "");
+        let snap = machine_snapshot();
         for name in [
             "commit.SquashedInsts",
             "lsq.squashedStores",
@@ -751,8 +698,7 @@ mod tests {
 
     #[test]
     fn core_stats_count_is_substantial() {
-        let s = CoreStats::default();
-        let snap = Snapshot::of(&s, "");
+        let snap = machine_snapshot();
         assert!(
             snap.len() > 250,
             "expected a rich stat space, got {}",

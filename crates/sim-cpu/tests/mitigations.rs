@@ -82,11 +82,17 @@ fn index_randomization_breaks_prime_probe() {
 
 #[test]
 fn noise_costs_bounded_benign_performance() {
-    let mut clean = Core::new(CoreConfig::default(), workloads::benign::hmmer());
+    let mut clean = Core::new(
+        CoreConfig::default(),
+        workloads::benign::hmmer().expect("hmmer assembles"),
+    );
     clean.run(300_000);
     let ipc_clean = clean.committed_insts() as f64 / clean.cycles() as f64;
 
-    let mut noisy = Core::new(CoreConfig::default(), workloads::benign::hmmer());
+    let mut noisy = Core::new(
+        CoreConfig::default(),
+        workloads::benign::hmmer().expect("hmmer assembles"),
+    );
     noisy.set_bp_noise(0.05);
     noisy.run(300_000);
     let ipc_noisy = noisy.committed_insts() as f64 / noisy.cycles() as f64;

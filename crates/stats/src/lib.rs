@@ -38,6 +38,7 @@
 pub mod dist;
 pub mod group;
 pub mod invariant;
+pub mod registry;
 pub mod sampler;
 pub mod value;
 pub mod vecstat;
@@ -45,6 +46,7 @@ pub mod vecstat;
 pub use dist::Distribution;
 pub use group::{StatGroup, StatItem, StatVisitor};
 pub use invariant::{InvariantKind, StatInvariant, Violation};
+pub use registry::{ComponentId, ComponentRegistry};
 pub use sampler::{SampleSink, SampleTrace, Sampler, Schema, Snapshot};
 pub use value::{Average, Counter, Scalar};
 pub use vecstat::{StatKey, VectorStat};

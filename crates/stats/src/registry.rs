@@ -1,0 +1,257 @@
+//! The canonical pipeline-component registry.
+//!
+//! PerSpectron's detector replicates features across *17 distinct pipeline
+//! components* (§V): the out-of-order core's stages and structures plus the
+//! memory hierarchy's caches, buses and DRAM controller. Before this module
+//! existed, that taxonomy lived in three independent string-parsing copies
+//! (feature selection, stat registration, the census binary); this registry
+//! is the single source of truth they all resolve through.
+//!
+//! A [`ComponentId`] is the component itself; its prefixes
+//! (`ComponentId::prefixes`) are the dotted-stat-name prefixes the component
+//! publishes under. Some components publish under several prefixes because
+//! gem5 (and the paper's Table I) exposes the same physical unit under alias
+//! names: the IEW unit also surfaces its LSQ and memory-dependence groups at
+//! top level (`lsq.*`, `memDep.*`), and the data TLB is spelled both `dtb`
+//! and `dtlb`. Aliased statistics are perfectly correlated replicas — which
+//! is exactly the paper's replicated-feature premise.
+//!
+//! # Example
+//!
+//! ```
+//! use uarch_stats::registry::{ComponentId, ComponentRegistry};
+//!
+//! assert_eq!(ComponentId::ALL.len(), 17);
+//! assert_eq!(
+//!     ComponentRegistry::component_of("fetch.SquashCycles"),
+//!     Some(ComponentId::Fetch)
+//! );
+//! // Aliases resolve to the same physical component...
+//! assert_eq!(
+//!     ComponentRegistry::component_of("lsq.thread0.forwLoads"),
+//!     Some(ComponentId::Iew)
+//! );
+//! // ...while the legacy prefix label is preserved for feature grouping.
+//! assert_eq!(ComponentRegistry::label_of("lsq.thread0.forwLoads"), "lsq");
+//! assert_eq!(ComponentRegistry::label_of("dtlb.rdMisses"), "dtb");
+//! ```
+
+/// One of the paper's 17 pipeline components.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ComponentId {
+    /// Instruction fetch (including the I-TLB walk counters under `itb`
+    /// stay separate — see [`ComponentId::Itb`]).
+    Fetch,
+    /// Decode.
+    Decode,
+    /// Register rename.
+    Rename,
+    /// Instruction queue / issue select.
+    Iq,
+    /// Issue/execute/writeback, including its LSQ and memory-dependence
+    /// sub-units (also published under the top-level `lsq.*` / `memDep.*`
+    /// aliases).
+    Iew,
+    /// Commit.
+    Commit,
+    /// Reorder buffer.
+    Rob,
+    /// Branch predictor (tournament tables, BTB, RAS).
+    BranchPred,
+    /// Data TLB (published as both `dtb` and `dtlb`).
+    Dtb,
+    /// Instruction TLB.
+    Itb,
+    /// CPU-level counters (dotless names such as `numCycles`).
+    Cpu,
+    /// L1 instruction cache.
+    ICache,
+    /// L1 data cache.
+    DCache,
+    /// Shared L2 cache.
+    L2,
+    /// L1↔L2 crossbar.
+    ToL2Bus,
+    /// Memory bus (L2↔DRAM).
+    MemBus,
+    /// DRAM controller.
+    MemCtrl,
+}
+
+impl ComponentId {
+    /// Every component, in the canonical (schema visit) order.
+    pub const ALL: [ComponentId; 17] = [
+        ComponentId::Fetch,
+        ComponentId::Decode,
+        ComponentId::Rename,
+        ComponentId::Iq,
+        ComponentId::Iew,
+        ComponentId::Commit,
+        ComponentId::Rob,
+        ComponentId::BranchPred,
+        ComponentId::Dtb,
+        ComponentId::Itb,
+        ComponentId::Cpu,
+        ComponentId::ICache,
+        ComponentId::DCache,
+        ComponentId::L2,
+        ComponentId::ToL2Bus,
+        ComponentId::MemBus,
+        ComponentId::MemCtrl,
+    ];
+
+    /// The component's primary stat-name prefix — the one the simulator
+    /// registers the component's stat group under. [`ComponentId::Cpu`] is
+    /// the exception: its counters are dotless, so its prefix is empty.
+    pub const fn prefix(self) -> &'static str {
+        match self {
+            ComponentId::Fetch => "fetch",
+            ComponentId::Decode => "decode",
+            ComponentId::Rename => "rename",
+            ComponentId::Iq => "iq",
+            ComponentId::Iew => "iew",
+            ComponentId::Commit => "commit",
+            ComponentId::Rob => "rob",
+            ComponentId::BranchPred => "branchPred",
+            ComponentId::Dtb => "dtb",
+            ComponentId::Itb => "itb",
+            ComponentId::Cpu => "",
+            ComponentId::ICache => "icache",
+            ComponentId::DCache => "dcache",
+            ComponentId::L2 => "l2",
+            ComponentId::ToL2Bus => "tol2bus",
+            ComponentId::MemBus => "membus",
+            ComponentId::MemCtrl => "mem_ctrls",
+        }
+    }
+
+    /// Additional top-level prefixes the component's statistics are
+    /// *also* published under (gem5-style alias groups). Empty for most
+    /// components.
+    pub const fn alias_prefixes(self) -> &'static [&'static str] {
+        match self {
+            ComponentId::Iew => &["lsq", "memDep"],
+            ComponentId::Dtb => &["dtlb"],
+            _ => &[],
+        }
+    }
+
+    /// Human-readable component name (for tables and reports).
+    pub const fn name(self) -> &'static str {
+        match self {
+            ComponentId::Fetch => "fetch",
+            ComponentId::Decode => "decode",
+            ComponentId::Rename => "rename",
+            ComponentId::Iq => "instruction queue",
+            ComponentId::Iew => "issue/execute/writeback",
+            ComponentId::Commit => "commit",
+            ComponentId::Rob => "reorder buffer",
+            ComponentId::BranchPred => "branch predictor",
+            ComponentId::Dtb => "data TLB",
+            ComponentId::Itb => "instruction TLB",
+            ComponentId::Cpu => "cpu",
+            ComponentId::ICache => "L1 I-cache",
+            ComponentId::DCache => "L1 D-cache",
+            ComponentId::L2 => "L2 cache",
+            ComponentId::ToL2Bus => "L1-L2 crossbar",
+            ComponentId::MemBus => "memory bus",
+            ComponentId::MemCtrl => "DRAM controller",
+        }
+    }
+}
+
+/// The registry: resolves statistic names to the component that owns them.
+///
+/// All resolution is static (the component set is fixed by the simulated
+/// machine), so the registry is a namespace rather than an instance — there
+/// is exactly one taxonomy.
+#[derive(Debug, Clone, Copy)]
+pub struct ComponentRegistry;
+
+impl ComponentRegistry {
+    /// The component owning statistic `name`, resolved from the name's
+    /// first dotted segment. Dotless names are CPU-level counters. Returns
+    /// `None` for prefixes no registered component publishes under.
+    pub fn component_of(name: &str) -> Option<ComponentId> {
+        let (seg, dotted) = match name.split_once('.') {
+            Some((seg, _)) => (seg, true),
+            None => (name, false),
+        };
+        if !dotted {
+            return Some(ComponentId::Cpu);
+        }
+        ComponentId::ALL.into_iter().find(|c| {
+            (!c.prefix().is_empty() && c.prefix() == seg) || c.alias_prefixes().contains(&seg)
+        })
+    }
+
+    /// The component *label* of statistic `name`: the matched prefix with
+    /// TLB aliases folded (`dtlb` → `dtb`) and dotless names labelled
+    /// `cpu`. Unlike [`ComponentRegistry::component_of`], alias prefixes
+    /// keep their own label (`lsq.*` → `"lsq"`), matching how the feature
+    /// selector has always grouped columns; unknown prefixes fall through
+    /// to the raw first segment.
+    pub fn label_of(name: &str) -> &str {
+        let seg = name.split('.').next().unwrap_or(name);
+        match seg {
+            "dtlb" => "dtb",
+            _ if !name.contains('.') => "cpu",
+            seg => seg,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn there_are_exactly_17_components() {
+        assert_eq!(ComponentId::ALL.len(), 17);
+        let set: std::collections::HashSet<_> = ComponentId::ALL.into_iter().collect();
+        assert_eq!(set.len(), 17, "component ids must be distinct");
+    }
+
+    #[test]
+    fn prefixes_are_unique_across_components() {
+        let mut seen = std::collections::HashSet::new();
+        for c in ComponentId::ALL {
+            if !c.prefix().is_empty() {
+                assert!(seen.insert(c.prefix()), "duplicate prefix {}", c.prefix());
+            }
+            for a in c.alias_prefixes() {
+                assert!(seen.insert(a), "duplicate alias prefix {a}");
+            }
+        }
+    }
+
+    #[test]
+    fn alias_names_resolve_to_their_physical_component() {
+        assert_eq!(
+            ComponentRegistry::component_of("lsq.thread0.squashedLoads"),
+            Some(ComponentId::Iew)
+        );
+        assert_eq!(
+            ComponentRegistry::component_of("memDep.conflictingStores"),
+            Some(ComponentId::Iew)
+        );
+        assert_eq!(
+            ComponentRegistry::component_of("dtlb.rdMisses"),
+            Some(ComponentId::Dtb)
+        );
+        assert_eq!(
+            ComponentRegistry::component_of("numCycles"),
+            Some(ComponentId::Cpu)
+        );
+        assert_eq!(ComponentRegistry::component_of("bogus.stat"), None);
+    }
+
+    #[test]
+    fn labels_match_the_legacy_prefix_convention() {
+        assert_eq!(ComponentRegistry::label_of("fetch.SquashCycles"), "fetch");
+        assert_eq!(ComponentRegistry::label_of("lsq.thread0.forwLoads"), "lsq");
+        assert_eq!(ComponentRegistry::label_of("dtlb.rdMisses"), "dtb");
+        assert_eq!(ComponentRegistry::label_of("dtb.rdMisses"), "dtb");
+        assert_eq!(ComponentRegistry::label_of("numCycles"), "cpu");
+    }
+}

@@ -8,7 +8,7 @@
 //! legitimately cache- and branch-aggressive code. All kernels loop forever
 //! (the driver bounds them by instruction count).
 
-use uarch_isa::{Assembler, FaluOp, Program, Reg};
+use uarch_isa::{AsmError, Assembler, FaluOp, Program, Reg};
 
 /// Deterministic data generator (tiny LCG; keeps workload bytes stable
 /// across runs without threading a seed through every builder).
@@ -27,7 +27,7 @@ const ARENA: u64 = 0x60_0000;
 
 /// bzip2-like: byte-stream transform (move-to-front flavored) over a 64 KB
 /// buffer; mixes byte loads/stores with data-dependent branches.
-pub fn bzip2() -> Program {
+pub fn bzip2() -> Result<Program, AsmError> {
     let mut a = Assembler::new("bzip2");
     a.data(ARENA, pseudo_bytes(64 * 1024, 0xb21b));
     let outer = a.label();
@@ -52,12 +52,12 @@ pub fn bzip2() -> Program {
     a.addi(Reg::R10, Reg::R10, 1);
     a.blt(Reg::R10, Reg::R11, top);
     a.jmp(outer);
-    a.finish().expect("bzip2 assembles")
+    a.finish()
 }
 
 /// gcc-like: pointer chasing over a linked node arena plus a branchy
 /// "opcode" dispatch — irregular memory plus hard-to-predict branches.
-pub fn gcc() -> Program {
+pub fn gcc() -> Result<Program, AsmError> {
     let mut a = Assembler::new("gcc");
     // Nodes: 4096 nodes of 16 bytes [next: u64, op: u64] in a scrambled
     // permutation cycle.
@@ -107,12 +107,12 @@ pub fn gcc() -> Program {
     a.subi(Reg::R11, Reg::R11, 1);
     a.bnez(Reg::R11, top);
     a.jmp(outer);
-    a.finish().expect("gcc assembles")
+    a.finish()
 }
 
 /// mcf-like: repeated shortest-path arc relaxation over adjacency arrays —
 /// memory-bound with data-dependent updates.
-pub fn mcf() -> Program {
+pub fn mcf() -> Result<Program, AsmError> {
     let mut a = Assembler::new("mcf");
     let nodes = 2048u64;
     let arcs = 8192u64;
@@ -155,12 +155,12 @@ pub fn mcf() -> Program {
     a.subi(Reg::R11, Reg::R11, 1);
     a.bnez(Reg::R11, top);
     a.jmp(outer);
-    a.finish().expect("mcf assembles")
+    a.finish()
 }
 
 /// hmmer-like: integer dynamic-programming inner loop (running max of
 /// score recurrences) — ALU-dense with predictable branches.
-pub fn hmmer() -> Program {
+pub fn hmmer() -> Result<Program, AsmError> {
     let mut a = Assembler::new("hmmer");
     a.data(ARENA, pseudo_bytes(32 * 1024, 0x4a3e));
     let outer = a.label();
@@ -184,12 +184,12 @@ pub fn hmmer() -> Program {
     a.subi(Reg::R11, Reg::R11, 1);
     a.bnez(Reg::R11, top);
     a.jmp(outer);
-    a.finish().expect("hmmer assembles")
+    a.finish()
 }
 
 /// sjeng-like: chess-style search — xorshift-driven unpredictable branches
 /// over table lookups.
-pub fn sjeng() -> Program {
+pub fn sjeng() -> Result<Program, AsmError> {
     let mut a = Assembler::new("sjeng");
     a.data(ARENA, pseudo_bytes(128 * 1024, 0x53e6));
     let outer = a.label();
@@ -226,12 +226,12 @@ pub fn sjeng() -> Program {
     a.subi(Reg::R11, Reg::R11, 1);
     a.bnez(Reg::R11, top);
     a.jmp(outer);
-    a.finish().expect("sjeng assembles")
+    a.finish()
 }
 
 /// gobmk-like: Go board scans — nested loops over a 2D byte board with
 /// neighbor counting and branchy liberties checks.
-pub fn gobmk() -> Program {
+pub fn gobmk() -> Result<Program, AsmError> {
     let mut a = Assembler::new("gobmk");
     let board = 64u64; // 64x64 board
     a.data(ARENA, pseudo_bytes((board * board) as usize, 0x60b2));
@@ -271,12 +271,12 @@ pub fn gobmk() -> Program {
     a.addi(Reg::R10, Reg::R10, 1);
     a.blt(Reg::R10, Reg::R18, row_loop);
     a.jmp(outer);
-    a.finish().expect("gobmk assembles")
+    a.finish()
 }
 
 /// libquantum-like: streaming toggles — long sequential passes XOR-ing a
 /// large array (bandwidth bound, very regular).
-pub fn libquantum() -> Program {
+pub fn libquantum() -> Result<Program, AsmError> {
     let mut a = Assembler::new("libquantum");
     a.data(ARENA, pseudo_bytes(512 * 1024, 0x11b));
     let outer = a.label();
@@ -291,12 +291,12 @@ pub fn libquantum() -> Program {
     a.addi(Reg::R10, Reg::R10, 8);
     a.blt(Reg::R10, Reg::R11, top);
     a.jmp(outer);
-    a.finish().expect("libquantum assembles")
+    a.finish()
 }
 
 /// h264ref-like: sum-of-absolute-differences over 16×16 blocks using the
 /// SIMD lanes — streaming reads plus vector arithmetic.
-pub fn h264ref() -> Program {
+pub fn h264ref() -> Result<Program, AsmError> {
     let mut a = Assembler::new("h264ref");
     a.data(ARENA, pseudo_bytes(256 * 1024, 0x264));
     let frame2 = ARENA + 128 * 1024;
@@ -320,12 +320,12 @@ pub fn h264ref() -> Program {
     a.subi(Reg::R12, Reg::R12, 1);
     a.bnez(Reg::R12, top);
     a.jmp(outer);
-    a.finish().expect("h264ref assembles")
+    a.finish()
 }
 
 /// astar-like: grid pathfinding sweep — frontier array scans with
 /// comparisons and irregular branch outcomes.
-pub fn astar() -> Program {
+pub fn astar() -> Result<Program, AsmError> {
     let mut a = Assembler::new("astar");
     a.data(ARENA, pseudo_bytes(64 * 1024, 0xa57a));
     let outer = a.label();
@@ -347,12 +347,12 @@ pub fn astar() -> Program {
     a.subi(Reg::R11, Reg::R11, 1);
     a.bnez(Reg::R11, top);
     a.jmp(outer);
-    a.finish().expect("astar assembles")
+    a.finish()
 }
 
 /// omnetpp-like: discrete-event simulation — binary-heap sift operations on
 /// an event queue (pointer arithmetic + compare/swap chains).
-pub fn omnetpp() -> Program {
+pub fn omnetpp() -> Result<Program, AsmError> {
     let mut a = Assembler::new("omnetpp");
     let n = 4096u64;
     a.data(ARENA, pseudo_bytes((n * 8) as usize, 0x03e7));
@@ -378,12 +378,12 @@ pub fn omnetpp() -> Program {
     a.li(Reg::R16, n as i64);
     a.blt(Reg::R10, Reg::R16, sift);
     a.jmp(outer);
-    a.finish().expect("omnetpp assembles")
+    a.finish()
 }
 
 /// povray-like: ray/sphere intersection math — chains of FP multiply, add,
 /// divide and square root.
-pub fn povray() -> Program {
+pub fn povray() -> Result<Program, AsmError> {
     let mut a = Assembler::new("povray");
     let outer = a.label();
     a.bind(outer);
@@ -404,12 +404,12 @@ pub fn povray() -> Program {
     a.subi(Reg::R10, Reg::R10, 1);
     a.bnez(Reg::R10, top);
     a.jmp(outer);
-    a.finish().expect("povray assembles")
+    a.finish()
 }
 
 /// dealII-like: sparse matrix-vector product — indirect index loads feeding
 /// FP multiply-accumulate.
-pub fn dealii() -> Program {
+pub fn dealii() -> Result<Program, AsmError> {
     let mut a = Assembler::new("dealII");
     let nnz = 8192u64;
     // col indices (u64) then values (f64 bits).
@@ -452,12 +452,12 @@ pub fn dealii() -> Program {
     a.li(Reg::R19, nnz as i64);
     a.blt(Reg::R10, Reg::R19, top);
     a.jmp(outer);
-    a.finish().expect("dealii assembles")
+    a.finish()
 }
 
 /// perlbench-like: string hashing and dictionary probing — byte loads,
 /// multiplies and compare-heavy lookups.
-pub fn perlbench() -> Program {
+pub fn perlbench() -> Result<Program, AsmError> {
     let mut a = Assembler::new("perlbench");
     a.data(ARENA, pseudo_bytes(32 * 1024, 0x9e71));
     let outer = a.label();
@@ -485,26 +485,27 @@ pub fn perlbench() -> Program {
     a.subi(Reg::R11, Reg::R11, 1);
     a.bnez(Reg::R11, str_loop);
     a.jmp(outer);
-    a.finish().expect("perlbench assembles")
+    a.finish()
 }
 
-/// All benign builders with their names.
-pub fn all_benign() -> Vec<Program> {
-    vec![
-        bzip2(),
-        gcc(),
-        mcf(),
-        hmmer(),
-        sjeng(),
-        gobmk(),
-        libquantum(),
-        h264ref(),
-        astar(),
-        omnetpp(),
-        povray(),
-        dealii(),
-        perlbench(),
-    ]
+/// All benign builders with their names. Fails on the first kernel whose
+/// assembly is inconsistent (an unbound or rebound label).
+pub fn all_benign() -> Result<Vec<Program>, AsmError> {
+    Ok(vec![
+        bzip2()?,
+        gcc()?,
+        mcf()?,
+        hmmer()?,
+        sjeng()?,
+        gobmk()?,
+        libquantum()?,
+        h264ref()?,
+        astar()?,
+        omnetpp()?,
+        povray()?,
+        dealii()?,
+        perlbench()?,
+    ])
 }
 
 #[cfg(test)]
@@ -513,19 +514,20 @@ mod tests {
     use sim_cpu::{Core, CoreConfig};
 
     #[test]
-    fn every_benign_kernel_runs_indefinitely() {
-        for p in all_benign() {
+    fn every_benign_kernel_runs_indefinitely() -> Result<(), AsmError> {
+        for p in all_benign()? {
             let name = p.name().to_string();
             let mut core = Core::new(CoreConfig::default(), p);
             let s = core.run(60_000);
             assert!(!s.halted, "{name} must loop forever");
             assert!(s.committed >= 60_000, "{name} must make progress");
         }
+        Ok(())
     }
 
     #[test]
-    fn benign_kernels_do_not_fault_or_flush() {
-        for p in all_benign() {
+    fn benign_kernels_do_not_fault_or_flush() -> Result<(), AsmError> {
+        for p in all_benign()? {
             let name = p.name().to_string();
             let mut core = Core::new(CoreConfig::default(), p);
             core.run(60_000);
@@ -536,11 +538,12 @@ mod tests {
                 "{name} flushes"
             );
         }
+        Ok(())
     }
 
     #[test]
-    fn fp_kernels_exercise_float_units() {
-        for p in [povray(), dealii(), h264ref()] {
+    fn fp_kernels_exercise_float_units() -> Result<(), AsmError> {
+        for p in [povray()?, dealii()?, h264ref()?] {
             let name = p.name().to_string();
             let mut core = Core::new(CoreConfig::default(), p);
             core.run(60_000);
@@ -551,15 +554,17 @@ mod tests {
                 + core.stats().commit.op_class.get(OpClass::SimdCvt);
             assert!(fp + simd > 0, "{name} must commit FP/SIMD work");
         }
+        Ok(())
     }
 
     #[test]
-    fn branchy_kernels_mispredict_sometimes() {
-        let mut core = Core::new(CoreConfig::default(), sjeng());
+    fn branchy_kernels_mispredict_sometimes() -> Result<(), AsmError> {
+        let mut core = Core::new(CoreConfig::default(), sjeng()?);
         core.run(100_000);
         assert!(
             core.stats().iew.branch_mispredicts.value() > 50,
             "sjeng's random branches must defeat the predictor sometimes"
         );
+        Ok(())
     }
 }

@@ -136,11 +136,22 @@ pub fn attack_suite() -> Vec<Workload> {
 }
 
 /// The benign SPEC-like suite.
+///
+/// # Panics
+///
+/// Panics if a benign kernel fails to assemble (a bug in the builders —
+/// see [`try_benign_suite`] for the fallible variant).
 pub fn benign_suite() -> Vec<Workload> {
-    benign::all_benign()
+    try_benign_suite().expect("benign suite assembles")
+}
+
+/// Fallible variant of [`benign_suite`]: surfaces the first assembly error
+/// instead of panicking.
+pub fn try_benign_suite() -> Result<Vec<Workload>, uarch_isa::AsmError> {
+    Ok(benign::all_benign()?
         .into_iter()
         .map(|p| Workload::new(Class::Benign, Family::Benign, p))
-        .collect()
+        .collect())
 }
 
 /// The twelve polymorphic SpectreV1 variants (none of which appear in the
