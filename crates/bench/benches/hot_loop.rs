@@ -1,0 +1,65 @@
+//! The simulator hot loop, A/B: the optimized core (decoded-instruction
+//! cache, ready-queue wakeup/select, completion min-heap, tick-skip) against
+//! the reference machine (per-fetch decode, full-window scans, stepped
+//! clock), and each optimization's runtime toggle in isolation.
+//!
+//! The two paths are bit-identical in every statistic (see the
+//! `reference_equivalence` tests in sim-cpu); this bench measures what the
+//! identity buys. `PERSPECTRON_QUICK=1` shrinks the instruction budget for
+//! CI smoke runs.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sim_cpu::{Core, CoreConfig};
+use uarch_isa::Program;
+use workloads::spectre::{spectre_v1, SpectreV1Params};
+
+fn insts() -> u64 {
+    if std::env::var("PERSPECTRON_QUICK").is_ok() {
+        10_000
+    } else {
+        50_000
+    }
+}
+
+fn cfg(reference_scan: bool, tick_skip: bool) -> CoreConfig {
+    CoreConfig {
+        reference_scan,
+        tick_skip,
+        ..CoreConfig::default()
+    }
+}
+
+fn bench_workload(c: &mut Criterion, name: &str, program: &Program) {
+    let n = insts();
+    let mut group = c.benchmark_group(format!("simulator_hot_loop/{name}"));
+    group.throughput(Throughput::Elements(n));
+    group.sample_size(10);
+
+    for (label, reference_scan, tick_skip) in [
+        ("optimized", false, true),
+        ("no_tick_skip", false, false),
+        ("reference_scan", true, false),
+    ] {
+        let program = program.clone();
+        group.bench_function(label, move |b| {
+            b.iter(|| {
+                let mut core = Core::new(cfg(reference_scan, tick_skip), program.clone());
+                core.run(n)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_hot_loop(c: &mut Criterion) {
+    bench_workload(
+        c,
+        "hmmer",
+        &workloads::benign::hmmer().expect("hmmer assembles"),
+    );
+    bench_workload(c, "mcf", &workloads::benign::mcf().expect("mcf assembles"));
+    bench_workload(c, "spectre_v1", &spectre_v1(SpectreV1Params::default()));
+}
+
+criterion_group!(benches, bench_hot_loop);
+criterion_main!(benches);

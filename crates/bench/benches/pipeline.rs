@@ -51,17 +51,18 @@ fn bench_spec() -> CorpusSpec {
 
 /// The worker count the parallel pass actually runs with.
 ///
-/// `PERSPECTRON_BENCH_THREADS` overrides; otherwise non-smoke runs use at
-/// least 4 workers (so the parallel path is genuinely exercised even on
-/// small hosts), smoke runs stay at the host parallelism. Always clamped to
-/// the workload count, mirroring `try_collect_with_threads`.
+/// Clamped to the host's `available_parallelism`: running more workers
+/// than hardware threads only time-slices them and reports a fictitious
+/// "parallel" number. `PERSPECTRON_BENCH_THREADS` still overrides (an
+/// explicit request is honored as-is — the JSON flags the oversubscription
+/// instead of silently correcting it). Always clamped to the workload
+/// count, mirroring `try_collect_with_threads`.
 fn worker_threads(n_workloads: usize) -> usize {
     let available = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let quick = std::env::var("PERSPECTRON_QUICK").is_ok();
     let requested = std::env::var("PERSPECTRON_BENCH_THREADS")
         .ok()
         .and_then(|s| s.parse().ok());
-    let t = requested.unwrap_or(if quick { available } else { available.max(4) });
+    let t = requested.unwrap_or(available);
     t.clamp(1, n_workloads.max(1))
 }
 
@@ -124,18 +125,33 @@ fn bench_pipeline(c: &mut Criterion) {
 
     let (snapshot_allocs, streaming_allocs) = allocation_comparison(samples.max(1));
 
+    // Single-core hot-loop throughput: one long simulated run, wall-clock
+    // rates straight off the `RunSummary`.
+    let mut hot = Core::new(
+        CoreConfig::default(),
+        workloads::benign::hmmer().expect("hmmer assembles"),
+    );
+    let hot_summary = hot.run(spec.insts_per_workload.max(100_000));
+    println!(
+        "hot loop: {:.0} insts/s, {:.0} sim cycles/s",
+        hot_summary.insts_per_sec, hot_summary.sim_cycles_per_sec
+    );
+
     let json = format!(
-        "{{\n  \"bench\": \"corpus_collection_quick\",\n  \"workloads\": {},\n  \"insts_per_workload\": {},\n  \"samples\": {},\n  \"threads\": {},\n  \"available_parallelism\": {},\n  \"serial_secs\": {:.3},\n  \"parallel_secs\": {:.3},\n  \"speedup\": {:.2},\n  \"serial_samples_per_sec\": {:.1},\n  \"parallel_samples_per_sec\": {:.1},\n  \"allocs_per_sample_snapshot_path\": {:.1},\n  \"allocs_per_sample_streaming_path\": {:.1},\n  \"alloc_reduction\": {:.1}\n}}\n",
+        "{{\n  \"bench\": \"corpus_collection_quick\",\n  \"workloads\": {},\n  \"insts_per_workload\": {},\n  \"samples\": {},\n  \"threads\": {},\n  \"available_parallelism\": {},\n  \"oversubscribed\": {},\n  \"serial_secs\": {:.3},\n  \"parallel_secs\": {:.3},\n  \"speedup\": {:.2},\n  \"serial_samples_per_sec\": {:.1},\n  \"parallel_samples_per_sec\": {:.1},\n  \"insts_per_sec\": {:.0},\n  \"cycles_per_sec\": {:.0},\n  \"allocs_per_sample_snapshot_path\": {:.1},\n  \"allocs_per_sample_streaming_path\": {:.1},\n  \"alloc_reduction\": {:.1}\n}}\n",
         spec.workloads.len(),
         spec.insts_per_workload,
         samples,
         threads,
         available,
+        threads > available,
         serial_secs,
         parallel_secs,
         serial_secs / parallel_secs.max(1e-9),
         samples as f64 / serial_secs.max(1e-9),
         samples as f64 / parallel_secs.max(1e-9),
+        hot_summary.insts_per_sec,
+        hot_summary.sim_cycles_per_sec,
         snapshot_allocs,
         streaming_allocs,
         snapshot_allocs / streaming_allocs.max(1.0),

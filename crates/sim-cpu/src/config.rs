@@ -75,6 +75,17 @@ pub struct CoreConfig {
     pub dtlb_entries: usize,
     /// I-TLB entries.
     pub itlb_entries: usize,
+    /// Use the original full-window issue scan and completion scan instead
+    /// of the ready-queue/event-driven fast path. The two are bit-identical
+    /// in every statistic; this flag exists so equivalence tests can run
+    /// both in one build. Defaults to `false` (fast path), or `true` when
+    /// the `reference-scan` feature is enabled.
+    pub reference_scan: bool,
+    /// Skip ahead over cycles in which every stage is provably stalled
+    /// (e.g. the whole window waiting on a DRAM fill), crediting the same
+    /// per-cycle stall statistics the stages would have recorded. Only
+    /// effective on the fast path (`reference_scan = false`).
+    pub tick_skip: bool,
 }
 
 impl Default for CoreConfig {
@@ -111,6 +122,8 @@ impl Default for CoreConfig {
             membar_drain: 4,
             dtlb_entries: 64,
             itlb_entries: 64,
+            reference_scan: cfg!(feature = "reference-scan"),
+            tick_skip: true,
         }
     }
 }

@@ -12,12 +12,15 @@
 //! the caches — the side-channel), and squash walks undo the rename map,
 //! the call stack, the RAS and the global history.
 
+use std::time::Instant;
+
 use sim_mem::{HierarchyConfig, MemoryHierarchy};
 use uarch_isa::{MarkKind, Program, Reg};
 use uarch_stats::registry::ComponentId;
 use uarch_stats::{SampleSink, Sampler, Schema, StatGroup, StatVisitor};
 
 use crate::config::CoreConfig;
+use crate::decoded::DecodedProgram;
 use crate::error::SimError;
 use crate::pipeline::commit::{CommitPorts, CommitStage};
 use crate::pipeline::decode::{DecodePorts, DecodeStage};
@@ -52,7 +55,7 @@ pub struct MarkEvent {
 }
 
 /// Outcome of a [`Core::run`] call.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RunSummary {
     /// Instructions committed in total.
     pub committed: u64,
@@ -60,6 +63,13 @@ pub struct RunSummary {
     pub cycles: u64,
     /// Whether the program halted.
     pub halted: bool,
+    /// Wall-clock throughput of this call: committed instructions per
+    /// host second (0.0 when the call committed nothing or the clock
+    /// resolution swallowed it).
+    pub insts_per_sec: f64,
+    /// Wall-clock throughput of this call: simulated cycles per host
+    /// second.
+    pub sim_cycles_per_sec: f64,
 }
 
 /// A borrowed view of every statistic group of the core, assembled from
@@ -102,6 +112,9 @@ pub struct CoreStatsView<'a> {
 pub struct Core {
     cfg: CoreConfig,
     program: Program,
+    /// The program decoded once up front; fetch stamps instructions from
+    /// this cache instead of re-decoding per fetched instruction.
+    decoded: DecodedProgram,
     mem: MemoryHierarchy,
 
     // Pipeline stages (each owns its architectural state and stats).
@@ -164,10 +177,11 @@ impl Core {
         hcfg: HierarchyConfig,
     ) -> Result<Self, SimError> {
         cfg.validate()?;
-        let mut mem = MemoryHierarchy::new(hcfg);
+        let mut mem = MemoryHierarchy::try_new(hcfg)?;
         for seg in program.segments() {
             mem.memory_mut().write_bytes(seg.base, &seg.data);
         }
+        let decoded = DecodedProgram::new(&program);
         Ok(Self {
             fetch: FetchStage::new(&cfg),
             decode: DecodeStage::default(),
@@ -188,6 +202,7 @@ impl Core {
             marks: Vec::new(),
             cfg,
             program,
+            decoded,
             mem,
         })
     }
@@ -269,16 +284,36 @@ impl Core {
 
     /// Runs until the program halts or `max_insts` more instructions commit.
     /// Returns a summary of total progress.
+    ///
+    /// When `CoreConfig::tick_skip` is set (the default on the fast path)
+    /// the run loop jumps over stretches of cycles in which every stage is
+    /// provably stalled — typically the whole window waiting on a DRAM
+    /// fill — crediting the exact per-cycle stall statistics the stepped
+    /// loop would have recorded.
     pub fn run(&mut self, max_insts: u64) -> RunSummary {
+        let started = Instant::now();
+        let committed_before = self.committed;
+        let cycles_before = self.cycle;
         let target = self.committed.saturating_add(max_insts);
         let cycle_cap = self.cycle + max_insts.saturating_mul(40) + 2_000_000;
+        let skip = self.cfg.tick_skip && !self.cfg.reference_scan;
         while !self.halted && self.committed < target && self.cycle < cycle_cap {
+            if skip {
+                self.skip_stalled_cycles(cycle_cap);
+                if self.cycle >= cycle_cap {
+                    break;
+                }
+            }
             self.step();
         }
+        let secs = started.elapsed().as_secs_f64();
+        let rate = |delta: u64| if secs > 0.0 { delta as f64 / secs } else { 0.0 };
         RunSummary {
             committed: self.committed,
             cycles: self.cycle,
             halted: self.halted,
+            insts_per_sec: rate(self.committed - committed_before),
+            sim_cycles_per_sec: rate(self.cycle - cycles_before),
         }
     }
 
@@ -312,12 +347,17 @@ impl Core {
         if interval == 0 {
             return Err(SimError::ZeroSampleInterval);
         }
+        let started = Instant::now();
+        let committed_before = self.committed;
+        let cycles_before = self.cycle;
         let mut sampler = Sampler::new(&*self, "");
         let mut next = interval;
         let mut summary = RunSummary {
             committed: self.committed,
             cycles: self.cycle,
             halted: self.halted,
+            insts_per_sec: 0.0,
+            sim_cycles_per_sec: 0.0,
         };
         while next <= insts {
             summary = self.run(next - self.committed_insts());
@@ -326,6 +366,13 @@ impl Core {
             }
             sampler.sample_into(&*self, self.committed_insts(), sink);
             next += interval;
+        }
+        // Per-chunk rates from the inner `run` calls exclude sampling
+        // overhead; report whole-call throughput instead.
+        let secs = started.elapsed().as_secs_f64();
+        if secs > 0.0 {
+            summary.insts_per_sec = (self.committed - committed_before) as f64 / secs;
+            summary.sim_cycles_per_sec = (self.cycle - cycles_before) as f64 / secs;
         }
         Ok(summary)
     }
@@ -363,6 +410,7 @@ impl Core {
             iq_stats: &mut self.issue.stats,
             cpu: &mut self.cpu,
             cycle: self.cycle,
+            reference_scan: self.cfg.reference_scan,
         });
         if let Some(req) = req {
             self.apply_squash(&req);
@@ -404,7 +452,7 @@ impl Core {
 
         self.fetch.tick(FetchPorts {
             cfg: &self.cfg,
-            program: &self.program,
+            decoded: &self.decoded,
             mem: &mut self.mem,
             pred: &mut self.pred,
             cpu: &mut self.cpu,
@@ -416,6 +464,223 @@ impl Core {
         });
 
         self.end_of_cycle();
+    }
+
+    /// Advances the clock past cycles in which every pipeline stage is
+    /// provably stalled, crediting per skipped cycle exactly the stall
+    /// statistics the stepped loop would have recorded.
+    ///
+    /// A skip is only taken when every stage's tick would be a pure
+    /// stall — same counters incremented every cycle, zero machine-state
+    /// mutation. Any stage that could make progress (or perform a
+    /// one-time mutation, like commit authorizing a non-speculative
+    /// head) makes this a no-op and the caller falls back to `step`.
+    /// The clock jumps to the earliest event that can unstall anything:
+    /// the next execute completion or a timed fetch stall expiring.
+    fn skip_stalled_cycles(&mut self, cycle_cap: u64) {
+        // What a stalled stage would record each cycle.
+        enum CommitStall {
+            /// Empty ROB.
+            Idle,
+            /// Head not executed yet (already authorized if non-spec).
+            HeadWait { non_spec: bool },
+        }
+        enum RenameStall {
+            Idle,
+            Serialize,
+            RobFull,
+            IqFull,
+            LqFull,
+            SqFull,
+            RegsFull,
+        }
+        enum FetchStall {
+            Idle,
+            PendingTrap,
+            SquashWait,
+            Quiesce,
+            ICache,
+            QueueFullMisc,
+            QueueFullBlocked,
+        }
+
+        // Commit: retirement must be provably stuck. An executed head
+        // (committable, or a fault working through its recognition
+        // timer) and a non-speculative head still awaiting its one-time
+        // execution authorization both mutate state — no skip.
+        let commit_stall = match self.window.rob.front() {
+            None => CommitStall::Idle,
+            Some(h) if !h.executed && (!h.non_spec || h.can_exec_non_spec) => {
+                CommitStall::HeadWait {
+                    non_spec: h.non_spec,
+                }
+            }
+            _ => return,
+        };
+
+        // Execute: nothing may be due to complete this cycle.
+        let next_completion = self.exec.next_completion(&self.window);
+        if next_completion.is_some_and(|at| at <= self.cycle) {
+            return;
+        }
+
+        // Issue: every ready-set entry must be stale. A live entry —
+        // even one blocked on a functional unit or a saturated MSHR
+        // pool — records per-cycle statistics, so it vetoes the skip.
+        // Dropping stale entries here is stat-neutral (the select loop
+        // removes them silently on first visit); the collection is only
+        // populated in the rare post-squash case, keeping the common
+        // per-step check allocation-free.
+        let mut stale: Vec<(usize, u64)> = Vec::new();
+        for (pool, set) in self.window.ready.iter().enumerate() {
+            for &seq in set {
+                match self.window.find(seq) {
+                    Some(d) if d.in_iq && !d.issued && !d.squashed => return,
+                    _ => stale.push((pool, seq)),
+                }
+            }
+        }
+        for (pool, seq) in stale {
+            self.window.ready[pool].remove(&seq);
+        }
+
+        // Rename: the stage must stall on its very first candidate, in
+        // the exact order its tick checks admission.
+        let rename_stall = match self.decode_q.0.front() {
+            None => RenameStall::Idle,
+            Some(front) => {
+                if front.serializing && !self.window.rob.is_empty() {
+                    RenameStall::Serialize
+                } else if self.window.rob.len() >= self.cfg.rob_entries {
+                    RenameStall::RobFull
+                } else if self.window.iq_used >= self.cfg.iq_entries {
+                    RenameStall::IqFull
+                } else if front.load && self.window.lq_used >= self.cfg.lq_entries {
+                    RenameStall::LqFull
+                } else if front.store && self.window.sq_used >= self.cfg.sq_entries {
+                    RenameStall::SqFull
+                } else if front.arch_dest.is_some() && self.regs.free_list.is_empty() {
+                    RenameStall::RegsFull
+                } else {
+                    return;
+                }
+            }
+        };
+
+        // Decode: nothing to drain, or nowhere to put it.
+        let decode_blocked = if self.fetch_q.is_empty() {
+            false
+        } else if self.decode_q.len() >= self.cfg.decode_queue {
+            true
+        } else {
+            return;
+        };
+
+        // Fetch: the stall cascade, in tick order. Timed stalls bound
+        // the skip; an expired I-cache stall means fetch would resume.
+        let mut fetch_wake: Option<u64> = None;
+        let fetch_stall = if self.halted || self.fetch.fetch_stopped {
+            FetchStall::Idle
+        } else if self.cycle < self.fetch.trap_pending_until {
+            fetch_wake = Some(self.fetch.trap_pending_until);
+            FetchStall::PendingTrap
+        } else if self.cycle < self.fetch.fetch_resume_at {
+            fetch_wake = Some(self.fetch.fetch_resume_at);
+            FetchStall::SquashWait
+        } else if self.window.membars_in_flight > 0 {
+            FetchStall::Quiesce
+        } else if self.fetch.icache_outstanding {
+            if self.cycle < self.fetch.icache_stall_until {
+                fetch_wake = Some(self.fetch.icache_stall_until);
+                FetchStall::ICache
+            } else {
+                return;
+            }
+        } else if self.fetch_q.len() >= self.cfg.fetch_queue {
+            if self.decode_q.len() >= self.cfg.decode_queue {
+                FetchStall::QueueFullMisc
+            } else {
+                FetchStall::QueueFullBlocked
+            }
+        } else {
+            return;
+        };
+
+        // Earliest event that can unstall anything. Both `None` is a
+        // provable deadlock: the stepped loop would spin to its cycle
+        // cap, so jump there crediting the identical stall counters.
+        let wake = match (next_completion, fetch_wake) {
+            (Some(a), Some(b)) => a.min(b),
+            (Some(a), None) => a,
+            (None, Some(b)) => b,
+            (None, None) => cycle_cap,
+        };
+        let skip_to = wake.min(cycle_cap);
+
+        while self.cycle < skip_to {
+            match commit_stall {
+                CommitStall::Idle => self.commit.stats.idle_cycles.inc(),
+                CommitStall::HeadWait { non_spec } => {
+                    if non_spec {
+                        self.commit.stats.non_spec_stalls.inc();
+                    }
+                }
+            }
+            self.commit.stats.committed_per_cycle.0.record(0.0);
+
+            self.issue.stats.issued_per_cycle.0.record(0.0);
+            self.issue.stats.empty_issue_cycles.inc();
+            self.exec.stats.idle_cycles.inc();
+
+            match rename_stall {
+                RenameStall::Idle => self.rename.stats.idle_cycles.inc(),
+                RenameStall::Serialize => {
+                    self.rename.stats.serialize_stall_cycles.inc();
+                    self.fetch.stats.pending_drain_cycles.inc();
+                }
+                RenameStall::RobFull => {
+                    self.rename.stats.rob_full_events.inc();
+                    self.rename.stats.block_cycles.inc();
+                }
+                RenameStall::IqFull => {
+                    self.rename.stats.iq_full_events.inc();
+                    self.rename.stats.block_cycles.inc();
+                }
+                RenameStall::LqFull => {
+                    self.rename.stats.lq_full_events.inc();
+                    self.rename.stats.block_cycles.inc();
+                }
+                RenameStall::SqFull => {
+                    self.rename.stats.sq_full_events.inc();
+                    self.rename.stats.block_cycles.inc();
+                }
+                RenameStall::RegsFull => {
+                    self.rename.stats.full_registers_events.inc();
+                    self.rename.stats.block_cycles.inc();
+                }
+            }
+
+            if decode_blocked {
+                self.decode.stats.blocked_cycles.inc();
+            } else {
+                self.decode.stats.idle_cycles.inc();
+            }
+
+            match fetch_stall {
+                FetchStall::Idle => self.fetch.stats.idle_cycles.inc(),
+                FetchStall::PendingTrap => self.fetch.stats.pending_trap_stall_cycles.inc(),
+                FetchStall::SquashWait => self.fetch.stats.squash_cycles.inc(),
+                FetchStall::Quiesce => {
+                    self.fetch.stats.pending_quiesce_stall_cycles.inc();
+                    self.cpu.quiesce_cycles.inc();
+                }
+                FetchStall::ICache => self.fetch.stats.icache_stall_cycles.inc(),
+                FetchStall::QueueFullMisc => self.fetch.stats.misc_stall_cycles.inc(),
+                FetchStall::QueueFullBlocked => self.fetch.stats.blocked_cycles.inc(),
+            }
+
+            self.end_of_cycle();
+        }
     }
 
     /// Applies a stage's squash request through the squash unit, then

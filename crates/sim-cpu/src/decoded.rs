@@ -1,0 +1,174 @@
+//! The decoded-instruction cache: every static instruction is decoded
+//! once per program, keyed by pc.
+//!
+//! The pipeline asks the same questions about an instruction on every
+//! fetch and on several later stages — op class, functional-unit pool,
+//! control kind, load/store/serializing/non-speculative flags, register
+//! operands. All of those are pure functions of the static [`Inst`], so
+//! the core derives them once in [`DecodedProgram::new`] and the fetch
+//! stage stamps the cached answers into each [`DynInst`](crate::dyninst::DynInst)
+//! via [`DynInst::from_decoded`](crate::dyninst::DynInst::from_decoded)
+//! instead of re-matching on the enum in every stage of every cycle.
+
+use uarch_isa::{Inst, OpClass, Program, Reg};
+
+use crate::pipeline::ctrl_kind;
+use crate::stats::CtrlKind;
+
+/// Maps an op class to its functional-unit pool index: 0 = integer ALU,
+/// 1 = integer multiply/divide, 2 = floating point, 3 = SIMD,
+/// 4 = memory ports.
+pub(crate) fn fu_pool(class: OpClass) -> usize {
+    match class {
+        OpClass::IntAlu | OpClass::NoOpClass => 0,
+        OpClass::IntMult | OpClass::IntDiv => 1,
+        OpClass::FloatAdd
+        | OpClass::FloatMult
+        | OpClass::FloatDiv
+        | OpClass::FloatSqrt
+        | OpClass::FloatCvt => 2,
+        OpClass::SimdAdd | OpClass::SimdMult | OpClass::SimdCvt => 3,
+        OpClass::MemRead | OpClass::MemWrite | OpClass::FloatMemRead | OpClass::FloatMemWrite => 4,
+    }
+}
+
+/// One statically decoded instruction: the instruction itself plus every
+/// property the pipeline derives from it.
+#[derive(Debug, Clone, Copy)]
+pub struct DecodedInst {
+    /// The static instruction.
+    pub inst: Inst,
+    /// Op class (functional-unit selection, per-class statistics).
+    pub class: OpClass,
+    /// Functional-unit pool index for `class`.
+    pub pool: usize,
+    /// Control-flow kind, if this is a control instruction.
+    pub ctrl_kind: Option<CtrlKind>,
+    /// Any control-flow instruction.
+    pub ctrl: bool,
+    /// A load.
+    pub load: bool,
+    /// A store.
+    pub store: bool,
+    /// Rename must drain the window before dispatching this.
+    pub serializing: bool,
+    /// May only execute at the head of the ROB.
+    pub non_speculative: bool,
+    /// Destination architectural register, if written.
+    pub dest: Option<Reg>,
+    /// Source architectural registers (up to two).
+    pub sources: (Option<Reg>, Option<Reg>),
+}
+
+impl DecodedInst {
+    /// Decodes one static instruction.
+    pub fn decode(inst: Inst) -> Self {
+        let class = inst.op_class();
+        Self {
+            inst,
+            class,
+            pool: fu_pool(class),
+            ctrl_kind: ctrl_kind(inst),
+            ctrl: inst.is_control(),
+            load: matches!(inst, Inst::Load { .. }),
+            store: matches!(inst, Inst::Store { .. }),
+            serializing: inst.is_serializing(),
+            non_speculative: inst.is_non_speculative(),
+            dest: inst.dest(),
+            sources: inst.sources(),
+        }
+    }
+}
+
+/// A program with every instruction pre-decoded, indexed by pc.
+///
+/// Out-of-range fetches (speculative wrong-path pcs past the end of the
+/// program) resolve to a decoded `Halt`, mirroring
+/// `Program::fetch(pc).unwrap_or(Inst::Halt)` on the original path.
+#[derive(Debug, Clone)]
+pub struct DecodedProgram {
+    insts: Vec<DecodedInst>,
+    halt: DecodedInst,
+}
+
+impl DecodedProgram {
+    /// Decodes every instruction of `program` once.
+    pub fn new(program: &Program) -> Self {
+        Self {
+            insts: program
+                .code()
+                .iter()
+                .map(|&i| DecodedInst::decode(i))
+                .collect(),
+            halt: DecodedInst::decode(Inst::Halt),
+        }
+    }
+
+    /// The decoded instruction at `pc` (`Halt` past the end).
+    pub fn fetch(&self, pc: usize) -> &DecodedInst {
+        self.insts.get(pc).unwrap_or(&self.halt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uarch_isa::{Assembler, Width};
+
+    #[test]
+    fn decode_matches_the_inst_helpers() {
+        let insts = [
+            Inst::Li {
+                rd: Reg::R1,
+                imm: 3,
+            },
+            Inst::Load {
+                rd: Reg::R2,
+                base: Reg::R1,
+                offset: 0,
+                width: Width::Double,
+                fp: false,
+            },
+            Inst::Store {
+                rs: Reg::R2,
+                base: Reg::R1,
+                offset: 8,
+                width: Width::Double,
+                fp: false,
+            },
+            Inst::Branch {
+                cond: uarch_isa::Cond::Lt,
+                ra: Reg::R1,
+                rb: Reg::R2,
+                target: 0,
+            },
+            Inst::Membar,
+            Inst::Fence,
+            Inst::Halt,
+        ];
+        for inst in insts {
+            let d = DecodedInst::decode(inst);
+            assert_eq!(d.class, inst.op_class());
+            assert_eq!(d.pool, fu_pool(inst.op_class()));
+            assert_eq!(d.ctrl, inst.is_control());
+            assert_eq!(d.load, matches!(inst, Inst::Load { .. }));
+            assert_eq!(d.store, matches!(inst, Inst::Store { .. }));
+            assert_eq!(d.serializing, inst.is_serializing());
+            assert_eq!(d.non_speculative, inst.is_non_speculative());
+            assert_eq!(d.dest, inst.dest());
+            assert_eq!(d.sources, inst.sources());
+        }
+    }
+
+    #[test]
+    fn out_of_range_pc_decodes_to_halt() {
+        let mut a = Assembler::new("t");
+        a.li(Reg::R1, 1);
+        a.halt();
+        let p = a.finish().unwrap();
+        let dp = DecodedProgram::new(&p);
+        assert!(matches!(dp.fetch(0).inst, Inst::Li { .. }));
+        assert!(matches!(dp.fetch(999).inst, Inst::Halt));
+        assert_eq!(dp.fetch(999).class, OpClass::NoOpClass);
+    }
+}

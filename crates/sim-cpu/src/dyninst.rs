@@ -1,8 +1,10 @@
 //! In-flight (dynamic) instruction state.
 
-use uarch_isa::Inst;
+use uarch_isa::{Inst, OpClass, Reg};
 
 use crate::bpred::PredCheckpoint;
+use crate::decoded::DecodedInst;
+use crate::stats::CtrlKind;
 
 /// A dynamic instruction traveling through the pipeline.
 ///
@@ -18,6 +20,28 @@ pub struct DynInst {
     pub inst: Inst,
     /// Fall-through pc (`pc + 1`).
     pub fall_through: usize,
+
+    // ---- decode (cached static properties; see [`crate::decoded`]) ----
+    /// Op class of `inst`.
+    pub class: OpClass,
+    /// Functional-unit pool index for `class`.
+    pub pool: usize,
+    /// Control-flow kind, if this is a control instruction.
+    pub ctrl_kind: Option<CtrlKind>,
+    /// Any control-flow instruction.
+    pub ctrl: bool,
+    /// A load (backing flag for [`DynInst::is_load`]).
+    pub load: bool,
+    /// A store (backing flag for [`DynInst::is_store`]).
+    pub store: bool,
+    /// Rename must drain the window before dispatching this.
+    pub serializing: bool,
+    /// Static non-speculative flag (rename copies it into `non_spec`).
+    pub non_speculative: bool,
+    /// Destination architectural register, if written.
+    pub arch_dest: Option<Reg>,
+    /// Source architectural registers (up to two).
+    pub arch_srcs: (Option<Reg>, Option<Reg>),
 
     // ---- rename ----
     /// Physical destination register, if any.
@@ -84,13 +108,33 @@ pub struct DynInst {
 }
 
 impl DynInst {
-    /// Creates a fresh dynamic instruction at fetch.
+    /// Creates a fresh dynamic instruction, decoding `inst` on the spot.
+    ///
+    /// The fetch stage uses [`DynInst::from_decoded`] with the program's
+    /// [`DecodedProgram`](crate::decoded::DecodedProgram) instead; this
+    /// constructor is the convenience path for tests and ad-hoc callers.
     pub fn new(seq: u64, pc: usize, inst: Inst) -> Self {
+        Self::from_decoded(seq, pc, &DecodedInst::decode(inst))
+    }
+
+    /// Creates a fresh dynamic instruction from a pre-decoded entry,
+    /// copying the cached static properties instead of re-deriving them.
+    pub fn from_decoded(seq: u64, pc: usize, dec: &DecodedInst) -> Self {
         Self {
             seq,
             pc,
-            inst,
+            inst: dec.inst,
             fall_through: pc + 1,
+            class: dec.class,
+            pool: dec.pool,
+            ctrl_kind: dec.ctrl_kind,
+            ctrl: dec.ctrl,
+            load: dec.load,
+            store: dec.store,
+            serializing: dec.serializing,
+            non_speculative: dec.non_speculative,
+            arch_dest: dec.dest,
+            arch_srcs: dec.sources,
             dest_phys: None,
             old_phys: None,
             srcs: [None, None],
@@ -122,12 +166,17 @@ impl DynInst {
 
     /// Whether this is a load.
     pub fn is_load(&self) -> bool {
-        matches!(self.inst, Inst::Load { .. })
+        self.load
     }
 
     /// Whether this is a store.
     pub fn is_store(&self) -> bool {
-        matches!(self.inst, Inst::Store { .. })
+        self.store
+    }
+
+    /// Whether this is a control-flow instruction.
+    pub fn is_ctrl(&self) -> bool {
+        self.ctrl
     }
 
     /// Whether the byte ranges of two memory operations overlap.

@@ -10,6 +10,7 @@
 //! hard panics: returning `Err` for those would let a corrupted machine
 //! keep running.
 
+use sim_mem::MemError;
 use uarch_isa::AsmError;
 
 /// An error constructing or driving the simulated machine.
@@ -42,6 +43,9 @@ pub enum SimError {
     },
     /// A program failed to assemble.
     Assembly(AsmError),
+    /// The memory hierarchy rejected its configuration (degenerate cache
+    /// geometry).
+    Mem(MemError),
 }
 
 impl std::fmt::Display for SimError {
@@ -67,6 +71,7 @@ impl std::fmt::Display for SimError {
                 )
             }
             SimError::Assembly(e) => write!(f, "assembly failed: {e}"),
+            SimError::Mem(e) => write!(f, "memory hierarchy rejected its configuration: {e}"),
         }
     }
 }
@@ -75,6 +80,7 @@ impl std::error::Error for SimError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             SimError::Assembly(e) => Some(e),
+            SimError::Mem(e) => Some(e),
             _ => None,
         }
     }
@@ -83,6 +89,12 @@ impl std::error::Error for SimError {
 impl From<AsmError> for SimError {
     fn from(e: AsmError) -> Self {
         SimError::Assembly(e)
+    }
+}
+
+impl From<MemError> for SimError {
+    fn from(e: MemError) -> Self {
+        SimError::Mem(e)
     }
 }
 

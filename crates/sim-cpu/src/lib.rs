@@ -33,6 +33,7 @@
 pub mod bpred;
 pub mod config;
 pub mod core;
+pub mod decoded;
 pub mod dyninst;
 pub mod error;
 pub mod pipeline;
@@ -41,6 +42,7 @@ pub mod tlb;
 
 pub use crate::core::{Core, CoreStatsView, MarkEvent, RunSummary, KERNEL_SPACE_BASE};
 pub use config::CoreConfig;
+pub use decoded::{DecodedInst, DecodedProgram};
 pub use error::SimError;
 pub use pipeline::{PipelineComponent, SquashRequest, TrapRequest};
 pub use stats::stat_invariants;

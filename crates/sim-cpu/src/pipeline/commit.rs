@@ -11,9 +11,7 @@ use crate::core::MarkEvent;
 use crate::stats::{CommitStats, CpuStats, IewStats, RobStats};
 
 use super::rename::RenameStage;
-use super::{
-    ctrl_kind, join_prefix, PipelineComponent, RegFile, SquashRequest, TrapRequest, Window,
-};
+use super::{join_prefix, PipelineComponent, RegFile, SquashRequest, TrapRequest, Window};
 
 /// The commit stage. Owns the fault-recognition timer and the `commit`
 /// and `rob` statistic groups.
@@ -60,7 +58,19 @@ impl PipelineComponent for CommitStage {
                     self.stats.non_spec_stalls.inc();
                     if !head.can_exec_non_spec {
                         let seq = head.seq;
-                        p.window.inst_mut(seq).can_exec_non_spec = true;
+                        let d = p.window.inst_mut(seq);
+                        d.can_exec_non_spec = true;
+                        // Authorization is the wakeup event non-speculative
+                        // instructions wait for: if the sources are already
+                        // ready, join the ready set now (otherwise the
+                        // source-completion wakeup will, seeing the flag).
+                        if !p.cfg.reference_scan {
+                            let pool = d.pool;
+                            let srcs = d.srcs;
+                            if srcs.iter().flatten().all(|&r| p.regs.phys_ready[r]) {
+                                p.window.ready[pool].insert(seq);
+                            }
+                        }
                     }
                 }
                 break;
@@ -101,7 +111,7 @@ impl PipelineComponent for CommitStage {
             self.stats.committed_insts.inc();
             self.stats.committed_ops.inc();
             self.rob.reads.inc();
-            let class = head.inst.op_class();
+            let class = head.class;
             self.stats.op_class.inc(class);
             match class {
                 OpClass::IntAlu | OpClass::IntMult | OpClass::IntDiv => self.stats.int_insts.inc(),
@@ -154,9 +164,9 @@ impl PipelineComponent for CommitStage {
                 _ => {}
             }
 
-            if head.inst.is_control() {
+            if head.is_ctrl() {
                 self.stats.branches.inc();
-                if let Some(k) = ctrl_kind(head.inst) {
+                if let Some(k) = head.ctrl_kind {
                     self.stats.control_kind.inc(k);
                 }
                 if head.mispredicted {

@@ -1,6 +1,15 @@
 //! The execute/writeback stage: functional-unit evaluation at issue
 //! (through the [`FuWakeup`] port), completion and writeback, branch
 //! resolution and predictor repair.
+//!
+//! Completion is event-driven on the fast path: issue pushes each
+//! instruction's `(ready_cycle, seq)` onto a min-heap and the tick pops
+//! the entries due this cycle, instead of scanning the whole window.
+//! Stale entries (squashed instructions) are dropped lazily when popped.
+//! `CoreConfig::reference_scan` keeps the original full scan available.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 use sim_mem::{AccessOutcome, MemoryHierarchy};
 use uarch_isa::{AluOp, FaluOp, Inst, OpClass, Program};
@@ -25,6 +34,9 @@ pub struct ExecuteStage {
     pub(crate) stats: IewStats,
     pub(crate) dtb: TlbStats,
     dtlb_entries: usize,
+    /// Pending completions `(ready_cycle, seq)`, min-ordered. Fed at issue,
+    /// drained by the tick; unused under `CoreConfig::reference_scan`.
+    pub(crate) completions: BinaryHeap<Reverse<(u64, u64)>>,
 }
 
 /// Execute's view of the machine for the completion tick.
@@ -35,6 +47,7 @@ pub struct ExecutePorts<'a> {
     pub(crate) iq_stats: &'a mut IqStats,
     pub(crate) cpu: &'a mut CpuStats,
     pub(crate) cycle: u64,
+    pub(crate) reference_scan: bool,
 }
 
 /// The issue → execute wakeup port: everything a functional unit touches
@@ -56,7 +69,23 @@ impl ExecuteStage {
             stats: IewStats::default(),
             dtb: TlbStats::default(),
             dtlb_entries: cfg.dtlb_entries,
+            completions: BinaryHeap::new(),
         }
+    }
+
+    /// The earliest cycle at which a pending completion becomes due, after
+    /// discarding stale (squashed) heap entries. Used by the core's
+    /// tick-skip to bound how far the clock may jump.
+    pub(crate) fn next_completion(&mut self, window: &Window) -> Option<u64> {
+        while let Some(&Reverse((ready, seq))) = self.completions.peek() {
+            match window.find(seq) {
+                Some(d) if d.issued && !d.executed && !d.squashed => return Some(ready),
+                _ => {
+                    self.completions.pop();
+                }
+            }
+        }
+        None
     }
 
     pub(crate) fn exec_latency(class: OpClass) -> u64 {
@@ -85,7 +114,7 @@ impl ExecuteStage {
     ) -> Option<(u64, usize)> {
         let d = w.window.inst_of(seq).clone();
         let v = |i: usize| -> u64 { d.srcs[i].map(|p| w.regs.phys_regs[p]).unwrap_or(0) };
-        let class = d.inst.op_class();
+        let class = d.class;
         let base_lat = Self::exec_latency(class);
         let mut ready = w.cycle + base_lat;
         let mut result = 0u64;
@@ -314,6 +343,12 @@ impl ExecuteStage {
                 di.actual_target = actual_target;
             }
         }
+        if mem_outstanding {
+            w.window.mem_outstanding_count += 1;
+        }
+        if !w.cfg.reference_scan {
+            self.completions.push(Reverse((ready, seq)));
+        }
         w.window.iq_used -= 1;
         violation
     }
@@ -416,29 +451,73 @@ impl PipelineComponent for ExecuteStage {
     }
 
     fn tick(&mut self, mut p: ExecutePorts<'_>) -> Option<SquashRequest> {
-        // Collect completions this cycle.
+        // Collect completions this cycle: pop everything due from the
+        // min-heap (fast path) or scan the window (reference), then process
+        // in sequence order — the order the reference scan visits them.
         let mut completions: Vec<u64> = Vec::new();
-        for d in &p.window.rob {
-            if d.issued && !d.executed && !d.squashed && d.ready_cycle <= p.cycle {
-                completions.push(d.seq);
+        if p.reference_scan {
+            for d in &p.window.rob {
+                if d.issued && !d.executed && !d.squashed && d.ready_cycle <= p.cycle {
+                    completions.push(d.seq);
+                }
             }
+        } else {
+            while let Some(&Reverse((ready, _))) = self.completions.peek() {
+                if ready > p.cycle {
+                    break;
+                }
+                let Reverse((_, seq)) = self.completions.pop().expect("peeked");
+                // Lazy validation: squashed instructions leave stale entries.
+                if let Some(d) = p.window.find(seq) {
+                    if d.issued && !d.executed && !d.squashed {
+                        completions.push(seq);
+                    }
+                }
+            }
+            completions.sort_unstable();
         }
-        for seq in completions {
-            let (dest, result, is_ctrl, is_load) = {
+        for (i, &seq) in completions.iter().enumerate() {
+            let (dest, result, is_ctrl, is_load, was_outstanding) = {
                 let d = p.window.inst_mut(seq);
                 d.executed = true;
+                let was = d.mem_outstanding;
                 d.mem_outstanding = false;
-                (d.dest_phys, d.result, d.inst.is_control(), d.is_load())
+                (d.dest_phys, d.result, d.is_ctrl(), d.is_load(), was)
             };
+            if was_outstanding {
+                p.window.mem_outstanding_count -= 1;
+            }
             if let Some(phys) = dest {
                 p.regs.phys_regs[phys] = result;
                 p.regs.phys_ready[phys] = true;
                 p.cpu.int_regfile_writes.inc();
+                if !p.reference_scan {
+                    // Wakeup network: re-check every instruction waiting on
+                    // this register; the fully-ready ones join their pool's
+                    // ready set (non-speculative ones wait for commit's
+                    // authorization instead).
+                    let waiters = std::mem::take(&mut p.regs.dependents[phys]);
+                    for wseq in waiters {
+                        let Some(d) = p.window.find(wseq) else {
+                            continue;
+                        };
+                        if !d.in_iq || d.issued || d.squashed {
+                            continue;
+                        }
+                        if (d.non_spec && !d.can_exec_non_spec)
+                            || !d.srcs.iter().flatten().all(|&r| p.regs.phys_ready[r])
+                        {
+                            continue;
+                        }
+                        let pool = d.pool;
+                        p.window.ready[pool].insert(wseq);
+                    }
+                }
             }
             self.stats.executed_insts.inc();
             self.stats.power.dynamic_energy.add(1.4);
             {
-                let class = p.window.inst_of(seq).inst.op_class();
+                let class = p.window.inst_of(seq).class;
                 p.iq_stats.executed_class.inc(class);
             }
             if is_load {
@@ -457,6 +536,13 @@ impl PipelineComponent for ExecuteStage {
                 if req.is_some() {
                     // Squash requested; stop processing younger completions
                     // (the orchestrator squashes them before issue runs).
+                    // The unprocessed tail goes back on the heap; entries
+                    // the squash kills validate out when next popped.
+                    if !p.reference_scan {
+                        for &later in &completions[i + 1..] {
+                            self.completions.push(Reverse((p.cycle, later)));
+                        }
+                    }
                     return req;
                 }
             }
@@ -471,6 +557,7 @@ impl PipelineComponent for ExecuteStage {
             stats: IewStats::default(),
             dtb: TlbStats::default(),
             dtlb_entries: entries,
+            completions: BinaryHeap::new(),
         };
     }
 

@@ -2,16 +2,17 @@
 //! I-cache timing, trap redirect delivery.
 
 use sim_mem::{AccessOutcome, MemoryHierarchy};
-use uarch_isa::{Inst, Program};
+use uarch_isa::Inst;
 use uarch_stats::registry::ComponentId;
 use uarch_stats::{StatGroup, StatVisitor};
 
 use crate::config::CoreConfig;
+use crate::decoded::DecodedProgram;
 use crate::dyninst::DynInst;
 use crate::stats::{CpuStats, FetchStats, TlbStats};
 use crate::tlb::Tlb;
 
-use super::{ctrl_kind, join_prefix, FetchToDecode, PipelineComponent, Predictors, SquashRequest};
+use super::{join_prefix, FetchToDecode, PipelineComponent, Predictors, SquashRequest};
 
 /// The fetch stage.
 ///
@@ -38,7 +39,8 @@ pub struct FetchStage {
 /// Fetch's view of the machine for one tick.
 pub struct FetchPorts<'a> {
     pub(crate) cfg: &'a CoreConfig,
-    pub(crate) program: &'a Program,
+    /// The program, decoded once at core construction.
+    pub(crate) decoded: &'a DecodedProgram,
     pub(crate) mem: &'a mut MemoryHierarchy,
     pub(crate) pred: &'a mut Predictors,
     pub(crate) cpu: &'a mut CpuStats,
@@ -155,19 +157,21 @@ impl PipelineComponent for FetchStage {
                 }
             }
 
-            let inst = p.program.fetch(self.pc).unwrap_or(Inst::Halt);
-            let mut d = DynInst::new(self.next_seq, self.pc, inst);
+            let dec = p.decoded.fetch(self.pc);
+            let inst = dec.inst;
+            let mut d = DynInst::from_decoded(self.next_seq, self.pc, dec);
             d.fetch_cycle = p.cycle;
             self.next_seq += 1;
             self.stats.insts.inc();
             self.stats.power.dynamic_energy.add(0.8);
-            match inst {
-                Inst::Load { .. } => p.cpu.num_load_insts.inc(),
-                Inst::Store { .. } => p.cpu.num_store_insts.inc(),
-                i if i.is_control() => p.cpu.num_branches.inc(),
-                _ => {}
+            if dec.load {
+                p.cpu.num_load_insts.inc();
+            } else if dec.store {
+                p.cpu.num_store_insts.inc();
+            } else if dec.ctrl {
+                p.cpu.num_branches.inc();
             }
-            if let Some(k) = ctrl_kind(inst) {
+            if let Some(k) = dec.ctrl_kind {
                 self.stats.branch_kind.inc(k);
                 p.pred.stats.lookup_kind.inc(k);
             }
@@ -176,7 +180,7 @@ impl PipelineComponent for FetchStage {
             // Branch prediction.
             let (ras_tos, ras_top) = p.pred.ras.checkpoint();
             let mut next_pc = self.pc + 1;
-            if inst.is_control() {
+            if dec.ctrl {
                 self.stats.branches.inc();
                 p.pred.stats.lookups.inc();
                 match inst {

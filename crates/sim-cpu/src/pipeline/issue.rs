@@ -1,11 +1,25 @@
 //! The issue stage: wakeup/select over the instruction queue, functional
 //! unit arbitration, and dispatch into execute through the
 //! [`FuWakeup`] port.
+//!
+//! Two select implementations share one set of statistics:
+//!
+//! * the **ready-queue path** (default) selects from the per-pool ready
+//!   sets the wakeup network maintains — cost proportional to the number
+//!   of ready instructions, not the window size;
+//! * the **reference scan** (`CoreConfig::reference_scan`) walks the whole
+//!   window every cycle, exactly as the original core did.
+//!
+//! The two are bit-identical in every statistic: the full scan produces
+//! *zero* side effects for instructions that are not ready (every skip
+//! happens before any stat fires), so visiting only the ready ones in
+//! sequence order is the same computation.
 
 use uarch_isa::OpClass;
 use uarch_stats::registry::ComponentId;
 use uarch_stats::{StatGroup, StatVisitor};
 
+use crate::decoded::fu_pool;
 use crate::stats::IqStats;
 
 use super::execute::{ExecuteStage, FuWakeup};
@@ -16,6 +30,9 @@ use super::{join_prefix, PipelineComponent, SquashRequest};
 #[derive(Debug, Default)]
 pub struct IssueStage {
     pub(crate) stats: IqStats,
+    /// Scratch for the ready-queue select's merged candidate list, reused
+    /// across cycles to keep the hot loop allocation-free.
+    cand_buf: Vec<(u64, usize)>,
 }
 
 /// Issue's view of the machine for one tick: the execute stage it wakes
@@ -25,28 +42,129 @@ pub struct IssuePorts<'a> {
     pub(crate) wake: FuWakeup<'a>,
 }
 
-fn fu_pool(class: OpClass) -> usize {
-    match class {
-        OpClass::IntAlu | OpClass::NoOpClass => 0,
-        OpClass::IntMult | OpClass::IntDiv => 1,
-        OpClass::FloatAdd
-        | OpClass::FloatMult
-        | OpClass::FloatDiv
-        | OpClass::FloatSqrt
-        | OpClass::FloatCvt => 2,
-        OpClass::SimdAdd | OpClass::SimdMult | OpClass::SimdCvt => 3,
-        OpClass::MemRead | OpClass::MemWrite | OpClass::FloatMemRead | OpClass::FloatMemWrite => 4,
+impl IssueStage {
+    /// Shared per-cycle epilogue: issue-count statistics and the memory
+    /// order violation squash, identical for both select paths.
+    fn epilogue(
+        &mut self,
+        exec: &mut ExecuteStage,
+        issued_this_cycle: usize,
+        violation: Option<(u64, usize)>,
+    ) -> Option<SquashRequest> {
+        self.stats.insts_issued.add(issued_this_cycle as u64);
+        self.stats
+            .issued_per_cycle
+            .0
+            .record(issued_this_cycle as f64);
+        if issued_this_cycle == 0 {
+            self.stats.empty_issue_cycles.inc();
+            exec.stats.idle_cycles.inc();
+        }
+
+        if let Some((load_seq, load_pc)) = violation {
+            // Memory order violation: squash from the conflicting load
+            // (the rollback point and the redirect pc MUST come from the
+            // same scan, or instructions between them are silently lost).
+            exec.stats.mem_order_violation_events.inc();
+            exec.stats.lsq.mem_order_violation.inc();
+            exec.stats.mem_dep.conflicting_stores.inc();
+            exec.stats.mem_dep.conflicting_loads.inc();
+            return Some(SquashRequest {
+                after: load_seq - 1,
+                redirect: Some(load_pc),
+                trap: None,
+            });
+        }
+        None
     }
-}
 
-impl PipelineComponent for IssueStage {
-    type Ports<'a> = IssuePorts<'a>;
+    /// Ready-queue select: candidates come from the per-pool ready sets,
+    /// merged oldest-first. Entries are validated lazily (a squashed
+    /// instruction's sequence number may linger until first visited) and
+    /// stay queued across cycles while blocked on a functional unit or a
+    /// saturated MSHR pool, so the per-cycle blocked statistics repeat
+    /// exactly as the full scan reports them.
+    fn tick_ready_queues(&mut self, mut p: IssuePorts<'_>) -> Option<SquashRequest> {
+        let w = &mut p.wake;
+        let mut fu_avail = [
+            w.cfg.int_alu_units,
+            w.cfg.int_mult_units,
+            w.cfg.fp_units,
+            w.cfg.simd_units,
+            w.cfg.mem_ports,
+        ];
+        let mut issued_this_cycle = 0usize;
+        let mut violation: Option<(u64, usize)> = None;
 
-    fn component_id(&self) -> ComponentId {
-        ComponentId::Iq
+        let mut cands = std::mem::take(&mut self.cand_buf);
+        cands.clear();
+        for (pool, set) in w.window.ready.iter().enumerate() {
+            cands.extend(set.iter().map(|&seq| (seq, pool)));
+        }
+        cands.sort_unstable();
+
+        for &(seq, rpool) in &cands {
+            if issued_this_cycle >= w.cfg.issue_width {
+                break;
+            }
+            let (class, pool, is_load) = match w.window.find(seq) {
+                Some(d) if d.in_iq && !d.issued && !d.squashed => {
+                    if d.non_spec && !d.can_exec_non_spec {
+                        continue;
+                    }
+                    if !d.srcs.iter().flatten().all(|&r| w.regs.phys_ready[r]) {
+                        continue;
+                    }
+                    (d.class, d.pool, d.load)
+                }
+                _ => {
+                    // Stale entry: squashed or retired since enqueue.
+                    w.window.ready[rpool].remove(&seq);
+                    continue;
+                }
+            };
+            if class != OpClass::NoOpClass && class != OpClass::IntAlu && fu_avail[pool] == 0 {
+                self.stats.fu_full.inc(class);
+                continue;
+            }
+            // Loads blocked by a saturated L1D MSHR pool reschedule.
+            if is_load && w.window.mem_outstanding_count >= w.mem.l1d().config().mshrs {
+                p.exec.stats.lsq.rescheduled_loads.inc();
+                p.exec.stats.lsq.blocked_loads.inc();
+                p.exec.stats.lsq.cache_blocked.inc();
+                continue;
+            }
+
+            if class != OpClass::NoOpClass && fu_avail[pool] > 0 {
+                fu_avail[pool] -= 1;
+                if fu_avail[pool] == 0 {
+                    self.stats.fu_busy.inc(class);
+                }
+            }
+            w.window.ready[rpool].remove(&seq);
+            issued_this_cycle += 1;
+            let v = p.exec.execute_at_issue(seq, w);
+            // Per-issue bookkeeping lives here (the IQ owns it).
+            self.stats.issued_inst_type.inc(class);
+            let dispatch = w.window.inst_of(seq).dispatch_cycle;
+            self.stats
+                .issue_delay
+                .0
+                .record(w.cycle.saturating_sub(dispatch) as f64);
+            self.stats.power.dynamic_energy.add(1.1);
+            if let Some(v) = v {
+                violation = Some(v);
+                break;
+            }
+        }
+        self.cand_buf = cands;
+
+        self.epilogue(p.exec, issued_this_cycle, violation)
     }
 
-    fn tick(&mut self, mut p: IssuePorts<'_>) -> Option<SquashRequest> {
+    /// Reference select: the original full-window scan, kept verbatim for
+    /// `CoreConfig::reference_scan` equivalence runs.
+    fn tick_reference(&mut self, mut p: IssuePorts<'_>) -> Option<SquashRequest> {
         let w = &mut p.wake;
         let mut fu_avail = [
             w.cfg.int_alu_units,
@@ -73,7 +191,7 @@ impl PipelineComponent for IssueStage {
                     continue;
                 }
                 let srcs_ready = d.srcs.iter().flatten().all(|&r| w.regs.phys_ready[r]);
-                (srcs_ready, d.inst.op_class())
+                (srcs_ready, d.class)
             };
             if !ready {
                 continue;
@@ -145,31 +263,23 @@ impl PipelineComponent for IssueStage {
             }
         }
 
-        self.stats.insts_issued.add(issued_this_cycle as u64);
-        self.stats
-            .issued_per_cycle
-            .0
-            .record(issued_this_cycle as f64);
-        if issued_this_cycle == 0 {
-            self.stats.empty_issue_cycles.inc();
-            p.exec.stats.idle_cycles.inc();
-        }
+        self.epilogue(p.exec, issued_this_cycle, violation)
+    }
+}
 
-        if let Some((load_seq, load_pc)) = violation {
-            // Memory order violation: squash from the conflicting load
-            // (the rollback point and the redirect pc MUST come from the
-            // same scan, or instructions between them are silently lost).
-            p.exec.stats.mem_order_violation_events.inc();
-            p.exec.stats.lsq.mem_order_violation.inc();
-            p.exec.stats.mem_dep.conflicting_stores.inc();
-            p.exec.stats.mem_dep.conflicting_loads.inc();
-            return Some(SquashRequest {
-                after: load_seq - 1,
-                redirect: Some(load_pc),
-                trap: None,
-            });
+impl PipelineComponent for IssueStage {
+    type Ports<'a> = IssuePorts<'a>;
+
+    fn component_id(&self) -> ComponentId {
+        ComponentId::Iq
+    }
+
+    fn tick(&mut self, p: IssuePorts<'_>) -> Option<SquashRequest> {
+        if p.wake.cfg.reference_scan {
+            self.tick_reference(p)
+        } else {
+            self.tick_ready_queues(p)
         }
-        None
     }
 
     fn reset(&mut self) {

@@ -17,7 +17,7 @@
 //! out in its ports struct instead of hiding behind `&mut self` on one
 //! monolithic core.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeSet, VecDeque};
 
 use uarch_isa::{Inst, Reg};
 use uarch_stats::registry::ComponentId;
@@ -131,6 +131,13 @@ pub struct RegFile {
     pub(crate) phys_regs: Vec<u64>,
     pub(crate) phys_ready: Vec<bool>,
     pub(crate) history: VecDeque<HistEntry>,
+    /// Reverse dependency index for the wakeup network: per physical
+    /// register, the sequence numbers of in-window instructions waiting on
+    /// it. Rename appends a waiter per unready source; execute drains the
+    /// list when the register's value completes. Entries are validated
+    /// lazily against the window (stale sequence numbers are dropped), and
+    /// the list is cleared when its register is re-allocated.
+    pub(crate) dependents: Vec<Vec<u64>>,
 }
 
 impl RegFile {
@@ -145,6 +152,7 @@ impl RegFile {
             phys_regs: vec![0; phys],
             phys_ready: vec![true; phys],
             history: VecDeque::new(),
+            dependents: vec![Vec::new(); phys],
         }
     }
 
@@ -164,6 +172,18 @@ pub struct Window {
     pub(crate) lq_used: usize,
     pub(crate) sq_used: usize,
     pub(crate) membars_in_flight: usize,
+    /// Per-functional-unit-pool ready sets (see
+    /// [`fu_pool`](crate::decoded::fu_pool) for the pool indices): the
+    /// sequence numbers of queued instructions whose sources are all
+    /// ready. Maintained by the wakeup network (rename dispatch, execute
+    /// completion, commit's non-speculative authorization); consumed by
+    /// the ready-queue select in issue. Unused under
+    /// `CoreConfig::reference_scan`.
+    pub(crate) ready: [BTreeSet<u64>; 5],
+    /// Instructions in the window with a memory response in flight
+    /// (`DynInst::mem_outstanding`), maintained incrementally so issue's
+    /// MSHR back-pressure check is O(1) instead of a window scan.
+    pub(crate) mem_outstanding_count: usize,
 }
 
 impl Window {
@@ -191,6 +211,15 @@ impl Window {
             .binary_search_by_key(&seq, |d| d.seq)
             .expect("seq in rob");
         &mut self.rob[i]
+    }
+
+    /// Non-panicking lookup, for lazily validating wakeup-network entries
+    /// whose instruction may have been squashed or retired since enqueue.
+    pub(crate) fn find(&self, seq: u64) -> Option<&DynInst> {
+        self.rob
+            .binary_search_by_key(&seq, |d| d.seq)
+            .ok()
+            .map(|i| &self.rob[i])
     }
 }
 

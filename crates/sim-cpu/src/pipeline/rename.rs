@@ -64,9 +64,14 @@ impl PipelineComponent for RenameStage {
                 break;
             };
             let inst = front.inst;
+            let serializing = front.serializing;
+            let is_load = front.load;
+            let is_store = front.store;
+            let has_dest = front.arch_dest.is_some();
+            let non_speculative = front.non_speculative;
 
             // Serializing instructions drain the window first.
-            if inst.is_serializing() && !p.window.rob.is_empty() {
+            if serializing && !p.window.rob.is_empty() {
                 self.stats.serialize_stall_cycles.inc();
                 p.fetch_stats.pending_drain_cycles.inc();
                 break;
@@ -83,8 +88,6 @@ impl PipelineComponent for RenameStage {
                 self.stats.block_cycles.inc();
                 break;
             }
-            let is_load = matches!(inst, Inst::Load { .. });
-            let is_store = matches!(inst, Inst::Store { .. });
             if is_load && p.window.lq_used >= p.cfg.lq_entries {
                 self.stats.lq_full_events.inc();
                 self.stats.block_cycles.inc();
@@ -95,7 +98,7 @@ impl PipelineComponent for RenameStage {
                 self.stats.block_cycles.inc();
                 break;
             }
-            if inst.dest().is_some() && p.regs.free_list.is_empty() {
+            if has_dest && p.regs.free_list.is_empty() {
                 self.stats.full_registers_events.inc();
                 self.stats.block_cycles.inc();
                 break;
@@ -108,7 +111,7 @@ impl PipelineComponent for RenameStage {
             self.stats.power.dynamic_energy.add(0.9);
             p.rob_stats.writes.inc();
 
-            if inst.is_serializing() {
+            if serializing {
                 if matches!(inst, Inst::RdCycle { .. }) {
                     self.stats.temp_serializing_insts.inc();
                 } else {
@@ -117,7 +120,7 @@ impl PipelineComponent for RenameStage {
             }
 
             // Rename sources.
-            let (s0, s1) = inst.sources();
+            let (s0, s1) = d.arch_srcs;
             for (slot, src) in [s0, s1].into_iter().enumerate() {
                 if let Some(r) = src {
                     d.srcs[slot] = Some(p.regs.map_table[r.index()]);
@@ -125,7 +128,7 @@ impl PipelineComponent for RenameStage {
                 }
             }
             // Rename destination.
-            if let Some(rd) = inst.dest() {
+            if let Some(rd) = d.arch_dest {
                 let new_phys = p.regs.free_list.pop_front().expect("checked non-empty");
                 let old_phys = p.regs.map_table[rd.index()];
                 p.regs.history.push_back(HistEntry {
@@ -136,6 +139,9 @@ impl PipelineComponent for RenameStage {
                 });
                 p.regs.map_table[rd.index()] = new_phys;
                 p.regs.phys_ready[new_phys] = false;
+                // A freshly allocated register starts a new lifetime; any
+                // wakeup waiters recorded against its previous one are dead.
+                p.regs.dependents[new_phys].clear();
                 d.dest_phys = Some(new_phys);
                 d.old_phys = Some(old_phys);
                 self.stats.renamed_operands.inc();
@@ -169,7 +175,7 @@ impl PipelineComponent for RenameStage {
             p.window.iq_used += 1;
             p.iq_stats.insts_added.inc();
             p.iew_stats.dispatched_insts.inc();
-            if inst.is_non_speculative() {
+            if non_speculative {
                 d.non_spec = true;
                 p.iq_stats.non_spec_insts_added.inc();
                 p.iew_stats.disp_non_spec_insts.inc();
@@ -188,6 +194,23 @@ impl PipelineComponent for RenameStage {
             }
             if matches!(inst, Inst::Membar) {
                 p.window.membars_in_flight += 1;
+            }
+
+            // Wakeup registration: waiters index themselves under each
+            // unready source; source-ready instructions go straight to
+            // their pool's ready set (non-speculative ones wait for
+            // commit's authorization instead).
+            if !p.cfg.reference_scan {
+                let mut all_ready = true;
+                for src in d.srcs.iter().flatten() {
+                    if !p.regs.phys_ready[*src] {
+                        p.regs.dependents[*src].push(d.seq);
+                        all_ready = false;
+                    }
+                }
+                if all_ready && !d.non_spec {
+                    p.window.ready[d.pool].insert(d.seq);
+                }
             }
 
             p.window.rob.push_back(d);

@@ -91,6 +91,7 @@ impl SquashUnit {
                 p.exec.stats.lsq.squashed_loads.inc();
                 if d.mem_outstanding {
                     p.exec.stats.lsq.ignored_responses.inc();
+                    p.window.mem_outstanding_count -= 1;
                 }
             }
             if d.is_store() {

@@ -2,7 +2,9 @@
 
 use uarch_stats::{stat_group, Counter, Distribution, StatGroup, StatItem, StatVisitor};
 
+use crate::calendar::EventCalendar;
 use crate::cmd::MemCmd;
+use crate::error::MemError;
 
 /// Geometry and timing of one cache.
 #[derive(Debug, Clone)]
@@ -313,10 +315,18 @@ pub struct Cache {
     stats: CacheStats,
     /// Outstanding misses: (line address, completion cycle, target count).
     mshrs: Vec<(u64, u64, usize)>,
+    /// Completion times of `mshrs`, min-ordered. Mirrors the vector
+    /// exactly (every `(ready, tag)` here has a live `(tag, ready, _)`
+    /// entry there), so its minimum equals a linear scan's by
+    /// construction.
+    mshr_events: EventCalendar,
     /// CEASER-style index randomization key (XORed into the set index).
     index_key: u64,
     /// Write buffer entries in flight: completion cycles.
     wb_entries: Vec<u64>,
+    /// Completion times of `wb_entries`, min-ordered (same mirror
+    /// discipline as `mshr_events`).
+    wb_events: EventCalendar,
     use_clock: u64,
 }
 
@@ -325,11 +335,51 @@ impl Cache {
     ///
     /// # Panics
     ///
-    /// Panics if the geometry is degenerate (zero sets or ways).
+    /// Panics if the geometry is degenerate; prefer [`Cache::try_new`]
+    /// for a typed error.
     pub fn new(cfg: CacheConfig) -> Self {
+        Self::try_new(cfg).unwrap_or_else(|e| panic!("degenerate cache geometry: {e}"))
+    }
+
+    /// Builds a cache, rejecting degenerate geometry with a typed error
+    /// instead of panicking. The checks establish the invariants the
+    /// access paths rely on — in particular `write_buffers >= 1`, which
+    /// guarantees [`Cache::reserve_write_buffer`] always finds an entry
+    /// to drain when the buffers are full.
+    pub fn try_new(cfg: CacheConfig) -> Result<Self, MemError> {
+        let geometry = |param, value, reason| MemError::InvalidGeometry {
+            param,
+            value,
+            reason,
+        };
+        if !cfg.line.is_power_of_two() {
+            return Err(geometry("line", cfg.line, "must be a power of two"));
+        }
+        if cfg.assoc == 0 {
+            return Err(geometry("assoc", cfg.assoc, "must be at least 1"));
+        }
         let sets = cfg.sets();
-        assert!(sets > 0 && cfg.assoc > 0, "degenerate cache geometry");
-        Self {
+        if sets == 0 {
+            return Err(geometry("size", cfg.size, "yields zero sets"));
+        }
+        if cfg.mshrs == 0 {
+            return Err(geometry("mshrs", cfg.mshrs, "must be at least 1"));
+        }
+        if cfg.tgts_per_mshr == 0 {
+            return Err(geometry(
+                "tgts_per_mshr",
+                cfg.tgts_per_mshr,
+                "must be at least 1",
+            ));
+        }
+        if cfg.write_buffers == 0 {
+            return Err(geometry(
+                "write_buffers",
+                cfg.write_buffers,
+                "must be at least 1",
+            ));
+        }
+        Ok(Self {
             sets: vec![
                 vec![
                     Line {
@@ -345,10 +395,12 @@ impl Cache {
             cfg,
             stats: CacheStats::default(),
             mshrs: Vec::new(),
+            mshr_events: EventCalendar::new(),
             index_key: 0,
             wb_entries: Vec::new(),
+            wb_events: EventCalendar::new(),
             use_clock: 0,
-        }
+        })
     }
 
     /// The configuration this cache was built with.
@@ -389,6 +441,7 @@ impl Cache {
             }
         }
         self.mshrs.clear();
+        self.mshr_events.clear();
     }
 
     /// Whether the line containing `addr` is resident, and in which state.
@@ -401,7 +454,9 @@ impl Cache {
     }
 
     fn retire_mshrs(&mut self, now: u64) {
+        self.mshr_events.pop_due(now);
         self.mshrs.retain(|&(_, ready, _)| ready > now);
+        self.wb_events.pop_due(now);
         self.wb_entries.retain(|&ready| ready > now);
     }
 
@@ -479,12 +534,14 @@ impl Cache {
         }
         self.stats.cmd.mshr_misses[i] += 1;
         if self.mshrs.len() >= self.cfg.mshrs {
-            // Block until the earliest outstanding miss completes.
-            let earliest = self.mshrs.iter().map(|&(_, r, _)| r).min().unwrap_or(now);
+            // Block until the earliest outstanding miss completes. The
+            // calendar's front IS that minimum — no scan.
+            let earliest = self.mshr_events.peek().map_or(now, |(r, _)| r);
             let wait = earliest.saturating_sub(now);
             self.stats.agg.blocked_no_mshrs.inc();
             self.stats.agg.blocked_cycles_no_mshrs.add(wait);
             latency += wait;
+            self.mshr_events.pop_due(earliest);
             self.mshrs.retain(|&(_, r, _)| r > earliest);
         }
         AccessResult {
@@ -504,6 +561,7 @@ impl Cache {
         self.stats.miss_latency_dist.0.record(miss_latency as f64);
         let tag = self.line_addr(addr);
         self.mshrs.push((tag, now + miss_latency, 1));
+        self.mshr_events.schedule(now + miss_latency, tag);
     }
 
     /// Installs the line containing `addr`, returning the victim's eviction
@@ -575,16 +633,24 @@ impl Cache {
 
     /// Reserves a write buffer entry for an eviction at `now`; returns the
     /// extra delay if buffers were full.
+    ///
+    /// Never panics: when the buffers are full the earliest drain comes
+    /// from the calendar front, and `write_buffers >= 1` (enforced by
+    /// [`Cache::try_new`]) guarantees the full path has an entry to
+    /// drain — a `None` peek falls back to zero extra delay.
     pub fn reserve_write_buffer(&mut self, now: u64, occupancy: u64) -> u64 {
+        self.wb_events.pop_due(now);
         self.wb_entries.retain(|&r| r > now);
         let mut delay = 0;
         if self.wb_entries.len() >= self.cfg.write_buffers {
-            let earliest = *self.wb_entries.iter().min().expect("non-empty");
+            let earliest = self.wb_events.peek().map_or(now, |(r, _)| r);
             delay = earliest.saturating_sub(now);
             self.stats.agg.wb_full_events.inc();
+            self.wb_events.pop_due(earliest);
             self.wb_entries.retain(|&r| r > earliest);
         }
         self.wb_entries.push(now + delay + occupancy);
+        self.wb_events.schedule(now + delay + occupancy, 0);
         delay
     }
 
@@ -595,6 +661,11 @@ impl Cache {
     pub fn invalidate(&mut self, addr: u64) -> Option<Eviction> {
         let tag = self.line_addr(addr);
         let set = self.set_index(addr);
+        for &(a, ready, _) in &self.mshrs {
+            if a == tag {
+                self.mshr_events.cancel(ready, tag);
+            }
+        }
         self.mshrs.retain(|&(a, _, _)| a != tag);
         let line = self.sets[set]
             .iter_mut()
@@ -619,6 +690,13 @@ impl Cache {
     /// Number of outstanding MSHR entries (for tests and blocked modeling).
     pub fn outstanding_misses(&self) -> usize {
         self.mshrs.len()
+    }
+
+    /// The completion cycle of the earliest outstanding miss, if any —
+    /// an O(1) calendar peek, the query tick-skipping asks to jump the
+    /// clock straight to the next memory event.
+    pub fn next_miss_completion(&mut self) -> Option<u64> {
+        self.mshr_events.peek().map(|(ready, _)| ready)
     }
 }
 
@@ -752,6 +830,44 @@ mod tests {
         let d2 = c.reserve_write_buffer(10, 50);
         assert!(d2 > 0, "single write buffer forces a wait");
         assert_eq!(c.stats().agg.wb_full_events.value(), 1);
+    }
+
+    #[test]
+    fn try_new_rejects_degenerate_geometry() {
+        let mut cfg = CacheConfig::l1d();
+        cfg.write_buffers = 0;
+        assert!(matches!(
+            Cache::try_new(cfg),
+            Err(MemError::InvalidGeometry {
+                param: "write_buffers",
+                ..
+            })
+        ));
+        let mut cfg = CacheConfig::l1d();
+        cfg.mshrs = 0;
+        assert!(Cache::try_new(cfg).is_err());
+        let mut cfg = CacheConfig::l1d();
+        cfg.line = 48;
+        assert!(Cache::try_new(cfg).is_err());
+        assert!(Cache::try_new(CacheConfig::l1d()).is_ok());
+    }
+
+    #[test]
+    fn calendar_tracks_earliest_miss_completion() {
+        let mut c = tiny();
+        assert_eq!(c.next_miss_completion(), None);
+        c.access(MemCmd::ReadReq, 0x000, 0);
+        c.complete_miss(MemCmd::ReadReq, 0x000, 0, 100);
+        c.access(MemCmd::ReadReq, 0x040, 0);
+        c.complete_miss(MemCmd::ReadReq, 0x040, 0, 60);
+        assert_eq!(c.next_miss_completion(), Some(60));
+        // A flush cancels the outstanding fill for its line.
+        c.fill(0x040, false, false);
+        c.invalidate(0x040);
+        assert_eq!(c.next_miss_completion(), Some(100));
+        // Retirement pops the calendar along with the MSHR vector.
+        c.access(MemCmd::ReadReq, 0x080, 150);
+        assert_eq!(c.next_miss_completion(), None);
     }
 
     #[test]

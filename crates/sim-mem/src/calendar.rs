@@ -1,0 +1,166 @@
+//! A min-ordered event calendar for memory-side completion times.
+//!
+//! The caches used to find "the earliest outstanding miss" and "the
+//! earliest write-buffer drain" with linear `.iter().min()` scans over
+//! their MSHR and write-buffer vectors on every access. The calendar keeps
+//! those completion times in a binary min-heap instead, so the hot path
+//! pops the earliest event in O(log n) and — crucially for the core's
+//! tick-skipping — can answer "when does the next memory event happen?"
+//! in O(1) via [`EventCalendar::peek`].
+//!
+//! Cancellation (a flush invalidating an outstanding MSHR) is lazy: the
+//! cancelled `(ready, key)` pair is remembered in a side table and the
+//! matching heap entry is discarded when it surfaces. This keeps
+//! cancellation O(1) while preserving the exact multiset semantics of the
+//! vectors the calendar mirrors: the minimum reported by [`peek`] is
+//! always identical to what a linear scan of the live entries would find.
+//!
+//! [`peek`]: EventCalendar::peek
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// A scheduled event: completion cycle plus an opaque key (the caches use
+/// the line address; keyless users pass 0).
+pub type Event = (u64, u64);
+
+/// A binary-heap event calendar with lazy cancellation.
+///
+/// Duplicate `(ready, key)` pairs are allowed and behave as a multiset —
+/// scheduling twice requires popping (or cancelling) twice.
+#[derive(Debug, Default, Clone)]
+pub struct EventCalendar {
+    heap: BinaryHeap<Reverse<Event>>,
+    /// Cancelled-but-not-yet-surfaced events, with multiplicity.
+    cancelled: HashMap<Event, u32>,
+    /// Live (non-cancelled) event count.
+    live: usize,
+}
+
+impl EventCalendar {
+    /// Creates an empty calendar.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live (scheduled and not cancelled) events.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether no live events are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Schedules an event completing at `ready`.
+    pub fn schedule(&mut self, ready: u64, key: u64) {
+        self.heap.push(Reverse((ready, key)));
+        self.live += 1;
+    }
+
+    /// Cancels one previously scheduled `(ready, key)` event. The heap
+    /// entry is discarded lazily when it reaches the front.
+    pub fn cancel(&mut self, ready: u64, key: u64) {
+        *self.cancelled.entry((ready, key)).or_insert(0) += 1;
+        self.live -= 1;
+    }
+
+    /// Drops cancelled entries off the front of the heap.
+    fn settle(&mut self) {
+        while let Some(&Reverse(ev)) = self.heap.peek() {
+            match self.cancelled.get_mut(&ev) {
+                Some(n) => {
+                    *n -= 1;
+                    if *n == 0 {
+                        self.cancelled.remove(&ev);
+                    }
+                    self.heap.pop();
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// The earliest live event, without removing it.
+    pub fn peek(&mut self) -> Option<Event> {
+        self.settle();
+        self.heap.peek().map(|&Reverse(ev)| ev)
+    }
+
+    /// Removes and returns the earliest live event.
+    pub fn pop(&mut self) -> Option<Event> {
+        self.settle();
+        let ev = self.heap.pop().map(|Reverse(ev)| ev);
+        if ev.is_some() {
+            self.live -= 1;
+        }
+        ev
+    }
+
+    /// Pops every live event with `ready <= now` (MSHR retirement).
+    pub fn pop_due(&mut self, now: u64) {
+        while let Some((ready, _)) = self.peek() {
+            if ready > now {
+                break;
+            }
+            self.pop();
+        }
+    }
+
+    /// Removes all events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.cancelled.clear();
+        self.live = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_ready_order() {
+        let mut c = EventCalendar::new();
+        c.schedule(30, 3);
+        c.schedule(10, 1);
+        c.schedule(20, 2);
+        assert_eq!(c.peek(), Some((10, 1)));
+        assert_eq!(c.pop(), Some((10, 1)));
+        assert_eq!(c.pop(), Some((20, 2)));
+        assert_eq!(c.pop(), Some((30, 3)));
+        assert_eq!(c.pop(), None);
+    }
+
+    #[test]
+    fn cancelled_events_never_surface() {
+        let mut c = EventCalendar::new();
+        c.schedule(10, 1);
+        c.schedule(20, 2);
+        c.cancel(10, 1);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.peek(), Some((20, 2)));
+    }
+
+    #[test]
+    fn duplicate_events_are_a_multiset() {
+        let mut c = EventCalendar::new();
+        c.schedule(10, 1);
+        c.schedule(10, 1);
+        c.cancel(10, 1);
+        assert_eq!(c.pop(), Some((10, 1)));
+        assert_eq!(c.pop(), None);
+    }
+
+    #[test]
+    fn pop_due_retires_everything_at_or_before_now() {
+        let mut c = EventCalendar::new();
+        for t in [5, 10, 15, 20] {
+            c.schedule(t, t);
+        }
+        c.pop_due(12);
+        assert_eq!(c.peek(), Some((15, 15)));
+        assert_eq!(c.len(), 2);
+    }
+}

@@ -7,6 +7,7 @@ use crate::bus::Bus;
 use crate::cache::{Cache, CacheConfig};
 use crate::cmd::MemCmd;
 use crate::dram::{DramConfig, MemCtrl};
+use crate::error::MemError;
 use crate::memory::Memory;
 
 const LINE: u64 = 64;
@@ -79,16 +80,27 @@ pub struct MemoryHierarchy {
 
 impl MemoryHierarchy {
     /// Builds the hierarchy from a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate cache geometry; prefer
+    /// [`MemoryHierarchy::try_new`] for a typed error.
     pub fn new(cfg: HierarchyConfig) -> Self {
-        Self {
-            l1i: Cache::new(cfg.l1i),
-            l1d: Cache::new(cfg.l1d),
-            l2: Cache::new(cfg.l2),
+        Self::try_new(cfg).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Builds the hierarchy, rejecting degenerate cache geometry with a
+    /// typed [`MemError`] instead of panicking.
+    pub fn try_new(cfg: HierarchyConfig) -> Result<Self, MemError> {
+        Ok(Self {
+            l1i: Cache::try_new(cfg.l1i)?,
+            l1d: Cache::try_new(cfg.l1d)?,
+            l2: Cache::try_new(cfg.l2)?,
             tol2bus: Bus::new(cfg.tol2bus_latency),
             membus: Bus::new(cfg.membus_latency),
             mem_ctrl: MemCtrl::new(cfg.dram),
             memory: Memory::new(),
-        }
+        })
     }
 
     /// The functional backing memory.

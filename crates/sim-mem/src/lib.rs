@@ -30,14 +30,18 @@
 
 pub mod bus;
 pub mod cache;
+pub mod calendar;
 pub mod cmd;
 pub mod dram;
+pub mod error;
 pub mod hierarchy;
 pub mod memory;
 
 pub use bus::Bus;
 pub use cache::{Cache, CacheConfig};
+pub use calendar::EventCalendar;
 pub use cmd::MemCmd;
 pub use dram::{DramConfig, MemCtrl, PowerState};
+pub use error::MemError;
 pub use hierarchy::{AccessOutcome, HierarchyConfig, LoadResult, MemoryHierarchy};
 pub use memory::Memory;

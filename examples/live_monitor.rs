@@ -10,8 +10,9 @@
 //! cargo run --release --example live_monitor
 //! ```
 
-use perspectron::trace::stream_trace;
+use perspectron::trace::workload_seed;
 use perspectron::{CorpusSpec, PerSpectron};
+use sim_cpu::{Core, CoreConfig};
 use workloads::spectre::{spectre_v1, SpectreV1Params, V1Variant};
 use workloads::{Class, Family, Workload};
 
@@ -38,9 +39,19 @@ fn main() {
     );
 
     // The detector rides the sample stream: each interval is encoded and
-    // scored online, no trace retained.
+    // scored online, no trace retained. Driving the core directly (instead
+    // of `stream_trace`) also surfaces the run summary with its wall-clock
+    // throughput.
     let mut monitor = detector.streaming();
-    stream_trace(&suspect, 300_000, 10_000, &mut monitor);
+    let mut core = Core::new(CoreConfig::default(), suspect.program.clone());
+    core.set_noise_seed(workload_seed(&suspect.name));
+    let summary = core
+        .run_with_sink(300_000, 10_000, &mut monitor)
+        .expect("positive interval");
+    println!(
+        "simulated {} insts in {} cycles ({:.0} insts/s, {:.0} sim cycles/s wall-clock)\n",
+        summary.committed, summary.cycles, summary.insts_per_sec, summary.sim_cycles_per_sec
+    );
 
     let mut alarmed = false;
     for v in monitor.verdicts() {
