@@ -6,6 +6,7 @@ use uarch_stats::Schema;
 use workloads::{Class, Family};
 
 use crate::encode::{MaxMatrix, RowEncoder};
+use crate::features::component_of;
 use crate::trace::CollectedCorpus;
 
 pub use crate::encode::Encoding;
@@ -36,6 +37,12 @@ pub struct Dataset {
     pub max_matrix: MaxMatrix,
     /// The encoding used for [`Sample::x`].
     pub encoding: Encoding,
+    /// Pipeline components with at least one nonzero raw counter in
+    /// *every* training interval. These sensors never go quiet on a
+    /// healthy machine, so an all-zero reading at deployment time
+    /// indicates dropout — the basis of the streaming path's
+    /// [`Degraded`](crate::stream::Degraded) status.
+    pub always_active_components: Vec<String>,
 }
 
 impl Dataset {
@@ -62,6 +69,7 @@ impl Dataset {
             schema: corpus.schema().clone(),
             max_matrix,
             encoding,
+            always_active_components: always_active_components(corpus),
         }
     }
 
@@ -113,6 +121,48 @@ impl Dataset {
     }
 }
 
+/// The components whose sensors never read all-zero in any interval of
+/// `corpus` — the set a live monitor may treat as "must be alive".
+fn always_active_components(corpus: &CollectedCorpus) -> Vec<String> {
+    let schema = corpus.schema();
+    // Column → component-group index, plus group labels, resolved once.
+    let mut labels: Vec<String> = Vec::new();
+    let mut group_of: Vec<usize> = Vec::with_capacity(schema.len());
+    for name in schema.names() {
+        let label = component_of(name);
+        let g = match labels.iter().position(|l| l == label) {
+            Some(g) => g,
+            None => {
+                labels.push(label.to_string());
+                labels.len() - 1
+            }
+        };
+        group_of.push(g);
+    }
+    let mut always_active = vec![true; labels.len()];
+    let mut fired = vec![false; labels.len()];
+    for t in &corpus.traces {
+        for row in t.trace.rows() {
+            fired.iter_mut().for_each(|f| *f = false);
+            for (i, &v) in row.iter().enumerate() {
+                if v != 0.0 {
+                    fired[group_of[i]] = true;
+                }
+            }
+            for (g, &f) in fired.iter().enumerate() {
+                if !f {
+                    always_active[g] = false;
+                }
+            }
+        }
+    }
+    labels
+        .into_iter()
+        .zip(always_active)
+        .filter_map(|(l, keep)| keep.then_some(l))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -159,6 +209,21 @@ mod tests {
                 assert_eq!(s.y, -1);
             }
         }
+    }
+
+    #[test]
+    fn always_active_components_include_the_core_stages() {
+        let d = tiny_dataset(Encoding::KSparse);
+        let active = &d.always_active_components;
+        // The cycle counter alone keeps `cpu` alive every interval, and an
+        // in-order front end cannot go a whole 10K-instruction window
+        // without fetching.
+        assert!(active.contains(&"cpu".to_string()), "active: {active:?}");
+        assert!(active.contains(&"fetch".to_string()), "active: {active:?}");
+        assert!(
+            active.len() < 17,
+            "some components must legitimately go quiet: {active:?}"
+        );
     }
 
     #[test]

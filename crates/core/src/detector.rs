@@ -4,6 +4,7 @@
 use std::sync::Arc;
 
 use mlkit::{confusion, Classifier, Confusion, Perceptron};
+use uarch_stats::Schema;
 
 use crate::dataset::{Dataset, Encoding};
 use crate::encode::{MaxMatrix, RowEncoder};
@@ -39,10 +40,17 @@ pub struct PerSpectron {
 
 /// What the detector needs to encode unseen traces the same way the
 /// training corpus was encoded. The max matrix is shared (`Arc`) so
-/// streaming detectors deployed per-process don't copy it.
+/// streaming detectors deployed per-process don't copy it; the schema
+/// (already `Arc`-backed) lets degradation checks map columns back to
+/// pipeline components.
 #[derive(Debug, Clone)]
 struct DatasetBlueprint {
     max_matrix: Arc<MaxMatrix>,
+    schema: Schema,
+    /// Components that never read all-zero in training, with their schema
+    /// columns — the live path's dropout watchlist (shared by every
+    /// streaming clone).
+    always_active: Arc<Vec<(String, Vec<usize>)>>,
 }
 
 impl PerSpectron {
@@ -77,6 +85,24 @@ impl PerSpectron {
             weight_norm: weight_norm.max(1e-12),
             dataset_blueprint: DatasetBlueprint {
                 max_matrix: Arc::new(dataset.max_matrix.clone()),
+                schema: dataset.schema.clone(),
+                always_active: Arc::new(
+                    dataset
+                        .always_active_components
+                        .iter()
+                        .map(|label| {
+                            let cols = dataset
+                                .schema
+                                .names()
+                                .iter()
+                                .enumerate()
+                                .filter(|(_, n)| component_of(n) == label)
+                                .map(|(i, _)| i)
+                                .collect();
+                            (label.clone(), cols)
+                        })
+                        .collect(),
+                ),
             },
         }
     }
@@ -95,14 +121,30 @@ impl PerSpectron {
     /// Raw (pre-threshold) output for a full-width k-sparse sample row,
     /// normalized to `[-1, 1]` by the weight magnitude — the paper's
     /// confidence measurement.
+    ///
+    /// The output is always finite: a non-finite input feature (a
+    /// corrupted sensor value that bypassed the encoder's sanitization)
+    /// contributes nothing instead of propagating NaN into the verdict.
     pub fn confidence(&self, full_row: &[f64]) -> f64 {
         let projected: Vec<f64> = self
             .selection
             .selected
             .iter()
-            .map(|&i| full_row[i])
+            .map(|&i| {
+                let v = full_row[i];
+                if v.is_finite() {
+                    v
+                } else {
+                    0.0
+                }
+            })
             .collect();
-        self.perceptron.score(&projected) / self.weight_norm
+        let score = self.perceptron.score(&projected) / self.weight_norm;
+        if score.is_finite() {
+            score
+        } else {
+            0.0
+        }
     }
 
     /// Classifies one full-width sample row: suspicious when the
@@ -114,6 +156,19 @@ impl PerSpectron {
     /// The reference maxima the detector encodes unseen samples with.
     pub fn max_matrix(&self) -> &Arc<MaxMatrix> {
         &self.dataset_blueprint.max_matrix
+    }
+
+    /// The statistic schema the detector was trained against (column
+    /// names of the full input row).
+    pub fn schema(&self) -> &Schema {
+        &self.dataset_blueprint.schema
+    }
+
+    /// Components that never read all-zero during training, each with its
+    /// schema columns — the sensors whose silence at deployment time
+    /// means dropout, not idleness.
+    pub(crate) fn always_active_components(&self) -> Arc<Vec<(String, Vec<usize>)>> {
+        Arc::clone(&self.dataset_blueprint.always_active)
     }
 
     /// A per-sample k-sparse encoder over the full statistic space, backed

@@ -34,9 +34,14 @@ pub struct MaxMatrix {
 
 /// Scales one raw counter delta against its reference maximum and applies
 /// the encoding: the single place the normalize/binarize arithmetic lives.
+///
+/// Non-finite inputs (a corrupted sensor reading) encode as 0 — a masked
+/// feature — never as NaN leaking into the model; a non-finite or
+/// subnormal maximum likewise masks the feature, since dividing by it
+/// would produce garbage (or an effectively-infinite scale).
 #[inline]
 fn encode_value(max: f64, value: f64, encoding: Encoding) -> f64 {
-    let scaled = if max == 0.0 {
+    let scaled = if max < f64::MIN_POSITIVE || !max.is_finite() || !value.is_finite() {
         0.0
     } else {
         (value.abs() / max).min(1.0)
@@ -51,6 +56,13 @@ fn encode_value(max: f64, value: f64, encoding: Encoding) -> f64 {
             }
         }
     }
+}
+
+/// Whether a raw stat value needs sanitizing before it can be scored
+/// (non-finite: NaN or ±∞ from a corrupted sensor).
+#[inline]
+pub(crate) fn needs_sanitizing(value: f64) -> bool {
+    !value.is_finite()
 }
 
 impl MaxMatrix {
@@ -73,6 +85,12 @@ impl MaxMatrix {
             for (j, row) in t.trace.rows().enumerate() {
                 for (i, &v) in row.iter().enumerate() {
                     let v = v.abs();
+                    // A non-finite reading (corrupted sensor) must not
+                    // poison the reference maxima: an ∞ maximum would
+                    // scale every later value of the feature to zero.
+                    if !v.is_finite() {
+                        continue;
+                    }
                     if v > maxima[i][j] {
                         maxima[i][j] = v;
                     }
@@ -97,14 +115,21 @@ impl MaxMatrix {
 
     /// The maximum for feature `i` at sampling point `j` (falling back to
     /// the global maximum beyond the stored horizon or when the stored
-    /// maximum is zero).
+    /// maximum is zero, subnormal or otherwise unusable as a divisor).
     pub fn max_at(&self, i: usize, j: usize) -> f64 {
         let m = self.maxima[i].get(j).copied().unwrap_or(0.0);
-        if m > 0.0 {
+        if m >= f64::MIN_POSITIVE && m.is_finite() {
             m
         } else {
             self.global[i]
         }
+    }
+
+    /// The global maximum of feature `i` across the whole reference
+    /// corpus. Zero means the counter never fired in training — a feature
+    /// the live pipeline cannot distinguish from a dropped sensor.
+    pub fn global_max(&self, i: usize) -> f64 {
+        self.global[i]
     }
 
     /// Scales one raw sample row taken at sampling point `j` into `[0, 1]`
@@ -273,6 +298,54 @@ mod tests {
         let m = MaxMatrix::fit(&c);
         assert_eq!(m.max_at(0, 99), 20.0);
         assert_eq!(m.normalize(&[10.0, 1.0], 99), vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn corrupted_snapshot_values_encode_finite_and_masked() {
+        let c = toy_corpus(vec![vec![10.0, 4.0]]);
+        let m = Arc::new(MaxMatrix::fit(&c));
+        for encoding in [Encoding::Normalized, Encoding::KSparse] {
+            let enc = RowEncoder::new(m.clone(), encoding);
+            for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+                let out = enc.encode(&[bad, 4.0], 0);
+                assert!(
+                    out.iter().all(|v| v.is_finite()),
+                    "{encoding:?}: corrupted input leaked non-finite output"
+                );
+                assert_eq!(out[0], 0.0, "corrupted value must be masked to 0");
+                assert_eq!(
+                    out[1],
+                    enc.encode(&[1.0, 4.0], 0)[1],
+                    "healthy column unaffected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn non_finite_corpus_values_do_not_poison_the_maxima() {
+        let c = toy_corpus(vec![
+            vec![f64::INFINITY, 4.0],
+            vec![10.0, f64::NAN],
+            vec![2.0, 8.0],
+        ]);
+        let m = MaxMatrix::fit(&c);
+        assert_eq!(m.max_at(0, 0), m.global_max(0), "∞ skipped, falls back");
+        assert_eq!(m.max_at(0, 1), 10.0);
+        assert_eq!(m.global_max(0), 10.0);
+        assert_eq!(m.max_at(1, 1), m.global_max(1), "NaN skipped, falls back");
+        assert_eq!(m.global_max(1), 8.0);
+        assert!(m.normalize(&[5.0, 4.0], 0).iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn subnormal_maxima_fall_back_to_the_global_maximum() {
+        let c = toy_corpus(vec![vec![f64::MIN_POSITIVE / 2.0, 1.0], vec![10.0, 2.0]]);
+        let m = MaxMatrix::fit(&c);
+        // The stored sampling-point maximum is subnormal: dividing by it
+        // explodes the scale, so the global maximum must win.
+        assert_eq!(m.max_at(0, 0), 10.0);
+        assert_eq!(m.normalize(&[5.0, 1.0], 0)[0], 0.5);
     }
 
     #[test]

@@ -19,6 +19,11 @@
 //! 6. [`stream`] — the online deployment shape: per-interval featurization
 //!    and classification as a [`uarch_stats::SampleSink`], scoring every
 //!    sampling window the moment the simulator closes it.
+//! 7. [`faults`] — deterministic sensor-fault injection (component
+//!    dropout, row drops, value corruption, interval jitter) at the sample
+//!    boundary, quantifying the paper's replicated-detector resilience
+//!    claim; the streaming path degrades gracefully (sanitized inputs,
+//!    per-interval [`stream::Degraded`] status) instead of misfiring.
 //!
 //! Collection itself is streaming and parallel: [`CorpusSpec::collect`]
 //! fans workloads out across threads (deterministic per-workload seeds,
@@ -43,6 +48,7 @@ pub mod dataset;
 pub mod detector;
 pub mod encode;
 pub mod eval;
+pub mod faults;
 pub mod features;
 pub mod hardware;
 pub mod map_features;
@@ -55,9 +61,12 @@ pub use dataset::{Dataset, Sample};
 pub use detector::{DetectionReport, PerSpectron};
 pub use encode::{Encoding, MaxMatrix, RowEncoder};
 pub use eval::{paper_folds, FoldSpec};
+pub use faults::{FaultLog, FaultPlan, FaultSpec, FaultySink};
 pub use features::{component_of, FeatureSelection, SelectionConfig};
 pub use hardware::HardwareCost;
 pub use multiclass::MulticlassDetector;
 pub use rhmd::RhmdDetector;
-pub use stream::{IntervalVerdict, StreamingDetector, StreamingFeaturizer};
-pub use trace::{CollectedCorpus, CorpusSpec, LabeledTrace};
+pub use stream::{Degraded, IntervalVerdict, StreamingDetector, StreamingFeaturizer};
+pub use trace::{
+    CollectedCorpus, CorpusSpec, LabeledTrace, ResiliencePolicy, ResilientCorpus, WorkloadFailure,
+};

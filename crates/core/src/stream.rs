@@ -13,10 +13,12 @@
 //! [`PerSpectron::confidence_series`] path because both run the same
 //! encoder and the same perceptron.
 
+use std::sync::Arc;
+
 use uarch_stats::SampleSink;
 
 use crate::detector::PerSpectron;
-use crate::encode::RowEncoder;
+use crate::encode::{needs_sanitizing, RowEncoder};
 
 /// The encoded feature vectors produced one interval at a time.
 ///
@@ -31,6 +33,7 @@ pub struct StreamingFeaturizer {
     rows: Vec<Vec<f64>>,
     insts: Vec<u64>,
     point: usize,
+    sanitized: usize,
 }
 
 impl StreamingFeaturizer {
@@ -41,6 +44,7 @@ impl StreamingFeaturizer {
             rows: Vec::new(),
             insts: Vec::new(),
             point: 0,
+            sanitized: 0,
         }
     }
 
@@ -60,32 +64,69 @@ impl StreamingFeaturizer {
         self.rows
     }
 
+    /// Raw input values sanitized so far (non-finite sensor readings
+    /// masked to zero before encoding).
+    pub fn sanitized_values(&self) -> usize {
+        self.sanitized
+    }
+
     /// Rewinds the sampling-point cursor and clears accumulated rows, for
     /// reuse on a fresh run.
     pub fn reset(&mut self) {
         self.rows.clear();
         self.insts.clear();
         self.point = 0;
+        self.sanitized = 0;
     }
 }
 
 impl SampleSink for StreamingFeaturizer {
     fn on_sample(&mut self, insts: u64, row: &[f64]) {
+        // The encoder masks non-finite inputs itself; the featurizer only
+        // counts them so callers can tell a degraded stream from a clean
+        // one. Clean rows take the exact pre-hardening path.
+        self.sanitized += row.iter().filter(|v| needs_sanitizing(**v)).count();
         self.rows.push(self.encoder.encode(row, self.point));
         self.insts.push(insts);
         self.point += 1;
     }
 }
 
+/// Why a sampling window was scored on partial evidence.
+///
+/// Attached to an [`IntervalVerdict`] when the incoming sensor row was not
+/// fully healthy: components that should never go quiet read all-zero
+/// (dropout), or values arrived non-finite and were masked before
+/// scoring. The verdict itself is still rendered — the paper's replicated
+/// features mean a partial footprint usually suffices — but the caller
+/// can see it was reached under degradation.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Degraded {
+    /// Always-active-in-training components whose counters all read zero
+    /// this interval — dead sensor banks, not idleness.
+    pub missing_components: Vec<String>,
+    /// Raw values masked to zero because they arrived non-finite.
+    pub sanitized_values: usize,
+}
+
+impl Degraded {
+    fn is_clean(&self) -> bool {
+        self.missing_components.is_empty() && self.sanitized_values == 0
+    }
+}
+
 /// One per-interval classification decision.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct IntervalVerdict {
     /// Committed-instruction count when the window closed.
     pub at_inst: u64,
-    /// Normalized perceptron output in `[-1, 1]`.
+    /// Normalized perceptron output in `[-1, 1]`. Always finite, even on
+    /// corrupted input.
     pub confidence: f64,
     /// Whether the confidence cleared the detector's threshold.
     pub suspicious: bool,
+    /// `Some` when this window was scored on degraded sensor input.
+    pub degraded: Option<Degraded>,
 }
 
 /// An online detector: scores every sampling window against a trained
@@ -113,7 +154,13 @@ pub struct IntervalVerdict {
 pub struct StreamingDetector {
     detector: PerSpectron,
     encoder: RowEncoder,
+    /// Components that never go quiet on a healthy machine, with their
+    /// schema columns — the dropout watchlist (shared, from training).
+    watchlist: Arc<Vec<(String, Vec<usize>)>>,
     buf: Vec<f64>,
+    /// Scratch copy of the raw row when sanitization is needed (clean
+    /// rows are scored straight off the borrow).
+    raw_buf: Vec<f64>,
     point: usize,
     verdicts: Vec<IntervalVerdict>,
 }
@@ -124,9 +171,11 @@ impl StreamingDetector {
         let encoder = detector.input_encoder();
         let width = encoder.width();
         Self {
+            watchlist: detector.always_active_components(),
             detector: detector.clone(),
             encoder,
             buf: Vec::with_capacity(width),
+            raw_buf: Vec::new(),
             point: 0,
             verdicts: Vec::new(),
         }
@@ -147,6 +196,14 @@ impl StreamingDetector {
         self.verdicts.iter().find(|v| v.suspicious)
     }
 
+    /// Windows scored under degraded sensor input so far.
+    pub fn degraded_intervals(&self) -> usize {
+        self.verdicts
+            .iter()
+            .filter(|v| v.degraded.is_some())
+            .count()
+    }
+
     /// Rewinds the sampling-point cursor and clears verdicts, for reuse on
     /// a fresh process.
     pub fn reset(&mut self) {
@@ -157,12 +214,39 @@ impl StreamingDetector {
 
 impl SampleSink for StreamingDetector {
     fn on_sample(&mut self, insts: u64, row: &[f64]) {
-        self.encoder.encode_into(row, self.point, &mut self.buf);
+        // Sanitize: a non-finite sensor reading is masked to zero (the
+        // encoder would mask it anyway — the copy exists so the dropout
+        // check below never compares against NaN). Clean rows — the
+        // overwhelmingly common case — are scored straight off the
+        // borrowed slice, bit-identically to the pre-hardening path.
+        let sanitized_values = row.iter().filter(|v| needs_sanitizing(**v)).count();
+        let raw: &[f64] = if sanitized_values == 0 {
+            row
+        } else {
+            self.raw_buf.clear();
+            self.raw_buf
+                .extend(row.iter().map(|&v| if v.is_finite() { v } else { 0.0 }));
+            &self.raw_buf
+        };
+        // Dropout check: an always-active-in-training component whose
+        // counters all read zero is a dead sensor bank, not idleness.
+        let mut missing_components = Vec::new();
+        for (label, cols) in self.watchlist.iter() {
+            if cols.iter().all(|&i| raw[i] == 0.0) {
+                missing_components.push(label.clone());
+            }
+        }
+        let status = Degraded {
+            missing_components,
+            sanitized_values,
+        };
+        self.encoder.encode_into(raw, self.point, &mut self.buf);
         let confidence = self.detector.confidence(&self.buf);
         self.verdicts.push(IntervalVerdict {
             at_inst: insts,
             confidence,
             suspicious: confidence >= self.detector.threshold,
+            degraded: (!status.is_clean()).then_some(status),
         });
         self.point += 1;
     }
@@ -202,6 +286,51 @@ mod tests {
         for (a, b) in streamed.iter().zip(batch) {
             assert_eq!(a, b, "streamed features must be bit-identical to batch");
         }
+    }
+
+    #[test]
+    fn clean_streams_carry_no_degraded_status() {
+        let spec = tiny_spec();
+        let corpus = spec.collect();
+        let det = PerSpectron::train(&corpus, 7);
+        let mut mon = det.streaming();
+        stream_trace(&spec.workloads[0], 60_000, 10_000, &mut mon);
+        assert!(!mon.verdicts().is_empty());
+        assert_eq!(mon.degraded_intervals(), 0, "clean run must not degrade");
+        assert!(mon.verdicts().iter().all(|v| v.degraded.is_none()));
+    }
+
+    #[test]
+    fn corrupted_and_dropped_rows_degrade_but_never_panic_or_nan() {
+        let spec = tiny_spec();
+        let corpus = spec.collect();
+        let det = PerSpectron::train(&corpus, 7);
+        let mut mon = det.streaming();
+        let width = det.schema().len();
+
+        // A healthy-looking row, then one with corrupted values, then one
+        // with every always-active component dropped (all-zero).
+        let healthy: Vec<f64> = vec![1.0; width];
+        let mut corrupt = healthy.clone();
+        corrupt[0] = f64::NAN;
+        corrupt[width / 2] = f64::INFINITY;
+        let dead: Vec<f64> = vec![0.0; width];
+
+        mon.on_sample(10_000, &healthy);
+        mon.on_sample(20_000, &corrupt);
+        mon.on_sample(30_000, &dead);
+
+        let v = mon.verdicts();
+        assert!(v.iter().all(|v| v.confidence.is_finite()));
+        let d1 = v[1].degraded.as_ref().expect("corrupt row degrades");
+        assert_eq!(d1.sanitized_values, 2);
+        let d2 = v[2].degraded.as_ref().expect("dead sensors degrade");
+        assert!(
+            d2.missing_components.contains(&"cpu".to_string()),
+            "an all-zero row silences even the cycle counter: {:?}",
+            d2.missing_components
+        );
+        assert_eq!(d2.sanitized_values, 0);
     }
 
     #[test]

@@ -6,10 +6,22 @@
 //! walks), and [`CorpusSpec::collect`] fans the workloads out across
 //! scoped threads with deterministic per-workload seeds and an ordered
 //! merge — the parallel corpus is byte-for-byte identical to a serial one.
+//!
+//! Collection is also *supervised*: every per-workload run executes under
+//! `catch_unwind`, so one panicking simulation becomes a typed
+//! [`SimError::WorkloadPanicked`] instead of poisoning the whole thread
+//! scope, and [`CorpusSpec::try_collect_resilient`] adds a per-workload
+//! cycle budget (watchdog for runaway programs), one retry with a fresh
+//! noise seed, and a quarantine report ([`WorkloadFailure`]) in place of
+//! an abort — a partial corpus always comes back.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use sim_cpu::{Core, CoreConfig, MarkEvent, SimError};
 use uarch_stats::{SampleSink, SampleTrace, Schema};
 use workloads::{Class, Family, Workload};
+
+use crate::faults::FaultPlan;
 
 /// Base seed for per-workload noise-RNG derivation.
 const CORPUS_SEED: u64 = 0xcbf2_9ce4_8422_2325;
@@ -127,15 +139,7 @@ impl CorpusSpec {
 
     /// Fallible serial reference collection (one workload after another).
     pub fn try_collect_serial(&self) -> Result<CollectedCorpus, SimError> {
-        let traces = self
-            .workloads
-            .iter()
-            .map(|w| try_collect_trace(w, self.insts_per_workload, self.sample_interval))
-            .collect::<Result<Vec<_>, _>>()?;
-        Ok(CollectedCorpus {
-            traces,
-            sample_interval: self.sample_interval,
-        })
+        self.try_collect_with_threads(1)
     }
 
     /// Fallible collection with an explicit worker-thread count.
@@ -146,37 +150,318 @@ impl CorpusSpec {
     /// post-join sort-merge. Seeds derive from the workload *name*, so the
     /// corpus is independent of the thread count and byte-equal to the
     /// serial path.
+    ///
+    /// Every per-workload run executes under `catch_unwind`: one
+    /// panicking simulation surfaces as [`SimError::WorkloadPanicked`]
+    /// for that workload (the first error wins, as with any other
+    /// [`SimError`]) instead of poisoning the whole thread scope.
     pub fn try_collect_with_threads(&self, threads: usize) -> Result<CollectedCorpus, SimError> {
-        let n = self.workloads.len();
-        let threads = threads.clamp(1, n.max(1));
-        if threads <= 1 {
-            return self.try_collect_serial();
-        }
-        let chunk = n.div_ceil(threads);
-        let mut slots: Vec<Option<Result<LabeledTrace, SimError>>> = Vec::new();
-        slots.resize_with(n, || None);
-        std::thread::scope(|s| {
-            for (ws, out) in self.workloads.chunks(chunk).zip(slots.chunks_mut(chunk)) {
-                s.spawn(move || {
-                    for (w, slot) in ws.iter().zip(out.iter_mut()) {
-                        *slot = Some(try_collect_trace(
-                            w,
-                            self.insts_per_workload,
-                            self.sample_interval,
-                        ));
-                    }
-                });
-            }
+        let slots = fan_out(&self.workloads, threads, |w| {
+            guard(&w.name, || {
+                try_collect_trace(w, self.insts_per_workload, self.sample_interval)
+            })
         });
         let traces = slots
             .into_iter()
-            .map(|s| s.expect("worker filled its slot"))
+            .zip(&self.workloads)
+            .map(|(s, w)| s.unwrap_or_else(|| Err(lost_worker(&w.name))))
             .collect::<Result<Vec<_>, _>>()?;
         Ok(CollectedCorpus {
             traces,
             sample_interval: self.sample_interval,
         })
     }
+
+    /// Collects a corpus through a [`FaultPlan`]: every workload's sample
+    /// stream passes through a fault-injecting
+    /// [`FaultySink`](crate::faults::FaultySink) before being recorded.
+    ///
+    /// Fault streams are keyed by `(plan seed, workload name)` only, so
+    /// the faulted corpus is byte-identical across any `threads` count —
+    /// exactly like the clean path. With a quiet spec this is
+    /// byte-identical to [`CorpusSpec::try_collect_with_threads`].
+    pub fn try_collect_faulted(
+        &self,
+        plan: &FaultPlan,
+        threads: usize,
+    ) -> Result<CollectedCorpus, SimError> {
+        let slots = fan_out(&self.workloads, threads, |w| {
+            guard(&w.name, || {
+                let mut core = Core::try_new(CoreConfig::default(), w.program.clone())?;
+                core.set_noise_seed(workload_seed(&w.name));
+                let mut sink = plan.sink_for(&w.name, SampleTrace::new(core.stat_schema()));
+                core.run_with_sink(self.insts_per_workload, self.sample_interval, &mut sink)?;
+                Ok(LabeledTrace {
+                    name: w.name.clone(),
+                    class: w.class,
+                    family: w.family,
+                    trace: sink.into_inner(),
+                    marks: core.marks().to_vec(),
+                })
+            })
+        });
+        let traces = slots
+            .into_iter()
+            .zip(&self.workloads)
+            .map(|(s, w)| s.unwrap_or_else(|| Err(lost_worker(&w.name))))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(CollectedCorpus {
+            traces,
+            sample_interval: self.sample_interval,
+        })
+    }
+
+    /// Supervised, non-aborting collection: runs every workload under a
+    /// watchdog and a panic guard, retries failures once with a fresh
+    /// noise seed, and returns whatever could be collected plus a
+    /// quarantine report — never an abort, never a hang.
+    ///
+    /// This is the deployment-shaped collector: a production detector
+    /// cannot lose its whole training corpus because one workload
+    /// deadlocks ([`SimError::CycleBudgetExceeded`] via
+    /// [`ResiliencePolicy::cycle_budget`]) or trips a simulator panic
+    /// ([`SimError::WorkloadPanicked`]).
+    pub fn try_collect_resilient(&self, policy: &ResiliencePolicy) -> ResilientCorpus {
+        self.collect_resilient_with(policy, |w, seed| {
+            let cfg = CoreConfig {
+                cycle_budget: policy.cycle_budget,
+                ..CoreConfig::default()
+            };
+            let mut core = Core::try_new(cfg, w.program.clone())?;
+            core.set_noise_seed(seed);
+            let mut trace = SampleTrace::new(core.stat_schema());
+            core.run_with_sink(self.insts_per_workload, self.sample_interval, &mut trace)?;
+            Ok(LabeledTrace {
+                name: w.name.clone(),
+                class: w.class,
+                family: w.family,
+                trace,
+                marks: core.marks().to_vec(),
+            })
+        })
+    }
+
+    /// [`CorpusSpec::try_collect_resilient`] with an injectable
+    /// per-workload runner, so the supervision machinery (panic guard,
+    /// retry, quarantine) can be tested against deliberately failing
+    /// runs.
+    pub(crate) fn collect_resilient_with<F>(
+        &self,
+        policy: &ResiliencePolicy,
+        runner: F,
+    ) -> ResilientCorpus
+    where
+        F: Fn(&Workload, u64) -> Result<LabeledTrace, SimError> + Sync,
+    {
+        let threads = policy
+            .threads
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+        let attempts_allowed = policy.max_attempts.max(1);
+        let slots = fan_out(&self.workloads, threads, |w| {
+            let mut attempts = 0;
+            loop {
+                attempts += 1;
+                // Retries re-seed the noise RNG: a fresh stream, still
+                // deterministic (derived from the name and attempt only).
+                let seed = retry_seed(&w.name, attempts - 1);
+                match guard(&w.name, || runner(w, seed)) {
+                    Ok(trace) => return Ok(trace),
+                    Err(error) if attempts >= attempts_allowed => {
+                        return Err(WorkloadFailure {
+                            name: w.name.clone(),
+                            family: w.family,
+                            attempts,
+                            error,
+                        })
+                    }
+                    Err(_) => {}
+                }
+            }
+        });
+        let mut traces = Vec::with_capacity(self.workloads.len());
+        let mut failures = Vec::new();
+        for (slot, w) in slots.into_iter().zip(&self.workloads) {
+            match slot {
+                Some(Ok(trace)) => traces.push(trace),
+                Some(Err(failure)) => failures.push(failure),
+                None => failures.push(WorkloadFailure {
+                    name: w.name.clone(),
+                    family: w.family,
+                    attempts: 0,
+                    error: lost_worker(&w.name),
+                }),
+            }
+        }
+        ResilientCorpus {
+            corpus: CollectedCorpus {
+                traces,
+                sample_interval: self.sample_interval,
+            },
+            failures,
+        }
+    }
+}
+
+/// How [`CorpusSpec::try_collect_resilient`] supervises its workers.
+#[derive(Debug, Clone)]
+pub struct ResiliencePolicy {
+    /// Worker threads (`None`: all available cores).
+    pub threads: Option<usize>,
+    /// Per-workload simulated-cycle budget
+    /// ([`CoreConfig::cycle_budget`]); the watchdog against runaway or
+    /// deadlocked programs. `None` disables.
+    pub cycle_budget: Option<u64>,
+    /// Total attempts per workload (first run + retries). The default of
+    /// 2 retries once with a fresh noise seed.
+    pub max_attempts: u32,
+}
+
+impl Default for ResiliencePolicy {
+    fn default() -> Self {
+        Self {
+            threads: None,
+            cycle_budget: None,
+            max_attempts: 2,
+        }
+    }
+}
+
+/// One quarantined workload: what failed, how often it was tried, why.
+#[derive(Debug, Clone)]
+pub struct WorkloadFailure {
+    /// The workload's name.
+    pub name: String,
+    /// Its attack family (or benign).
+    pub family: Family,
+    /// Attempts made before giving up.
+    pub attempts: u32,
+    /// The final attempt's error.
+    pub error: SimError,
+}
+
+impl std::fmt::Display for WorkloadFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} (after {} attempt{}): {}",
+            self.name,
+            self.attempts,
+            if self.attempts == 1 { "" } else { "s" },
+            self.error
+        )
+    }
+}
+
+/// The outcome of a supervised collection: every trace that could be
+/// collected, plus the quarantine report for those that could not.
+#[derive(Debug, Clone)]
+pub struct ResilientCorpus {
+    /// The (possibly partial) corpus.
+    pub corpus: CollectedCorpus,
+    /// Workloads that failed every attempt, with their final errors.
+    pub failures: Vec<WorkloadFailure>,
+}
+
+impl ResilientCorpus {
+    /// Whether every requested workload produced a trace.
+    pub fn is_complete(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// A one-line quarantine summary for logs and monitors.
+    pub fn quarantine_summary(&self) -> String {
+        if self.failures.is_empty() {
+            format!(
+                "all {} workloads collected, quarantine empty",
+                self.corpus.traces.len()
+            )
+        } else {
+            format!(
+                "{} collected, {} quarantined: {}",
+                self.corpus.traces.len(),
+                self.failures.len(),
+                self.failures
+                    .iter()
+                    .map(WorkloadFailure::to_string)
+                    .collect::<Vec<_>>()
+                    .join("; ")
+            )
+        }
+    }
+}
+
+/// Deterministic per-attempt noise seed: the name-derived base seed for
+/// the first attempt, a splitmix-style re-key for each retry.
+fn retry_seed(name: &str, retry: u32) -> u64 {
+    let base = workload_seed(name);
+    if retry == 0 {
+        return base;
+    }
+    let mut z = base ^ (retry as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Runs `f` under `catch_unwind`, converting a panic into
+/// [`SimError::WorkloadPanicked`] with the stringified payload.
+fn guard<T>(workload: &str, f: impl FnOnce() -> Result<T, SimError>) -> Result<T, SimError> {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(result) => result,
+        Err(payload) => {
+            let payload = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            Err(SimError::WorkloadPanicked {
+                workload: workload.to_string(),
+                payload,
+            })
+        }
+    }
+}
+
+/// The typed error for a slot its worker never filled — only reachable if
+/// a worker thread dies outside the per-workload panic guard.
+fn lost_worker(workload: &str) -> SimError {
+    SimError::WorkloadPanicked {
+        workload: workload.to_string(),
+        payload: "worker thread died before filling its slot".to_string(),
+    }
+}
+
+/// Chunked fan-out over scoped worker threads: the workload list is
+/// pre-partitioned into contiguous chunks, one per worker, and every
+/// worker writes results directly into its own slice — no shared cursor,
+/// no post-join merge. With one thread (or one workload) the fan-out runs
+/// inline on the caller's thread.
+fn fan_out<T, F>(workloads: &[Workload], threads: usize, run: F) -> Vec<Option<T>>
+where
+    T: Send,
+    F: Fn(&Workload) -> T + Sync,
+{
+    let n = workloads.len();
+    let threads = threads.clamp(1, n.max(1));
+    let mut slots: Vec<Option<T>> = Vec::new();
+    slots.resize_with(n, || None);
+    if threads <= 1 {
+        for (w, slot) in workloads.iter().zip(slots.iter_mut()) {
+            *slot = Some(run(w));
+        }
+        return slots;
+    }
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|s| {
+        for (ws, out) in workloads.chunks(chunk).zip(slots.chunks_mut(chunk)) {
+            s.spawn(|| {
+                for (w, slot) in ws.iter().zip(out.iter_mut()) {
+                    *slot = Some(run(w));
+                }
+            });
+        }
+    });
+    slots
 }
 
 /// Runs one workload and samples its statistics, streaming each interval
@@ -269,6 +554,7 @@ impl CollectedCorpus {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::FaultSpec;
 
     fn tiny_spec() -> CorpusSpec {
         // Two workloads keep this test fast.
@@ -359,5 +645,105 @@ mod tests {
             spectre > benign,
             "spectre non-spec stalls ({spectre}) should dwarf bzip2 ({benign})"
         );
+    }
+
+    #[test]
+    fn resilient_collection_quarantines_a_panicking_workload() {
+        let spec = tiny_spec();
+        let policy = ResiliencePolicy {
+            threads: Some(2),
+            ..ResiliencePolicy::default()
+        };
+        let result = spec.collect_resilient_with(&policy, |w, _seed| {
+            if w.name == "bzip2" {
+                panic!("simulated sensor wedge in {}", w.name);
+            }
+            try_collect_trace(w, spec.insts_per_workload, spec.sample_interval)
+        });
+        assert!(!result.is_complete());
+        assert_eq!(result.corpus.traces.len(), 1);
+        assert_eq!(result.corpus.traces[0].name, "spectre-v1-classic");
+        assert_eq!(result.failures.len(), 1);
+        let failure = &result.failures[0];
+        assert_eq!(failure.name, "bzip2");
+        assert_eq!(failure.attempts, 2, "default policy retries once");
+        assert!(
+            matches!(
+                &failure.error,
+                SimError::WorkloadPanicked { workload, payload }
+                    if workload == "bzip2" && payload.contains("sensor wedge")
+            ),
+            "got: {}",
+            failure.error
+        );
+        assert!(result.quarantine_summary().contains("1 quarantined"));
+    }
+
+    #[test]
+    fn resilient_retry_recovers_a_transient_failure() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let spec = tiny_spec();
+        let policy = ResiliencePolicy {
+            threads: Some(1),
+            ..ResiliencePolicy::default()
+        };
+        let bzip2_calls = AtomicU32::new(0);
+        let result = spec.collect_resilient_with(&policy, |w, seed| {
+            if w.name == "bzip2" && bzip2_calls.fetch_add(1, Ordering::SeqCst) == 0 {
+                // First attempt fails; the retry must arrive with a
+                // different (but still name-derived) seed.
+                assert_eq!(seed, workload_seed("bzip2"));
+                panic!("transient fault");
+            }
+            if w.name == "bzip2" {
+                assert_ne!(seed, workload_seed("bzip2"), "retry must re-seed");
+            }
+            try_collect_trace(w, spec.insts_per_workload, spec.sample_interval)
+        });
+        assert!(result.is_complete(), "{}", result.quarantine_summary());
+        assert_eq!(result.corpus.traces.len(), 2);
+        assert!(result.quarantine_summary().contains("quarantine empty"));
+    }
+
+    #[test]
+    fn resilient_collection_on_healthy_workloads_matches_plain_collection() {
+        let spec = tiny_spec();
+        let plain = spec.collect_serial();
+        let resilient = spec.try_collect_resilient(&ResiliencePolicy {
+            threads: Some(2),
+            cycle_budget: Some(100_000_000),
+            ..ResiliencePolicy::default()
+        });
+        assert!(resilient.is_complete());
+        for (a, b) in plain.traces.iter().zip(&resilient.corpus.traces) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.trace.flat_values(), b.trace.flat_values());
+            assert_eq!(a.marks, b.marks);
+        }
+    }
+
+    #[test]
+    fn quiet_fault_plan_collection_is_byte_equal_to_clean() {
+        let spec = tiny_spec();
+        let clean = spec.collect_serial();
+        let plan = FaultPlan::new(FaultSpec::none(), clean.schema());
+        let faulted = spec
+            .try_collect_faulted(&plan, 2)
+            .expect("quiet plan collects");
+        for (a, b) in clean.traces.iter().zip(&faulted.traces) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.trace.flat_values(), b.trace.flat_values());
+            assert_eq!(a.trace.instruction_counts(), b.trace.instruction_counts());
+        }
+    }
+
+    #[test]
+    fn retry_seeds_differ_per_attempt_but_are_deterministic() {
+        let a0 = retry_seed("bzip2", 0);
+        let a1 = retry_seed("bzip2", 1);
+        assert_eq!(a0, workload_seed("bzip2"));
+        assert_ne!(a0, a1);
+        assert_eq!(a1, retry_seed("bzip2", 1));
+        assert_ne!(a1, retry_seed("hmmer", 1));
     }
 }

@@ -86,6 +86,14 @@ pub struct CoreConfig {
     /// per-cycle stall statistics the stages would have recorded. Only
     /// effective on the fast path (`reference_scan = false`).
     pub tick_skip: bool,
+    /// Watchdog: total simulated cycles this core may ever run. When the
+    /// clock reaches the budget, [`Core::run`](crate::Core::run) stops
+    /// stepping and [`Core::run_with_sink`](crate::Core::run_with_sink)
+    /// reports [`SimError::CycleBudgetExceeded`] — the escape hatch for
+    /// runaway or deadlocked workloads in supervised corpus collection.
+    /// `None` (the default) leaves the run loop untouched, preserving
+    /// bit-identical behavior.
+    pub cycle_budget: Option<u64>,
 }
 
 impl Default for CoreConfig {
@@ -124,6 +132,7 @@ impl Default for CoreConfig {
             itlb_entries: 64,
             reference_scan: cfg!(feature = "reference-scan"),
             tick_skip: true,
+            cycle_budget: None,
         }
     }
 }
@@ -185,6 +194,13 @@ impl CoreConfig {
                 reason: "must be positive",
             });
         }
+        if self.cycle_budget == Some(0) {
+            return Err(SimError::InvalidConfig {
+                param: "cycle_budget",
+                value: 0,
+                reason: "a zero budget can never make progress; use None to disable",
+            });
+        }
         Ok(())
     }
 
@@ -233,6 +249,22 @@ mod tests {
         assert_eq!(c.btb_entries, 4096);
         assert_eq!(c.fetch_width, 8);
         assert_eq!(c.phys_int_regs, 256);
+    }
+
+    #[test]
+    fn zero_cycle_budget_is_rejected() {
+        let mut c = CoreConfig::default();
+        assert!(c.validate().is_ok(), "default config validates");
+        c.cycle_budget = Some(0);
+        assert!(matches!(
+            c.validate(),
+            Err(SimError::InvalidConfig {
+                param: "cycle_budget",
+                ..
+            })
+        ));
+        c.cycle_budget = Some(1_000);
+        assert!(c.validate().is_ok());
     }
 
     #[test]

@@ -295,7 +295,10 @@ impl Core {
         let committed_before = self.committed;
         let cycles_before = self.cycle;
         let target = self.committed.saturating_add(max_insts);
-        let cycle_cap = self.cycle + max_insts.saturating_mul(40) + 2_000_000;
+        let mut cycle_cap = self.cycle + max_insts.saturating_mul(40) + 2_000_000;
+        if let Some(budget) = self.cfg.cycle_budget {
+            cycle_cap = cycle_cap.min(budget);
+        }
         let skip = self.cfg.tick_skip && !self.cfg.reference_scan;
         while !self.halted && self.committed < target && self.cycle < cycle_cap {
             if skip {
@@ -337,7 +340,11 @@ impl Core {
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::ZeroSampleInterval`] when `interval` is zero.
+    /// Returns [`SimError::ZeroSampleInterval`] when `interval` is zero,
+    /// and [`SimError::CycleBudgetExceeded`] when a configured
+    /// [`CoreConfig::cycle_budget`] runs out before the run halts or
+    /// reaches its instruction target (the supervised-collection watchdog
+    /// for runaway workloads).
     pub fn run_with_sink(
         &mut self,
         insts: u64,
@@ -359,13 +366,25 @@ impl Core {
             insts_per_sec: 0.0,
             sim_cycles_per_sec: 0.0,
         };
+        let mut cut_short = false;
         while next <= insts {
             summary = self.run(next - self.committed_insts());
             if self.halted() || self.committed_insts() < next {
-                break; // program ended or stalled
+                // Program ended, stalled, or hit the watchdog.
+                cut_short = !self.halted();
+                break;
             }
             sampler.sample_into(&*self, self.committed_insts(), sink);
             next += interval;
+        }
+        if let Some(budget) = self.cfg.cycle_budget {
+            if cut_short && self.cycle >= budget {
+                return Err(SimError::CycleBudgetExceeded {
+                    budget,
+                    cycles: self.cycle,
+                    committed: self.committed,
+                });
+            }
         }
         // Per-chunk rates from the inner `run` calls exclude sampling
         // overhead; report whole-call throughput instead.
@@ -1122,6 +1141,76 @@ mod tests {
             core.run_with_sink(100, 0, &mut NullSink),
             Err(SimError::ZeroSampleInterval)
         ));
+    }
+
+    #[test]
+    fn cycle_budget_watchdog_stops_a_spinning_program() {
+        struct NullSink;
+        impl SampleSink for NullSink {
+            fn on_sample(&mut self, _insts: u64, _row: &[f64]) {}
+        }
+        // An infinite loop: commits instructions forever, never halts.
+        let mut a = Assembler::new("spin");
+        let top = a.label();
+        a.bind(top);
+        a.addi(Reg::R1, Reg::R1, 1);
+        a.jmp(top);
+        let p = a.finish().unwrap();
+
+        let cfg = CoreConfig {
+            cycle_budget: Some(50_000),
+            ..CoreConfig::default()
+        };
+        let mut core = Core::try_new(cfg, p).unwrap();
+        let err = core
+            .run_with_sink(100_000_000, 10_000, &mut NullSink)
+            .unwrap_err();
+        match err {
+            SimError::CycleBudgetExceeded {
+                budget,
+                cycles,
+                committed,
+            } => {
+                assert_eq!(budget, 50_000);
+                assert!(cycles >= 50_000, "watchdog fired at {cycles}");
+                assert!(committed > 0, "the loop was making (futile) progress");
+            }
+            other => panic!("expected CycleBudgetExceeded, got {other:?}"),
+        }
+        assert!(!core.halted());
+    }
+
+    #[test]
+    fn cycle_budget_does_not_fire_on_a_completing_run() {
+        struct CountSink(u64);
+        impl SampleSink for CountSink {
+            fn on_sample(&mut self, _insts: u64, _row: &[f64]) {
+                self.0 += 1;
+            }
+        }
+        let w = workloads_free_program();
+        // Generous budget: the run finishes well inside it.
+        let cfg = CoreConfig {
+            cycle_budget: Some(100_000_000),
+            ..CoreConfig::default()
+        };
+        let mut core = Core::try_new(cfg, w).unwrap();
+        let mut sink = CountSink(0);
+        let summary = core.run_with_sink(5_000, 1_000, &mut sink).unwrap();
+        assert!(summary.committed >= 5_000);
+        assert_eq!(sink.0, 5, "all five intervals sampled");
+    }
+
+    /// A small self-contained arithmetic program for budget tests.
+    fn workloads_free_program() -> Program {
+        let mut a = Assembler::new("arith");
+        a.li(Reg::R1, 40_000);
+        let top = a.label();
+        a.bind(top);
+        a.subi(Reg::R1, Reg::R1, 1);
+        a.bnez(Reg::R1, top);
+        a.halt();
+        a.finish().unwrap()
     }
 
     #[test]

@@ -46,6 +46,27 @@ pub enum SimError {
     /// The memory hierarchy rejected its configuration (degenerate cache
     /// geometry).
     Mem(MemError),
+    /// The core's watchdog fired: the simulated clock reached
+    /// [`CoreConfig::cycle_budget`](crate::CoreConfig::cycle_budget) before
+    /// the run finished — a runaway, spinning or deadlocked workload.
+    CycleBudgetExceeded {
+        /// The configured budget, in simulated cycles.
+        budget: u64,
+        /// Cycles actually simulated when the watchdog fired.
+        cycles: u64,
+        /// Instructions committed before the budget ran out.
+        committed: u64,
+    },
+    /// A workload's simulation panicked and the panic was caught at the
+    /// collection boundary — the payload is preserved so the quarantine
+    /// report can say why.
+    WorkloadPanicked {
+        /// Name of the workload whose run panicked.
+        workload: String,
+        /// Stringified panic payload (or a placeholder for non-string
+        /// payloads).
+        payload: String,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -72,6 +93,20 @@ impl std::fmt::Display for SimError {
             }
             SimError::Assembly(e) => write!(f, "assembly failed: {e}"),
             SimError::Mem(e) => write!(f, "memory hierarchy rejected its configuration: {e}"),
+            SimError::CycleBudgetExceeded {
+                budget,
+                cycles,
+                committed,
+            } => {
+                write!(
+                    f,
+                    "cycle budget exceeded: {cycles} cycles simulated \
+                     (budget {budget}), only {committed} instructions committed"
+                )
+            }
+            SimError::WorkloadPanicked { workload, payload } => {
+                write!(f, "workload `{workload}` panicked: {payload}")
+            }
         }
     }
 }
@@ -116,6 +151,23 @@ mod tests {
             got: 7,
         };
         assert!(e.to_string().contains("1159"));
+    }
+
+    #[test]
+    fn budget_and_panic_errors_display_their_context() {
+        let e = SimError::CycleBudgetExceeded {
+            budget: 50_000,
+            cycles: 50_001,
+            committed: 120,
+        };
+        assert!(e.to_string().contains("50000"));
+        assert!(e.to_string().contains("120"));
+        let e = SimError::WorkloadPanicked {
+            workload: "poison".into(),
+            payload: "index out of bounds".into(),
+        };
+        assert!(e.to_string().contains("poison"));
+        assert!(e.to_string().contains("index out of bounds"));
     }
 
     #[test]

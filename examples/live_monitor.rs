@@ -11,14 +11,25 @@
 //! ```
 
 use perspectron::trace::workload_seed;
-use perspectron::{CorpusSpec, PerSpectron};
+use perspectron::{CorpusSpec, FaultPlan, FaultSpec, PerSpectron, ResiliencePolicy};
 use sim_cpu::{Core, CoreConfig};
 use workloads::spectre::{spectre_v1, SpectreV1Params, V1Variant};
 use workloads::{Class, Family, Workload};
 
 fn main() {
-    println!("training the detector on the standard corpus (parallel collection)...");
-    let corpus = CorpusSpec::quick().collect();
+    // Supervised collection: a watchdog cycle budget per workload, panics
+    // quarantined, one retry with a fresh noise seed. On a healthy suite
+    // the quarantine stays empty — but a deployment never bets on that.
+    println!("training the detector on the standard corpus (supervised collection)...");
+    let resilient = CorpusSpec::quick().try_collect_resilient(&ResiliencePolicy {
+        cycle_budget: Some(100_000_000),
+        ..ResiliencePolicy::default()
+    });
+    println!("collection: {}", resilient.quarantine_summary());
+    for f in &resilient.failures {
+        println!("  quarantined: {f}");
+    }
+    let corpus = resilient.corpus;
     let detector = PerSpectron::train(&corpus, 42);
 
     // The monitored "process": a polymorphic Spectre variant the detector
@@ -56,8 +67,16 @@ fn main() {
     let mut alarmed = false;
     for v in monitor.verdicts() {
         let status = if v.suspicious { "SUSPICIOUS" } else { "ok" };
+        let health = match &v.degraded {
+            None => String::new(),
+            Some(d) => format!(
+                "  [degraded: {} dead sensor bank(s), {} value(s) sanitized]",
+                d.missing_components.len(),
+                d.sanitized_values
+            ),
+        };
         println!(
-            "  [{:>7} insts] confidence {:>6.3}  {status}",
+            "  [{:>7} insts] confidence {:>6.3}  {status}{health}",
             v.at_inst, v.confidence
         );
         if v.suspicious && !alarmed {
@@ -76,5 +95,44 @@ fn main() {
         );
     } else {
         println!("  no alarm raised (unexpected for this workload)");
+    }
+
+    // Second pass, this time through a fault injector: 15% of the sensor
+    // banks drop out per interval and 2% of values arrive corrupted. The
+    // monitor sanitizes what it can, flags each degraded window, and must
+    // still catch the attack.
+    println!("\nre-monitoring with injected sensor faults (15% dropout, 2% corruption)...");
+    let plan = FaultPlan::new(
+        FaultSpec {
+            seed: 0xFAB,
+            component_dropout: 0.15,
+            row_drop: 0.0,
+            corruption: 0.02,
+            interval_jitter: 0,
+        },
+        detector.schema(),
+    );
+    let mut faulted = plan.sink_for(&suspect.name, detector.streaming());
+    let mut core = Core::new(CoreConfig::default(), suspect.program.clone());
+    core.set_noise_seed(workload_seed(&suspect.name));
+    core.run_with_sink(300_000, 10_000, &mut faulted)
+        .expect("positive interval");
+    let log = faulted.log().clone();
+    let monitor = faulted.into_inner();
+    println!(
+        "injected: {} component dropouts, {} corrupted values over {} intervals",
+        log.components_dropped, log.values_corrupted, log.intervals_forwarded
+    );
+    println!(
+        "monitor saw {} degraded window(s) out of {}; every confidence stayed finite",
+        monitor.degraded_intervals(),
+        monitor.verdicts().len()
+    );
+    match monitor.first_alarm() {
+        Some(v) => println!(
+            "still detected: first alarm at {} insts (confidence {:.3})",
+            v.at_inst, v.confidence
+        ),
+        None => println!("attack NOT detected under faults (degradation too severe)"),
     }
 }

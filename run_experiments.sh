@@ -6,7 +6,8 @@ BIN=target/release
 mkdir -p experiments
 for exp in table2_architecture stat_census table3_cv_folds fig1_information_hops \
            table1_correlation_groups fig3_polymorphic fig4_bandwidth fig5_roc \
-           table4_model_comparison feature_weights ablation mitigation_demo; do
+           table4_model_comparison feature_weights ablation mitigation_demo \
+           resilience_sweep; do
   echo "=== $exp ==="
   $BIN/$exp > experiments/$exp.txt 2>&1
   echo "    -> experiments/$exp.txt ($?)"
