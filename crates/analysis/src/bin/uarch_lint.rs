@@ -1,111 +1,261 @@
-//! `uarch-lint`: static gadget analysis and stat-invariant checks over the
+//! `uarch-lint`: the differential-validation harness — static gadget
+//! analysis, dynamic cross-checking and stat-invariant checks over the
 //! whole workload corpus.
 //!
 //! Usage:
 //!
 //! ```text
-//! uarch-lint [--dot <workload-name>] [--no-run] [--insts N]
+//! uarch-lint [--dot <name>] [--callgraph <name>] [--no-run] [--insts N]
+//!            [--dynamic N] [--json PATH]
+//!            [--baseline PATH] [--write-baseline PATH]
 //! ```
 //!
-//! Default mode prints one row per workload (attacks, polymorphic Spectre
-//! variants, benign suite) with the gadget kinds the static analyzer found,
-//! then runs the statistics-invariant checker on one attack and one benign
-//! workload. Exits non-zero if any benign workload has findings, any
-//! malicious workload has none, or a counter invariant is violated.
+//! Default mode prints one row per workload (attacks, the twelve
+//! polymorphic Spectre variants, the bandwidth-reduced evasions, the
+//! interprocedural pair, and the benign suite) with the severity-ranked
+//! findings the static analyzer produced, then the static-vs-ground-truth
+//! confusion matrix, then the statistics-invariant checks. The table is
+//! deterministically ordered — workloads by name, findings by (block,
+//! kind, at) — so snapshots and CI diffs are stable.
 //!
-//! `--dot <name>` prints the named workload's CFG in Graphviz format and
-//! exits.
+//! - `--dynamic N` additionally runs every workload on the simulator for
+//!   up to `N` committed instructions and records the instruction count of
+//!   the first `LeakByte` mark as dynamic evidence in the JSON report.
+//! - `--json PATH` writes the SARIF-like findings report (one finding per
+//!   line) to `PATH`.
+//! - `--baseline PATH` diffs the run's finding identity lines against the
+//!   checked-in baseline: new findings or newly-missed gadgets fail the
+//!   run. `--write-baseline PATH` refreshes the baseline instead.
+//! - `--dot <name>` / `--callgraph <name>` print the named workload's CFG
+//!   or call graph in Graphviz format and exit.
+//!
+//! Exits non-zero if any benign workload has findings, any malicious
+//! workload has none, the baseline diff is not clean, or a counter
+//! invariant is violated.
 
-use std::collections::BTreeSet;
-
+use uarch_analysis::report::{diff_baseline, CorpusReport, WorkloadVerdict};
 use uarch_analysis::{
-    analyze_program, check_program_run, lint_bindings, lint_component_coverage, lint_schema,
+    analyze_program_with, check_program_run, lint_bindings, lint_component_coverage, lint_schema,
+    SpecWindow,
 };
-use uarch_isa::GadgetKind;
-use workloads::{attack_suite, benign_suite, polymorphic_suite, Class, Workload};
+use uarch_isa::MarkKind;
+use workloads::{
+    attack_suite, bandwidth_suite, benign_suite, interprocedural_suite, polymorphic_suite, Class,
+    Workload,
+};
 
+/// The full corpus the differential harness validates: training attacks,
+/// polymorphic variants, bandwidth-reduced evasions, the interprocedural
+/// pair, and the benign suite.
 fn corpus() -> Vec<Workload> {
     let mut v = attack_suite();
     v.extend(polymorphic_suite());
+    v.extend(bandwidth_suite().into_iter().map(|(_, w)| w));
+    v.extend(interprocedural_suite());
     v.extend(benign_suite());
     v
 }
 
-fn kinds_label(kinds: &BTreeSet<GadgetKind>) -> String {
-    if kinds.is_empty() {
-        "-".to_string()
-    } else {
-        kinds
-            .iter()
-            .map(|k| k.label())
-            .collect::<Vec<_>>()
-            .join(", ")
-    }
+struct Opts {
+    dot: Option<String>,
+    callgraph: Option<String>,
+    run_invariants: bool,
+    insts: u64,
+    dynamic: Option<u64>,
+    json: Option<String>,
+    baseline: Option<String>,
+    write_baseline: Option<String>,
 }
 
-fn main() {
+fn parse_opts() -> Opts {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut dot: Option<String> = None;
-    let mut run_invariants = true;
-    let mut insts: u64 = 200_000;
+    let mut o = Opts {
+        dot: None,
+        callgraph: None,
+        run_invariants: true,
+        insts: 200_000,
+        dynamic: None,
+        json: None,
+        baseline: None,
+        write_baseline: None,
+    };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
+        let mut next_str = |flag: &str| {
+            it.next()
+                .cloned()
+                .unwrap_or_else(|| usage(&format!("{flag} needs a value")))
+        };
         match arg.as_str() {
-            "--dot" => dot = it.next().cloned(),
-            "--no-run" => run_invariants = false,
+            "--dot" => o.dot = Some(next_str("--dot")),
+            "--callgraph" => o.callgraph = Some(next_str("--callgraph")),
+            "--no-run" => o.run_invariants = false,
             "--insts" => {
-                insts = it
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| usage("--insts needs a number"));
+                o.insts = next_str("--insts")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--insts needs a number"));
             }
+            "--dynamic" => {
+                o.dynamic = Some(
+                    next_str("--dynamic")
+                        .parse()
+                        .unwrap_or_else(|_| usage("--dynamic needs a number")),
+                );
+            }
+            "--json" => o.json = Some(next_str("--json")),
+            "--baseline" => o.baseline = Some(next_str("--baseline")),
+            "--write-baseline" => o.write_baseline = Some(next_str("--write-baseline")),
             other => usage(&format!("unknown argument `{other}`")),
         }
     }
+    o
+}
 
+/// Runs `w` on the simulator for up to `max_insts` committed instructions
+/// and returns the committed-instruction count of the first `LeakByte`
+/// mark, if any — the dynamic ground-truth evidence for the confusion
+/// matrix.
+fn dynamic_leak_inst(w: &Workload, max_insts: u64) -> Option<u64> {
+    let mut core = sim_cpu::Core::new(sim_cpu::CoreConfig::default(), w.program.clone());
+    core.run(max_insts);
+    core.marks()
+        .iter()
+        .find(|m| m.kind == MarkKind::LeakByte)
+        .map(|m| m.at_inst)
+}
+
+fn main() {
+    let opts = parse_opts();
     let corpus = corpus();
-    if let Some(name) = dot {
-        let Some(w) = corpus.iter().find(|w| w.name == name) else {
+
+    if let Some(name) = opts.dot.as_ref().or(opts.callgraph.as_ref()) {
+        let Some(w) = corpus.iter().find(|w| &w.name == name) else {
             eprintln!("no workload named `{name}`; known:");
             for w in &corpus {
                 eprintln!("  {}", w.name);
             }
             std::process::exit(2);
         };
-        let report = analyze_program(&w.program);
-        print!("{}", report.cfg.to_dot(&w.program));
+        let report = uarch_analysis::analyze_program(&w.program);
+        if opts.dot.is_some() {
+            print!("{}", report.cfg.to_dot(&w.program));
+        } else {
+            print!("{}", report.callgraph.to_dot(&w.program));
+        }
         return;
     }
 
+    let window = SpecWindow::from_config(&sim_cpu::CoreConfig::default());
     let mut failures = 0;
+    let mut verdicts = Vec::new();
     println!(
-        "{:<28} {:<10} {:>6} {:>6}  findings",
-        "workload", "class", "insts", "blocks"
+        "speculative window: rob={} issue={} resolve={}cy -> transient limit {} insts",
+        window.rob_entries,
+        window.issue_width,
+        window.resolve_latency,
+        window.transient_limit(),
     );
-    println!("{}", "-".repeat(96));
+    println!(
+        "{:<28} {:<10} {:>6} {:>6} {:>4}  findings",
+        "workload", "class", "insts", "blocks", "sev"
+    );
+    println!("{}", "-".repeat(100));
+    let mut rows = Vec::new();
     for w in &corpus {
-        let report = analyze_program(&w.program);
-        let kinds = report.kinds();
+        let report = analyze_program_with(&w.program, &window);
+        let leak = opts.dynamic.and_then(|n| dynamic_leak_inst(w, n));
+        let class_label = match w.class {
+            Class::Benign => "benign",
+            Class::Malicious => "malicious",
+        };
+        let verdict =
+            WorkloadVerdict::from_report(&w.name, class_label, w.family.label(), &report, leak);
         let ok = match w.class {
-            Class::Benign => kinds.is_empty(),
-            Class::Malicious => !kinds.is_empty(),
+            Class::Benign => !verdict.flagged(),
+            Class::Malicious => verdict.flagged(),
         };
         if !ok {
             failures += 1;
         }
+        let max_sev = verdict.records.iter().map(|r| r.severity).max();
+        let summary = if verdict.records.is_empty() {
+            "-".to_string()
+        } else {
+            verdict
+                .records
+                .iter()
+                .map(|r| format!("{}@{}(sev {})", r.kind.label(), r.at, r.severity))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        rows.push((
+            w.name.clone(),
+            format!(
+                "{:<28} {:<10} {:>6} {:>6} {:>4}  {}{}",
+                w.name,
+                class_label,
+                w.program.len(),
+                report.cfg.blocks().len(),
+                max_sev.map(|s| s.to_string()).unwrap_or_else(|| "-".into()),
+                summary,
+                if ok { "" } else { "  <-- UNEXPECTED" },
+            ),
+        ));
+        verdicts.push(verdict);
+    }
+    // Deterministic table: rows sorted by workload name, matching the
+    // order the JSON report uses.
+    rows.sort_by(|a, b| a.0.cmp(&b.0));
+    for (_, line) in &rows {
+        println!("{line}");
+    }
+    println!();
+
+    let report = CorpusReport::new(verdicts, window);
+    println!("{}", report.confusion().render());
+    println!();
+
+    if let Some(path) = &opts.json {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("uarch-lint: cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+        println!("findings JSON written to {path}");
+    }
+    if let Some(path) = &opts.write_baseline {
+        if let Err(e) = std::fs::write(path, report.baseline_file()) {
+            eprintln!("uarch-lint: cannot write {path}: {e}");
+            std::process::exit(2);
+        }
         println!(
-            "{:<28} {:<10} {:>6} {:>6}  {}{}",
-            w.name,
-            if w.class == Class::Benign {
-                "benign"
-            } else {
-                "malicious"
-            },
-            w.program.len(),
-            report.cfg.blocks().len(),
-            kinds_label(&kinds),
-            if ok { "" } else { "  <-- UNEXPECTED" },
+            "baseline written to {path} ({} findings)",
+            report.baseline_lines().len()
         );
+    } else if let Some(path) = &opts.baseline {
+        match std::fs::read_to_string(path) {
+            Ok(contents) => {
+                let diff = diff_baseline(&contents, &report.baseline_lines());
+                if diff.is_clean() {
+                    println!(
+                        "baseline {path}: clean ({} findings)",
+                        report.baseline_lines().len()
+                    );
+                } else {
+                    for l in &diff.added {
+                        println!("baseline: NEW finding (not in baseline): {l}");
+                        failures += 1;
+                    }
+                    for l in &diff.removed {
+                        println!("baseline: MISSING finding (gadget no longer detected): {l}");
+                        failures += 1;
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("uarch-lint: cannot read baseline {path}: {e}");
+                std::process::exit(2);
+            }
+        }
     }
     println!();
 
@@ -135,7 +285,7 @@ fn main() {
         failures += 1;
     }
 
-    if run_invariants {
+    if opts.run_invariants {
         let attack = attack_suite()
             .into_iter()
             .next()
@@ -145,7 +295,7 @@ fn main() {
             .next()
             .expect("benign suite non-empty");
         for w in [attack, benign] {
-            let check = check_program_run(&w.program, insts, 8);
+            let check = check_program_run(&w.program, opts.insts, 8);
             println!(
                 "invariants: {:<24} {} committed, {} samples: {}",
                 check.name,
@@ -169,6 +319,9 @@ fn main() {
 
 fn usage(msg: &str) -> ! {
     eprintln!("uarch-lint: {msg}");
-    eprintln!("usage: uarch-lint [--dot <workload-name>] [--no-run] [--insts N]");
+    eprintln!(
+        "usage: uarch-lint [--dot <name>] [--callgraph <name>] [--no-run] [--insts N]\n\
+         \x20                 [--dynamic N] [--json PATH] [--baseline PATH] [--write-baseline PATH]"
+    );
     std::process::exit(2);
 }

@@ -1,0 +1,477 @@
+//! Call-graph construction over a [`Cfg`]: function discovery, per-function
+//! body/return inventory, and call-site-matched return edges.
+//!
+//! The CFG approximates a `ret` with edges to the fall-through of *every*
+//! call site in the program (the return-site approximation). The call graph
+//! refines that: it discovers function entries (the program entry, the fault
+//! handler, every static `call` target, and — when the program contains
+//! indirect calls — every address-taken block), walks each function's body
+//! along intraprocedural edges only (a `call` steps to its own fall-through,
+//! never into the callee), and matches every `ret` to the fall-through
+//! blocks of exactly the call sites that can invoke its function.
+//!
+//! The taint fixpoint ([`crate::taint::propagate`]) traverses these matched
+//! return edges instead of the CFG's global approximation, so secrets
+//! returned by one function can no longer bleed into the continuation of an
+//! unrelated call site. Per-function [`FnSummary`] facts (loads, flushes,
+//! kernel touches, fences, returning-or-not) feed the severity model and
+//! the findings report.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use uarch_isa::{Inst, Program};
+
+use crate::cfg::Cfg;
+
+/// Index of a function in [`CallGraph::functions`].
+pub type FuncId = usize;
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Instruction index of the `call` / `call [r]`.
+    pub at: usize,
+    /// Resolved callees ([`FuncId`]s). A static call has at most one; an
+    /// indirect call conservatively targets every address-taken function.
+    pub callees: Vec<FuncId>,
+    /// Whether the call is indirect.
+    pub indirect: bool,
+    /// Block control returns to after the callee (the fall-through block),
+    /// if the call is not the last instruction.
+    pub return_block: Option<usize>,
+}
+
+/// One discovered function.
+#[derive(Debug, Clone)]
+pub struct FuncInfo {
+    /// Stable display name: `main`, `fault`, or `fn@<entry inst>`.
+    pub name: String,
+    /// Entry block index.
+    pub entry: usize,
+    /// Blocks reachable from the entry along intraprocedural edges.
+    pub blocks: BTreeSet<usize>,
+    /// Instruction indices of `ret`s in the body.
+    pub rets: Vec<usize>,
+    /// Call sites in the body, in program order.
+    pub calls: Vec<CallSite>,
+}
+
+/// Post-convergence dataflow facts about one function, used by the severity
+/// model and the findings report.
+#[derive(Debug, Clone, Default)]
+pub struct FnSummary {
+    /// Instruction count over the body blocks.
+    pub insts: usize,
+    /// Load instructions executed in the body.
+    pub loads: usize,
+    /// `clflush` sites in the body.
+    pub flushes: usize,
+    /// `rdcycle` sites in the body.
+    pub cycle_reads: usize,
+    /// Whether the body contains a serializing `fence`.
+    pub has_fence: bool,
+    /// Whether the function can return (has at least one `ret`).
+    pub returns: bool,
+    /// Whether the function participates in a call-graph cycle.
+    pub recursive: bool,
+}
+
+/// The interprocedural structure of one program.
+#[derive(Debug, Clone)]
+pub struct CallGraph {
+    functions: Vec<FuncInfo>,
+    /// `funcs_of_block[b]` = functions whose body contains block `b`.
+    funcs_of_block: Vec<Vec<FuncId>>,
+    /// `ret_targets[f]` = blocks a `ret` of function `f` returns to (the
+    /// fall-through blocks of the call sites that can invoke `f`).
+    ret_targets: Vec<Vec<usize>>,
+    /// Caller edges: `callers[f]` = functions containing a call site that
+    /// can invoke `f`.
+    callers: Vec<Vec<FuncId>>,
+    recursive: Vec<bool>,
+}
+
+impl CallGraph {
+    /// Builds the call graph of `program` over its CFG.
+    pub fn build(program: &Program, cfg: &Cfg) -> CallGraph {
+        let code = program.code();
+        let n = code.len();
+        let blocks = cfg.blocks();
+
+        // --- Function entry discovery -----------------------------------
+        // Ordered map entry-block -> name; first writer wins the name.
+        let mut entries: BTreeMap<usize, String> = BTreeMap::new();
+        entries.insert(cfg.block_of(0), "main".to_string());
+        if let Some(h) = program.fault_handler() {
+            if h < n {
+                entries
+                    .entry(cfg.block_of(h))
+                    .or_insert("fault".to_string());
+            }
+        }
+        for inst in code {
+            if let Inst::Call { target } = *inst {
+                if target < n {
+                    let b = cfg.block_of(target);
+                    entries.entry(b).or_insert_with(|| format!("fn@{target}"));
+                }
+            }
+        }
+        let has_call_ind = code.iter().any(|i| matches!(i, Inst::CallInd { .. }));
+        if has_call_ind {
+            for &b in cfg.address_taken() {
+                let leader = blocks[b].start;
+                entries.entry(b).or_insert_with(|| format!("fn@{leader}"));
+            }
+        }
+
+        // --- Function bodies (intraprocedural reachability) -------------
+        let mut functions: Vec<FuncInfo> = Vec::new();
+        for (&entry, name) in &entries {
+            let mut body = BTreeSet::new();
+            let mut work = vec![entry];
+            while let Some(b) = work.pop() {
+                if !body.insert(b) {
+                    continue;
+                }
+                let blk = &blocks[b];
+                match code[blk.terminator()] {
+                    // Calls step over the callee to their own fall-through.
+                    Inst::Call { .. } | Inst::CallInd { .. } => {
+                        let next = blk.terminator() + 1;
+                        if next < n {
+                            work.push(cfg.block_of(next));
+                        }
+                    }
+                    // Returns and halts end the walk along this path.
+                    Inst::Ret | Inst::Halt => {}
+                    // Branches, jumps and indirect jumps (address-taken
+                    // edges) are intraprocedural: follow the CFG.
+                    _ => work.extend(blk.succs.iter().copied()),
+                }
+            }
+            let rets = body
+                .iter()
+                .map(|&b| blocks[b].terminator())
+                .filter(|&t| matches!(code[t], Inst::Ret))
+                .collect();
+            functions.push(FuncInfo {
+                name: name.clone(),
+                entry,
+                blocks: body,
+                rets,
+                calls: Vec::new(),
+            });
+        }
+        let func_by_entry: BTreeMap<usize, FuncId> = functions
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (f.entry, i))
+            .collect();
+        let indirect_callees: Vec<FuncId> = cfg
+            .address_taken()
+            .iter()
+            .filter_map(|b| func_by_entry.get(b).copied())
+            .collect();
+
+        // --- Call sites and matched return targets ----------------------
+        let mut ret_targets: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); functions.len()];
+        let mut callers: Vec<BTreeSet<FuncId>> = vec![BTreeSet::new(); functions.len()];
+        for (f, func) in functions.iter_mut().enumerate() {
+            let body: Vec<usize> = func.blocks.iter().copied().collect();
+            for &b in &body {
+                let at = blocks[b].terminator();
+                let (callees, indirect) = match code[at] {
+                    Inst::Call { target } if target < n => (
+                        func_by_entry
+                            .get(&cfg.block_of(target))
+                            .copied()
+                            .into_iter()
+                            .collect::<Vec<_>>(),
+                        false,
+                    ),
+                    Inst::CallInd { .. } => (indirect_callees.clone(), true),
+                    _ => continue,
+                };
+                let return_block = (at + 1 < n).then(|| cfg.block_of(at + 1));
+                for &callee in &callees {
+                    callers[callee].insert(f);
+                    if let Some(rb) = return_block {
+                        ret_targets[callee].insert(rb);
+                    }
+                }
+                func.calls.push(CallSite {
+                    at,
+                    callees,
+                    indirect,
+                    return_block,
+                });
+            }
+        }
+
+        // --- Block -> containing functions ------------------------------
+        let mut funcs_of_block: Vec<Vec<FuncId>> = vec![Vec::new(); blocks.len()];
+        for (i, f) in functions.iter().enumerate() {
+            for &b in &f.blocks {
+                funcs_of_block[b].push(i);
+            }
+        }
+
+        // --- Recursion: f is recursive iff f reaches f through >=1 call --
+        let callee_edges: Vec<Vec<FuncId>> = functions
+            .iter()
+            .map(|f| {
+                let mut cs: Vec<FuncId> = f.calls.iter().flat_map(|c| c.callees.clone()).collect();
+                cs.sort_unstable();
+                cs.dedup();
+                cs
+            })
+            .collect();
+        let recursive = (0..functions.len())
+            .map(|f| {
+                let mut seen = vec![false; functions.len()];
+                let mut work = callee_edges[f].clone();
+                while let Some(g) = work.pop() {
+                    if g == f {
+                        return true;
+                    }
+                    if !std::mem::replace(&mut seen[g], true) {
+                        work.extend(callee_edges[g].iter().copied());
+                    }
+                }
+                false
+            })
+            .collect();
+
+        CallGraph {
+            functions,
+            funcs_of_block,
+            ret_targets: ret_targets
+                .into_iter()
+                .map(|s| s.into_iter().collect())
+                .collect(),
+            callers: callers
+                .into_iter()
+                .map(|s| s.into_iter().collect())
+                .collect(),
+            recursive,
+        }
+    }
+
+    /// All discovered functions, ordered by entry block.
+    pub fn functions(&self) -> &[FuncInfo] {
+        &self.functions
+    }
+
+    /// Functions whose body contains block `b`.
+    pub fn funcs_of_block(&self, b: usize) -> &[FuncId] {
+        &self.funcs_of_block[b]
+    }
+
+    /// Blocks a `ret` of function `f` returns to.
+    pub fn ret_targets(&self, f: FuncId) -> &[usize] {
+        &self.ret_targets[f]
+    }
+
+    /// Functions containing a call site that can invoke `f`.
+    pub fn callers(&self, f: FuncId) -> &[FuncId] {
+        &self.callers[f]
+    }
+
+    /// Whether `f` participates in a call-graph cycle.
+    pub fn is_recursive(&self, f: FuncId) -> bool {
+        self.recursive[f]
+    }
+
+    /// The matched return successors of a `ret`-terminated block: the union
+    /// of [`CallGraph::ret_targets`] over every function containing it. A
+    /// `ret` outside every function body (unreachable code) — or in a
+    /// never-called function like `main` — returns nowhere.
+    pub fn ret_successors(&self, block: usize) -> Vec<usize> {
+        let mut out: Vec<usize> = self.funcs_of_block[block]
+            .iter()
+            .flat_map(|&f| self.ret_targets[f].iter().copied())
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Display name for the innermost function containing `block`: among
+    /// containing functions, the one with the highest entry at or below the
+    /// block (shared trailing blocks attribute to the nearest entry). Falls
+    /// back to `?` for blocks outside every body.
+    pub fn name_of_block(&self, block: usize) -> &str {
+        self.funcs_of_block[block]
+            .iter()
+            .filter(|&&f| self.functions[f].entry <= block)
+            .max_by_key(|&&f| self.functions[f].entry)
+            .or_else(|| self.funcs_of_block[block].first())
+            .map_or("?", |&f| self.functions[f].name.as_str())
+    }
+
+    /// Computes the per-function structural summaries (instruction counts,
+    /// memory/timer activity, fences, returnability, recursion).
+    pub fn summaries(&self, program: &Program, cfg: &Cfg) -> Vec<FnSummary> {
+        let code = program.code();
+        self.functions
+            .iter()
+            .enumerate()
+            .map(|(i, f)| {
+                let mut s = FnSummary {
+                    returns: !f.rets.is_empty(),
+                    recursive: self.recursive[i],
+                    ..FnSummary::default()
+                };
+                for &b in &f.blocks {
+                    let blk = &cfg.blocks()[b];
+                    s.insts += blk.end - blk.start;
+                    for inst in &code[blk.start..blk.end] {
+                        match inst {
+                            Inst::Load { .. } => s.loads += 1,
+                            Inst::Flush { .. } => s.flushes += 1,
+                            Inst::RdCycle { .. } => s.cycle_reads += 1,
+                            Inst::Fence => s.has_fence = true,
+                            _ => {}
+                        }
+                    }
+                }
+                s
+            })
+            .collect()
+    }
+
+    /// Renders the call graph in Graphviz dot format (functions as nodes,
+    /// call sites as edges, dashed for indirect).
+    pub fn to_dot(&self, program: &Program) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph \"calls:{}\" {{", program.name());
+        let _ = writeln!(out, "  node [shape=oval fontname=monospace];");
+        for (i, f) in self.functions.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  F{i} [label=\"{} ({} blocks)\"{}];",
+                f.name,
+                f.blocks.len(),
+                if self.recursive[i] {
+                    " peripheries=2"
+                } else {
+                    ""
+                }
+            );
+        }
+        for (i, f) in self.functions.iter().enumerate() {
+            for c in &f.calls {
+                for &callee in &c.callees {
+                    let style = if c.indirect { " [style=dashed]" } else { "" };
+                    let _ = writeln!(out, "  F{i} -> F{callee}{style};");
+                }
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uarch_isa::{Assembler, Reg};
+
+    fn two_funcs() -> Program {
+        let mut a = Assembler::new("two-funcs");
+        let (f, g) = (a.label(), a.label());
+        a.call(f); // site 1
+        a.call(g); // site 2
+        a.halt();
+        a.bind(f);
+        a.nop();
+        a.ret();
+        a.bind(g);
+        a.ret();
+        a.finish().unwrap()
+    }
+
+    #[test]
+    fn discovers_main_and_callees_with_matched_returns() {
+        let p = two_funcs();
+        let cfg = Cfg::build(&p);
+        let cg = CallGraph::build(&p, &cfg);
+        assert_eq!(cg.functions().len(), 3, "{:?}", cg.functions());
+        let names: Vec<&str> = cg.functions().iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names[0], "main");
+
+        // f's ret returns only to the fall-through of `call f`, g's only to
+        // the fall-through of `call g` — not to each other's.
+        let f_id = 1;
+        let g_id = 2;
+        let call_f_fallthrough = cfg.block_of(2); // the `call g` block
+        let call_g_fallthrough = cfg.block_of(3); // the `halt` block
+        assert_eq!(cg.ret_targets(f_id), &[call_f_fallthrough]);
+        assert_eq!(cg.ret_targets(g_id), &[call_g_fallthrough]);
+        assert_eq!(cg.callers(f_id), &[0]);
+        assert!(!cg.is_recursive(f_id));
+    }
+
+    #[test]
+    fn ret_in_uncalled_main_returns_nowhere() {
+        let mut a = Assembler::new("stray-ret");
+        a.nop();
+        a.ret();
+        let p = a.finish().unwrap();
+        let cfg = Cfg::build(&p);
+        let cg = CallGraph::build(&p, &cfg);
+        let ret_block = cfg.block_of(p.len() - 1);
+        assert!(cg.ret_successors(ret_block).is_empty());
+    }
+
+    #[test]
+    fn recursion_is_detected() {
+        let mut a = Assembler::new("rec");
+        let f = a.label();
+        a.call(f);
+        a.halt();
+        a.bind(f);
+        a.call(f);
+        a.ret();
+        let p = a.finish().unwrap();
+        let cfg = Cfg::build(&p);
+        let cg = CallGraph::build(&p, &cfg);
+        let f_id = cg
+            .functions()
+            .iter()
+            .position(|fi| fi.name.starts_with("fn@"))
+            .unwrap();
+        assert!(cg.is_recursive(f_id));
+        assert!(!cg.is_recursive(0), "main is not in the cycle");
+        let summaries = cg.summaries(&p, &cfg);
+        assert!(summaries[f_id].recursive && summaries[f_id].returns);
+    }
+
+    #[test]
+    fn indirect_calls_target_address_taken_functions() {
+        let mut a = Assembler::new("ind");
+        let f = a.label();
+        a.la(Reg::R5, f);
+        a.call_ind(Reg::R5);
+        a.halt();
+        a.bind(f);
+        a.ret();
+        let p = a.finish().unwrap();
+        let cfg = Cfg::build(&p);
+        let cg = CallGraph::build(&p, &cfg);
+        // 0: prologue li, 1: la, 2: call_ind, 3: halt, 4: f's ret.
+        let f_id = cg
+            .functions()
+            .iter()
+            .position(|fi| fi.entry == cfg.block_of(4))
+            .expect("address-taken entry becomes a function");
+        let halt_block = cfg.block_of(3);
+        assert_eq!(cg.ret_targets(f_id), &[halt_block]);
+        let main_calls = &cg.functions()[0].calls;
+        assert_eq!(main_calls.len(), 1);
+        assert!(main_calls[0].indirect);
+        assert_eq!(main_calls[0].callees, vec![f_id]);
+    }
+}

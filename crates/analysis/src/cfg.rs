@@ -255,6 +255,22 @@ impl Cfg {
         insts
     }
 
+    /// Predecessor lists: `preds()[b]` = blocks with an edge into `b`,
+    /// sorted and deduplicated.
+    pub fn preds(&self) -> Vec<Vec<usize>> {
+        let mut preds = vec![Vec::new(); self.blocks.len()];
+        for (b, blk) in self.blocks.iter().enumerate() {
+            for &s in &blk.succs {
+                preds[s].push(b);
+            }
+        }
+        for p in &mut preds {
+            p.sort_unstable();
+            p.dedup();
+        }
+        preds
+    }
+
     /// Renders the CFG in Graphviz dot format. Unreachable blocks are drawn
     /// dashed; root blocks are drawn with a double border.
     pub fn to_dot(&self, program: &Program) -> String {
@@ -285,6 +301,323 @@ impl Cfg {
         out.push_str("}\n");
         out
     }
+}
+
+/// Dominator tree over a [`Cfg`], computed with the iterative
+/// Cooper–Harvey–Kennedy algorithm.
+///
+/// The CFG can have several roots (entry, fault handler, address-taken
+/// blocks), so dominance is computed over an augmented graph with a virtual
+/// super-root that has an edge to every root. The virtual root never appears
+/// in the public API: a root block's [`DomTree::idom`] is `None`, and
+/// dominance queries involving unreachable blocks are always `false`.
+#[derive(Debug, Clone)]
+pub struct DomTree {
+    /// `idom[b]` = immediate dominator of `b`, `None` for roots and
+    /// unreachable blocks.
+    idom: Vec<Option<usize>>,
+    /// Depth in the dominator tree (roots at depth 0); unreachable blocks
+    /// carry `usize::MAX`.
+    depth: Vec<usize>,
+    reachable: Vec<bool>,
+}
+
+impl DomTree {
+    /// Builds the dominator tree of `cfg`.
+    pub fn build(cfg: &Cfg) -> DomTree {
+        let nb = cfg.blocks().len();
+        let virt = nb; // virtual super-root
+        let succs = |v: usize| -> Vec<usize> {
+            if v == virt {
+                cfg.roots().to_vec()
+            } else {
+                cfg.blocks()[v].succs.clone()
+            }
+        };
+
+        // Reverse postorder from the virtual root (iterative DFS).
+        let mut rpo_num = vec![usize::MAX; nb + 1];
+        let mut order = Vec::with_capacity(nb + 1);
+        let mut visited = vec![false; nb + 1];
+        // Stack holds (node, next-successor-index) for post-order emission.
+        let mut stack = vec![(virt, 0usize)];
+        visited[virt] = true;
+        while let Some(&mut (v, ref mut i)) = stack.last_mut() {
+            let ss = succs(v);
+            if *i < ss.len() {
+                let s = ss[*i];
+                *i += 1;
+                if !std::mem::replace(&mut visited[s], true) {
+                    stack.push((s, 0));
+                }
+            } else {
+                order.push(v);
+                stack.pop();
+            }
+        }
+        order.reverse(); // now reverse postorder, order[0] == virt
+        for (i, &v) in order.iter().enumerate() {
+            rpo_num[v] = i;
+        }
+
+        // Predecessors in the augmented graph.
+        let mut preds = vec![Vec::new(); nb + 1];
+        for &root in cfg.roots() {
+            preds[root].push(virt);
+        }
+        for (b, blk) in cfg.blocks().iter().enumerate() {
+            for &s in &blk.succs {
+                preds[s].push(b);
+            }
+        }
+
+        let mut doms: Vec<Option<usize>> = vec![None; nb + 1];
+        doms[virt] = Some(virt);
+        let intersect = |doms: &[Option<usize>], rpo: &[usize], mut a: usize, mut b: usize| {
+            while a != b {
+                while rpo[a] > rpo[b] {
+                    a = doms[a].expect("processed node has a dominator");
+                }
+                while rpo[b] > rpo[a] {
+                    b = doms[b].expect("processed node has a dominator");
+                }
+            }
+            a
+        };
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in order.iter().skip(1) {
+                let mut new_idom = None;
+                for &p in &preds[b] {
+                    if doms[p].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&doms, &rpo_num, p, cur),
+                    });
+                }
+                if new_idom.is_some() && doms[b] != new_idom {
+                    doms[b] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+
+        // Strip the virtual root and derive depths.
+        let mut idom = vec![None; nb];
+        let mut reachable = vec![false; nb];
+        for b in 0..nb {
+            if let Some(d) = doms[b] {
+                reachable[b] = true;
+                if d != virt {
+                    idom[b] = Some(d);
+                }
+            }
+        }
+        let mut depth = vec![usize::MAX; nb];
+        // order is topological w.r.t. the dominator tree (idom precedes its
+        // children in RPO), so one pass suffices.
+        for &v in order.iter().skip(1) {
+            depth[v] = match idom[v] {
+                Some(d) => depth[d] + 1,
+                None if reachable[v] => 0,
+                None => usize::MAX,
+            };
+        }
+
+        DomTree {
+            idom,
+            depth,
+            reachable,
+        }
+    }
+
+    /// Immediate dominator of `b` (`None` for roots and unreachable
+    /// blocks).
+    pub fn idom(&self, b: usize) -> Option<usize> {
+        self.idom[b]
+    }
+
+    /// Depth of `b` in the dominator tree (roots at 0); `None` when
+    /// unreachable.
+    pub fn depth(&self, b: usize) -> Option<usize> {
+        (self.depth[b] != usize::MAX).then_some(self.depth[b])
+    }
+
+    /// Whether `a` dominates `b` (reflexively). Always `false` when either
+    /// block is unreachable.
+    pub fn dominates(&self, a: usize, b: usize) -> bool {
+        if !self.reachable[a] || !self.reachable[b] || self.depth[a] > self.depth[b] {
+            return false;
+        }
+        let mut cur = b;
+        while self.depth[cur] > self.depth[a] {
+            match self.idom[cur] {
+                Some(d) => cur = d,
+                None => return false,
+            }
+        }
+        cur == a
+    }
+
+    /// The dominator chain of `b`, from its root down to `b` itself.
+    pub fn chain(&self, b: usize) -> Vec<usize> {
+        let mut chain = Vec::new();
+        if !self.reachable[b] {
+            return chain;
+        }
+        let mut cur = Some(b);
+        while let Some(c) = cur {
+            chain.push(c);
+            cur = self.idom[c];
+        }
+        chain.reverse();
+        chain
+    }
+}
+
+/// One natural loop: a back edge's header plus every block that can reach
+/// the back edge's source without passing through the header.
+#[derive(Debug, Clone)]
+pub struct NaturalLoop {
+    /// The loop header (dominates every block of the body).
+    pub header: usize,
+    /// The body, including the header.
+    pub blocks: std::collections::BTreeSet<usize>,
+    /// The back edges `(source, header)` that define the loop. Same-header
+    /// loops are merged, so there may be several.
+    pub back_edges: Vec<(usize, usize)>,
+}
+
+/// All natural loops of a [`Cfg`], found via dominance-based back-edge
+/// detection (an edge `b -> h` where `h` dominates `b`). Irreducible cycles
+/// (entered other than through a dominating header) are not reported.
+#[derive(Debug, Clone)]
+pub struct LoopForest {
+    loops: Vec<NaturalLoop>,
+    /// `innermost[b]` = index into `loops` of the smallest loop containing
+    /// `b`.
+    innermost: Vec<Option<usize>>,
+}
+
+impl LoopForest {
+    /// Finds the natural loops of `cfg` given its dominator tree.
+    pub fn build(cfg: &Cfg, dom: &DomTree) -> LoopForest {
+        use std::collections::BTreeMap;
+        let preds = cfg.preds();
+        // Group back edges by header.
+        let mut by_header: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for (b, blk) in cfg.blocks().iter().enumerate() {
+            for &h in &blk.succs {
+                if dom.dominates(h, b) {
+                    by_header.entry(h).or_default().push(b);
+                }
+            }
+        }
+        let mut loops = Vec::new();
+        for (header, sources) in by_header {
+            let mut blocks = std::collections::BTreeSet::new();
+            blocks.insert(header);
+            // Reverse-pred walk from the back-edge sources, stopping at the
+            // header. Only blocks the header dominates can belong to the
+            // natural loop: with multiple CFG roots (fault handler,
+            // address-taken functions) a body block may have predecessors
+            // reachable from another root, and following those would leak
+            // the walk outside the loop.
+            let mut work: Vec<usize> = sources.clone();
+            while let Some(b) = work.pop() {
+                if dom.dominates(header, b) && blocks.insert(b) {
+                    work.extend(preds[b].iter().copied());
+                }
+            }
+            loops.push(NaturalLoop {
+                header,
+                blocks,
+                back_edges: sources.into_iter().map(|s| (s, header)).collect(),
+            });
+        }
+        let mut innermost: Vec<Option<usize>> = vec![None; cfg.blocks().len()];
+        for (i, l) in loops.iter().enumerate() {
+            for &b in &l.blocks {
+                let replace = match innermost[b] {
+                    None => true,
+                    Some(j) => l.blocks.len() < loops[j].blocks.len(),
+                };
+                if replace {
+                    innermost[b] = Some(i);
+                }
+            }
+        }
+        LoopForest { loops, innermost }
+    }
+
+    /// All loops, ordered by header block.
+    pub fn loops(&self) -> &[NaturalLoop] {
+        &self.loops
+    }
+
+    /// The smallest loop containing `block`, if any.
+    pub fn innermost(&self, block: usize) -> Option<&NaturalLoop> {
+        self.innermost[block].map(|i| &self.loops[i])
+    }
+}
+
+/// Whether `to` is reachable from `from` along CFG edges (inclusive: a
+/// block reaches itself).
+fn reaches(cfg: &Cfg, from: usize, to: usize) -> bool {
+    let mut seen = vec![false; cfg.blocks().len()];
+    let mut stack = vec![from];
+    seen[from] = true;
+    while let Some(b) = stack.pop() {
+        if b == to {
+            return true;
+        }
+        for &s in &cfg.blocks()[b].succs {
+            if !seen[s] {
+                seen[s] = true;
+                stack.push(s);
+            }
+        }
+    }
+    false
+}
+
+/// Renders the control-flow path condition guarding `block`: for every
+/// strictly dominating block that ends in a conditional branch with exactly
+/// one successor on the dominator path, emits `cond@idx:t` (branch taken)
+/// or `cond@idx:nt` (fall-through), joined with `" & "`. Returns an empty
+/// string for blocks reachable unconditionally (or unreachable ones).
+pub fn path_condition(cfg: &Cfg, dom: &DomTree, code: &[Inst], block: usize) -> String {
+    let mut terms = Vec::new();
+    for &d in dom.chain(block).iter().rev().skip(1) {
+        let t = cfg.blocks()[d].terminator();
+        if let Inst::Branch { cond, target, .. } = code[t] {
+            let taken = (target < code.len()).then(|| cfg.block_of(target));
+            let fall = (t + 1 < code.len()).then(|| cfg.block_of(t + 1));
+            let taken_dom = taken.is_some_and(|s| dom.dominates(s, block));
+            let fall_dom = fall.is_some_and(|s| dom.dominates(s, block));
+            // Only a decisive branch (exactly one arm on the path)
+            // constrains the block — and only when the other arm cannot
+            // rejoin it. When the branch target is the join point of its
+            // own fall-through (a forward skip), the dominating arm is
+            // reached either way, so the branch decides nothing.
+            let decisive = match (taken_dom, fall_dom, taken, fall) {
+                (true, false, Some(t_b), Some(f_b)) => !reaches(cfg, f_b, t_b),
+                (true, false, Some(_), None) => true,
+                (false, true, Some(t_b), Some(f_b)) => !reaches(cfg, t_b, f_b),
+                (false, true, None, Some(_)) => true,
+                _ => false,
+            };
+            if decisive {
+                let arm = if taken_dom { "t" } else { "nt" };
+                terms.push(format!("{cond:?}@{t}:{arm}"));
+            }
+        }
+    }
+    terms.reverse(); // outermost (root-nearest) condition first
+    terms.join(" & ")
 }
 
 #[cfg(test)]

@@ -101,6 +101,63 @@ pub fn lint_component_coverage(names: &[String]) -> Vec<SchemaIssue> {
     issues
 }
 
+/// Dead-feature lint: cross-checks the statistics schema against the set
+/// of feature names a trained encoder actually consumes (e.g. the
+/// 106-feature `RowEncoder` projection the perceptron uses).
+///
+/// Three directions:
+///
+/// 1. every consumed feature name must exist in the schema (a projection
+///    onto a renamed or deleted stat silently reads garbage);
+/// 2. every consumed feature must resolve to a registered pipeline
+///    component — otherwise the replicated-detector accounting
+///    (features-per-component) is wrong;
+/// 3. every registered component that *owns* schema statistics should
+///    contribute at least one consumed feature — a component whose stats
+///    are all dead weight for the encoder is flagged so the schema does
+///    not accrete write-only counters.
+pub fn lint_feature_consumption(schema_names: &[String], consumed: &[String]) -> Vec<SchemaIssue> {
+    use std::collections::BTreeSet;
+    let schema: BTreeSet<&str> = schema_names.iter().map(String::as_str).collect();
+    let mut issues = Vec::new();
+
+    let mut consumed_components: BTreeSet<ComponentId> = BTreeSet::new();
+    for name in consumed {
+        if !schema.contains(name.as_str()) {
+            issues.push(SchemaIssue {
+                name: name.clone(),
+                issue: "consumed feature does not exist in the statistics schema".into(),
+            });
+        }
+        match ComponentRegistry::component_of(name) {
+            Some(c) => {
+                consumed_components.insert(c);
+            }
+            None => issues.push(SchemaIssue {
+                name: name.clone(),
+                issue: "consumed feature resolves to no registered pipeline component".into(),
+            }),
+        }
+    }
+
+    let mut owning_components: BTreeSet<ComponentId> = BTreeSet::new();
+    for name in schema_names {
+        if let Some(c) = ComponentRegistry::component_of(name) {
+            owning_components.insert(c);
+        }
+    }
+    for c in owning_components {
+        if !consumed_components.contains(&c) {
+            issues.push(SchemaIssue {
+                name: c.name().to_string(),
+                issue: "component's statistics are registered but never consumed by the encoder"
+                    .into(),
+            });
+        }
+    }
+    issues
+}
+
 /// Every statistic referenced by `invariants` must exist in the snapshot —
 /// an invariant that stops binding would otherwise rot silently.
 pub fn lint_bindings(invariants: &[StatInvariant], snap: &Snapshot) -> Vec<SchemaIssue> {
@@ -236,6 +293,41 @@ mod tests {
         assert!(issues
             .iter()
             .any(|i| i.name == "decode" && i.issue.contains("owns no statistic")));
+    }
+
+    #[test]
+    fn feature_consumption_lint_flags_all_three_directions() {
+        let schema = vec![
+            "fetch.SquashCycles".to_string(),
+            "fetch.Insts".to_string(),
+            "commit.branches".to_string(),
+        ];
+        // Consumes one fetch stat, a stat the schema lacks, and a stat with
+        // no registered component; commit's stats go unconsumed.
+        let consumed = vec![
+            "fetch.SquashCycles".to_string(),
+            "fetch.Deleted".to_string(),
+            "bogus.stat".to_string(),
+        ];
+        let issues = lint_feature_consumption(&schema, &consumed);
+        assert!(issues
+            .iter()
+            .any(|i| i.name == "fetch.Deleted" && i.issue.contains("does not exist")));
+        assert!(issues
+            .iter()
+            .any(|i| i.name == "bogus.stat" && i.issue.contains("no registered")));
+        assert!(issues
+            .iter()
+            .any(|i| i.name == "commit" && i.issue.contains("never consumed")));
+        // The consumed fetch component is not flagged.
+        assert!(!issues.iter().any(|i| i.name == "fetch"));
+    }
+
+    #[test]
+    fn feature_consumption_lint_is_clean_when_every_component_contributes() {
+        let schema = vec!["fetch.Insts".to_string(), "commit.branches".to_string()];
+        let consumed = schema.clone();
+        assert!(lint_feature_consumption(&schema, &consumed).is_empty());
     }
 
     stat_group! {

@@ -31,19 +31,25 @@
 
 #![warn(missing_docs)]
 
+pub mod callgraph;
 pub mod cfg;
 pub mod invariants;
+pub mod report;
+pub mod specwindow;
 pub mod taint;
 
 use std::collections::BTreeSet;
 
 use uarch_isa::{GadgetKind, Program};
 
-pub use cfg::{BasicBlock, Cfg};
+pub use callgraph::{CallGraph, CallSite, FnSummary, FuncId, FuncInfo};
+pub use cfg::{path_condition, BasicBlock, Cfg, DomTree, LoopForest, NaturalLoop};
 pub use invariants::{
-    check_program_run, lint_bindings, lint_component_coverage, lint_schema, RunCheck, SchemaIssue,
+    check_program_run, lint_bindings, lint_component_coverage, lint_feature_consumption,
+    lint_schema, RunCheck, SchemaIssue,
 };
-pub use taint::{Finding, TaintResult};
+pub use specwindow::SpecWindow;
+pub use taint::{AnalysisCtx, Finding, TaintResult};
 
 /// The combined static-analysis result for one program.
 #[derive(Debug)]
@@ -52,9 +58,16 @@ pub struct ProgramReport {
     pub name: String,
     /// The control-flow graph.
     pub cfg: Cfg,
+    /// The call graph (functions, call sites, matched returns).
+    pub callgraph: CallGraph,
+    /// Dominator tree over the CFG.
+    pub dom: DomTree,
+    /// Natural loops of the CFG.
+    pub loops: LoopForest,
     /// Converged taint facts.
     pub taint: TaintResult,
-    /// Detected gadgets, ordered by instruction index.
+    /// Detected gadgets, ordered by instruction index, decorated with
+    /// severity metadata from the speculative-window model.
     pub findings: Vec<Finding>,
 }
 
@@ -65,13 +78,36 @@ impl ProgramReport {
     }
 }
 
-/// Runs the CFG and taint passes over one program.
+/// Runs the full static pipeline over one program: CFG, call graph,
+/// dominators/loops, interprocedural taint, and the decorated detectors.
 pub fn analyze_program(program: &Program) -> ProgramReport {
+    analyze_program_with(program, &SpecWindow::table_ii())
+}
+
+/// [`analyze_program`] under an explicit speculative-window model.
+pub fn analyze_program_with(program: &Program, window: &SpecWindow) -> ProgramReport {
     let cfg = Cfg::build(program);
-    let (taint, findings) = taint::analyze(program, &cfg);
+    let callgraph = CallGraph::build(program, &cfg);
+    let dom = DomTree::build(&cfg);
+    let loops = LoopForest::build(&cfg, &dom);
+    let taint = taint::propagate(program, &cfg, &callgraph, sim_cpu::KERNEL_SPACE_BASE);
+    let findings = taint::detect(
+        program,
+        &AnalysisCtx {
+            cfg: &cfg,
+            cg: &callgraph,
+            dom: &dom,
+            loops: &loops,
+            window,
+        },
+        &taint,
+    );
     ProgramReport {
         name: program.name().to_string(),
         cfg,
+        callgraph,
+        dom,
+        loops,
         taint,
         findings,
     }

@@ -1,0 +1,544 @@
+//! Machine-readable findings report, confusion matrix, and baseline gate.
+//!
+//! The differential-validation harness (`uarch-lint`) runs the static
+//! analyzer over the whole corpus, optionally runs each workload on the
+//! simulator to collect its dynamic leak evidence, and emits:
+//!
+//! - a SARIF-like findings JSON (hand-rolled — the workspace is
+//!   dependency-free, so no serde) in which **every finding occupies
+//!   exactly one line**, keeping diffs reviewable;
+//! - a static-vs-dynamic [`Confusion`] matrix (static verdict = "any
+//!   finding" against the corpus ground-truth labels the simulator's leak
+//!   events established);
+//! - a sorted baseline file of finding identity lines that CI gates on:
+//!   [`diff_baseline`] reports findings that appeared (`added`) or gadgets
+//!   that went missing (`removed`) relative to the checked-in baseline.
+
+use uarch_isa::GadgetKind;
+
+use crate::specwindow::SpecWindow;
+use crate::ProgramReport;
+
+/// One finding, flattened with its workload context for serialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FindingRecord {
+    /// Workload name.
+    pub workload: String,
+    /// Basic-block index of the anchor instruction.
+    pub block: usize,
+    /// Anchor instruction index.
+    pub at: usize,
+    /// Gadget kind.
+    pub kind: GadgetKind,
+    /// Severity score, 0–100.
+    pub severity: u32,
+    /// Estimated leak bandwidth, bits/s.
+    pub bandwidth: u64,
+    /// Containing function.
+    pub func: String,
+    /// Path condition guarding the anchor block.
+    pub path: String,
+    /// Anchor sits in a natural loop.
+    pub in_loop: bool,
+    /// Dependent pair spans a call/return boundary.
+    pub cross_function: bool,
+    /// Transient depth of the pair's second load, when applicable.
+    pub pair_depth: Option<usize>,
+    /// Human-readable explanation.
+    pub detail: String,
+}
+
+impl FindingRecord {
+    /// The finding's identity line — the unit the baseline gate compares.
+    /// Severity/bandwidth/detail are deliberately excluded so retuning the
+    /// window model does not churn the baseline.
+    pub fn identity_line(&self) -> String {
+        format!(
+            "{{\"workload\":{},\"block\":{},\"at\":{},\"kind\":{}}}",
+            json_str(&self.workload),
+            self.block,
+            self.at,
+            json_str(self.kind.label()),
+        )
+    }
+
+    fn to_json_line(&self) -> String {
+        let pair_depth = match self.pair_depth {
+            Some(d) => d.to_string(),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"workload\":{},\"block\":{},\"at\":{},\"kind\":{},\"severity\":{},\
+             \"bandwidthBits\":{},\"func\":{},\"inLoop\":{},\"crossFunction\":{},\
+             \"pairDepth\":{},\"path\":{},\"detail\":{}}}",
+            json_str(&self.workload),
+            self.block,
+            self.at,
+            json_str(self.kind.label()),
+            self.severity,
+            self.bandwidth,
+            json_str(&self.func),
+            self.in_loop,
+            self.cross_function,
+            pair_depth,
+            json_str(&self.path),
+            json_str(&self.detail),
+        )
+    }
+}
+
+/// The analyzer's verdict on one workload, with its ground truth and (when
+/// the harness ran the simulator) the dynamic leak evidence.
+#[derive(Debug, Clone)]
+pub struct WorkloadVerdict {
+    /// Workload name.
+    pub workload: String,
+    /// Ground-truth class label (`malicious` / `benign`).
+    pub class_label: String,
+    /// Attack family label.
+    pub family: String,
+    /// Findings, sorted by (block, kind, at).
+    pub records: Vec<FindingRecord>,
+    /// Instruction count at which the simulator observed the first leaked
+    /// byte, when the dynamic half of the harness ran.
+    pub dynamic_leak_inst: Option<u64>,
+}
+
+impl WorkloadVerdict {
+    /// Flattens a [`ProgramReport`] into sorted finding records.
+    pub fn from_report(
+        workload: &str,
+        class_label: &str,
+        family: &str,
+        report: &ProgramReport,
+        dynamic_leak_inst: Option<u64>,
+    ) -> WorkloadVerdict {
+        let mut records: Vec<FindingRecord> = report
+            .findings
+            .iter()
+            .map(|f| FindingRecord {
+                workload: workload.to_string(),
+                block: report.cfg.block_of(f.at),
+                at: f.at,
+                kind: f.kind,
+                severity: f.severity,
+                bandwidth: f.bandwidth,
+                func: f.func.clone(),
+                path: f.path.clone(),
+                in_loop: f.in_loop,
+                cross_function: f.cross_function,
+                pair_depth: f.pair_depth,
+                detail: f.detail.clone(),
+            })
+            .collect();
+        records.sort_by_key(|a| (a.block, a.kind, a.at));
+        WorkloadVerdict {
+            workload: workload.to_string(),
+            class_label: class_label.to_string(),
+            family: family.to_string(),
+            records,
+            dynamic_leak_inst,
+        }
+    }
+
+    /// Static verdict: does the analyzer flag this workload at all?
+    pub fn flagged(&self) -> bool {
+        !self.records.is_empty()
+    }
+}
+
+/// Static-verdict vs ground-truth confusion matrix.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Confusion {
+    /// Malicious and flagged.
+    pub tp: usize,
+    /// Benign but flagged.
+    pub fp: usize,
+    /// Malicious but clean — a missed gadget.
+    pub fn_: usize,
+    /// Benign and clean.
+    pub tn: usize,
+}
+
+impl Confusion {
+    /// Total workloads counted.
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.fn_ + self.tn
+    }
+
+    /// Renders the matrix plus derived rates.
+    pub fn render(&self) -> String {
+        let pct = |num: usize, den: usize| {
+            if den == 0 {
+                100.0
+            } else {
+                100.0 * num as f64 / den as f64
+            }
+        };
+        format!(
+            "confusion matrix (static verdict vs ground truth, {} workloads)\n\
+             \n\
+             {:>22} | {:>8} | {:>8}\n\
+             {:->22}-+-{:->8}-+-{:->8}\n\
+             {:>22} | {:>8} | {:>8}\n\
+             {:>22} | {:>8} | {:>8}\n\
+             \n\
+             recall {:.1}%  precision {:.1}%  accuracy {:.1}%",
+            self.total(),
+            "",
+            "flagged",
+            "clean",
+            "",
+            "",
+            "",
+            "malicious",
+            self.tp,
+            self.fn_,
+            "benign",
+            self.fp,
+            self.tn,
+            pct(self.tp, self.tp + self.fn_),
+            pct(self.tp, self.tp + self.fp),
+            pct(self.tp + self.tn, self.total()),
+        )
+    }
+}
+
+/// The whole corpus run: every verdict plus the window model it ran under.
+#[derive(Debug, Clone)]
+pub struct CorpusReport {
+    /// Per-workload verdicts, sorted by workload name.
+    pub verdicts: Vec<WorkloadVerdict>,
+    /// The speculative-window model the analyzer used.
+    pub window: SpecWindow,
+}
+
+impl CorpusReport {
+    /// Builds the report, sorting verdicts by workload name so the output
+    /// is deterministic regardless of collection order.
+    pub fn new(mut verdicts: Vec<WorkloadVerdict>, window: SpecWindow) -> CorpusReport {
+        verdicts.sort_by(|a, b| a.workload.cmp(&b.workload));
+        CorpusReport { verdicts, window }
+    }
+
+    /// The static-vs-ground-truth confusion matrix.
+    pub fn confusion(&self) -> Confusion {
+        let mut c = Confusion::default();
+        for v in &self.verdicts {
+            let malicious = v.class_label == "malicious";
+            match (malicious, v.flagged()) {
+                (true, true) => c.tp += 1,
+                (true, false) => c.fn_ += 1,
+                (false, true) => c.fp += 1,
+                (false, false) => c.tn += 1,
+            }
+        }
+        c
+    }
+
+    /// All finding records across the corpus, in report order.
+    pub fn records(&self) -> impl Iterator<Item = &FindingRecord> {
+        self.verdicts.iter().flat_map(|v| v.records.iter())
+    }
+
+    /// The SARIF-like findings JSON. Every finding is serialized on exactly
+    /// one line so baseline diffs stay line-oriented.
+    pub fn to_json(&self) -> String {
+        let c = self.confusion();
+        let mut out = String::from("{\n");
+        out.push_str("  \"version\": \"1.0\",\n");
+        out.push_str(&format!(
+            "  \"tool\": {{\"name\": \"uarch-lint\", \"transientLimit\": {}, \"resolveLatency\": {}}},\n",
+            self.window.transient_limit(),
+            self.window.resolve_latency,
+        ));
+        out.push_str("  \"runs\": [\n");
+        for (i, v) in self.verdicts.iter().enumerate() {
+            let leak = match v.dynamic_leak_inst {
+                Some(x) => x.to_string(),
+                None => "null".to_string(),
+            };
+            out.push_str(&format!(
+                "    {{\"workload\": {}, \"class\": {}, \"family\": {}, \"staticVerdict\": {}, \"dynamicLeakInst\": {}, \"findings\": [\n",
+                json_str(&v.workload),
+                json_str(&v.class_label),
+                json_str(&v.family),
+                json_str(if v.flagged() { "flagged" } else { "clean" }),
+                leak,
+            ));
+            for (j, r) in v.records.iter().enumerate() {
+                let comma = if j + 1 < v.records.len() { "," } else { "" };
+                out.push_str(&format!("      {}{}\n", r.to_json_line(), comma));
+            }
+            let comma = if i + 1 < self.verdicts.len() { "," } else { "" };
+            out.push_str(&format!("    ]}}{comma}\n"));
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!(
+            "  \"confusion\": {{\"tp\": {}, \"fp\": {}, \"fn\": {}, \"tn\": {}}}\n",
+            c.tp, c.fp, c.fn_, c.tn
+        ));
+        out.push_str("}\n");
+        out
+    }
+
+    /// The sorted identity lines the baseline file stores.
+    pub fn baseline_lines(&self) -> Vec<String> {
+        let mut lines: Vec<String> = self.records().map(|r| r.identity_line()).collect();
+        lines.sort();
+        lines
+    }
+
+    /// Renders the baseline file contents (one identity line per finding,
+    /// sorted, trailing newline).
+    pub fn baseline_file(&self) -> String {
+        let mut s = self.baseline_lines().join("\n");
+        s.push('\n');
+        s
+    }
+}
+
+/// One parsed baseline identity line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineEntry {
+    /// Workload name.
+    pub workload: String,
+    /// Basic-block index.
+    pub block: usize,
+    /// Anchor instruction index.
+    pub at: usize,
+    /// Gadget-kind label (e.g. `spec-bounds-bypass`).
+    pub kind: String,
+}
+
+impl BaselineEntry {
+    /// Parses one identity line. The grammar is exactly what
+    /// [`FindingRecord::identity_line`] emits; anything else returns `None`.
+    pub fn parse(line: &str) -> Option<BaselineEntry> {
+        let field = |key: &str| -> Option<&str> {
+            let tag = format!("\"{key}\":");
+            let rest = &line[line.find(&tag)? + tag.len()..];
+            let end = rest.find([',', '}'])?;
+            Some(rest[..end].trim())
+        };
+        let unquote = |s: &str| -> Option<String> {
+            let s = s.strip_prefix('"')?.strip_suffix('"')?;
+            Some(json_unescape(s))
+        };
+        Some(BaselineEntry {
+            workload: unquote(field("workload")?)?,
+            block: field("block")?.parse().ok()?,
+            at: field("at")?.parse().ok()?,
+            kind: unquote(field("kind")?)?,
+        })
+    }
+}
+
+/// Difference between the checked-in baseline and a fresh corpus run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BaselineDiff {
+    /// Findings in the fresh run that the baseline lacks (new findings).
+    pub added: Vec<String>,
+    /// Baseline findings the fresh run no longer produces (newly-missed
+    /// gadgets).
+    pub removed: Vec<String>,
+}
+
+impl BaselineDiff {
+    /// Whether the run matches the baseline exactly.
+    pub fn is_clean(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty()
+    }
+}
+
+/// Compares a baseline file's contents against a fresh run's sorted
+/// identity lines. Comparison is by line set, so reordering is immaterial;
+/// blank lines and `#` comments in the baseline are ignored.
+pub fn diff_baseline(baseline_contents: &str, fresh_lines: &[String]) -> BaselineDiff {
+    use std::collections::BTreeSet;
+    let old: BTreeSet<&str> = baseline_contents
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .collect();
+    let new: BTreeSet<&str> = fresh_lines.iter().map(String::as_str).collect();
+    BaselineDiff {
+        added: new.difference(&old).map(|s| s.to_string()).collect(),
+        removed: old.difference(&new).map(|s| s.to_string()).collect(),
+    }
+}
+
+/// JSON string literal with escaping for quotes, backslashes and controls.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('r') => out.push('\r'),
+                Some('t') => out.push('\t'),
+                Some(other) => out.push(other),
+                None => break,
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(workload: &str, block: usize, at: usize, kind: GadgetKind) -> FindingRecord {
+        FindingRecord {
+            workload: workload.to_string(),
+            block,
+            at,
+            kind,
+            severity: 88,
+            bandwidth: 1234,
+            func: "main".to_string(),
+            path: "Geu@3:nt".to_string(),
+            in_loop: true,
+            cross_function: false,
+            pair_depth: Some(7),
+            detail: "test \"quoted\" detail".to_string(),
+        }
+    }
+
+    fn verdict(workload: &str, class: &str, records: Vec<FindingRecord>) -> WorkloadVerdict {
+        WorkloadVerdict {
+            workload: workload.to_string(),
+            class_label: class.to_string(),
+            family: "spectreV1".to_string(),
+            records,
+            dynamic_leak_inst: Some(42),
+        }
+    }
+
+    #[test]
+    fn identity_lines_round_trip_through_parse() {
+        let r = record("spectre-v1", 3, 17, GadgetKind::SpecBoundsBypass);
+        let line = r.identity_line();
+        let e = BaselineEntry::parse(&line).expect("parses");
+        assert_eq!(e.workload, "spectre-v1");
+        assert_eq!(e.block, 3);
+        assert_eq!(e.at, 17);
+        assert_eq!(e.kind, "spec-bounds-bypass");
+        assert!(BaselineEntry::parse("not json").is_none());
+    }
+
+    #[test]
+    fn confusion_counts_all_four_quadrants() {
+        let report = CorpusReport::new(
+            vec![
+                verdict(
+                    "atk-hit",
+                    "malicious",
+                    vec![record("atk-hit", 0, 1, GadgetKind::TimedLoad)],
+                ),
+                verdict("atk-miss", "malicious", vec![]),
+                verdict("ben-clean", "benign", vec![]),
+                verdict(
+                    "ben-noisy",
+                    "benign",
+                    vec![record("ben-noisy", 0, 1, GadgetKind::TimedLoad)],
+                ),
+            ],
+            SpecWindow::table_ii(),
+        );
+        let c = report.confusion();
+        assert_eq!((c.tp, c.fp, c.fn_, c.tn), (1, 1, 1, 1));
+        let rendered = c.render();
+        assert!(rendered.contains("recall 50.0%"));
+        assert!(rendered.contains("4 workloads"));
+    }
+
+    #[test]
+    fn json_has_one_line_per_finding_and_sorted_runs() {
+        let report = CorpusReport::new(
+            vec![
+                verdict(
+                    "zzz",
+                    "malicious",
+                    vec![record("zzz", 1, 5, GadgetKind::TimedLoad)],
+                ),
+                verdict(
+                    "aaa",
+                    "malicious",
+                    vec![
+                        record("aaa", 2, 9, GadgetKind::TimedFlush),
+                        record("aaa", 1, 4, GadgetKind::SpecBoundsBypass),
+                    ],
+                ),
+            ],
+            SpecWindow::table_ii(),
+        );
+        let json = report.to_json();
+        // Runs sorted by name.
+        assert!(json.find("\"aaa\"").unwrap() < json.find("\"zzz\"").unwrap());
+        // One line per finding record.
+        let finding_lines: Vec<&str> = json
+            .lines()
+            .filter(|l| l.trim_start().starts_with("{\"workload\":\""))
+            .collect();
+        assert_eq!(finding_lines.len(), 3);
+        // Escaping keeps quoted details on a single line.
+        assert!(json.contains("test \\\"quoted\\\" detail"));
+        assert!(json.contains("\"transientLimit\": 192"));
+    }
+
+    #[test]
+    fn baseline_diff_reports_added_and_removed() {
+        let report = CorpusReport::new(
+            vec![verdict(
+                "w",
+                "malicious",
+                vec![
+                    record("w", 1, 4, GadgetKind::SpecBoundsBypass),
+                    record("w", 2, 9, GadgetKind::TimedLoad),
+                ],
+            )],
+            SpecWindow::table_ii(),
+        );
+        let lines = report.baseline_lines();
+        assert_eq!(lines.len(), 2);
+        assert!(lines.windows(2).all(|w| w[0] <= w[1]), "sorted");
+
+        // Identical baseline: clean.
+        assert!(diff_baseline(&report.baseline_file(), &lines).is_clean());
+
+        // Baseline missing one line: that finding shows as added.
+        let d = diff_baseline(&lines[1], &lines);
+        assert_eq!(d.added, vec![lines[0].clone()]);
+        assert!(d.removed.is_empty());
+
+        // Baseline with an extra stale line: shows as removed; comments and
+        // blanks are ignored.
+        let stale = format!("# comment\n\n{}\n{}\nstale-line\n", lines[0], lines[1]);
+        let d = diff_baseline(&stale, &lines);
+        assert!(d.added.is_empty());
+        assert_eq!(d.removed, vec!["stale-line".to_string()]);
+    }
+}

@@ -1,0 +1,178 @@
+//! Speculative-window model: how deep can transient execution run past a
+//! mispredicted branch, and how fast can a gadget leak through it?
+//!
+//! The model is derived from the same configuration structs the simulator
+//! runs on ([`sim_cpu::CoreConfig`], [`sim_mem::CacheConfig`],
+//! [`sim_mem::DramConfig`]) rather than from free-standing magic numbers,
+//! so retuning the simulated machine retunes the static analysis with it.
+//!
+//! Two quantities drive the findings report:
+//!
+//! - **Transient depth bound** — a mispredicted branch squashes when it
+//!   resolves, so the transient window holds at most
+//!   `min(rob_entries, issue_width × resolve_latency)` instructions. With
+//!   the Table II machine (192-entry ROB, 8-wide issue) and a DRAM-miss
+//!   branch operand, the ROB is the binding constraint: 192.
+//! - **Leak bandwidth** — a covert channel moves
+//!   [`GadgetKind::bits_per_iteration`] bits per attack iteration; the
+//!   iteration cost is estimated from the enclosing training/probe loop
+//!   size plus the channel's round-trip latency.
+
+use sim_cpu::CoreConfig;
+use sim_mem::{CacheConfig, DramConfig};
+use uarch_isa::GadgetKind;
+
+use crate::cfg::{Cfg, LoopForest};
+
+/// Simulated core clock (the paper's 2.0 GHz machine).
+pub const CLOCK_HZ: u64 = 2_000_000_000;
+
+/// The speculative-window parameters of one machine configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecWindow {
+    /// Reorder-buffer capacity (hard cap on in-flight transients).
+    pub rob_entries: usize,
+    /// Issue width (transient instructions per cycle while waiting).
+    pub issue_width: usize,
+    /// Worst-case cycles for a branch whose operands miss to DRAM to
+    /// resolve (L1 + L2 lookups + a full DRAM row activation round trip).
+    pub resolve_latency: u64,
+    /// Cycles between a faulting load reaching the ROB head and the fault
+    /// being recognized (the Meltdown window).
+    pub fault_delay: u64,
+    /// Core clock in Hz.
+    pub clock_hz: u64,
+}
+
+impl SpecWindow {
+    /// Derives the window model from the simulator's configuration structs.
+    pub fn from_config(core: &CoreConfig) -> SpecWindow {
+        let l1 = CacheConfig::l1d();
+        let l2 = CacheConfig::l2();
+        let dram = DramConfig::default();
+        let resolve_latency = (l1.tag_latency + l1.data_latency)
+            + (l2.tag_latency + l2.data_latency)
+            + (dram.t_rcd + dram.t_cas + dram.t_burst + dram.t_rp);
+        SpecWindow {
+            rob_entries: core.rob_entries,
+            issue_width: core.issue_width,
+            resolve_latency,
+            fault_delay: core.fault_recognition_delay,
+            clock_hz: CLOCK_HZ,
+        }
+    }
+
+    /// The default Table II window.
+    pub fn table_ii() -> SpecWindow {
+        SpecWindow::from_config(&CoreConfig::default())
+    }
+
+    /// Upper bound on the number of instructions that can execute
+    /// transiently past an unresolved branch: the ROB must hold them all,
+    /// and the front end can only feed `issue_width` per cycle until the
+    /// branch resolves.
+    pub fn transient_limit(&self) -> usize {
+        self.rob_entries
+            .min(self.issue_width * self.resolve_latency as usize)
+    }
+
+    /// Severity score (0–100) for one finding.
+    ///
+    /// Starts from the gadget kind's base severity and adds structural
+    /// aggravators: sitting inside a natural loop (repeatable — a training
+    /// or probe loop), crossing a function boundary (survives call/return,
+    /// so single-function review misses it), and a dependent pair shallow
+    /// enough to fit the window twice over (robust to partial resolution).
+    pub fn severity(
+        &self,
+        kind: GadgetKind,
+        in_loop: bool,
+        cross_function: bool,
+        pair_depth: Option<usize>,
+    ) -> u32 {
+        let mut s = kind.base_severity();
+        if in_loop {
+            s += 8;
+        }
+        if cross_function {
+            s += 5;
+        }
+        if pair_depth.is_some_and(|d| d <= self.transient_limit() / 2) {
+            s += 5;
+        }
+        s.min(100)
+    }
+
+    /// Estimated leak bandwidth in bits per second for a finding of `kind`
+    /// at `at`, assuming the gadget repeats at the cadence of its innermost
+    /// enclosing loop (or once over the whole program when loop-free).
+    ///
+    /// One iteration costs roughly half a cycle per instruction in the loop
+    /// body (the 8-wide core averages well above 1 IPC, but attack
+    /// iterations are miss-dominated) plus two channel round trips
+    /// (transmit + receive are both DRAM-latency events).
+    pub fn leak_bandwidth(
+        &self,
+        kind: GadgetKind,
+        cfg: &Cfg,
+        loops: &LoopForest,
+        at: usize,
+        program_len: usize,
+    ) -> u64 {
+        let iter_insts = loops
+            .innermost(cfg.block_of(at))
+            .map(|l| {
+                l.blocks
+                    .iter()
+                    .map(|&b| {
+                        let blk = &cfg.blocks()[b];
+                        blk.end - blk.start
+                    })
+                    .sum()
+            })
+            .unwrap_or(program_len);
+        let est_cycles = (iter_insts.max(50) as u64) / 2 + 2 * self.resolve_latency;
+        kind.bits_per_iteration() * self.clock_hz / est_cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_ii_window_is_rob_bound() {
+        let w = SpecWindow::table_ii();
+        assert_eq!(w.rob_entries, 192);
+        assert_eq!(w.issue_width, 8);
+        // L1(2) + L2(40) + DRAM(46) = 88 cycles; 8 × 88 ≫ 192.
+        assert!(w.resolve_latency >= 50, "resolve={}", w.resolve_latency);
+        assert_eq!(w.transient_limit(), 192);
+    }
+
+    #[test]
+    fn narrow_machine_is_issue_bound() {
+        let w = SpecWindow {
+            rob_entries: 192,
+            issue_width: 1,
+            resolve_latency: 20,
+            fault_delay: 10,
+            clock_hz: CLOCK_HZ,
+        };
+        assert_eq!(w.transient_limit(), 20);
+    }
+
+    #[test]
+    fn severity_orders_aggravated_above_plain() {
+        let w = SpecWindow::table_ii();
+        let plain = w.severity(GadgetKind::SpecBoundsBypass, false, false, None);
+        let looped = w.severity(GadgetKind::SpecBoundsBypass, true, false, None);
+        let full = w.severity(GadgetKind::SpecBoundsBypass, true, true, Some(10));
+        assert!(plain < looped && looped < full);
+        assert!(full <= 100);
+        assert!(
+            w.severity(GadgetKind::KernelRead, true, true, Some(1)) <= 100,
+            "severity is clamped"
+        );
+    }
+}

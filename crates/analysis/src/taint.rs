@@ -22,11 +22,13 @@
 //! kernel-data dereferences, BTB injection, return-address hijacking, and
 //! timed-load / timed-flush side-channel probes.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet, HashSet, VecDeque};
 
 use uarch_isa::{AluOp, GadgetKind, Inst, Program, Reg};
 
-use crate::cfg::Cfg;
+use crate::callgraph::CallGraph;
+use crate::cfg::{path_condition, Cfg, DomTree, LoopForest};
+use crate::specwindow::SpecWindow;
 
 /// Cache line size assumed when matching flushed lines.
 pub const LINE: u64 = 64;
@@ -145,7 +147,8 @@ fn initial_state() -> State {
     s
 }
 
-/// A detected gadget.
+/// A detected gadget, with the severity metadata the speculative-window
+/// model attaches ([`SpecWindow::severity`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
     /// What pattern matched.
@@ -154,11 +157,51 @@ pub struct Finding {
     pub at: usize,
     /// Human-readable explanation.
     pub detail: String,
+    /// Name of the function containing the anchor (from the call graph).
+    pub func: String,
+    /// Control-flow path condition guarding the anchor block (empty when
+    /// reached unconditionally) — see [`path_condition`].
+    pub path: String,
+    /// Whether the anchor sits inside a natural loop (training/probe
+    /// cadence).
+    pub in_loop: bool,
+    /// Whether the gadget's dependent pair spans a call/return boundary.
+    pub cross_function: bool,
+    /// Transient depth (instructions past the mispredicted branch) at which
+    /// the second load of a dependent pair executes, when applicable.
+    pub pair_depth: Option<usize>,
+    /// Severity score, 0–100.
+    pub severity: u32,
+    /// Estimated leak bandwidth in bits per second.
+    pub bandwidth: u64,
+}
+
+impl Finding {
+    /// A bare finding; the severity metadata is attached by
+    /// [`detect`]'s decoration pass.
+    fn new(kind: GadgetKind, at: usize, detail: String) -> Finding {
+        Finding {
+            kind,
+            at,
+            detail,
+            func: String::new(),
+            path: String::new(),
+            in_loop: false,
+            cross_function: false,
+            pair_depth: None,
+            severity: 0,
+            bandwidth: 0,
+        }
+    }
 }
 
 impl std::fmt::Display for Finding {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "[{}] @{}: {}", self.kind, self.at, self.detail)
+        write!(
+            f,
+            "[{} sev={}] @{} in {}: {}",
+            self.kind, self.severity, self.at, self.func, self.detail
+        )
     }
 }
 
@@ -323,7 +366,12 @@ impl Ctx<'_> {
 
 /// Runs the dataflow to a fixpoint and returns the pre-state of every
 /// instruction plus the resolved flush set.
-pub fn propagate(program: &Program, cfg: &Cfg, kernel_base: u64) -> TaintResult {
+///
+/// `ret` successors are the call graph's matched return targets
+/// ([`CallGraph::ret_successors`]) rather than the CFG's global return-site
+/// approximation, so a value tainted inside one callee flows only to the
+/// continuations of call sites that can actually invoke it.
+pub fn propagate(program: &Program, cfg: &Cfg, cg: &CallGraph, kernel_base: u64) -> TaintResult {
     let code = program.code();
     let n = code.len();
     let mut flushed: BTreeSet<u64> = BTreeSet::new();
@@ -342,7 +390,7 @@ pub fn propagate(program: &Program, cfg: &Cfg, kernel_base: u64) -> TaintResult 
             flushed: &flushed,
             implicit: &implicit,
         };
-        pre = fixpoint(&ctx, cfg, n);
+        pre = fixpoint(&ctx, cfg, cg, n);
 
         let mut new_flushed = BTreeSet::new();
         unresolved = 0;
@@ -387,8 +435,9 @@ pub fn propagate(program: &Program, cfg: &Cfg, kernel_base: u64) -> TaintResult 
     }
 }
 
-fn fixpoint(ctx: &Ctx<'_>, cfg: &Cfg, n: usize) -> Vec<State> {
+fn fixpoint(ctx: &Ctx<'_>, cfg: &Cfg, cg: &CallGraph, n: usize) -> Vec<State> {
     let blocks = cfg.blocks();
+    let code = ctx.program.code();
     let mut entry: Vec<Option<State>> = vec![None; blocks.len()];
     for &root in cfg.roots() {
         entry[root] = Some(initial_state());
@@ -402,7 +451,14 @@ fn fixpoint(ctx: &Ctx<'_>, cfg: &Cfg, n: usize) -> Vec<State> {
         for i in blocks[b].start..blocks[b].end {
             ctx.transfer(&mut s, i);
         }
-        for &succ in &blocks[b].succs {
+        // A `ret` flows only to its call-graph-matched return sites; every
+        // other terminator uses the CFG edges.
+        let succs: Vec<usize> = if matches!(code[blocks[b].terminator()], Inst::Ret) {
+            cg.ret_successors(b)
+        } else {
+            blocks[b].succs.clone()
+        };
+        for &succ in &succs {
             match &mut entry[succ] {
                 Some(dst) => {
                     let mut changed = false;
@@ -471,8 +527,124 @@ fn callee_span(cfg: &Cfg, code: &[Inst], c: usize) -> Vec<usize> {
     }
 }
 
-/// Runs all gadget detectors over the converged dataflow facts.
-pub fn detect(program: &Program, cfg: &Cfg, taint: &TaintResult) -> Vec<Finding> {
+/// The structural analyses [`detect`] consumes alongside the taint facts.
+pub struct AnalysisCtx<'a> {
+    /// The control-flow graph.
+    pub cfg: &'a Cfg,
+    /// The call graph (matched returns, function names).
+    pub cg: &'a CallGraph,
+    /// Dominator tree (path conditions).
+    pub dom: &'a DomTree,
+    /// Natural loops (training/probe cadence).
+    pub loops: &'a LoopForest,
+    /// The speculative-window model (severity, bandwidth, depth bound).
+    pub window: &'a SpecWindow,
+}
+
+/// Deepest call stack the transient walk tracks (the RAS depth of the
+/// Table II machine — deeper speculation returns through the RSB anyway).
+const TRANSIENT_STACK_CAP: usize = 16;
+
+/// Safety valve on the transient walk's total work.
+const TRANSIENT_BUDGET: usize = 50_000;
+
+/// The set of instructions transiently reachable from `from` within
+/// `limit` instructions, mapped to their minimum transient depth.
+///
+/// The walk is an interprocedural BFS: calls push the fall-through on a
+/// bounded return stack and enter the callee; `ret` pops the stack (or,
+/// bare, falls back to the call graph's matched return sites); branches
+/// fork both ways (transient execution may follow either arm); `fence`
+/// and `halt` terminate the path. Unlike [`guarded_region`], the walk
+/// crosses matched call/return boundaries — this is what lets the
+/// bounds-bypass detector pair a secret load in a callee with a probe
+/// load in its caller.
+fn transient_region(
+    cfg: &Cfg,
+    cg: &CallGraph,
+    code: &[Inst],
+    from: usize,
+    limit: usize,
+) -> BTreeMap<usize, usize> {
+    let n = code.len();
+    let mut depth_of: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut seen: HashSet<(usize, Vec<usize>)> = HashSet::new();
+    let mut queue: VecDeque<(usize, usize, Vec<usize>)> = VecDeque::new();
+    if from < n {
+        queue.push_back((from, 0, Vec::new()));
+    }
+    let mut budget = TRANSIENT_BUDGET;
+    while let Some((idx, depth, stack)) = queue.pop_front() {
+        if budget == 0 {
+            break;
+        }
+        budget -= 1;
+        if !seen.insert((idx, stack.clone())) {
+            continue;
+        }
+        let slot = depth_of.entry(idx).or_insert(depth);
+        *slot = (*slot).min(depth);
+        if depth >= limit {
+            continue;
+        }
+        let d = depth + 1;
+        let push = |queue: &mut VecDeque<_>, t: usize, st: Vec<usize>| {
+            if t < n {
+                queue.push_back((t, d, st));
+            }
+        };
+        match code[idx] {
+            // A fence drains the window; a halt ends the program.
+            Inst::Fence | Inst::Halt => {}
+            Inst::Branch { target, .. } => {
+                push(&mut queue, idx + 1, stack.clone());
+                push(&mut queue, target, stack);
+            }
+            Inst::Jump { target } => push(&mut queue, target, stack),
+            Inst::JumpInd { .. } => {
+                for &b in cfg.address_taken() {
+                    push(&mut queue, cfg.blocks()[b].start, stack.clone());
+                }
+            }
+            Inst::Call { target } => {
+                if stack.len() < TRANSIENT_STACK_CAP {
+                    let mut st = stack;
+                    st.push(idx + 1);
+                    push(&mut queue, target, st);
+                }
+            }
+            Inst::CallInd { .. } => {
+                if stack.len() < TRANSIENT_STACK_CAP {
+                    for &b in cfg.address_taken() {
+                        let mut st = stack.clone();
+                        st.push(idx + 1);
+                        push(&mut queue, cfg.blocks()[b].start, st);
+                    }
+                }
+            }
+            Inst::Ret => {
+                let mut st = stack;
+                if let Some(r) = st.pop() {
+                    push(&mut queue, r, st);
+                } else {
+                    // Entered transiently without a matching call: return
+                    // to the matched sites of the containing function.
+                    for t in cg.ret_successors(cfg.block_of(idx)) {
+                        push(&mut queue, cfg.blocks()[t].start, Vec::new());
+                    }
+                }
+            }
+            _ => push(&mut queue, idx + 1, stack),
+        }
+    }
+    depth_of
+}
+
+/// Runs all gadget detectors over the converged dataflow facts, then
+/// decorates every finding with its function, path condition, loop
+/// membership, severity and estimated bandwidth.
+pub fn detect(program: &Program, ctx: &AnalysisCtx<'_>, taint: &TaintResult) -> Vec<Finding> {
+    let (cfg, cg) = (ctx.cfg, ctx.cg);
     let code = program.code();
     let pre = &taint.pre;
     let mut findings: Vec<Finding> = Vec::new();
@@ -505,18 +677,18 @@ pub fn detect(program: &Program, cfg: &Cfg, taint: &TaintResult) -> Vec<Finding>
         let Some((lo, hi)) = best else { continue };
         let window = &code[lo + 1..hi];
         if window.iter().any(|x| matches!(x, Inst::Load { .. })) {
-            findings.push(Finding {
-                kind: GadgetKind::TimedLoad,
-                at: i,
-                detail: format!("cycle delta of rdcycle@{lo}/rdcycle@{hi} brackets a load"),
-            });
+            findings.push(Finding::new(
+                GadgetKind::TimedLoad,
+                i,
+                format!("cycle delta of rdcycle@{lo}/rdcycle@{hi} brackets a load"),
+            ));
         }
         if window.iter().any(|x| matches!(x, Inst::Flush { .. })) {
-            findings.push(Finding {
-                kind: GadgetKind::TimedFlush,
-                at: i,
-                detail: format!("cycle delta of rdcycle@{lo}/rdcycle@{hi} brackets a clflush"),
-            });
+            findings.push(Finding::new(
+                GadgetKind::TimedFlush,
+                i,
+                format!("cycle delta of rdcycle@{lo}/rdcycle@{hi} brackets a clflush"),
+            ));
         }
     }
 
@@ -528,11 +700,11 @@ pub fn detect(program: &Program, cfg: &Cfg, taint: &TaintResult) -> Vec<Finding>
             continue;
         };
         if pre[i][base.index()].tags.kernel {
-            findings.push(Finding {
-                kind: GadgetKind::KernelRead,
-                at: i,
-                detail: "load address derives from kernel-space data".to_string(),
-            });
+            findings.push(Finding::new(
+                GadgetKind::KernelRead,
+                i,
+                "load address derives from kernel-space data".to_string(),
+            ));
         }
     }
 
@@ -544,11 +716,11 @@ pub fn detect(program: &Program, cfg: &Cfg, taint: &TaintResult) -> Vec<Finding>
             _ => continue,
         };
         if pre[i][base.index()].tags.mem {
-            findings.push(Finding {
-                kind: GadgetKind::BtbInjection,
-                at: i,
-                detail: "indirect control target loaded from memory".to_string(),
-            });
+            findings.push(Finding::new(
+                GadgetKind::BtbInjection,
+                i,
+                "indirect control target loaded from memory".to_string(),
+            ));
         }
     }
 
@@ -569,11 +741,11 @@ pub fn detect(program: &Program, cfg: &Cfg, taint: &TaintResult) -> Vec<Finding>
             _ => false,
         };
         if !legit {
-            findings.push(Finding {
-                kind: GadgetKind::RetHijack,
-                at: i,
-                detail: "return address replaced with a non-return-site target".to_string(),
-            });
+            findings.push(Finding::new(
+                GadgetKind::RetHijack,
+                i,
+                "return address replaced with a non-return-site target".to_string(),
+            ));
         }
     }
 
@@ -605,7 +777,18 @@ pub fn detect(program: &Program, cfg: &Cfg, taint: &TaintResult) -> Vec<Finding>
         if region.iter().any(|&j| matches!(code[j], Inst::Fence)) {
             continue; // serialized: the window is closed
         }
-        let pair = region.iter().find_map(|&l2| {
+        // Pair search over the *transient* region: everything reachable
+        // within the speculative window, crossing matched call/return
+        // boundaries. The guarded region above decides whether the branch
+        // is a slow, unfenced guard at all; the transient walk decides how
+        // far the misprediction can carry a dependent pair.
+        let transient = transient_region(cfg, cg, code, i + 1, ctx.window.transient_limit());
+        // A realizable pair must execute l1 before l2 *within one window*:
+        // l1's transient depth must be strictly below l2's. (Taint sets
+        // also carry dependences through the enclosing architectural loop,
+        // where l1 sits later in the trace — those are not transient
+        // pairs.)
+        let pair = transient.iter().find_map(|(&l2, &d2)| {
             let Inst::Load { base, .. } = code[l2] else {
                 return None;
             };
@@ -613,16 +796,36 @@ pub fn detect(program: &Program, cfg: &Cfg, taint: &TaintResult) -> Vec<Finding>
                 .tags
                 .loads
                 .iter()
-                .find(|l1| region.contains(l1))
+                .find(|l1| transient.get(l1).is_some_and(|&d1| d1 < d2))
                 .map(|&l1| (l1, l2))
         });
         if let Some((l1, l2)) = pair {
-            findings.push(Finding {
-                kind: GadgetKind::SpecBoundsBypass,
-                at: i,
-                detail: format!("slow guard shadows dependent loads @{l1} -> @{l2} with no fence"),
-            });
+            let cross = cg.name_of_block(cfg.block_of(l1)) != cg.name_of_block(cfg.block_of(l2))
+                || cg.name_of_block(cfg.block_of(i)) != cg.name_of_block(cfg.block_of(l2));
+            let mut f = Finding::new(
+                GadgetKind::SpecBoundsBypass,
+                i,
+                format!("slow guard shadows dependent loads @{l1} -> @{l2} with no fence"),
+            );
+            f.cross_function = cross;
+            f.pair_depth = transient.get(&l2).copied();
+            findings.push(f);
         }
+    }
+
+    // Decoration: every finding gets its function, path condition, loop
+    // membership, severity score and bandwidth estimate.
+    for f in &mut findings {
+        let b = cfg.block_of(f.at);
+        f.func = cg.name_of_block(b).to_string();
+        f.path = path_condition(cfg, ctx.dom, code, b);
+        f.in_loop = ctx.loops.innermost(b).is_some();
+        f.severity = ctx
+            .window
+            .severity(f.kind, f.in_loop, f.cross_function, f.pair_depth);
+        f.bandwidth = ctx
+            .window
+            .leak_bandwidth(f.kind, cfg, ctx.loops, f.at, code.len());
     }
 
     findings.sort_by_key(|f| (f.at, f.kind));
@@ -630,10 +833,25 @@ pub fn detect(program: &Program, cfg: &Cfg, taint: &TaintResult) -> Vec<Finding>
     findings
 }
 
-/// Convenience: full pipeline over one program.
+/// Convenience: full pipeline over one program, building the structural
+/// analyses (call graph, dominators, loops, window model) internally.
 pub fn analyze(program: &Program, cfg: &Cfg) -> (TaintResult, Vec<Finding>) {
-    let taint = propagate(program, cfg, sim_cpu::KERNEL_SPACE_BASE);
-    let findings = detect(program, cfg, &taint);
+    let cg = CallGraph::build(program, cfg);
+    let dom = DomTree::build(cfg);
+    let loops = LoopForest::build(cfg, &dom);
+    let window = SpecWindow::table_ii();
+    let taint = propagate(program, cfg, &cg, sim_cpu::KERNEL_SPACE_BASE);
+    let findings = detect(
+        program,
+        &AnalysisCtx {
+            cfg,
+            cg: &cg,
+            dom: &dom,
+            loops: &loops,
+            window: &window,
+        },
+        &taint,
+    );
     (taint, findings)
 }
 

@@ -4,7 +4,7 @@
 
 use proptest::collection;
 use proptest::prelude::*;
-use uarch_analysis::Cfg;
+use uarch_analysis::{Cfg, DomTree, LoopForest};
 use uarch_isa::{AluOp, Cond, Inst, Program, Reg, Width};
 
 /// Decodes one generated `(selector, operand)` pair into an instruction.
@@ -102,6 +102,73 @@ proptest! {
         }
         for &r in cfg.roots() {
             prop_assert!(cfg.is_reachable(r), "roots are reachable");
+        }
+    }
+
+    #[test]
+    fn dominance_is_a_partial_order_rooted_at_idoms(
+        raw in collection::vec((0u8..=255, 0usize..256), 1..64),
+        fault in 0usize..256,
+    ) {
+        let p = program_from(&raw, fault);
+        let cfg = Cfg::build(&p);
+        let dom = DomTree::build(&cfg);
+        let n = cfg.blocks().len();
+        for b in 0..n {
+            if !cfg.is_reachable(b) {
+                prop_assert!(dom.depth(b).is_none(), "unreachable block has no depth");
+                continue;
+            }
+            // Reflexive.
+            prop_assert!(dom.dominates(b, b), "dominance must be reflexive");
+            // The immediate dominator strictly dominates, one level up.
+            if let Some(i) = dom.idom(b) {
+                prop_assert!(dom.dominates(i, b));
+                prop_assert_eq!(dom.depth(i).unwrap() + 1, dom.depth(b).unwrap());
+            }
+            // Every block on the dominator chain dominates `b`.
+            for &a in dom.chain(b).iter() {
+                prop_assert!(dom.dominates(a, b), "chain member must dominate");
+            }
+        }
+        // Antisymmetric: mutual dominance implies equality.
+        for a in 0..n {
+            for b in 0..n {
+                if dom.dominates(a, b) && dom.dominates(b, a) {
+                    prop_assert_eq!(a, b, "dominance must be antisymmetric");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn loop_headers_dominate_their_bodies(
+        raw in collection::vec((0u8..=255, 0usize..256), 1..64),
+        fault in 0usize..256,
+    ) {
+        let p = program_from(&raw, fault);
+        let cfg = Cfg::build(&p);
+        let dom = DomTree::build(&cfg);
+        let forest = LoopForest::build(&cfg, &dom);
+        for l in forest.loops() {
+            prop_assert!(l.blocks.contains(&l.header), "header is in its own body");
+            for &b in &l.blocks {
+                prop_assert!(dom.dominates(l.header, b),
+                    "loop header {} must dominate body block {b}", l.header);
+            }
+            for &(src, header) in &l.back_edges {
+                prop_assert_eq!(header, l.header);
+                prop_assert!(l.blocks.contains(&src), "back-edge source is in the body");
+                prop_assert!(cfg.blocks()[src].succs.contains(&l.header),
+                    "back edge must be a real CFG edge");
+            }
+            // The innermost map agrees: every body block's innermost loop is
+            // a subset of (or equal to) this loop.
+            for &b in &l.blocks {
+                let inner = forest.innermost(b).expect("body block is in some loop");
+                prop_assert!(inner.blocks.is_subset(&l.blocks) || l.blocks.is_subset(&inner.blocks),
+                    "loops containing a block must nest");
+            }
         }
     }
 

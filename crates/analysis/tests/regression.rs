@@ -4,9 +4,13 @@
 
 use std::collections::BTreeSet;
 
-use uarch_analysis::{analyze_program, check_program_run};
+use uarch_analysis::report::{diff_baseline, CorpusReport, WorkloadVerdict};
+use uarch_analysis::{analyze_program, check_program_run, SpecWindow};
 use uarch_isa::GadgetKind;
-use workloads::{attack_suite, bandwidth_suite, benign_suite, polymorphic_suite, Family, Workload};
+use workloads::{
+    attack_suite, bandwidth_suite, benign_suite, interprocedural_suite, polymorphic_suite, Class,
+    Family, Workload,
+};
 
 /// The expected static verdict for a workload, keyed by its attack family.
 fn expected(w: &Workload) -> BTreeSet<GadgetKind> {
@@ -62,6 +66,99 @@ fn polymorphic_variants_are_all_flagged() {
 fn bandwidth_reduced_variants_are_still_flagged() {
     for (_, w) in bandwidth_suite() {
         check(&w);
+    }
+}
+
+#[test]
+fn interprocedural_pair_verdicts_are_exact() {
+    for w in interprocedural_suite() {
+        check(&w);
+    }
+}
+
+/// The full differential corpus the `uarch-lint` harness validates.
+fn full_corpus() -> Vec<Workload> {
+    let mut v = attack_suite();
+    v.extend(polymorphic_suite());
+    v.extend(bandwidth_suite().into_iter().map(|(_, w)| w));
+    v.extend(interprocedural_suite());
+    v.extend(benign_suite());
+    v
+}
+
+fn corpus_report() -> CorpusReport {
+    let verdicts = full_corpus()
+        .iter()
+        .map(|w| {
+            let class = match w.class {
+                Class::Malicious => "malicious",
+                Class::Benign => "benign",
+            };
+            WorkloadVerdict::from_report(
+                &w.name,
+                class,
+                w.family.label(),
+                &analyze_program(&w.program),
+                None,
+            )
+        })
+        .collect();
+    CorpusReport::new(verdicts, SpecWindow::table_ii())
+}
+
+/// Acceptance criterion: zero false negatives on the twelve polymorphic
+/// variants (and, in fact, on the whole corpus), zero false positives on
+/// the benign suite.
+#[test]
+fn differential_confusion_matrix_is_perfect() {
+    let report = corpus_report();
+    let c = report.confusion();
+    assert_eq!(c.fn_, 0, "missed gadgets:\n{}", report.confusion().render());
+    assert_eq!(c.fp, 0, "benign false alarms:\n{}", c.render());
+    for v in &report.verdicts {
+        if v.family == "spectreV1" && v.class_label == "malicious" {
+            assert!(v.flagged(), "polymorphic variant {} missed", v.workload);
+        }
+    }
+}
+
+/// The checked-in findings baseline must match a fresh corpus run exactly:
+/// this is the same gate `uarch-lint --baseline` applies in CI. Regenerate
+/// with `uarch-lint --no-run --write-baseline crates/analysis/findings_baseline.json`.
+#[test]
+fn checked_in_baseline_matches_a_fresh_run() {
+    let baseline = include_str!("../findings_baseline.json");
+    let diff = diff_baseline(baseline, &corpus_report().baseline_lines());
+    assert!(
+        diff.is_clean(),
+        "baseline drift — added {:#?}, removed {:#?}",
+        diff.added,
+        diff.removed
+    );
+}
+
+/// Severity decoration sanity across the whole corpus: scores stay in
+/// range, and the disclosure-primitive gadgets rank above bare timing
+/// probes.
+#[test]
+fn severity_scores_rank_disclosure_above_timing() {
+    let report = corpus_report();
+    for r in report.records() {
+        assert!(r.severity <= 100, "{}: severity out of range", r.workload);
+        match r.kind {
+            GadgetKind::SpecBoundsBypass | GadgetKind::KernelRead => {
+                assert!(
+                    r.severity >= 80,
+                    "{}: {:?} under-ranked",
+                    r.workload,
+                    r.kind
+                )
+            }
+            GadgetKind::TimedLoad | GadgetKind::TimedFlush => {
+                assert!(r.severity < 80, "{}: {:?} over-ranked", r.workload, r.kind)
+            }
+            _ => {}
+        }
     }
 }
 

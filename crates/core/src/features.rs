@@ -322,5 +322,15 @@ mod tests {
             !sel.replicated_groups(2).is_empty(),
             "squash-family features must correlate across components"
         );
+        // Dead-feature lint: every selected feature must exist in the
+        // schema and resolve to a registered component. Components with no
+        // consumed feature are tolerable on this 4-workload mini corpus,
+        // but dangling or unresolvable consumed names never are.
+        let issues = uarch_analysis::lint_feature_consumption(dataset.schema.names(), &sel.names);
+        let hard: Vec<_> = issues
+            .iter()
+            .filter(|i| !i.issue.contains("never consumed"))
+            .collect();
+        assert!(hard.is_empty(), "selected features must bind: {hard:?}");
     }
 }

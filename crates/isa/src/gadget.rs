@@ -53,6 +53,39 @@ impl GadgetKind {
         GadgetKind::TimedFlush,
     ];
 
+    /// Base severity on a 0–100 scale, before the analyzer's structural
+    /// aggravators (loop membership, cross-function reach, window depth).
+    ///
+    /// Ordering rationale: disclosure gadgets that read memory an attacker
+    /// could not otherwise touch (kernel reads, bounds bypasses) outrank
+    /// control-flow-steering ingredients (BTB injection, return hijack),
+    /// which outrank the measurement primitives (timed load/flush) that
+    /// only become an attack when paired with a disclosure gadget.
+    pub fn base_severity(self) -> u32 {
+        match self {
+            GadgetKind::KernelRead => 90,
+            GadgetKind::SpecBoundsBypass => 80,
+            GadgetKind::BtbInjection => 75,
+            GadgetKind::RetHijack => 70,
+            GadgetKind::TimedLoad => 40,
+            GadgetKind::TimedFlush => 40,
+        }
+    }
+
+    /// Bits exfiltrated per attack iteration through the covert channel the
+    /// gadget implements: one byte per transient window for the disclosure
+    /// gadgets (the classic one-line-per-byte probe array encoding), one
+    /// hit/miss bit per measurement for the timing primitives.
+    pub fn bits_per_iteration(self) -> u64 {
+        match self {
+            GadgetKind::SpecBoundsBypass
+            | GadgetKind::KernelRead
+            | GadgetKind::BtbInjection
+            | GadgetKind::RetHijack => 8,
+            GadgetKind::TimedLoad | GadgetKind::TimedFlush => 1,
+        }
+    }
+
     /// Short stable identifier used in reports and findings tables.
     pub fn label(self) -> &'static str {
         match self {

@@ -200,6 +200,24 @@ pub fn bandwidth_suite() -> Vec<(f64, Workload)> {
         .collect()
 }
 
+/// The cross-function pair: the interprocedural Spectre v1 gadget (bounds
+/// check and secret load in the callee, probe transmit in the caller) and
+/// its benign control with the same call/return dependent-load shape.
+///
+/// Kept out of [`attack_suite`] / [`full_suite`]: those sizes are pinned by
+/// the perceptron-corpus tests, and this pair exists to exercise the
+/// interprocedural static analyzer, not the trained detector.
+pub fn interprocedural_suite() -> Vec<Workload> {
+    vec![
+        Workload::new(
+            Class::Malicious,
+            Family::SpectreV1,
+            spectre::spectre_v1_crossfn(),
+        ),
+        Workload::new(Class::Benign, Family::Benign, spectre::crossfn_benign()),
+    ]
+}
+
 /// The complete labeled corpus: attacks + calibration + benign.
 pub fn full_suite() -> Vec<Workload> {
     let mut v = attack_suite();

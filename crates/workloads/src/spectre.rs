@@ -385,6 +385,137 @@ fn emit_two_load_gadget(a: &mut Assembler, x: Reg, y: Reg) {
     a.loadb(Reg::R5, y, 0);
 }
 
+/// Builds the cross-function SpectreV1 variant: the flushed bounds check
+/// and the secret load live in the *callee*, which returns the byte in a
+/// register; the probe-array touch that transmits it lives in the *caller*,
+/// after the `ret`. The transient window opened by the mispredicted check
+/// carries execution through the return and into the caller's transmit
+/// sequence — a gadget no intraprocedural region analysis can pair up,
+/// since the dependent loads sit in different functions.
+///
+/// Architecturally the caller's transmit always runs, but with the stale
+/// register value from the last training call (an [`ARRAY1`] byte < 16),
+/// touching only the probe lines the argmin sweep ignores.
+pub fn spectre_v1_crossfn() -> Program {
+    let mut a = Assembler::new("spectre-v1-crossfn");
+    install_common_segments(&mut a);
+
+    let victim = a.label();
+    let outer = a.label();
+
+    emit_touch_range(&mut a, USER_SECRET, 1);
+    a.li(Reg::R20, 0); // secret byte index i
+    a.li(Reg::R28, 0x6a09_e667_bb67_ae85); // xorshift state
+    a.bind(outer);
+    a.mark(MarkKind::PhasePrime);
+    emit_flush_range(&mut a, PROBE_ARRAY, 256);
+    a.fence();
+
+    // Pseudo-random training count 4..=11 (same rationale as spectre_v1).
+    a.shli(Reg::R9, Reg::R28, 13);
+    a.xor(Reg::R28, Reg::R28, Reg::R9);
+    a.shri(Reg::R9, Reg::R28, 7);
+    a.xor(Reg::R28, Reg::R28, Reg::R9);
+    a.shli(Reg::R9, Reg::R28, 17);
+    a.xor(Reg::R28, Reg::R28, Reg::R9);
+    a.andi(Reg::R26, Reg::R28, 7);
+    a.addi(Reg::R26, Reg::R26, 4);
+
+    a.li(Reg::R21, 0); // j: 0..=train_count, last iteration attacks
+    let train_top = a.label();
+    a.bind(train_top);
+    // Branch-free index selection, as in spectre_v1.
+    a.alu(uarch_isa::AluOp::Slt, Reg::R9, Reg::R21, Reg::R26);
+    a.sub(Reg::R9, Reg::R0, Reg::R9);
+    a.andi(Reg::R22, Reg::R21, 7);
+    a.li(Reg::R23, (USER_SECRET - ARRAY1) as i64);
+    a.add(Reg::R23, Reg::R23, Reg::R20);
+    a.and(Reg::R22, Reg::R22, Reg::R9);
+    a.xori(Reg::R8, Reg::R9, -1);
+    a.and(Reg::R23, Reg::R23, Reg::R8);
+    a.or(Reg::R24, Reg::R22, Reg::R23);
+    a.mark(MarkKind::PhaseSpeculate);
+    a.li(Reg::R5, ARRAY1_SIZE_ADDR as i64);
+    a.flush(Reg::R5, 0);
+    a.fence();
+    a.call(victim);
+    // Caller half of the gadget: transmit the byte the callee returned in
+    // R7 through the probe array. Runs transiently with the secret while
+    // the callee's bounds check is still resolving.
+    a.shli(Reg::R7, Reg::R7, 6);
+    a.addi(Reg::R7, Reg::R7, PROBE_ARRAY as i64);
+    a.loadb(Reg::R6, Reg::R7, 0);
+    a.addi(Reg::R21, Reg::R21, 1);
+    a.bge(Reg::R26, Reg::R21, train_top);
+
+    a.mark(MarkKind::PhaseProbe);
+    emit_probe_argmin_from(&mut a, Reg::R25, 16);
+    emit_record_result(&mut a, Reg::R20, Reg::R25);
+    a.mark(MarkKind::LeakByte);
+    a.mark(MarkKind::IterationEnd);
+    a.addi(Reg::R20, Reg::R20, 1);
+    a.andi(Reg::R20, Reg::R20, (SECRET.len() - 1) as i64);
+    a.jmp(outer);
+
+    // ---- victim(x in R24) -> byte in R7 ----
+    // Only the check and the secret load; no transmit.
+    a.bind(victim);
+    let skip = a.label();
+    a.li(Reg::R5, ARRAY1_SIZE_ADDR as i64);
+    a.load(Reg::R6, Reg::R5, 0); // slow: just flushed
+    a.bge(Reg::R24, Reg::R6, skip);
+    a.li(Reg::R5, ARRAY1 as i64);
+    a.add(Reg::R5, Reg::R5, Reg::R24);
+    a.loadb(Reg::R7, Reg::R5, 0);
+    a.bind(skip);
+    a.ret();
+
+    a.finish().expect("spectre_v1_crossfn assembles")
+}
+
+/// Benign control for the interprocedural analyzer: a helper function
+/// whose loaded result feeds a dependent load back in the caller — the
+/// same cross-function dependent-pair *shape* as [`spectre_v1_crossfn`] —
+/// but with no flush, no mispredictable guard against flushed data, and no
+/// timing measurement. A precise analyzer must leave it clean.
+pub fn crossfn_benign() -> Program {
+    let mut a = Assembler::new("crossfn-benign");
+    a.data(ARRAY1, (0u8..16).collect::<Vec<u8>>());
+    a.data(PROBE_ARRAY, vec![1u8; 256 * 64]);
+
+    let helper = a.label();
+    let done = a.label();
+
+    a.li(Reg::R20, 0); // i
+    a.li(Reg::R21, 64); // iterations
+    let top = a.label();
+    a.bind(top);
+    a.andi(Reg::R24, Reg::R20, 7);
+    a.call(helper);
+    // Dependent use of the callee's result: index a table with it.
+    a.shli(Reg::R7, Reg::R7, 6);
+    a.addi(Reg::R7, Reg::R7, PROBE_ARRAY as i64);
+    a.loadb(Reg::R6, Reg::R7, 0);
+    a.addi(Reg::R20, Reg::R20, 1);
+    a.blt(Reg::R20, Reg::R21, top);
+    a.jmp(done);
+
+    // helper(x in R24) -> byte in R7, with an in-bounds check.
+    a.bind(helper);
+    let skip = a.label();
+    a.li(Reg::R6, 16);
+    a.bge(Reg::R24, Reg::R6, skip);
+    a.li(Reg::R5, ARRAY1 as i64);
+    a.add(Reg::R5, Reg::R5, Reg::R24);
+    a.loadb(Reg::R7, Reg::R5, 0);
+    a.bind(skip);
+    a.ret();
+
+    a.bind(done);
+    a.halt();
+    a.finish().expect("crossfn_benign assembles")
+}
+
 /// Builds the SpectreV2 PoC: branch target injection through the BTB.
 ///
 /// The attacker trains an indirect call site to target a disclosure gadget,
@@ -586,6 +717,27 @@ mod tests {
         let (rate, core) = leak_rate(spectre_rsb(), 3_000_000);
         assert!(rate > 0.5, "SpectreRSB should leak, got {rate}");
         assert!(core.stats().bpred.ras_incorrect.value() > 0);
+    }
+
+    #[test]
+    fn spectre_v1_crossfn_leaks_through_the_return() {
+        let (rate, core) = leak_rate(spectre_v1_crossfn(), 3_000_000);
+        assert!(
+            rate > 0.5,
+            "cross-function SpectreV1 should leak through the ret, got {rate}"
+        );
+        assert!(core.stats().iew.branch_mispredicts.value() > 0);
+        assert!(
+            core.marks().iter().any(|m| m.kind == MarkKind::LeakByte),
+            "leak marks recorded"
+        );
+    }
+
+    #[test]
+    fn crossfn_benign_runs_to_completion() {
+        let mut core = Core::new(CoreConfig::default(), crossfn_benign());
+        let s = core.run(100_000);
+        assert!(s.halted, "benign control halts");
     }
 
     #[test]

@@ -1,6 +1,14 @@
 #!/usr/bin/env bash
-# Repo lint gate: formatting, clippy (warnings are errors), and the static
-# gadget/stat-invariant analyzer over the full workload corpus.
+# Repo lint gate: formatting, clippy (warnings are errors), and the
+# differential static/dynamic gadget analyzer over the full workload
+# corpus, gated against the checked-in findings baseline.
+#
+# The dynamic budget (120k committed instructions per workload) is sized
+# so even the 0.25x bandwidth-reduced evasion leaks its first byte within
+# the window. Regenerate the baseline after an intentional analyzer change
+# with:
+#   cargo run --release -p uarch-analysis --bin uarch-lint -- \
+#     --no-run --write-baseline crates/analysis/findings_baseline.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -10,7 +18,12 @@ cargo fmt --all --check
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> uarch-lint (static analysis + stat invariants)"
-cargo run --release -p uarch-analysis --bin uarch-lint
+echo "==> uarch-lint (differential static/dynamic analysis + baseline gate)"
+mkdir -p experiments
+cargo run --release -p uarch-analysis --bin uarch-lint -- \
+  --dynamic 120000 \
+  --json experiments/lint_findings.json \
+  --baseline crates/analysis/findings_baseline.json \
+  | tee experiments/lint_report.txt
 
 echo "lint: all clean"
