@@ -40,19 +40,23 @@ use uarch_analysis::{
 };
 use uarch_isa::MarkKind;
 use workloads::{
-    attack_suite, bandwidth_suite, benign_suite, interprocedural_suite, polymorphic_suite, Class,
-    Workload,
+    attack_suite, bandwidth_suite, benign_suite, cross_core_suite, interprocedural_suite,
+    polymorphic_suite, Class, Workload,
 };
 
 /// The full corpus the differential harness validates: training attacks,
 /// polymorphic variants, bandwidth-reduced evasions, the interprocedural
-/// pair, and the benign suite.
+/// pair, the benign suite, and every tenant program of the cross-core
+/// scenario suite flattened to one workload per core (`scenario#coreN`) —
+/// the cross-core attackers must be flagged, their victims and the
+/// noisy-neighbor co-runners must stay clean.
 fn corpus() -> Vec<Workload> {
     let mut v = attack_suite();
     v.extend(polymorphic_suite());
     v.extend(bandwidth_suite().into_iter().map(|(_, w)| w));
     v.extend(interprocedural_suite());
     v.extend(benign_suite());
+    v.extend(cross_core_suite().iter().flat_map(|s| s.core_workloads()));
     v
 }
 

@@ -76,13 +76,40 @@ pub fn lint_schema(names: &[String]) -> Vec<SchemaIssue> {
 /// must own at least one statistic. Together the two directions assert that
 /// the component prefixes *partition* the schema — no orphan stats, no
 /// silent components.
+///
+/// Multi-core schemas (any name carrying a `core<N>.` scope) are linted
+/// per scope: each core scope must replicate all 13 core-local components,
+/// the 4 shared uncore components must appear exactly once — unscoped —
+/// and a shared component leaking under a core scope (or a core-local
+/// component left unscoped) is flagged. Flat single-core schemas keep the
+/// original all-17 coverage rule.
 pub fn lint_component_coverage(names: &[String]) -> Vec<SchemaIssue> {
+    use std::collections::{BTreeMap, BTreeSet};
     let mut issues = Vec::new();
-    let mut seen: std::collections::BTreeSet<ComponentId> = std::collections::BTreeSet::new();
+    let mut per_scope: BTreeMap<Option<usize>, BTreeSet<ComponentId>> = BTreeMap::new();
+    let multicore = names
+        .iter()
+        .any(|n| ComponentRegistry::scope_of(n).is_some());
     for name in names {
         match ComponentRegistry::component_of(name) {
             Some(c) => {
-                seen.insert(c);
+                let scope = ComponentRegistry::scope_of(name);
+                if scope.is_some() && c.is_shared() {
+                    issues.push(SchemaIssue {
+                        name: name.clone(),
+                        issue: "shared uncore component must not be replicated under a core scope"
+                            .into(),
+                    });
+                }
+                if multicore && scope.is_none() && !c.is_shared() {
+                    issues.push(SchemaIssue {
+                        name: name.clone(),
+                        issue: "core-local component must carry a core<N> scope in a \
+                                multi-core schema"
+                            .into(),
+                    });
+                }
+                per_scope.entry(scope).or_default().insert(c);
             }
             None => issues.push(SchemaIssue {
                 name: name.clone(),
@@ -90,12 +117,39 @@ pub fn lint_component_coverage(names: &[String]) -> Vec<SchemaIssue> {
             }),
         }
     }
-    for c in ComponentId::ALL {
-        if !seen.contains(&c) {
-            issues.push(SchemaIssue {
-                name: c.name().to_string(),
-                issue: "registered component owns no statistic in the schema".into(),
-            });
+    if multicore {
+        let empty = BTreeSet::new();
+        for (&scope, seen) in &per_scope {
+            if let Some(n) = scope {
+                for c in ComponentId::CORE_LOCAL {
+                    if !seen.contains(&c) {
+                        issues.push(SchemaIssue {
+                            name: format!("core{n}.{}", c.name()),
+                            issue: "core-local component owns no statistic in this core scope"
+                                .into(),
+                        });
+                    }
+                }
+            }
+        }
+        let unscoped = per_scope.get(&None).unwrap_or(&empty);
+        for c in ComponentId::SHARED {
+            if !unscoped.contains(&c) {
+                issues.push(SchemaIssue {
+                    name: c.name().to_string(),
+                    issue: "shared uncore component owns no statistic in the schema".into(),
+                });
+            }
+        }
+    } else {
+        let seen = per_scope.remove(&None).unwrap_or_default();
+        for c in ComponentId::ALL {
+            if !seen.contains(&c) {
+                issues.push(SchemaIssue {
+                    name: c.name().to_string(),
+                    issue: "registered component owns no statistic in the schema".into(),
+                });
+            }
         }
     }
     issues
@@ -293,6 +347,56 @@ mod tests {
         assert!(issues
             .iter()
             .any(|i| i.name == "decode" && i.issue.contains("owns no statistic")));
+    }
+
+    #[test]
+    fn component_coverage_lints_multicore_schemas_per_scope() {
+        // A well-formed two-core slice: both core scopes replicate two
+        // core-local components; the uncore stays unscoped.
+        let mut names: Vec<String> = Vec::new();
+        for core in 0..2 {
+            for c in uarch_stats::ComponentId::CORE_LOCAL {
+                let base = if c.prefix().is_empty() {
+                    "numCycles".to_string()
+                } else {
+                    format!("{}.stat", c.prefix())
+                };
+                names.push(format!("core{core}.{base}"));
+            }
+        }
+        for c in uarch_stats::ComponentId::SHARED {
+            names.push(format!("{}.stat", c.prefix()));
+        }
+        assert!(
+            lint_component_coverage(&names).is_empty(),
+            "{:?}",
+            lint_component_coverage(&names)
+        );
+
+        // A shared component leaking under a core scope is flagged...
+        let mut leaked = names.clone();
+        leaked.push("core0.l2.demand_hits".to_string());
+        assert!(lint_component_coverage(&leaked).iter().any(
+            |i| i.name == "core0.l2.demand_hits" && i.issue.contains("must not be replicated")
+        ));
+
+        // ...as is a core-local stat escaping its scope in a multi-core
+        // schema...
+        let mut unscoped = names.clone();
+        unscoped.push("fetch.SquashCycles".to_string());
+        assert!(lint_component_coverage(&unscoped)
+            .iter()
+            .any(|i| i.name == "fetch.SquashCycles" && i.issue.contains("must carry a core")));
+
+        // ...and a core scope missing one of the 13 replicated components.
+        let holey: Vec<String> = names
+            .iter()
+            .filter(|n| *n != "core1.dcache.stat")
+            .cloned()
+            .collect();
+        assert!(lint_component_coverage(&holey)
+            .iter()
+            .any(|i| i.name == "core1.L1 D-cache" && i.issue.contains("owns no statistic")));
     }
 
     #[test]

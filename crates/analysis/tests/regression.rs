@@ -8,8 +8,8 @@ use uarch_analysis::report::{diff_baseline, CorpusReport, WorkloadVerdict};
 use uarch_analysis::{analyze_program, check_program_run, SpecWindow};
 use uarch_isa::GadgetKind;
 use workloads::{
-    attack_suite, bandwidth_suite, benign_suite, interprocedural_suite, polymorphic_suite, Class,
-    Family, Workload,
+    attack_suite, bandwidth_suite, benign_suite, cross_core_suite, interprocedural_suite,
+    polymorphic_suite, Class, Family, Workload,
 };
 
 /// The expected static verdict for a workload, keyed by its attack family.
@@ -76,6 +76,19 @@ fn interprocedural_pair_verdicts_are_exact() {
     }
 }
 
+/// Every tenant of the cross-core scenario suite, analyzed as a
+/// standalone program: the core-0 attackers must carry exactly their
+/// family's gadget kinds, the victims and noisy-neighbor co-runners must
+/// come back clean.
+#[test]
+fn cross_core_tenant_verdicts_are_exact() {
+    for s in cross_core_suite() {
+        for w in s.core_workloads() {
+            check(&w);
+        }
+    }
+}
+
 /// The full differential corpus the `uarch-lint` harness validates.
 fn full_corpus() -> Vec<Workload> {
     let mut v = attack_suite();
@@ -83,6 +96,7 @@ fn full_corpus() -> Vec<Workload> {
     v.extend(bandwidth_suite().into_iter().map(|(_, w)| w));
     v.extend(interprocedural_suite());
     v.extend(benign_suite());
+    v.extend(cross_core_suite().iter().flat_map(|s| s.core_workloads()));
     v
 }
 

@@ -12,8 +12,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use perspectron::CorpusSpec;
-use sim_cpu::{Core, CoreConfig};
+use perspectron::{CorpusSpec, ScenarioSpec};
+use sim_cpu::{Core, CoreConfig, Machine};
+use sim_mem::HierarchyConfig;
 use uarch_stats::{SampleSink, Sampler, Snapshot};
 
 /// Counts every heap allocation so the bench can report allocations per
@@ -47,6 +48,37 @@ fn bench_spec() -> CorpusSpec {
         spec.workloads.truncate(6);
     }
     spec
+}
+
+fn scenario_spec() -> ScenarioSpec {
+    let quick = std::env::var("PERSPECTRON_QUICK").is_ok();
+    let mut spec = ScenarioSpec::cross_core_quick();
+    if quick {
+        spec.insts_per_scenario = 30_000;
+        spec.scenarios.truncate(4);
+    }
+    spec
+}
+
+/// Core-count scaling of the raw simulator loop: the same benign kernel on
+/// a one-core and a two-core machine, compared by machine-wide committed
+/// instructions per host second. Perfect scaling would be 2.0 (two cores'
+/// worth of instructions for one machine's wall-clock); the shared
+/// mutex-held uncore and the lockstep tick keep it below that.
+fn core_scaling(insts: u64) -> (f64, f64, f64) {
+    let hmmer = || workloads::benign::hmmer().expect("hmmer assembles");
+    let run = |programs: Vec<uarch_isa::Program>| {
+        let mut m = Machine::new(
+            &CoreConfig::default(),
+            &HierarchyConfig::default(),
+            programs,
+        );
+        let s = m.run(insts);
+        s.insts_per_sec
+    };
+    let one = run(vec![hmmer()]);
+    let two = run(vec![hmmer(), hmmer()]);
+    (one, two, two / one.max(1e-9))
 }
 
 /// The worker count the parallel pass actually runs with.
@@ -137,8 +169,32 @@ fn bench_pipeline(c: &mut Criterion) {
         hot_summary.insts_per_sec, hot_summary.sim_cycles_per_sec
     );
 
+    // Two-core machine collection over the cross-core scenario suite, plus
+    // raw core-count scaling of the simulator loop itself.
+    let scen = scenario_spec();
+    let scen_threads = worker_threads(scen.scenarios.len());
+    let start = Instant::now();
+    let xc = scen
+        .try_collect_with_threads(scen_threads)
+        .expect("two-core collection succeeds");
+    let two_core_secs = start.elapsed().as_secs_f64();
+    let two_core_samples = xc.total_samples() as u64;
+    let (one_core_ips, two_core_ips, scaling) = core_scaling(spec.insts_per_workload.max(100_000));
+    println!(
+        "two-core: {} scenarios, {} samples in {:.3}s ({:.1} samples/s, {:.1} per core); \
+         core scaling {:.0} -> {:.0} insts/s ({:.2}x)",
+        scen.scenarios.len(),
+        two_core_samples,
+        two_core_secs,
+        two_core_samples as f64 / two_core_secs.max(1e-9),
+        two_core_samples as f64 / two_core_secs.max(1e-9) / 2.0,
+        one_core_ips,
+        two_core_ips,
+        scaling
+    );
+
     let json = format!(
-        "{{\n  \"bench\": \"corpus_collection_quick\",\n  \"workloads\": {},\n  \"insts_per_workload\": {},\n  \"samples\": {},\n  \"threads\": {},\n  \"available_parallelism\": {},\n  \"oversubscribed\": {},\n  \"serial_secs\": {:.3},\n  \"parallel_secs\": {:.3},\n  \"speedup\": {:.2},\n  \"serial_samples_per_sec\": {:.1},\n  \"parallel_samples_per_sec\": {:.1},\n  \"insts_per_sec\": {:.0},\n  \"cycles_per_sec\": {:.0},\n  \"allocs_per_sample_snapshot_path\": {:.1},\n  \"allocs_per_sample_streaming_path\": {:.1},\n  \"alloc_reduction\": {:.1}\n}}\n",
+        "{{\n  \"bench\": \"corpus_collection_quick\",\n  \"workloads\": {},\n  \"insts_per_workload\": {},\n  \"samples\": {},\n  \"threads\": {},\n  \"available_parallelism\": {},\n  \"oversubscribed\": {},\n  \"serial_secs\": {:.3},\n  \"parallel_secs\": {:.3},\n  \"speedup\": {:.2},\n  \"serial_samples_per_sec\": {:.1},\n  \"parallel_samples_per_sec\": {:.1},\n  \"insts_per_sec\": {:.0},\n  \"cycles_per_sec\": {:.0},\n  \"allocs_per_sample_snapshot_path\": {:.1},\n  \"allocs_per_sample_streaming_path\": {:.1},\n  \"alloc_reduction\": {:.1},\n  \"two_core_scenarios\": {},\n  \"two_core_threads\": {},\n  \"two_core_samples\": {},\n  \"two_core_secs\": {:.3},\n  \"two_core_samples_per_sec\": {:.1},\n  \"two_core_samples_per_sec_per_core\": {:.1},\n  \"one_core_insts_per_sec\": {:.0},\n  \"two_core_insts_per_sec\": {:.0},\n  \"core_scaling\": {:.2}\n}}\n",
         spec.workloads.len(),
         spec.insts_per_workload,
         samples,
@@ -155,6 +211,15 @@ fn bench_pipeline(c: &mut Criterion) {
         snapshot_allocs,
         streaming_allocs,
         snapshot_allocs / streaming_allocs.max(1.0),
+        scen.scenarios.len(),
+        scen_threads,
+        two_core_samples,
+        two_core_secs,
+        two_core_samples as f64 / two_core_secs.max(1e-9),
+        two_core_samples as f64 / two_core_secs.max(1e-9) / 2.0,
+        one_core_ips,
+        two_core_ips,
+        scaling,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json");
     if let Err(e) = std::fs::write(path, &json) {
@@ -168,6 +233,12 @@ fn bench_pipeline(c: &mut Criterion) {
     group.bench_function("serial", |b| b.iter(|| spec.collect_serial()));
     group.bench_function("parallel", |b| {
         b.iter(|| spec.collect_with_threads(threads))
+    });
+    group.bench_function("two_core", |b| {
+        b.iter(|| {
+            scen.try_collect_with_threads(scen_threads)
+                .expect("two-core collection succeeds")
+        })
     });
     group.finish();
 }

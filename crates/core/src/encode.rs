@@ -65,6 +65,31 @@ pub(crate) fn needs_sanitizing(value: f64) -> bool {
     !value.is_finite()
 }
 
+/// Schema indices of the feature slice a detector attached to `core`
+/// observes in a (possibly multi-core) schema: the core's own
+/// `core<N>.`-scoped pipeline columns plus every shared (unscoped) uncore
+/// column, in schema order. Other cores' private banks are excluded — an
+/// attacker-core detector sees `core0.*` + `l2.*`/`tol2bus.*`/…, a
+/// victim-core detector sees `core1.*` + the same shared columns.
+///
+/// On a flat single-core schema every column is unscoped, so the slice is
+/// the identity projection — per-core views degrade gracefully to the
+/// classic full-width encoder. Feed the result to
+/// [`RowEncoder::with_projection`] to build the per-core view.
+pub fn core_feature_indices<S: AsRef<str>>(names: &[S], core: usize) -> Vec<usize> {
+    names
+        .iter()
+        .enumerate()
+        .filter(
+            |(_, n)| match uarch_stats::ComponentRegistry::scope_of(n.as_ref()) {
+                Some(scope) => scope == core,
+                None => true,
+            },
+        )
+        .map(|(i, _)| i)
+        .collect()
+}
+
 impl MaxMatrix {
     /// Builds *M* from a collected corpus.
     ///
@@ -359,6 +384,50 @@ mod tests {
             let bits = RowEncoder::new(m.clone(), Encoding::KSparse).encode(&row, j);
             assert_eq!(bits, m.binarize(&row, j));
         }
+    }
+
+    #[test]
+    fn core_feature_indices_slice_private_banks_and_keep_shared_columns() {
+        let names = [
+            "core0.fetch.SquashCycles",
+            "core0.numCycles",
+            "core1.fetch.SquashCycles",
+            "core1.dcache.demand_misses",
+            "l2.demand_misses",
+            "tol2bus.arbGrants::core1",
+        ];
+        // Attacker-core view: own bank + shared uncore (including the
+        // arbiter's per-core grant columns — contention *about* other
+        // cores is shared-bus state, not their private bank).
+        assert_eq!(core_feature_indices(&names, 0), vec![0, 1, 4, 5]);
+        // Victim-core view.
+        assert_eq!(core_feature_indices(&names, 1), vec![2, 3, 4, 5]);
+        // A core with no scoped columns still sees the shared uncore.
+        assert_eq!(core_feature_indices(&names, 7), vec![4, 5]);
+    }
+
+    #[test]
+    fn core_feature_indices_on_a_flat_schema_are_the_identity() {
+        let names = ["fetch.SquashCycles", "numCycles", "l2.demand_misses"];
+        assert_eq!(core_feature_indices(&names, 0), vec![0, 1, 2]);
+        assert_eq!(core_feature_indices(&names, 3), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn per_core_projected_encoders_read_their_own_slice() {
+        let c = toy_corpus(vec![vec![10.0, 4.0]]);
+        let m = Arc::new(MaxMatrix::fit(&c));
+        // Treat column 0 as core0-private, column 1 as shared: the core0
+        // encoder reads both, a core1 encoder only the shared column.
+        let names = ["core0.a", "membus.b"];
+        let enc0 = RowEncoder::new(m.clone(), Encoding::Normalized)
+            .with_projection(core_feature_indices(&names, 0));
+        let enc1 = RowEncoder::new(m, Encoding::Normalized)
+            .with_projection(core_feature_indices(&names, 1));
+        assert_eq!(enc0.width(), 2);
+        assert_eq!(enc1.width(), 1);
+        assert_eq!(enc0.encode(&[5.0, 4.0], 0), vec![0.5, 1.0]);
+        assert_eq!(enc1.encode(&[5.0, 4.0], 0), vec![1.0]);
     }
 
     #[test]

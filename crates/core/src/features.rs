@@ -15,6 +15,17 @@ pub fn component_of(name: &str) -> &str {
     uarch_stats::ComponentRegistry::label_of(name)
 }
 
+/// The component *bank* a statistic belongs to for selection purposes:
+/// the legacy component label, qualified by its `core<N>.` scope in a
+/// multi-core schema (`core1.fetch.SquashCycles` → `"core1.fetch"`). On a
+/// flat single-core schema this is exactly [`component_of`], so the
+/// classic selection is unchanged; on a namespaced schema the attacker
+/// core and each victim/neighbor core keep their own feature banks
+/// instead of collapsing into one.
+pub fn bank_of(name: &str) -> String {
+    uarch_stats::ComponentRegistry::scoped_label_of(name)
+}
+
 /// Mutual information (in bits) between a binarized feature column and the
 /// binary class label.
 pub fn binary_mutual_information(col: &[f64], y: &[i8]) -> f64 {
@@ -157,7 +168,7 @@ impl FeatureSelection {
                 members.sort_by(|&a, &b| relevance[b].partial_cmp(&relevance[a]).expect("no NaN"));
                 let span = members
                     .iter()
-                    .map(|&i| component_of(dataset.schema.name(i)))
+                    .map(|&i| bank_of(dataset.schema.name(i)))
                     .collect::<std::collections::HashSet<_>>()
                     .len();
                 let best = relevance[members[0]];
@@ -176,11 +187,13 @@ impl FeatureSelection {
             .enumerate()
             .flat_map(|(g, grp)| grp.members.iter().map(move |&m| (m, g)))
             .collect();
-        let mut per_component: std::collections::BTreeMap<&str, Vec<usize>> =
+        // One bank per component — per core scope in a multi-core schema
+        // (`core0.fetch` and `core1.fetch` select independently).
+        let mut per_component: std::collections::BTreeMap<String, Vec<usize>> =
             std::collections::BTreeMap::new();
         for &i in &live {
             per_component
-                .entry(component_of(dataset.schema.name(i)))
+                .entry(bank_of(dataset.schema.name(i)))
                 .or_default()
                 .push(i);
         }
@@ -191,11 +204,11 @@ impl FeatureSelection {
         let mut selected = Vec::new();
         let mut used_groups_per_component: std::collections::HashSet<(String, usize)> =
             std::collections::HashSet::new();
-        let mut cursors: std::collections::BTreeMap<&str, usize> =
-            per_component.keys().map(|&k| (k, 0usize)).collect();
+        let mut cursors: std::collections::BTreeMap<String, usize> =
+            per_component.keys().map(|k| (k.clone(), 0usize)).collect();
         while selected.len() < cfg.target_count {
             let mut progressed = false;
-            for (&comp, list) in &per_component {
+            for (comp, list) in &per_component {
                 if selected.len() >= cfg.target_count {
                     break;
                 }
@@ -206,7 +219,7 @@ impl FeatureSelection {
                     // Within a component, keep only one member per
                     // correlation group (decorrelation); cross-component
                     // replicas stay (the replicated-detector premise).
-                    let dedup_key = group_of.get(&cand).map(|&g| (comp.to_string(), g));
+                    let dedup_key = group_of.get(&cand).map(|&g| (comp.clone(), g));
                     if let Some(key) = &dedup_key {
                         if used_groups_per_component.contains(key) {
                             continue;

@@ -59,14 +59,15 @@ pub mod trace;
 
 pub use dataset::{Dataset, Sample};
 pub use detector::{DetectionReport, PerSpectron};
-pub use encode::{Encoding, MaxMatrix, RowEncoder};
+pub use encode::{core_feature_indices, Encoding, MaxMatrix, RowEncoder};
 pub use eval::{paper_folds, FoldSpec};
 pub use faults::{FaultLog, FaultPlan, FaultSpec, FaultySink};
-pub use features::{component_of, FeatureSelection, SelectionConfig};
+pub use features::{bank_of, component_of, FeatureSelection, SelectionConfig};
 pub use hardware::HardwareCost;
 pub use multiclass::MulticlassDetector;
 pub use rhmd::RhmdDetector;
 pub use stream::{Degraded, IntervalVerdict, StreamingDetector, StreamingFeaturizer};
 pub use trace::{
-    CollectedCorpus, CorpusSpec, LabeledTrace, ResiliencePolicy, ResilientCorpus, WorkloadFailure,
+    core_seed, workload_seed, CollectedCorpus, CorpusSpec, LabeledTrace, ResiliencePolicy,
+    ResilientCorpus, ScenarioSpec, WorkloadFailure,
 };

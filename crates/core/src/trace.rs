@@ -17,9 +17,10 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
-use sim_cpu::{Core, CoreConfig, MarkEvent, SimError};
+use sim_cpu::{Core, CoreConfig, Machine, MarkEvent, SimError};
+use sim_mem::HierarchyConfig;
 use uarch_stats::{SampleSink, SampleTrace, Schema};
-use workloads::{Class, Family, Workload};
+use workloads::{Class, CoreScenario, Family, Workload};
 
 use crate::faults::FaultPlan;
 
@@ -36,6 +37,22 @@ pub fn workload_seed(name: &str) -> u64 {
         h = h.wrapping_mul(0x100_0000_01b3);
     }
     h
+}
+
+/// Deterministic per-core seed for multi-core runs: core 0 keeps the base
+/// seed (so a one-core machine reproduces the single-core corpus and its
+/// golden snapshots bit-for-bit), and every other core gets a
+/// splitmix-style re-key of `(base, core_id)`. Depends only on the run
+/// seed and the core id — never on thread count or collection order, so
+/// two-core corpora are byte-identical at any parallelism.
+pub fn core_seed(base: u64, core_id: usize) -> u64 {
+    if core_id == 0 {
+        return base;
+    }
+    let mut z = base ^ (core_id as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 /// A sampled statistics time series for one workload run.
@@ -436,24 +453,25 @@ fn lost_worker(workload: &str) -> SimError {
 /// worker writes results directly into its own slice — no shared cursor,
 /// no post-join merge. With one thread (or one workload) the fan-out runs
 /// inline on the caller's thread.
-fn fan_out<T, F>(workloads: &[Workload], threads: usize, run: F) -> Vec<Option<T>>
+fn fan_out<I, T, F>(items: &[I], threads: usize, run: F) -> Vec<Option<T>>
 where
+    I: Sync,
     T: Send,
-    F: Fn(&Workload) -> T + Sync,
+    F: Fn(&I) -> T + Sync,
 {
-    let n = workloads.len();
+    let n = items.len();
     let threads = threads.clamp(1, n.max(1));
     let mut slots: Vec<Option<T>> = Vec::new();
     slots.resize_with(n, || None);
     if threads <= 1 {
-        for (w, slot) in workloads.iter().zip(slots.iter_mut()) {
+        for (w, slot) in items.iter().zip(slots.iter_mut()) {
             *slot = Some(run(w));
         }
         return slots;
     }
     let chunk = n.div_ceil(threads);
     std::thread::scope(|s| {
-        for (ws, out) in workloads.chunks(chunk).zip(slots.chunks_mut(chunk)) {
+        for (ws, out) in items.chunks(chunk).zip(slots.chunks_mut(chunk)) {
             s.spawn(|| {
                 for (w, slot) in ws.iter().zip(out.iter_mut()) {
                     *slot = Some(run(w));
@@ -462,6 +480,117 @@ where
         }
     });
     slots
+}
+
+/// What to collect from the multi-core machine: which cross-core
+/// scenarios, how many machine-wide instructions, at what interval.
+///
+/// The scenario analog of [`CorpusSpec`]: every scenario runs on its own
+/// [`Machine`] (one core per program, shared L2/buses/DRAM), sampling at
+/// *machine-wide* committed-instruction boundaries so attacker and victim
+/// progress both advance the window. Per-core noise seeds derive from
+/// `(scenario name, core id)` via [`core_seed`], so scenario corpora are
+/// byte-identical at any thread count — exactly like the single-core path.
+#[derive(Debug, Clone)]
+pub struct ScenarioSpec {
+    /// Machine-wide instructions to simulate per scenario.
+    pub insts_per_scenario: u64,
+    /// Sampling interval in machine-wide committed instructions.
+    pub sample_interval: u64,
+    /// Scenarios to run.
+    pub scenarios: Vec<CoreScenario>,
+}
+
+impl ScenarioSpec {
+    /// The full cross-core suite at a quick size (good for tests and CI).
+    pub fn cross_core_quick() -> Self {
+        Self {
+            insts_per_scenario: 120_000,
+            sample_interval: 10_000,
+            scenarios: workloads::cross_core_suite(),
+        }
+    }
+
+    /// The full cross-core suite at detection-experiment size.
+    pub fn cross_core() -> Self {
+        Self {
+            insts_per_scenario: 400_000,
+            sample_interval: 10_000,
+            scenarios: workloads::cross_core_suite(),
+        }
+    }
+
+    /// Overrides the per-scenario instruction budget (builder style).
+    pub fn with_insts(mut self, insts: u64) -> Self {
+        self.insts_per_scenario = insts;
+        self
+    }
+
+    /// Runs every scenario and collects its machine trace, fanning out
+    /// across all available host cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a simulator error (see [`ScenarioSpec::try_collect`]).
+    pub fn collect(&self) -> CollectedCorpus {
+        self.try_collect().expect("scenario collection failed")
+    }
+
+    /// Fallible variant of [`ScenarioSpec::collect`].
+    pub fn try_collect(&self) -> Result<CollectedCorpus, SimError> {
+        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        self.try_collect_with_threads(threads)
+    }
+
+    /// Fallible collection with an explicit worker-thread count. One
+    /// worker per scenario chunk; each scenario's machine runs serially on
+    /// its worker (the machine itself is single-threaded by design — the
+    /// cores tick in lockstep).
+    pub fn try_collect_with_threads(&self, threads: usize) -> Result<CollectedCorpus, SimError> {
+        let slots = fan_out(&self.scenarios, threads, |s| {
+            guard(&s.name, || {
+                try_collect_scenario(s, self.insts_per_scenario, self.sample_interval)
+            })
+        });
+        let traces = slots
+            .into_iter()
+            .zip(&self.scenarios)
+            .map(|(slot, s)| slot.unwrap_or_else(|| Err(lost_worker(&s.name))))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(CollectedCorpus {
+            traces,
+            sample_interval: self.sample_interval,
+        })
+    }
+}
+
+/// Runs one cross-core scenario on a fresh [`Machine`] and samples the
+/// machine-wide statistics (per-core `coreN.*` banks plus the shared
+/// uncore groups). The trace's marks are the *foreground* core's (core 0
+/// — the attacker in malicious scenarios).
+pub fn try_collect_scenario(
+    s: &CoreScenario,
+    insts: u64,
+    interval: u64,
+) -> Result<LabeledTrace, SimError> {
+    let mut machine = Machine::try_new(
+        &CoreConfig::default(),
+        &HierarchyConfig::default(),
+        s.programs.clone(),
+    )?;
+    let base = workload_seed(&s.name);
+    for i in 0..machine.n_cores() {
+        machine.core_mut(i).set_noise_seed(core_seed(base, i));
+    }
+    let mut trace = SampleTrace::new(machine.stat_schema());
+    machine.run_with_sink(insts, interval, &mut trace)?;
+    Ok(LabeledTrace {
+        name: s.name.clone(),
+        class: s.class,
+        family: s.family,
+        trace,
+        marks: machine.core(0).marks().to_vec(),
+    })
 }
 
 /// Runs one workload and samples its statistics, streaming each interval
@@ -735,6 +864,60 @@ mod tests {
             assert_eq!(a.trace.flat_values(), b.trace.flat_values());
             assert_eq!(a.trace.instruction_counts(), b.trace.instruction_counts());
         }
+    }
+
+    #[test]
+    fn core_seeds_are_stable_and_core0_keeps_the_base() {
+        let base = workload_seed("xcore-prime-probe-l2");
+        assert_eq!(
+            core_seed(base, 0),
+            base,
+            "core 0 must reproduce the single-core stream"
+        );
+        assert_ne!(core_seed(base, 1), base);
+        assert_ne!(core_seed(base, 1), core_seed(base, 2));
+        assert_eq!(core_seed(base, 1), core_seed(base, 1));
+    }
+
+    fn tiny_scenario_spec() -> ScenarioSpec {
+        let mut scenarios = workloads::cross_core_suite();
+        scenarios.retain(|s| s.name == "xcore-prime-probe-l2" || s.name == "xbenign-stream-pair");
+        ScenarioSpec {
+            insts_per_scenario: 40_000,
+            sample_interval: 10_000,
+            scenarios,
+        }
+    }
+
+    #[test]
+    fn scenario_collection_is_thread_count_invariant() {
+        let spec = tiny_scenario_spec();
+        let serial = spec.try_collect_with_threads(1).expect("serial collects");
+        let parallel = spec.try_collect_with_threads(2).expect("parallel collects");
+        assert_eq!(serial.traces.len(), 2);
+        for (a, b) in serial.traces.iter().zip(&parallel.traces) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.trace.flat_values(), b.trace.flat_values(), "{}", a.name);
+            assert_eq!(a.marks, b.marks);
+        }
+    }
+
+    #[test]
+    fn scenario_traces_carry_namespaced_and_shared_columns() {
+        let corpus = tiny_scenario_spec()
+            .try_collect_with_threads(2)
+            .expect("collects");
+        let schema = corpus.schema();
+        assert!(schema.index_of("core0.commit.NonSpecStalls").is_some());
+        assert!(schema.index_of("core1.dcache.demand_misses").is_some());
+        assert!(schema.index_of("l2.overall_misses").is_some());
+        assert!(schema.index_of("tol2bus.arbGrants::core1").is_some());
+        let attack = &corpus.traces[0];
+        assert_eq!(attack.class, Class::Malicious);
+        assert!(
+            !attack.marks.is_empty(),
+            "cross-core attacker must commit phase marks"
+        );
     }
 
     #[test]

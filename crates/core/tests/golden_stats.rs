@@ -8,9 +8,9 @@
 //! (commit `ca74781`); `cargo test --release golden -- --nocapture` prints
 //! the recomputed values on mismatch.
 
-use perspectron::CorpusSpec;
+use perspectron::{CorpusSpec, ScenarioSpec};
 use sim_cpu::{Core, CoreConfig};
-use workloads::Family;
+use workloads::{CoreScenario, Family};
 
 /// FNV-1a over the full quick-corpus byte stream (schema names, per-trace
 /// metadata, instruction counts, raw `f64` row bits, mark events).
@@ -46,14 +46,23 @@ impl Fnv {
 #[test]
 fn quick_corpus_rows_match_the_pre_decomposition_golden_hash() {
     let corpus = CorpusSpec::quick().collect_serial();
-    let mut h = Fnv::new();
+    let h = corpus_fnv(&corpus);
+    assert_eq!(
+        h, GOLDEN_QUICK_CORPUS_FNV,
+        "quick-corpus stat rows diverged from the pre-decomposition golden \
+         snapshot (recomputed hash: {h:#018x})"
+    );
+}
 
+/// FNV-1a over a collected corpus, byte-identical to the hashing in
+/// `quick_corpus_rows_match_the_pre_decomposition_golden_hash`.
+fn corpus_fnv(corpus: &perspectron::CollectedCorpus) -> u64 {
+    let mut h = Fnv::new();
     let schema = corpus.schema();
     h.u64(schema.len() as u64);
     for name in schema.names() {
         h.str(name);
     }
-
     for t in &corpus.traces {
         h.str(&t.name);
         h.str(&format!("{:?}/{:?}", t.class, t.family));
@@ -69,12 +78,41 @@ fn quick_corpus_rows_match_the_pre_decomposition_golden_hash() {
             h.u64(m.at_cycle);
         }
     }
+    h.0
+}
 
+/// The multi-core refactor's bit-identity gate: collecting the quick
+/// corpus through the `Machine` path — every workload wrapped as a
+/// one-core scenario, private L1s behind the shared (mutex-held) uncore,
+/// the machine run loop and machine stat walk — must reproduce the exact
+/// pre-refactor golden hash: same 1159 flat names, same row bits, same
+/// marks.
+#[test]
+fn quick_corpus_through_the_machine_path_matches_the_same_golden_hash() {
+    let spec = CorpusSpec::quick();
+    let scenarios = ScenarioSpec {
+        insts_per_scenario: spec.insts_per_workload,
+        sample_interval: spec.sample_interval,
+        scenarios: spec
+            .workloads
+            .iter()
+            .map(|w| CoreScenario {
+                name: w.name.clone(),
+                class: w.class,
+                family: w.family,
+                programs: vec![w.program.clone()],
+            })
+            .collect(),
+    };
+    let corpus = scenarios
+        .try_collect_with_threads(1)
+        .expect("machine-path collection succeeds");
     assert_eq!(
-        h.0, GOLDEN_QUICK_CORPUS_FNV,
-        "quick-corpus stat rows diverged from the pre-decomposition golden \
+        corpus_fnv(&corpus),
+        GOLDEN_QUICK_CORPUS_FNV,
+        "one-core Machine collection diverged from the single-core golden \
          snapshot (recomputed hash: {:#018x})",
-        h.0
+        corpus_fnv(&corpus)
     );
 }
 

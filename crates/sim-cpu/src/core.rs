@@ -104,6 +104,72 @@ pub struct CoreStatsView<'a> {
     pub cpu: &'a CpuStats,
 }
 
+/// What a stalled commit stage would record each cycle.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum CommitStall {
+    /// Empty ROB.
+    Idle,
+    /// Head not executed yet (already authorized if non-spec).
+    HeadWait {
+        /// Whether the waiting head is non-speculative.
+        non_spec: bool,
+    },
+}
+
+/// What a stalled rename stage would record each cycle.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum RenameStall {
+    Idle,
+    Serialize,
+    RobFull,
+    IqFull,
+    LqFull,
+    SqFull,
+    RegsFull,
+}
+
+/// What a stalled fetch stage would record each cycle.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum FetchStall {
+    Idle,
+    PendingTrap,
+    SquashWait,
+    Quiesce,
+    ICache,
+    QueueFullMisc,
+    QueueFullBlocked,
+}
+
+/// A proof that every stage of a core is stalled this cycle, with the
+/// per-stage classification needed to credit the exact stall statistics
+/// the stepped loop would have recorded, and the earliest events that
+/// could unstall anything. Produced by [`Core::stall_plan`]; consumed by
+/// [`Core::credit_stall_cycles`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct StallPlan {
+    commit: CommitStall,
+    rename: RenameStall,
+    fetch: FetchStall,
+    decode_blocked: bool,
+    next_completion: Option<u64>,
+    fetch_wake: Option<u64>,
+}
+
+impl StallPlan {
+    /// The earliest cycle at which anything can unstall: the next execute
+    /// completion or a timed fetch stall expiring. Both `None` is a
+    /// provable deadlock — the stepped loop would spin to its cycle cap,
+    /// so the skip jumps there crediting the identical stall counters.
+    pub(crate) fn wake(&self, cycle_cap: u64) -> u64 {
+        match (self.next_completion, self.fetch_wake) {
+            (Some(a), Some(b)) => a.min(b),
+            (Some(a), None) => a,
+            (None, Some(b)) => b,
+            (None, None) => cycle_cap,
+        }
+    }
+}
+
 /// The simulated machine: one out-of-order core plus its memory hierarchy.
 ///
 /// The core owns the shared machine resources (instruction window, register
@@ -176,8 +242,21 @@ impl Core {
         program: Program,
         hcfg: HierarchyConfig,
     ) -> Result<Self, SimError> {
+        let mem = MemoryHierarchy::try_new(hcfg)?;
+        Self::try_with_parts(cfg, program, mem)
+    }
+
+    /// Builds a core around an already-constructed memory hierarchy — the
+    /// seam the multi-core [`Machine`](crate::machine::Machine) uses to
+    /// hand every core its private L1s wired to the shared uncore. The
+    /// program's data segments are installed into the hierarchy's
+    /// (per-core) functional memory.
+    pub fn try_with_parts(
+        cfg: CoreConfig,
+        program: Program,
+        mut mem: MemoryHierarchy,
+    ) -> Result<Self, SimError> {
         cfg.validate()?;
-        let mut mem = MemoryHierarchy::try_new(hcfg)?;
         for seg in program.segments() {
             mem.memory_mut().write_bytes(seg.base, &seg.data);
         }
@@ -227,6 +306,17 @@ impl Core {
     /// The memory hierarchy (caches, buses, DRAM, backing memory).
     pub fn mem(&self) -> &MemoryHierarchy {
         &self.mem
+    }
+
+    /// Mutable access to the memory hierarchy (the machine's snoop drain
+    /// applies back-invalidations to the private L1s through this).
+    pub(crate) fn mem_mut(&mut self) -> &mut MemoryHierarchy {
+        &mut self.mem
+    }
+
+    /// The core's configuration.
+    pub fn config(&self) -> &CoreConfig {
+        &self.cfg
     }
 
     /// Committed instruction count.
@@ -496,51 +586,42 @@ impl Core {
     /// head) makes this a no-op and the caller falls back to `step`.
     /// The clock jumps to the earliest event that can unstall anything:
     /// the next execute completion or a timed fetch stall expiring.
+    ///
+    /// The analysis ([`Core::stall_plan`]) and the per-cycle crediting
+    /// ([`Core::credit_stall_cycles`]) are split so a multi-core
+    /// [`Machine`](crate::machine::Machine) can skip only when *every*
+    /// active core is stalled, jumping all of them to the earliest wake.
     fn skip_stalled_cycles(&mut self, cycle_cap: u64) {
-        // What a stalled stage would record each cycle.
-        enum CommitStall {
-            /// Empty ROB.
-            Idle,
-            /// Head not executed yet (already authorized if non-spec).
-            HeadWait { non_spec: bool },
+        if let Some(plan) = self.stall_plan() {
+            let skip_to = plan.wake(cycle_cap).min(cycle_cap);
+            self.credit_stall_cycles(&plan, skip_to);
         }
-        enum RenameStall {
-            Idle,
-            Serialize,
-            RobFull,
-            IqFull,
-            LqFull,
-            SqFull,
-            RegsFull,
-        }
-        enum FetchStall {
-            Idle,
-            PendingTrap,
-            SquashWait,
-            Quiesce,
-            ICache,
-            QueueFullMisc,
-            QueueFullBlocked,
-        }
+    }
 
+    /// Analyzes whether every stage is provably stalled this cycle.
+    /// Returns the per-stage stall classification (and wake bounds) if so,
+    /// or `None` when any stage could make progress. The only mutation is
+    /// the stat-neutral eviction of stale ready-set entries (the select
+    /// loop removes them silently on first visit anyway).
+    pub(crate) fn stall_plan(&mut self) -> Option<StallPlan> {
         // Commit: retirement must be provably stuck. An executed head
         // (committable, or a fault working through its recognition
         // timer) and a non-speculative head still awaiting its one-time
         // execution authorization both mutate state — no skip.
-        let commit_stall = match self.window.rob.front() {
+        let commit = match self.window.rob.front() {
             None => CommitStall::Idle,
             Some(h) if !h.executed && (!h.non_spec || h.can_exec_non_spec) => {
                 CommitStall::HeadWait {
                     non_spec: h.non_spec,
                 }
             }
-            _ => return,
+            _ => return None,
         };
 
         // Execute: nothing may be due to complete this cycle.
         let next_completion = self.exec.next_completion(&self.window);
         if next_completion.is_some_and(|at| at <= self.cycle) {
-            return;
+            return None;
         }
 
         // Issue: every ready-set entry must be stale. A live entry —
@@ -554,7 +635,7 @@ impl Core {
         for (pool, set) in self.window.ready.iter().enumerate() {
             for &seq in set {
                 match self.window.find(seq) {
-                    Some(d) if d.in_iq && !d.issued && !d.squashed => return,
+                    Some(d) if d.in_iq && !d.issued && !d.squashed => return None,
                     _ => stale.push((pool, seq)),
                 }
             }
@@ -565,7 +646,7 @@ impl Core {
 
         // Rename: the stage must stall on its very first candidate, in
         // the exact order its tick checks admission.
-        let rename_stall = match self.decode_q.0.front() {
+        let rename = match self.decode_q.0.front() {
             None => RenameStall::Idle,
             Some(front) => {
                 if front.serializing && !self.window.rob.is_empty() {
@@ -581,7 +662,7 @@ impl Core {
                 } else if front.arch_dest.is_some() && self.regs.free_list.is_empty() {
                     RenameStall::RegsFull
                 } else {
-                    return;
+                    return None;
                 }
             }
         };
@@ -592,13 +673,13 @@ impl Core {
         } else if self.decode_q.len() >= self.cfg.decode_queue {
             true
         } else {
-            return;
+            return None;
         };
 
         // Fetch: the stall cascade, in tick order. Timed stalls bound
         // the skip; an expired I-cache stall means fetch would resume.
         let mut fetch_wake: Option<u64> = None;
-        let fetch_stall = if self.halted || self.fetch.fetch_stopped {
+        let fetch = if self.halted || self.fetch.fetch_stopped {
             FetchStall::Idle
         } else if self.cycle < self.fetch.trap_pending_until {
             fetch_wake = Some(self.fetch.trap_pending_until);
@@ -613,7 +694,7 @@ impl Core {
                 fetch_wake = Some(self.fetch.icache_stall_until);
                 FetchStall::ICache
             } else {
-                return;
+                return None;
             }
         } else if self.fetch_q.len() >= self.cfg.fetch_queue {
             if self.decode_q.len() >= self.cfg.decode_queue {
@@ -622,22 +703,25 @@ impl Core {
                 FetchStall::QueueFullBlocked
             }
         } else {
-            return;
+            return None;
         };
 
-        // Earliest event that can unstall anything. Both `None` is a
-        // provable deadlock: the stepped loop would spin to its cycle
-        // cap, so jump there crediting the identical stall counters.
-        let wake = match (next_completion, fetch_wake) {
-            (Some(a), Some(b)) => a.min(b),
-            (Some(a), None) => a,
-            (None, Some(b)) => b,
-            (None, None) => cycle_cap,
-        };
-        let skip_to = wake.min(cycle_cap);
+        Some(StallPlan {
+            commit,
+            rename,
+            fetch,
+            decode_blocked,
+            next_completion,
+            fetch_wake,
+        })
+    }
 
+    /// Credits, for every cycle up to (but excluding) `skip_to`, exactly
+    /// the stall statistics the stepped loop would have recorded under
+    /// `plan`, and advances the clock there.
+    pub(crate) fn credit_stall_cycles(&mut self, plan: &StallPlan, skip_to: u64) {
         while self.cycle < skip_to {
-            match commit_stall {
+            match plan.commit {
                 CommitStall::Idle => self.commit.stats.idle_cycles.inc(),
                 CommitStall::HeadWait { non_spec } => {
                     if non_spec {
@@ -651,7 +735,7 @@ impl Core {
             self.issue.stats.empty_issue_cycles.inc();
             self.exec.stats.idle_cycles.inc();
 
-            match rename_stall {
+            match plan.rename {
                 RenameStall::Idle => self.rename.stats.idle_cycles.inc(),
                 RenameStall::Serialize => {
                     self.rename.stats.serialize_stall_cycles.inc();
@@ -679,13 +763,13 @@ impl Core {
                 }
             }
 
-            if decode_blocked {
+            if plan.decode_blocked {
                 self.decode.stats.blocked_cycles.inc();
             } else {
                 self.decode.stats.idle_cycles.inc();
             }
 
-            match fetch_stall {
+            match plan.fetch {
                 FetchStall::Idle => self.fetch.stats.idle_cycles.inc(),
                 FetchStall::PendingTrap => self.fetch.stats.pending_trap_stall_cycles.inc(),
                 FetchStall::SquashWait => self.fetch.stats.squash_cycles.inc(),

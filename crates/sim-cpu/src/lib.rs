@@ -36,6 +36,7 @@ pub mod core;
 pub mod decoded;
 pub mod dyninst;
 pub mod error;
+pub mod machine;
 pub mod pipeline;
 pub mod stats;
 pub mod tlb;
@@ -44,5 +45,6 @@ pub use crate::core::{Core, CoreStatsView, MarkEvent, RunSummary, KERNEL_SPACE_B
 pub use config::CoreConfig;
 pub use decoded::{DecodedInst, DecodedProgram};
 pub use error::SimError;
+pub use machine::Machine;
 pub use pipeline::{PipelineComponent, SquashRequest, TrapRequest};
 pub use stats::stat_invariants;

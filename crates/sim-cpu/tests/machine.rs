@@ -1,0 +1,322 @@
+//! Machine-level tests: single-core bit-identity through the shared-uncore
+//! path, per-core stat namespacing, cross-core snoop back-invalidation,
+//! shared-bus arbitration and multi-core tick-skip equivalence.
+
+use sim_cpu::{Core, CoreConfig, Machine};
+use sim_mem::HierarchyConfig;
+use uarch_isa::{Assembler, Program, Reg};
+use uarch_stats::Snapshot;
+use workloads::spectre::{spectre_v1, SpectreV1Params};
+
+fn machine(programs: Vec<Program>) -> Machine {
+    Machine::new(
+        &CoreConfig::default(),
+        &HierarchyConfig::default(),
+        programs,
+    )
+}
+
+/// A program that halts immediately (an idle core).
+fn idle() -> Program {
+    let mut a = Assembler::new("idle");
+    a.halt();
+    a.finish().expect("assembles")
+}
+
+/// A dependent pointer-stride walk: every load misses to DRAM and the
+/// next address depends on nothing but the counter, so the window drains
+/// and the whole core stalls on the fill — prime tick-skip territory.
+fn dram_walker(base: u64, iters: u64) -> Program {
+    let mut a = Assembler::new("dram-walker");
+    a.li(Reg::R1, base as i64);
+    a.li(Reg::R3, (base + iters * 64) as i64);
+    let top = a.label();
+    a.bind(top);
+    a.load(Reg::R2, Reg::R1, 0);
+    a.flush(Reg::R1, 0); // evict so the next lap misses again
+    a.addi(Reg::R1, Reg::R1, 64);
+    a.blt(Reg::R1, Reg::R3, top);
+    a.halt();
+    a.finish().expect("assembles")
+}
+
+/// A register-only spin loop of `iters` iterations, optionally touching
+/// `touch` first (to plant a line in the private L1s).
+fn compute(touch: Option<u64>, iters: u64) -> Program {
+    let mut a = Assembler::new("compute");
+    if let Some(addr) = touch {
+        a.li(Reg::R5, addr as i64);
+        a.load(Reg::R6, Reg::R5, 0);
+    }
+    a.li(Reg::R1, 0);
+    a.li(Reg::R3, iters as i64);
+    let top = a.label();
+    a.bind(top);
+    a.addi(Reg::R1, Reg::R1, 1);
+    a.blt(Reg::R1, Reg::R3, top);
+    a.halt();
+    a.finish().expect("assembles")
+}
+
+/// The tentpole's golden gate at the unit level: a one-core machine —
+/// private L1s wired to a shared (mutex-held) uncore, the machine run
+/// loop, the machine stat walk — must be *bit-identical* to the
+/// standalone core on a real attack workload: same commit/cycle/halt
+/// trajectory and the same value in every one of the 1159 statistics.
+#[test]
+fn single_core_machine_is_bit_identical_to_a_standalone_core() {
+    let program = spectre_v1(SpectreV1Params::default());
+    let mut core = Core::new(CoreConfig::default(), program.clone());
+    let mut mach = machine(vec![program]);
+
+    let cs = core.run(120_000);
+    let ms = mach.run(120_000);
+    assert_eq!(ms.committed, cs.committed, "committed-instruction drift");
+    assert_eq!(ms.cycles, cs.cycles, "cycle drift");
+    assert_eq!(ms.halted, cs.halted);
+
+    let want = Snapshot::of(&core, "");
+    let got = Snapshot::of(&mach, "");
+    assert_eq!(got.names(), want.names(), "schema drift");
+    for ((name, w), g) in want.names().iter().zip(want.values()).zip(got.values()) {
+        assert!(
+            w == g,
+            "stat {name} diverged: standalone {w} vs machine {g}"
+        );
+    }
+}
+
+#[test]
+fn two_core_stats_are_namespaced_and_share_one_uncore() {
+    let mach = machine(vec![compute(None, 10), compute(None, 10)]);
+    let schema = mach.stat_schema();
+    let names = schema.names();
+
+    let has = |n: &str| names.iter().any(|s| s == n);
+    assert!(has("core0.fetch.IcacheStallCycles"), "core0 pipeline bank");
+    assert!(has("core1.fetch.IcacheStallCycles"), "core1 pipeline bank");
+    assert!(
+        has("core0.numCycles"),
+        "dotless cpu stats scope under core0"
+    );
+    assert!(has("core0.dcache.demand_hits"), "private L1 per core");
+    assert!(has("core1.dcache.demand_hits"), "private L1 per core");
+    assert!(
+        has("tol2bus.arbGrants::core0") && has("tol2bus.arbGrants::core1"),
+        "arbiter accounting on the shared bus"
+    );
+    assert!(
+        has("tol2bus.arbWaitCycles::core0") && has("tol2bus.arbWaitCycles::core1"),
+        "arbiter wait accounting on the shared bus"
+    );
+
+    // Exactly one shared uncore: L2/bus/DRAM groups are unprefixed and
+    // never duplicated per core.
+    assert!(names.iter().any(|s| s.starts_with("l2.")), "shared l2");
+    assert!(
+        !names.iter().any(|s| s.starts_with("core0.l2.")),
+        "no per-core l2 bank"
+    );
+    assert!(
+        !names.iter().any(|s| s.starts_with("core0.mem_ctrls.")),
+        "no per-core DRAM controller"
+    );
+
+    // Every name is either core-scoped or belongs to a shared group.
+    for n in names {
+        let shared = ["l2.", "tol2bus.", "membus.", "mem_ctrls."]
+            .iter()
+            .any(|p| n.starts_with(p));
+        assert!(
+            n.starts_with("core0.") || n.starts_with("core1.") || shared,
+            "unscoped non-shared stat {n}"
+        );
+    }
+}
+
+#[test]
+fn exclusive_store_back_invalidates_the_other_cores_l1_copy() {
+    // Core 1 plants 0x4000 in its private L1D and spins; core 0 delays,
+    // then stores to the same line. The exclusive (ReadExReq) request
+    // must snoop core 1's copy out.
+    let mut a = Assembler::new("late-store");
+    a.li(Reg::R1, 0);
+    a.li(Reg::R3, 2_000);
+    let top = a.label();
+    a.bind(top);
+    a.addi(Reg::R1, Reg::R1, 1);
+    a.blt(Reg::R1, Reg::R3, top);
+    a.li(Reg::R5, 0x4000);
+    a.store(Reg::R1, Reg::R5, 0);
+    a.halt();
+    let storer = a.finish().expect("assembles");
+
+    let mut mach = machine(vec![storer, compute(Some(0x4000), 50_000)]);
+    mach.run(200_000);
+    assert!(mach.all_halted(), "both programs must finish");
+
+    let snoops = mach.with_uncore(|u| u.tol2bus().stats().snoop_filter.tot_snoops.value());
+    assert!(
+        snoops >= 1,
+        "exclusive store must deliver a back-invalidation snoop ({snoops})"
+    );
+    // Core 1 planted the line, never touched it again, and must have had
+    // it snooped out by core 0's exclusive request.
+    assert!(
+        !mach.core(1).mem().cached_in_l1d(0x4000),
+        "the sharer's copy must be back-invalidated"
+    );
+}
+
+#[test]
+fn arbiter_accounts_grants_for_every_requesting_core() {
+    // Two DRAM walkers over disjoint address ranges: both cores miss
+    // their L1s constantly and meet at the shared L1↔L2 crossbar.
+    let mut mach = machine(vec![
+        dram_walker(0x10_0000, 400),
+        dram_walker(0x20_0000, 400),
+    ]);
+    mach.run(100_000);
+    assert!(mach.all_halted());
+
+    let (g0, g1, w0, w1) = mach.with_uncore(|u| {
+        let a = u.arbiter();
+        (a.grants(0), a.grants(1), a.wait_cycles(0), a.wait_cycles(1))
+    });
+    assert!(
+        g0 > 0 && g1 > 0,
+        "both cores must win bus grants ({g0}/{g1})"
+    );
+    // Fairness: symmetric workloads must get within 2x of each other.
+    let (lo, hi) = (g0.min(g1), g0.max(g1));
+    assert!(
+        hi <= lo * 2,
+        "rotating tick order must keep arbitration roughly fair ({g0} vs {g1})"
+    );
+    // Contention on a shared bus is real: someone waited.
+    assert!(
+        w0 + w1 > 0,
+        "concurrent walkers must observe bus contention ({w0}/{w1})"
+    );
+
+    // No lost packets: the stat walk's grant counters equal the arbiter's.
+    let snap = Snapshot::of(&mach, "");
+    let col = |name: &str| {
+        let idx = snap
+            .names()
+            .iter()
+            .position(|n| n == name)
+            .unwrap_or_else(|| panic!("missing stat {name}"));
+        snap.values()[idx]
+    };
+    assert_eq!(col("tol2bus.arbGrants::core0"), g0 as f64);
+    assert_eq!(col("tol2bus.arbGrants::core1"), g1 as f64);
+    assert_eq!(col("tol2bus.arbWaitCycles::core0"), w0 as f64);
+    assert_eq!(col("tol2bus.arbWaitCycles::core1"), w1 as f64);
+}
+
+/// MSHR invariants under concurrent cross-core miss pressure: occupancy
+/// never exceeds the configured entry count mid-run, every outstanding
+/// miss drains by the time both cores halt, and the stat walk's MSHR
+/// counters stay consistent with the demand-miss counters.
+#[test]
+fn mshrs_respect_capacity_and_drain_under_concurrent_misses() {
+    let cfg = HierarchyConfig::default();
+    let mut mach = machine(vec![
+        dram_walker(0x10_0000, 400),
+        dram_walker(0x20_0000, 400),
+    ]);
+
+    // Step in small commit chunks and probe occupancy between chunks: the
+    // private L1Ds and the shared L2 each own a bounded MSHR file, and
+    // concurrent walkers must never oversubscribe it.
+    let mut probes = 0;
+    while !mach.all_halted() && probes < 2_000 {
+        mach.run(500);
+        probes += 1;
+        for i in 0..2 {
+            let l1d = mach.core(i).mem().l1d().outstanding_misses();
+            assert!(
+                l1d <= cfg.l1d.mshrs,
+                "core{i} L1D holds {l1d} MSHRs, configured cap {}",
+                cfg.l1d.mshrs
+            );
+        }
+        let l2 = mach.with_uncore(|u| u.l2().outstanding_misses());
+        assert!(
+            l2 <= cfg.l2.mshrs,
+            "shared L2 holds {l2} MSHRs, configured cap {}",
+            cfg.l2.mshrs
+        );
+    }
+    assert!(mach.all_halted(), "walkers must finish under MSHR probing");
+
+    // No leaked entries once the machine quiesces.
+    for i in 0..2 {
+        assert_eq!(
+            mach.core(i).mem().l1d().outstanding_misses(),
+            0,
+            "core{i} L1D must drain its MSHR file at halt"
+        );
+    }
+    assert_eq!(
+        mach.with_uncore(|u| u.l2().outstanding_misses()),
+        0,
+        "shared L2 must drain its MSHR file at halt"
+    );
+
+    // Stat-walk consistency: an MSHR miss allocates a new entry, so per
+    // L1D the allocation count can never exceed the demand misses that
+    // needed one, and coalesced hits only exist where misses overlapped.
+    let snap = Snapshot::of(&mach, "");
+    let col = |name: &str| {
+        let idx = snap
+            .names()
+            .iter()
+            .position(|n| n == name)
+            .unwrap_or_else(|| panic!("missing stat {name}"));
+        snap.values()[idx]
+    };
+    for i in 0..2 {
+        let mshr_misses = col(&format!("core{i}.dcache.ReadReq_mshr_misses"));
+        let demand_misses = col(&format!("core{i}.dcache.ReadReq_misses"));
+        assert!(mshr_misses > 0.0, "core{i} walker must allocate read MSHRs");
+        assert!(
+            mshr_misses <= demand_misses,
+            "core{i} allocated {mshr_misses} read MSHRs for only {demand_misses} read misses"
+        );
+    }
+}
+
+/// Multi-core tick skipping must be a pure fast-forward: a machine with
+/// the skip enabled and one stepping every cycle must agree on every
+/// statistic — including while one core is halted and the other is alone
+/// in a DRAM stall (the "only one core is stalled" regression the
+/// rotation+veto logic exists for).
+#[test]
+fn two_core_tick_skip_is_stat_identical_to_stepping() {
+    let programs = || vec![dram_walker(0x10_0000, 300), idle()];
+
+    let mut skipping = machine(programs());
+    let mut stepping = Machine::new(
+        &CoreConfig {
+            tick_skip: false,
+            ..CoreConfig::default()
+        },
+        &HierarchyConfig::default(),
+        programs(),
+    );
+
+    let a = skipping.run(100_000);
+    let b = stepping.run(100_000);
+    assert_eq!(a.committed, b.committed, "committed drift");
+    assert_eq!(a.cycles, b.cycles, "cycle drift");
+    assert_eq!(a.halted, b.halted);
+
+    let want = Snapshot::of(&stepping, "");
+    let got = Snapshot::of(&skipping, "");
+    assert_eq!(got.names(), want.names());
+    for ((name, w), g) in want.names().iter().zip(want.values()).zip(got.values()) {
+        assert!(w == g, "stat {name} diverged: stepped {w} vs skipped {g}");
+    }
+}

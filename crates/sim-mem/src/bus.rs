@@ -101,6 +101,14 @@ impl Bus {
         wait + self.transfer_latency
     }
 
+    /// Records `n` delivered snoop invalidations on the snoop filter —
+    /// multi-core back-invalidations of lines that left the shared L2 or
+    /// were requested exclusively by another core. A single-requestor bus
+    /// never snoops, so `tot_snoops` stays zero on single-core machines.
+    pub fn record_snoops(&mut self, n: u64) {
+        self.stats.snoop_filter.tot_snoops.add(n);
+    }
+
     /// The bus statistics.
     pub fn stats(&self) -> &BusStats {
         &self.stats

@@ -1,5 +1,13 @@
 //! The assembled memory hierarchy: L1I + L1D → tol2bus → L2 → membus →
 //! DRAM controller, with a flat functional backing store.
+//!
+//! The L1s and the functional memory are private to a core; everything
+//! below lives in an [`Uncore`] reached through an [`UncoreHandle`]. A
+//! standalone core owns its uncore (the historical single-core layout,
+//! no locking); a multi-core machine hands every core the same shared
+//! uncore so L2/bus/DRAM timing state is genuinely contended.
+
+use std::sync::{Arc, Mutex};
 
 use uarch_stats::{StatGroup, StatVisitor};
 
@@ -9,6 +17,7 @@ use crate::cmd::MemCmd;
 use crate::dram::{DramConfig, MemCtrl};
 use crate::error::MemError;
 use crate::memory::Memory;
+use crate::uncore::{Uncore, UncoreHandle};
 
 const LINE: u64 = 64;
 
@@ -66,16 +75,15 @@ pub struct LoadResult {
     pub outcome: AccessOutcome,
 }
 
-/// The full memory system below the core.
+/// The full memory system below the core: private L1s + functional memory,
+/// plus a handle to the (possibly shared) uncore.
 #[derive(Debug)]
 pub struct MemoryHierarchy {
     l1i: Cache,
     l1d: Cache,
-    l2: Cache,
-    tol2bus: Bus,
-    membus: Bus,
-    mem_ctrl: MemCtrl,
     memory: Memory,
+    core_id: usize,
+    uncore: UncoreHandle,
 }
 
 impl MemoryHierarchy {
@@ -90,16 +98,33 @@ impl MemoryHierarchy {
     }
 
     /// Builds the hierarchy, rejecting degenerate cache geometry with a
-    /// typed [`MemError`] instead of panicking.
+    /// typed [`MemError`] instead of panicking. The uncore is owned: the
+    /// standalone single-core layout.
     pub fn try_new(cfg: HierarchyConfig) -> Result<Self, MemError> {
+        let uncore = Uncore::try_new(&cfg, 1)?;
         Ok(Self {
             l1i: Cache::try_new(cfg.l1i)?,
             l1d: Cache::try_new(cfg.l1d)?,
-            l2: Cache::try_new(cfg.l2)?,
-            tol2bus: Bus::new(cfg.tol2bus_latency),
-            membus: Bus::new(cfg.membus_latency),
-            mem_ctrl: MemCtrl::new(cfg.dram),
             memory: Memory::new(),
+            core_id: 0,
+            uncore: UncoreHandle::Owned(Box::new(uncore)),
+        })
+    }
+
+    /// Builds one core's private slice of a multi-core hierarchy: its own
+    /// L1s and functional memory, wired to the machine's shared uncore.
+    pub fn try_shared(
+        l1i: CacheConfig,
+        l1d: CacheConfig,
+        uncore: Arc<Mutex<Uncore>>,
+        core_id: usize,
+    ) -> Result<Self, MemError> {
+        Ok(Self {
+            l1i: Cache::try_new(l1i)?,
+            l1d: Cache::try_new(l1d)?,
+            memory: Memory::new(),
+            core_id,
+            uncore: UncoreHandle::Shared(uncore),
         })
     }
 
@@ -124,102 +149,82 @@ impl MemoryHierarchy {
         &self.l1i
     }
 
+    /// The core this hierarchy belongs to (0 for standalone cores).
+    pub fn core_id(&self) -> usize {
+        self.core_id
+    }
+
+    /// Whether this hierarchy owns its uncore (standalone single core)
+    /// rather than sharing a machine-level one.
+    pub fn owns_uncore(&self) -> bool {
+        self.uncore.is_owned()
+    }
+
+    /// Runs `f` with shared access to the uncore (owned or shared).
+    pub fn with_uncore<R>(&self, f: impl FnOnce(&Uncore) -> R) -> R {
+        self.uncore.with_ref(f)
+    }
+
+    /// Runs `f` with mutable access to the uncore (owned or shared).
+    pub fn with_uncore_mut<R>(&mut self, f: impl FnOnce(&mut Uncore) -> R) -> R {
+        self.uncore.with(f)
+    }
+
     /// The shared L2.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the uncore is shared with other cores (a borrow cannot
+    /// escape the lock); use [`MemoryHierarchy::with_uncore`] there.
     pub fn l2(&self) -> &Cache {
-        &self.l2
+        match &self.uncore {
+            UncoreHandle::Owned(u) => u.l2(),
+            UncoreHandle::Shared(_) => {
+                panic!("l2(): uncore is shared; probe it via with_uncore()")
+            }
+        }
     }
 
     /// The DRAM controller.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the uncore is shared (see [`MemoryHierarchy::l2`]).
     pub fn mem_ctrl(&self) -> &MemCtrl {
-        &self.mem_ctrl
+        match &self.uncore {
+            UncoreHandle::Owned(u) => u.mem_ctrl(),
+            UncoreHandle::Shared(_) => {
+                panic!("mem_ctrl(): uncore is shared; probe it via with_uncore()")
+            }
+        }
     }
 
     /// The L1↔L2 crossbar.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the uncore is shared (see [`MemoryHierarchy::l2`]).
     pub fn tol2bus(&self) -> &Bus {
-        &self.tol2bus
+        match &self.uncore {
+            UncoreHandle::Owned(u) => u.tol2bus(),
+            UncoreHandle::Shared(_) => {
+                panic!("tol2bus(): uncore is shared; probe it via with_uncore()")
+            }
+        }
     }
 
     /// The L2↔memory crossbar.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the uncore is shared (see [`MemoryHierarchy::l2`]).
     pub fn membus(&self) -> &Bus {
-        &self.membus
-    }
-
-    /// Handles an L1 eviction packet: puts it on the L1↔L2 bus and applies
-    /// it to the L2.
-    fn l1_eviction(&mut self, ev: crate::cache::Eviction, now: u64) {
-        let bytes = if ev.cmd == MemCmd::CleanEvict {
-            0
-        } else {
-            LINE
-        };
-        self.tol2bus.send(ev.cmd, bytes, now);
-        match ev.cmd {
-            MemCmd::WritebackDirty => {
-                if let Some(l2ev) = self.l2.fill(ev.addr, false, true) {
-                    self.l2_eviction(l2ev, now);
-                }
+        match &self.uncore {
+            UncoreHandle::Owned(u) => u.membus(),
+            UncoreHandle::Shared(_) => {
+                panic!("membus(): uncore is shared; probe it via with_uncore()")
             }
-            MemCmd::WritebackClean => {
-                if let Some(l2ev) = self.l2.fill(ev.addr, false, false) {
-                    self.l2_eviction(l2ev, now);
-                }
-            }
-            _ => {} // CleanEvict: notification only
         }
-    }
-
-    /// Handles an L2 eviction packet: membus traffic plus a DRAM write for
-    /// dirty data.
-    fn l2_eviction(&mut self, ev: crate::cache::Eviction, now: u64) {
-        let bytes = if ev.cmd == MemCmd::CleanEvict {
-            0
-        } else {
-            LINE
-        };
-        self.membus.send(ev.cmd, bytes, now);
-        if ev.cmd == MemCmd::WritebackDirty {
-            self.mem_ctrl.write(ev.addr, LINE, now);
-        }
-    }
-
-    /// The downstream path for an L1 miss: L2 access, then memory on an L2
-    /// miss. Returns (latency-below-L1, outcome).
-    fn below_l1(
-        &mut self,
-        l2cmd: MemCmd,
-        addr: u64,
-        now: u64,
-        exclusive: bool,
-    ) -> (u64, AccessOutcome) {
-        let mut lat = self.tol2bus.send(l2cmd, 0, now);
-        let l2res = self.l2.access(l2cmd, addr, now + lat);
-        lat += l2res.latency;
-        let outcome;
-        if l2res.hit {
-            outcome = AccessOutcome::L2Hit;
-        } else if let Some(ready) = l2res.coalesced_ready_at {
-            lat = lat.max(ready.saturating_sub(now));
-            outcome = AccessOutcome::MshrCoalesced;
-        } else {
-            // L2 miss → memory.
-            let memcmd = if exclusive {
-                MemCmd::ReadExReq
-            } else {
-                MemCmd::ReadReq
-            };
-            let mut below = self.membus.send(memcmd, 0, now + lat);
-            below += self.mem_ctrl.read(addr, LINE, now + lat + below);
-            below += self.membus.send(MemCmd::ReadResp, LINE, now + lat + below);
-            self.l2.complete_miss(l2cmd, addr, now + lat, below);
-            if let Some(ev) = self.l2.fill(addr, exclusive, false) {
-                self.l2_eviction(ev, now + lat + below);
-            }
-            lat += below + self.l2.config().response_latency;
-            outcome = AccessOutcome::MemAccess;
-        }
-        // Response back up the L1↔L2 bus.
-        lat += self.tol2bus.send(MemCmd::ReadResp, LINE, now + lat);
-        (lat, outcome)
     }
 
     /// Performs a timed data load: returns latency, value and where it hit.
@@ -240,12 +245,22 @@ impl MemoryHierarchy {
                 outcome: AccessOutcome::MshrCoalesced,
             };
         }
-        let (below, outcome) = self.below_l1(MemCmd::ReadSharedReq, addr, now + res.latency, false);
+        let core_id = self.core_id;
+        let (below, outcome) = self.uncore.with(|u| {
+            u.below_l1(
+                MemCmd::ReadSharedReq,
+                addr,
+                now + res.latency,
+                false,
+                core_id,
+            )
+        });
         let total = res.latency + below;
         self.l1d.complete_miss(MemCmd::ReadReq, addr, now, total);
         if let Some(ev) = self.l1d.fill(addr, false, false) {
             let wb_delay = self.l1d.reserve_write_buffer(now + total, 20);
-            self.l1_eviction(ev, now + total + wb_delay);
+            self.uncore
+                .with(|u| u.l1_eviction(ev, now + total + wb_delay, core_id));
         }
         LoadResult {
             latency: total,
@@ -265,12 +280,16 @@ impl MemoryHierarchy {
         if let Some(ready) = res.coalesced_ready_at {
             return res.latency.max(ready.saturating_sub(now));
         }
-        let (below, _) = self.below_l1(MemCmd::ReadExReq, addr, now + res.latency, true);
+        let core_id = self.core_id;
+        let (below, _) = self
+            .uncore
+            .with(|u| u.below_l1(MemCmd::ReadExReq, addr, now + res.latency, true, core_id));
         let total = res.latency + below;
         self.l1d.complete_miss(MemCmd::WriteReq, addr, now, total);
         if let Some(ev) = self.l1d.fill(addr, true, true) {
             let wb_delay = self.l1d.reserve_write_buffer(now + total, 20);
-            self.l1_eviction(ev, now + total + wb_delay);
+            self.uncore
+                .with(|u| u.l1_eviction(ev, now + total + wb_delay, core_id));
         }
         total
     }
@@ -287,12 +306,22 @@ impl MemoryHierarchy {
                 AccessOutcome::MshrCoalesced,
             );
         }
-        let (below, outcome) = self.below_l1(MemCmd::ReadCleanReq, addr, now + res.latency, false);
+        let core_id = self.core_id;
+        let (below, outcome) = self.uncore.with(|u| {
+            u.below_l1(
+                MemCmd::ReadCleanReq,
+                addr,
+                now + res.latency,
+                false,
+                core_id,
+            )
+        });
         let total = res.latency + below;
         self.l1i
             .complete_miss(MemCmd::ReadCleanReq, addr, now, total);
         if let Some(ev) = self.l1i.fill(addr, true, false) {
-            self.l1_eviction(ev, now + total);
+            self.uncore
+                .with(|u| u.l1_eviction(ev, now + total, core_id));
         }
         (total, outcome)
     }
@@ -301,35 +330,62 @@ impl MemoryHierarchy {
     /// (`clflush`). The latency depends on where (and how dirty) the line
     /// was — the timing signal Flush+Flush reads.
     pub fn flush_line(&mut self, addr: u64, now: u64) -> u64 {
-        let mut lat = 10; // base cost of the flush micro-op
-        let in_l1 = self.l1d.probe(addr).is_some() || self.l1i.probe(addr).is_some();
-        let in_l2 = self.l2.probe(addr).is_some();
+        let Self {
+            l1i,
+            l1d,
+            core_id,
+            uncore,
+            ..
+        } = self;
+        let core_id = *core_id;
+        uncore.with(|u| {
+            let mut lat = 10; // base cost of the flush micro-op
+            let in_l1 = l1d.probe(addr).is_some() || l1i.probe(addr).is_some();
+            let in_l2 = u.l2.probe(addr).is_some();
 
-        if in_l1 || in_l2 {
-            self.tol2bus.send(MemCmd::FlushReq, 0, now);
-        }
-        if let Some(ev) = self.l1d.invalidate(addr) {
-            lat += 15;
-            if ev.cmd == MemCmd::WritebackDirty {
-                self.tol2bus.send(MemCmd::WritebackDirty, LINE, now + lat);
-                self.membus.send(MemCmd::WritebackDirty, LINE, now + lat);
-                lat += 10 + self.mem_ctrl.write(ev.addr, LINE, now + lat);
+            if in_l1 || in_l2 {
+                u.tol2bus.send(MemCmd::FlushReq, 0, now);
             }
-        }
-        if self.l1i.invalidate(addr).is_some() {
-            lat += 10;
-        }
-        if in_l2 {
-            self.membus.send(MemCmd::FlushReq, 0, now + lat);
-        }
-        if let Some(ev) = self.l2.invalidate(addr) {
-            lat += 20;
-            if ev.cmd == MemCmd::WritebackDirty {
-                self.membus.send(MemCmd::WritebackDirty, LINE, now + lat);
-                lat += 10 + self.mem_ctrl.write(ev.addr, LINE, now + lat);
+            if let Some(ev) = l1d.invalidate(addr) {
+                lat += 15;
+                if ev.cmd == MemCmd::WritebackDirty {
+                    u.tol2bus.send(MemCmd::WritebackDirty, LINE, now + lat);
+                    u.membus.send(MemCmd::WritebackDirty, LINE, now + lat);
+                    lat += 10 + u.mem_ctrl.write(ev.addr, LINE, now + lat);
+                }
             }
+            if l1i.invalidate(addr).is_some() {
+                lat += 10;
+            }
+            if in_l2 {
+                u.membus.send(MemCmd::FlushReq, 0, now + lat);
+            }
+            if let Some(ev) = u.l2.invalidate(addr) {
+                lat += 20;
+                if ev.cmd == MemCmd::WritebackDirty {
+                    u.membus.send(MemCmd::WritebackDirty, LINE, now + lat);
+                    lat += 10 + u.mem_ctrl.write(ev.addr, LINE, now + lat);
+                }
+                u.l2_eviction_snoop(ev.addr, core_id);
+            }
+            lat
+        })
+    }
+
+    /// Applies a snoop back-invalidation to this core's private L1s (a
+    /// line another core evicted from the shared L2 or requested
+    /// exclusively). Returns how many L1 copies were dropped. Pure state
+    /// removal: the shared-bus traffic was already accounted by the
+    /// originating core's request.
+    pub fn snoop_invalidate(&mut self, line_addr: u64) -> u64 {
+        let mut dropped = 0;
+        if self.l1d.invalidate(line_addr).is_some() {
+            dropped += 1;
         }
-        lat
+        if self.l1i.invalidate(line_addr).is_some() {
+            dropped += 1;
+        }
+        dropped
     }
 
     /// Whether the line containing `addr` is resident in the L1 data cache.
@@ -342,7 +398,7 @@ impl MemoryHierarchy {
     /// lines are invalidated by the remap.
     pub fn randomize_indexing(&mut self, key: u64) {
         self.l1d.set_index_key(key);
-        self.l2.set_index_key(key.rotate_left(7));
+        self.uncore.with(|u| u.l2.set_index_key(key.rotate_left(7)));
     }
 }
 
@@ -357,10 +413,11 @@ impl StatGroup for MemoryHierarchy {
         };
         self.l1i.visit(&p("icache"), v);
         self.l1d.visit(&p("dcache"), v);
-        self.l2.visit(&p("l2"), v);
-        self.tol2bus.visit(&p("tol2bus"), v);
-        self.membus.visit(&p("membus"), v);
-        self.mem_ctrl.visit(&p("mem_ctrls"), v);
+        // A shared uncore is published once by the machine, not once per
+        // core; an owned uncore keeps the historical flat layout.
+        if let UncoreHandle::Owned(u) = &self.uncore {
+            u.visit_stats(prefix, v);
+        }
     }
 }
 
@@ -455,5 +512,49 @@ mod tests {
         assert!(snap.get("system.tol2bus.trans_dist::CleanEvict").is_some());
         assert!(snap.get("system.mem_ctrls.selfRefreshEnergy").is_some());
         assert!(snap.get("system.mem_ctrls.bytesReadWrQ").is_some());
+    }
+
+    #[test]
+    fn single_core_uncore_records_no_snoops_or_arb_stats() {
+        let mut h = MemoryHierarchy::new(HierarchyConfig::default());
+        h.store(0x4000, 8, 1, 0);
+        h.load(0x8000, 8, 100);
+        h.flush_line(0x4000, 200);
+        assert_eq!(
+            h.with_uncore_mut(|u| u.take_pending_invalidations()).len(),
+            0,
+            "single-core uncore must not queue snoops"
+        );
+        assert_eq!(h.tol2bus().stats().snoop_filter.tot_snoops.value(), 0);
+        let snap = Snapshot::of(&h, "");
+        assert!(
+            snap.get("tol2bus.arbGrants::core0").is_none(),
+            "single-core schema must not grow arbiter stats"
+        );
+    }
+
+    #[test]
+    fn shared_uncore_queues_back_invalidations() {
+        let cfg = HierarchyConfig::default();
+        let uncore = Arc::new(Mutex::new(Uncore::try_new(&cfg, 2).expect("uncore builds")));
+        let mut a =
+            MemoryHierarchy::try_shared(cfg.l1i.clone(), cfg.l1d.clone(), uncore.clone(), 0)
+                .expect("core0 hierarchy");
+        let mut b = MemoryHierarchy::try_shared(cfg.l1i, cfg.l1d, uncore, 1).expect("core1");
+
+        // Core 1 caches a line; core 0 stores to the same line address —
+        // the exclusive request queues a snoop against core 1's copy.
+        b.load(0x4000, 8, 0);
+        assert!(b.cached_in_l1d(0x4000));
+        a.store(0x4000, 8, 7, 100);
+        let pending = a.with_uncore_mut(|u| u.take_pending_invalidations());
+        assert!(
+            pending
+                .iter()
+                .any(|p| p.line_addr == 0x4000 && p.src_core == 0),
+            "exclusive store must queue a snoop: {pending:?}"
+        );
+        assert_eq!(b.snoop_invalidate(0x4000), 1);
+        assert!(!b.cached_in_l1d(0x4000));
     }
 }

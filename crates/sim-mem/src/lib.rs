@@ -36,6 +36,7 @@ pub mod dram;
 pub mod error;
 pub mod hierarchy;
 pub mod memory;
+pub mod uncore;
 
 pub use bus::Bus;
 pub use cache::{Cache, CacheConfig};
@@ -45,3 +46,4 @@ pub use dram::{DramConfig, MemCtrl, PowerState};
 pub use error::MemError;
 pub use hierarchy::{AccessOutcome, HierarchyConfig, LoadResult, MemoryHierarchy};
 pub use memory::Memory;
+pub use uncore::{ArbiterStats, PendingInvalidation, Uncore, UncoreHandle};

@@ -16,6 +16,14 @@
 //! and `dtlb`. Aliased statistics are perfectly correlated replicas — which
 //! is exactly the paper's replicated-feature premise.
 //!
+//! Multi-core machines namespace the core-local components per core: the
+//! same physical taxonomy appears once per core under a `core<N>.` scope
+//! (`core0.fetch.SquashCycles`, `core1.dcache.ReadReq_misses`), while the
+//! shared uncore components (L2, buses, DRAM controller) stay unscoped.
+//! [`ComponentRegistry::scope_of`] splits a name into its core scope and
+//! base name; all other resolution happens on the base name, so single-core
+//! (flat) schemas resolve exactly as they always have.
+//!
 //! # Example
 //!
 //! ```
@@ -34,6 +42,12 @@
 //! // ...while the legacy prefix label is preserved for feature grouping.
 //! assert_eq!(ComponentRegistry::label_of("lsq.thread0.forwLoads"), "lsq");
 //! assert_eq!(ComponentRegistry::label_of("dtlb.rdMisses"), "dtb");
+//! // Per-core scopes resolve to the same components.
+//! assert_eq!(
+//!     ComponentRegistry::component_of("core1.fetch.SquashCycles"),
+//!     Some(ComponentId::Fetch)
+//! );
+//! assert_eq!(ComponentRegistry::scope_of("core1.fetch.SquashCycles"), Some(1));
 //! ```
 
 /// One of the paper's 17 pipeline components.
@@ -136,6 +150,41 @@ impl ComponentId {
         }
     }
 
+    /// Whether the component is *shared uncore* state in a multi-core
+    /// machine (one instance regardless of core count) rather than
+    /// core-local state replicated under a `core<N>.` scope.
+    pub const fn is_shared(self) -> bool {
+        matches!(
+            self,
+            ComponentId::L2 | ComponentId::ToL2Bus | ComponentId::MemBus | ComponentId::MemCtrl
+        )
+    }
+
+    /// The 13 components replicated per core in a multi-core machine.
+    pub const CORE_LOCAL: [ComponentId; 13] = [
+        ComponentId::Fetch,
+        ComponentId::Decode,
+        ComponentId::Rename,
+        ComponentId::Iq,
+        ComponentId::Iew,
+        ComponentId::Commit,
+        ComponentId::Rob,
+        ComponentId::BranchPred,
+        ComponentId::Dtb,
+        ComponentId::Itb,
+        ComponentId::Cpu,
+        ComponentId::ICache,
+        ComponentId::DCache,
+    ];
+
+    /// The 4 shared uncore components (single instance per machine).
+    pub const SHARED: [ComponentId; 4] = [
+        ComponentId::L2,
+        ComponentId::ToL2Bus,
+        ComponentId::MemBus,
+        ComponentId::MemCtrl,
+    ];
+
     /// Human-readable component name (for tables and reports).
     pub const fn name(self) -> &'static str {
         match self {
@@ -169,13 +218,38 @@ impl ComponentId {
 pub struct ComponentRegistry;
 
 impl ComponentRegistry {
+    /// Splits a statistic name into its per-core scope (if any) and the
+    /// scope-local base name: `core1.fetch.SquashCycles` →
+    /// `(Some(1), "fetch.SquashCycles")`, while flat single-core names
+    /// (and the shared uncore names) pass through unscoped.
+    pub fn split_scope(name: &str) -> (Option<usize>, &str) {
+        if let Some(rest) = name.strip_prefix("core") {
+            if let Some((digits, base)) = rest.split_once('.') {
+                if !digits.is_empty() && digits.bytes().all(|b| b.is_ascii_digit()) {
+                    if let Ok(n) = digits.parse::<usize>() {
+                        return (Some(n), base);
+                    }
+                }
+            }
+        }
+        (None, name)
+    }
+
+    /// The core scope of statistic `name` (`core0.…` → `Some(0)`), or
+    /// `None` for flat and shared-uncore names.
+    pub fn scope_of(name: &str) -> Option<usize> {
+        Self::split_scope(name).0
+    }
+
     /// The component owning statistic `name`, resolved from the name's
-    /// first dotted segment. Dotless names are CPU-level counters. Returns
-    /// `None` for prefixes no registered component publishes under.
+    /// first dotted segment after stripping any `core<N>.` scope. Dotless
+    /// base names are CPU-level counters. Returns `None` for prefixes no
+    /// registered component publishes under.
     pub fn component_of(name: &str) -> Option<ComponentId> {
-        let (seg, dotted) = match name.split_once('.') {
+        let (_, base) = Self::split_scope(name);
+        let (seg, dotted) = match base.split_once('.') {
             Some((seg, _)) => (seg, true),
-            None => (name, false),
+            None => (base, false),
         };
         if !dotted {
             return Some(ComponentId::Cpu);
@@ -186,17 +260,31 @@ impl ComponentRegistry {
     }
 
     /// The component *label* of statistic `name`: the matched prefix with
-    /// TLB aliases folded (`dtlb` → `dtb`) and dotless names labelled
-    /// `cpu`. Unlike [`ComponentRegistry::component_of`], alias prefixes
-    /// keep their own label (`lsq.*` → `"lsq"`), matching how the feature
-    /// selector has always grouped columns; unknown prefixes fall through
-    /// to the raw first segment.
+    /// TLB aliases folded (`dtlb` → `dtb`), dotless names labelled `cpu`,
+    /// and any `core<N>.` scope stripped. Unlike
+    /// [`ComponentRegistry::component_of`], alias prefixes keep their own
+    /// label (`lsq.*` → `"lsq"`), matching how the feature selector has
+    /// always grouped columns; unknown prefixes fall through to the raw
+    /// first segment.
     pub fn label_of(name: &str) -> &str {
-        let seg = name.split('.').next().unwrap_or(name);
+        let (_, base) = Self::split_scope(name);
+        let seg = base.split('.').next().unwrap_or(base);
         match seg {
             "dtlb" => "dtb",
-            _ if !name.contains('.') => "cpu",
+            _ if !base.contains('.') => "cpu",
             seg => seg,
+        }
+    }
+
+    /// The *scoped* component label: `label_of` qualified with the core
+    /// scope when one is present (`core1.fetch.SquashCycles` →
+    /// `"core1.fetch"`), so multi-core feature selection keeps one feature
+    /// bank per core per component instead of collapsing attacker and
+    /// victim activity into one bank.
+    pub fn scoped_label_of(name: &str) -> String {
+        match Self::split_scope(name) {
+            (Some(n), _) => format!("core{n}.{}", Self::label_of(name)),
+            (None, _) => Self::label_of(name).to_string(),
         }
     }
 }
@@ -253,5 +341,77 @@ mod tests {
         assert_eq!(ComponentRegistry::label_of("dtlb.rdMisses"), "dtb");
         assert_eq!(ComponentRegistry::label_of("dtb.rdMisses"), "dtb");
         assert_eq!(ComponentRegistry::label_of("numCycles"), "cpu");
+    }
+
+    #[test]
+    fn core_scopes_split_and_resolve() {
+        assert_eq!(
+            ComponentRegistry::split_scope("core0.fetch.SquashCycles"),
+            (Some(0), "fetch.SquashCycles")
+        );
+        assert_eq!(
+            ComponentRegistry::split_scope("core12.numCycles"),
+            (Some(12), "numCycles")
+        );
+        // Not a scope: no digits, no dot, or a non-numeric segment.
+        assert_eq!(
+            ComponentRegistry::split_scope("commit.branches"),
+            (None, "commit.branches")
+        );
+        assert_eq!(ComponentRegistry::split_scope("coreX.y"), (None, "coreX.y"));
+        assert_eq!(
+            ComponentRegistry::split_scope("core.thing"),
+            (None, "core.thing")
+        );
+
+        assert_eq!(
+            ComponentRegistry::component_of("core1.dcache.ReadReq_misses"),
+            Some(ComponentId::DCache)
+        );
+        assert_eq!(
+            ComponentRegistry::component_of("core0.numCycles"),
+            Some(ComponentId::Cpu)
+        );
+        assert_eq!(
+            ComponentRegistry::component_of("core0.lsq.thread0.forwLoads"),
+            Some(ComponentId::Iew)
+        );
+        assert_eq!(ComponentRegistry::component_of("core0.bogus.x"), None);
+        assert_eq!(ComponentRegistry::scope_of("l2.demand_misses"), None);
+    }
+
+    #[test]
+    fn scoped_labels_qualify_per_core_banks() {
+        assert_eq!(
+            ComponentRegistry::label_of("core1.fetch.SquashCycles"),
+            "fetch"
+        );
+        assert_eq!(ComponentRegistry::label_of("core1.dtlb.rdMisses"), "dtb");
+        assert_eq!(ComponentRegistry::label_of("core1.numCycles"), "cpu");
+        assert_eq!(
+            ComponentRegistry::scoped_label_of("core1.fetch.SquashCycles"),
+            "core1.fetch"
+        );
+        assert_eq!(
+            ComponentRegistry::scoped_label_of("core0.numCycles"),
+            "core0.cpu"
+        );
+        assert_eq!(ComponentRegistry::scoped_label_of("l2.demand_misses"), "l2");
+    }
+
+    #[test]
+    fn core_local_and_shared_partition_the_component_set() {
+        let mut all: Vec<ComponentId> = ComponentId::CORE_LOCAL.to_vec();
+        all.extend(ComponentId::SHARED);
+        all.sort();
+        let mut expect = ComponentId::ALL.to_vec();
+        expect.sort();
+        assert_eq!(all, expect);
+        for c in ComponentId::SHARED {
+            assert!(c.is_shared());
+        }
+        for c in ComponentId::CORE_LOCAL {
+            assert!(!c.is_shared());
+        }
     }
 }

@@ -22,11 +22,13 @@ pub mod benign;
 pub mod cache_attacks;
 pub mod layout;
 pub mod meltdown;
+pub mod multicore;
 pub mod spectre;
 
 use uarch_isa::Program;
 
 pub use cache_attacks::CalibrationKind;
+pub use multicore::{cross_core_suite, CoreScenario};
 pub use spectre::{SpectreV1Params, V1Variant};
 
 /// Ground-truth label of a workload.

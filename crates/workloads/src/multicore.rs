@@ -1,0 +1,442 @@
+//! Cross-core scenarios: programs that only make sense on a multi-core
+//! [`Machine`](../../sim_cpu/machine/struct.Machine.html) sharing an L2.
+//!
+//! Each [`CoreScenario`] is a vector of programs, one per core, with core 0
+//! as the foreground tenant (the attacker in malicious scenarios). The
+//! attacks move the classic single-core channels across the core boundary:
+//!
+//! - **Cross-core Prime+Probe** fills shared-L2 sets with the attacker's
+//!   own lines and times re-probing them; the victim's secret-dependent
+//!   touch on the *other* core evicts one primed way, and the L2's snoop
+//!   back-invalidation removes the attacker's L1 copy, so the timed probe
+//!   genuinely misses all the way to DRAM.
+//! - **Cross-core Flush+Reload** flushes lines of a (timing-)shared page
+//!   out of the common L2 and times reloading them; a fast reload means
+//!   the victim core refetched the line in between.
+//! - **Spectre co-location** runs an unmodified single-core Spectre v1
+//!   next to a streaming neighbor — the attack footprint must survive
+//!   benign bus noise.
+//!
+//! The benign scenarios are noisy-neighbor pairs: co-runners that contend
+//! hard on the shared L2 and buses (stream sweeps, pointer chasing,
+//! compute) without any secret-correlated structure. A detector that
+//! merely smells bus contention will false-positive on these; the
+//! perceptron has to find the prime/probe periodicity instead.
+
+use uarch_isa::{Assembler, MarkKind, Program, Reg};
+
+use crate::cache_attacks::MONITORED_LINES;
+use crate::layout::{emit_delay, emit_record_result, LINE, RESULTS, USER_SECRET, VICTIM_BUF};
+use crate::{benign, spectre, Class, Family, SpectreV1Params, Workload};
+
+/// Stride between addresses mapping to the same set of the shared L2
+/// (4096 sets × 64 B lines).
+pub const L2_SET_STRIDE: u64 = 4096 * 64;
+
+/// Ways per shared-L2 set (the eviction-set size for one set).
+pub const L2_WAYS: u64 = 8;
+
+/// Base of the cross-core attacker's eviction arena. Maps to L2 set 0,
+/// like [`crate::layout::VICTIM_BUF`] — so arena line `s`
+/// contends with the victim's nibble-`s` touch in the shared L2.
+pub const XCORE_ARENA: u64 = 0x100_0000;
+
+/// Working-set base for the cross-core victim's benign churn.
+const XCORE_VICTIM_WORK: u64 = 0x34_0800;
+
+/// Lines in the cross-core victim's working set.
+const XCORE_VICTIM_WORK_LINES: u64 = 48;
+
+/// A multi-core workload: one program per core, core 0 foreground.
+#[derive(Debug, Clone)]
+pub struct CoreScenario {
+    /// Unique scenario name.
+    pub name: String,
+    /// Ground-truth class of the scenario as a whole (malicious iff any
+    /// core runs an attack — by convention core 0).
+    pub class: Class,
+    /// Attack family of the foreground program.
+    pub family: Family,
+    /// One program per core; index = core id. Core 0 is the attacker in
+    /// malicious scenarios; co-runners are benign tenants or victims.
+    pub programs: Vec<Program>,
+}
+
+impl CoreScenario {
+    fn new(name: &str, class: Class, family: Family, programs: Vec<Program>) -> Self {
+        Self {
+            name: name.to_string(),
+            class,
+            family,
+            programs,
+        }
+    }
+
+    /// Number of cores the scenario needs.
+    pub fn n_cores(&self) -> usize {
+        self.programs.len()
+    }
+
+    /// Ground-truth class of the program on `core`: the scenario class
+    /// for the foreground core 0, benign for every co-runner (victims and
+    /// neighbors are not attackers).
+    pub fn core_class(&self, core: usize) -> Class {
+        if core == 0 {
+            self.class
+        } else {
+            Class::Benign
+        }
+    }
+
+    /// Flattens the scenario into one labeled [`Workload`] per core
+    /// (named `scenario#coreN`) so single-program tooling — the static
+    /// lint, per-program evidence extraction — can chew on each tenant's
+    /// program individually.
+    pub fn core_workloads(&self) -> Vec<Workload> {
+        self.programs
+            .iter()
+            .enumerate()
+            .map(|(i, p)| Workload {
+                name: format!("{}#core{i}", self.name),
+                class: self.core_class(i),
+                family: if i == 0 { self.family } else { Family::Benign },
+                program: p.clone(),
+            })
+            .collect()
+    }
+}
+
+/// The cross-core victim: forever iterates the secret nibble index,
+/// touching `VICTIM_BUF + nibble * 64` (shared-L2 sets 0..16), then churns
+/// a benign working set — a tenant that leaks through the shared cache
+/// without cooperating with anyone.
+pub fn xcore_victim() -> Program {
+    let mut a = Assembler::new("xcore-victim");
+    a.data(USER_SECRET, crate::layout::SECRET.to_vec());
+    a.data(VICTIM_BUF, vec![7u8; (MONITORED_LINES * LINE) as usize]);
+    a.data(
+        XCORE_VICTIM_WORK,
+        vec![9u8; (XCORE_VICTIM_WORK_LINES * LINE) as usize],
+    );
+    a.li(Reg::R20, 0); // nibble index
+    let iter = a.label();
+    a.bind(iter);
+    // Secret-dependent touch: nibble = secret byte [R20 >> 1], high/low by
+    // parity of R20.
+    a.shri(Reg::R5, Reg::R20, 1);
+    a.addi(Reg::R5, Reg::R5, USER_SECRET as i64);
+    a.loadb(Reg::R6, Reg::R5, 0);
+    a.andi(Reg::R7, Reg::R20, 1);
+    let low = a.label();
+    let have = a.label();
+    a.bnez(Reg::R7, low);
+    a.shri(Reg::R6, Reg::R6, 4);
+    a.jmp(have);
+    a.bind(low);
+    a.andi(Reg::R6, Reg::R6, 15);
+    a.bind(have);
+    a.shli(Reg::R6, Reg::R6, 6);
+    a.addi(Reg::R6, Reg::R6, VICTIM_BUF as i64);
+    a.loadb(Reg::R8, Reg::R6, 0);
+    // Benign working-set churn between secret touches.
+    a.li(Reg::R5, XCORE_VICTIM_WORK as i64);
+    a.li(
+        Reg::R9,
+        (XCORE_VICTIM_WORK + XCORE_VICTIM_WORK_LINES * LINE) as i64,
+    );
+    let sweep = a.label();
+    a.bind(sweep);
+    a.loadb(Reg::R6, Reg::R5, 0);
+    a.addi(Reg::R5, Reg::R5, LINE as i64);
+    a.blt(Reg::R5, Reg::R9, sweep);
+    emit_delay(&mut a, 100);
+    a.addi(Reg::R20, Reg::R20, 1);
+    a.andi(Reg::R20, Reg::R20, 31);
+    a.jmp(iter);
+    a.finish().expect("xcore_victim assembles")
+}
+
+/// The cross-core Prime+Probe attacker: primes shared-L2 sets 0..16 with
+/// 8 ways each from its private arena, waits, then times a per-set probe
+/// sweep. A slow set means the victim core touched it (its fill evicted a
+/// primed way, and the snoop back-invalidation took the attacker's L1
+/// copy with it — the probe miss goes to DRAM).
+pub fn xcore_prime_probe() -> Program {
+    let mut a = Assembler::new("xcore-prime-probe");
+    a.data(RESULTS, vec![0u8; 64]);
+    a.li(Reg::R21, 0); // result slot
+    let iter = a.label();
+    a.bind(iter);
+    a.mark(MarkKind::PhasePrime);
+    // Prime: for set s in 0..16, touch all 8 ways (stride = L2 set span).
+    let (s, w) = (Reg::R10, Reg::R11);
+    a.li(s, 0);
+    let pset = a.label();
+    a.bind(pset);
+    a.li(w, 0);
+    let pway = a.label();
+    a.bind(pway);
+    a.li(Reg::R5, L2_SET_STRIDE as i64);
+    a.mul(Reg::R5, Reg::R5, w);
+    a.shli(Reg::R6, s, 6);
+    a.add(Reg::R5, Reg::R5, Reg::R6);
+    a.addi(Reg::R5, Reg::R5, XCORE_ARENA as i64);
+    a.loadb(Reg::R7, Reg::R5, 0);
+    a.addi(w, w, 1);
+    a.li(Reg::R6, L2_WAYS as i64);
+    a.blt(w, Reg::R6, pway);
+    a.addi(s, s, 1);
+    a.li(Reg::R6, MONITORED_LINES as i64);
+    a.blt(s, Reg::R6, pset);
+    a.fence();
+
+    // Victim-execution window: the other core runs concurrently; all the
+    // attacker can do is wait.
+    a.mark(MarkKind::PhaseSpeculate);
+    emit_delay(&mut a, 600);
+
+    a.mark(MarkKind::PhaseProbe);
+    // Probe: time the 8-way reload of each set; slowest = victim's nibble.
+    let (best_t, best_s) = (Reg::R13, Reg::R14);
+    a.li(best_t, -1);
+    a.li(best_s, 0);
+    a.li(s, 0);
+    let qset = a.label();
+    let worse = a.label();
+    a.bind(qset);
+    a.membar();
+    a.rdcycle(Reg::R8);
+    a.li(w, 0);
+    let qway = a.label();
+    a.bind(qway);
+    a.li(Reg::R5, L2_SET_STRIDE as i64);
+    a.mul(Reg::R5, Reg::R5, w);
+    a.shli(Reg::R6, s, 6);
+    a.add(Reg::R5, Reg::R5, Reg::R6);
+    a.addi(Reg::R5, Reg::R5, XCORE_ARENA as i64);
+    a.loadb(Reg::R7, Reg::R5, 0);
+    a.addi(w, w, 1);
+    a.li(Reg::R6, L2_WAYS as i64);
+    a.blt(w, Reg::R6, qway);
+    a.rdcycle(Reg::R9);
+    a.sub(Reg::R9, Reg::R9, Reg::R8);
+    a.bge(best_t, Reg::R9, worse);
+    a.mv(best_t, Reg::R9);
+    a.mv(best_s, s);
+    a.bind(worse);
+    a.addi(s, s, 1);
+    a.li(Reg::R6, MONITORED_LINES as i64);
+    a.blt(s, Reg::R6, qset);
+
+    emit_record_result(&mut a, Reg::R21, best_s);
+    a.mark(MarkKind::LeakByte);
+    a.mark(MarkKind::IterationEnd);
+    a.addi(Reg::R21, Reg::R21, 1);
+    a.andi(Reg::R21, Reg::R21, 31);
+    a.jmp(iter);
+    a.finish().expect("xcore_prime_probe assembles")
+}
+
+/// The cross-core Flush+Reload attacker: flushes the victim-buffer lines
+/// out of the shared L2 (the flush's back-invalidation also snoops the
+/// victim core's L1 copies), waits, then times reloading each line. A
+/// fast reload hits data the victim core refetched into the shared L2.
+pub fn xcore_flush_reload() -> Program {
+    let mut a = Assembler::new("xcore-flush-reload");
+    a.data(RESULTS, vec![0u8; 64]);
+    a.li(Reg::R21, 0);
+    let iter = a.label();
+    a.bind(iter);
+    a.mark(MarkKind::PhasePrime);
+    a.li(Reg::R10, VICTIM_BUF as i64);
+    a.li(Reg::R11, MONITORED_LINES as i64);
+    let fl = a.label();
+    a.bind(fl);
+    a.flush(Reg::R10, 0);
+    a.addi(Reg::R10, Reg::R10, LINE as i64);
+    a.subi(Reg::R11, Reg::R11, 1);
+    a.bnez(Reg::R11, fl);
+    a.fence();
+
+    a.mark(MarkKind::PhaseSpeculate);
+    emit_delay(&mut a, 600);
+
+    a.mark(MarkKind::PhaseProbe);
+    let (k, best_t, best_k) = (Reg::R10, Reg::R11, Reg::R12);
+    a.li(k, 0);
+    a.li(best_t, i64::MAX);
+    a.li(best_k, 0);
+    let probe = a.label();
+    let worse = a.label();
+    a.bind(probe);
+    a.shli(Reg::R5, k, 6);
+    a.addi(Reg::R5, Reg::R5, VICTIM_BUF as i64);
+    a.membar();
+    a.rdcycle(Reg::R6);
+    a.loadb(Reg::R7, Reg::R5, 0);
+    a.rdcycle(Reg::R8);
+    a.sub(Reg::R8, Reg::R8, Reg::R6);
+    a.bge(Reg::R8, best_t, worse);
+    a.mv(best_t, Reg::R8);
+    a.mv(best_k, k);
+    a.bind(worse);
+    a.addi(k, k, 1);
+    a.li(Reg::R5, MONITORED_LINES as i64);
+    a.blt(k, Reg::R5, probe);
+
+    emit_record_result(&mut a, Reg::R21, best_k);
+    a.mark(MarkKind::LeakByte);
+    a.mark(MarkKind::IterationEnd);
+    a.addi(Reg::R21, Reg::R21, 1);
+    a.andi(Reg::R21, Reg::R21, 31);
+    a.jmp(iter);
+    a.finish().expect("xcore_flush_reload assembles")
+}
+
+/// A noisy neighbor: an endless streaming sweep over `lines` cache lines
+/// starting at `base` — maximum benign pressure on the shared L2 and
+/// both buses.
+pub fn stream_neighbor(name: &str, base: u64, lines: u64) -> Program {
+    let mut a = Assembler::new(name);
+    let top = a.label();
+    a.bind(top);
+    a.li(Reg::R10, base as i64);
+    a.li(Reg::R11, (base + lines * LINE) as i64);
+    let sweep = a.label();
+    a.bind(sweep);
+    a.loadb(Reg::R12, Reg::R10, 0);
+    a.addi(Reg::R10, Reg::R10, LINE as i64);
+    a.blt(Reg::R10, Reg::R11, sweep);
+    a.jmp(top);
+    a.finish().expect("stream_neighbor assembles")
+}
+
+/// A compute-bound neighbor: an endless ALU spin that barely touches
+/// memory (the quiet co-tenant).
+pub fn compute_neighbor(name: &str) -> Program {
+    let mut a = Assembler::new(name);
+    a.li(Reg::R10, 1);
+    a.li(Reg::R11, 0);
+    let top = a.label();
+    a.bind(top);
+    a.add(Reg::R11, Reg::R11, Reg::R10);
+    a.shli(Reg::R12, Reg::R11, 1);
+    a.sub(Reg::R12, Reg::R12, Reg::R10);
+    a.jmp(top);
+    a.finish().expect("compute_neighbor assembles")
+}
+
+/// The cross-core scenario suite: four attacker/victim (or attacker/
+/// neighbor) pairs and four benign noisy-neighbor pairs, all two-core.
+///
+/// Kept out of [`full_suite`](crate::full_suite) — those sizes are pinned
+/// by the single-core perceptron-corpus tests; multi-core collection has
+/// its own suite.
+pub fn cross_core_suite() -> Vec<CoreScenario> {
+    use Class::{Benign as B, Malicious as M};
+    let b = |p: Result<Program, uarch_isa::AsmError>| p.expect("benign kernel assembles");
+    vec![
+        CoreScenario::new(
+            "xcore-prime-probe-l2",
+            M,
+            Family::PrimeProbe,
+            vec![xcore_prime_probe(), xcore_victim()],
+        ),
+        CoreScenario::new(
+            "xcore-prime-probe-quiet",
+            M,
+            Family::PrimeProbe,
+            vec![xcore_prime_probe(), compute_neighbor("quiet-tenant")],
+        ),
+        CoreScenario::new(
+            "xcore-flush-reload-shared",
+            M,
+            Family::FlushReload,
+            vec![xcore_flush_reload(), xcore_victim()],
+        ),
+        CoreScenario::new(
+            "xcore-spectre-coloc",
+            M,
+            Family::SpectreV1,
+            vec![
+                spectre::spectre_v1(SpectreV1Params::default()),
+                stream_neighbor("stream-tenant", 0x80_0000, 512),
+            ],
+        ),
+        CoreScenario::new(
+            "xbenign-stream-pair",
+            B,
+            Family::Benign,
+            vec![
+                stream_neighbor("stream-a", 0x80_0000, 768),
+                stream_neighbor("stream-b", 0x90_0000, 768),
+            ],
+        ),
+        CoreScenario::new(
+            "xbenign-pchase-compute",
+            B,
+            Family::Benign,
+            vec![b(benign::mcf()), b(benign::hmmer())],
+        ),
+        CoreScenario::new(
+            "xbenign-stream-compute",
+            B,
+            Family::Benign,
+            vec![b(benign::libquantum()), b(benign::sjeng())],
+        ),
+        CoreScenario::new(
+            "xbenign-mixed-pair",
+            B,
+            Family::Benign,
+            vec![b(benign::bzip2()), b(benign::astar())],
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_shape_and_labels() {
+        let suite = cross_core_suite();
+        assert_eq!(suite.len(), 8);
+        assert!(suite.iter().all(|s| s.n_cores() == 2));
+        assert_eq!(
+            suite.iter().filter(|s| s.class == Class::Malicious).count(),
+            4
+        );
+        let mut names: Vec<_> = suite.iter().map(|s| s.name.clone()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 8, "scenario names must be unique");
+    }
+
+    #[test]
+    fn core_workloads_label_only_the_foreground_as_malicious() {
+        for s in cross_core_suite() {
+            let per_core = s.core_workloads();
+            assert_eq!(per_core.len(), s.n_cores());
+            assert_eq!(per_core[0].class, s.class);
+            for w in &per_core[1..] {
+                assert_eq!(w.class, Class::Benign, "{}", w.name);
+            }
+            for (i, w) in per_core.iter().enumerate() {
+                assert_eq!(w.name, format!("{}#core{i}", s.name));
+            }
+        }
+    }
+
+    #[test]
+    fn attacker_arena_contends_with_victim_buffer_in_l2() {
+        // Same L2 set ⇔ same (addr / 64) mod 4096.
+        let l2_set = |addr: u64| (addr / LINE) % (L2_SET_STRIDE / LINE);
+        for n in 0..MONITORED_LINES {
+            assert_eq!(
+                l2_set(XCORE_ARENA + n * LINE),
+                l2_set(VICTIM_BUF + n * LINE),
+                "arena line {n} must map to the victim's L2 set"
+            );
+        }
+    }
+}
