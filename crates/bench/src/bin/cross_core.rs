@@ -22,8 +22,15 @@
 
 use perspectron::dataset::Encoding;
 use perspectron::{
-    core_feature_indices, Dataset, FeatureSelection, PerSpectron, ScenarioSpec, SelectionConfig,
+    core_feature_indices, Dataset, FeatureSelection, InferencePath, PerSpectron, ScenarioSpec,
+    SelectionConfig,
 };
+
+/// The inference engine this experiment scores with: the bit-packed fast
+/// path, making every run an end-to-end smoke test of packed detection
+/// (verdicts are bit-identical to the scalar path, which the machine-wide
+/// detector cross-checks below).
+const PATH: InferencePath = InferencePath::Packed;
 
 /// Trains on the given schema-index slice (intersected with the
 /// feature-selected set) and evaluates on the full corpus.
@@ -51,7 +58,7 @@ fn view_report(
         relevance: selection.relevance.clone(),
     };
     let det = PerSpectron::train_with_selection(dataset, sliced);
-    (selected.len(), det.evaluate(corpus))
+    (selected.len(), det.evaluate_via(corpus, PATH))
 }
 
 fn main() {
@@ -62,9 +69,10 @@ fn main() {
         ScenarioSpec::cross_core()
     };
     println!(
-        "CROSS-CORE DETECTION: {} two-core scenarios, {} insts each\n",
+        "CROSS-CORE DETECTION: {} two-core scenarios, {} insts each (inference path: {})\n",
         spec.scenarios.len(),
-        spec.insts_per_scenario
+        spec.insts_per_scenario,
+        PATH.label()
     );
 
     let corpus = spec.collect();
@@ -77,9 +85,27 @@ fn main() {
         selection.selected.len()
     );
 
-    // Machine-wide detector over the full namespaced schema.
+    // Machine-wide detector over the full namespaced schema, scored on
+    // the packed path and cross-checked against the scalar reference:
+    // identical confusion counts or the fast path has drifted.
     let det = PerSpectron::train_with_selection(&dataset, selection.clone());
-    let report = det.evaluate(&corpus);
+    let report = det.evaluate_via(&corpus, PATH);
+    let scalar_report = det.evaluate_via(&corpus, InferencePath::Scalar);
+    assert_eq!(
+        (
+            report.confusion.tp,
+            report.confusion.fp,
+            report.confusion.tn,
+            report.confusion.fn_
+        ),
+        (
+            scalar_report.confusion.tp,
+            scalar_report.confusion.fp,
+            scalar_report.confusion.tn,
+            scalar_report.confusion.fn_
+        ),
+        "packed and scalar inference disagree on the cross-core corpus"
+    );
 
     // Per-core views: the attacker core's slice and the victim core's.
     let schema_names = dataset.schema.names();
@@ -115,7 +141,7 @@ fn main() {
     println!("\nper-scenario mean confidence (machine-wide detector):");
     let mut per_scenario = Vec::new();
     for t in &corpus.traces {
-        let series = det.confidence_series(t);
+        let series = det.confidence_series_via(t, PATH);
         let mean = series.iter().sum::<f64>() / series.len().max(1) as f64;
         println!("  {:<28} {:?}  {:+.3}", t.name, t.class, mean);
         per_scenario.push((t.name.clone(), format!("{:?}", t.class), mean));
@@ -136,6 +162,7 @@ fn main() {
 
     let mut json = String::from("{\n  \"experiment\": \"cross_core_detection\",\n");
     json.push_str(&format!("  \"quick\": {quick},\n"));
+    json.push_str(&format!("  \"inference_path\": \"{}\",\n", PATH.label()));
     json.push_str(&format!(
         "  \"scenarios\": {},\n  \"insts_per_scenario\": {},\n  \"samples\": {},\n  \"schema_width\": {},\n",
         spec.scenarios.len(),

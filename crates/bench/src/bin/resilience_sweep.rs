@@ -13,10 +13,16 @@
 //! `PERSPECTRON_QUICK=1` shrinks the sweep to a single faulted dropout
 //! point for CI smoke runs.
 
-use perspectron::{CollectedCorpus, FaultPlan, FaultSpec, PerSpectron};
+use perspectron::{CollectedCorpus, FaultPlan, FaultSpec, InferencePath, PerSpectron};
 use perspectron_bench::{render_table, trained_detector};
 use uarch_stats::SampleSink;
 use workloads::Class;
+
+/// The inference engine every replay scores with: the bit-packed fast
+/// path, so each sweep run doubles as an end-to-end smoke test of packed
+/// detection under fault injection (verdicts are bit-identical to the
+/// scalar path either way).
+const PATH: InferencePath = InferencePath::Packed;
 
 /// One measured sweep point.
 struct Point {
@@ -33,11 +39,12 @@ fn replay(corpus: &CollectedCorpus, detector: &PerSpectron, spec: FaultSpec) -> 
     let plan = FaultPlan::new(spec, corpus.schema());
     let (mut correct, mut degraded, mut total) = (0usize, 0usize, 0usize);
     for t in &corpus.traces {
-        let mut sink = plan.sink_for(&t.name, detector.streaming());
+        let mut sink = plan.sink_for(&t.name, detector.streaming_packed());
         for (j, row) in t.trace.rows().enumerate() {
             sink.on_sample(t.trace.instruction_counts()[j], row);
         }
-        let monitor = sink.into_inner();
+        let mut monitor = sink.into_inner();
+        monitor.flush();
         degraded += monitor.degraded_intervals();
         for v in monitor.verdicts() {
             total += 1;
@@ -64,9 +71,11 @@ fn main() {
 
     println!("RESILIENCE SWEEP: detection accuracy under injected sensor faults");
     println!(
-        "(per-interval accuracy over {} workloads, {} fault seed(s) per point)\n",
+        "(per-interval accuracy over {} workloads, {} fault seed(s) per point, \
+         inference path: {})\n",
         corpus.traces.len(),
-        seeds.len()
+        seeds.len(),
+        PATH.label()
     );
 
     let mut points: Vec<Point> = Vec::new();
@@ -146,10 +155,12 @@ fn main() {
         })
         .collect();
     let json = format!(
-        "{{\n  \"experiment\": \"resilience_sweep\",\n  \"quick\": {},\n  \"seeds\": {:?},\n  \
+        "{{\n  \"experiment\": \"resilience_sweep\",\n  \"quick\": {},\n  \
+         \"inference_path\": \"{}\",\n  \"seeds\": {:?},\n  \
          \"headline\": {{\"clean_accuracy\": {:.6}, \"dropout10_accuracy\": {:.6}, \
          \"delta_points\": {:.3}}},\n  \"points\": [\n{}\n  ]\n}}\n",
         quick,
+        PATH.label(),
         seeds,
         clean.accuracy,
         at10.accuracy,

@@ -2,6 +2,7 @@
 
 use std::sync::Arc;
 
+use mlkit::{BitRow, PackedRows};
 use uarch_stats::Schema;
 use workloads::{Class, Family};
 
@@ -102,6 +103,35 @@ impl Dataset {
             .map(|s| indices.iter().map(|&i| s.x[i]).collect())
             .collect();
         (x, self.y())
+    }
+
+    /// Projects every sample onto the given feature indices as bit-packed
+    /// rows, ready for [`mlkit::PackedPerceptron::score_rows`]. Every lane
+    /// is valid: dataset samples were already encoded (and masked) by the
+    /// [`RowEncoder`], so a stored `0.0` carries no degradation history.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the dataset uses [`Encoding::KSparse`]: packed rows
+    /// represent the binarized encoding only.
+    pub fn packed_rows(&self, indices: &[usize]) -> PackedRows {
+        assert_eq!(
+            self.encoding,
+            Encoding::KSparse,
+            "packed rows exist only for the k-sparse binarized encoding"
+        );
+        let mut rows = PackedRows::new(indices.len());
+        let mut row = BitRow::zeros(indices.len());
+        for s in &self.samples {
+            row.clear();
+            for (lane, &i) in indices.iter().enumerate() {
+                if s.x[i] == 1.0 {
+                    row.set(lane, true);
+                }
+            }
+            rows.push(&row).expect("row width matches batch width");
+        }
+        rows
     }
 
     /// Number of samples.

@@ -3,7 +3,7 @@
 
 use std::sync::Arc;
 
-use mlkit::{confusion, Classifier, Confusion, Perceptron};
+use mlkit::{confusion, BitRow, Classifier, Confusion, PackedPerceptron, PackedRows, Perceptron};
 use uarch_stats::Schema;
 
 use crate::dataset::{Dataset, Encoding};
@@ -12,6 +12,31 @@ use crate::features::{component_of, FeatureSelection, SelectionConfig};
 use crate::hardware::HardwareCost;
 use crate::stream::StreamingDetector;
 use crate::trace::{CollectedCorpus, LabeledTrace};
+
+/// Which inference engine scores encoded windows.
+///
+/// The two paths produce bit-identical verdicts (same confidences, same
+/// suspicious flags, same degradation accounting) — `Packed` is purely a
+/// throughput optimization that works on bit-packed rows with a frozen
+/// [`PackedPerceptron`] instead of dense `f64` rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InferencePath {
+    /// Dense `f64` rows scored by the trained [`Perceptron`] (reference).
+    #[default]
+    Scalar,
+    /// Bit-packed rows scored by a frozen [`PackedPerceptron`].
+    Packed,
+}
+
+impl InferencePath {
+    /// Stable lowercase label for logs and JSON reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            InferencePath::Scalar => "scalar",
+            InferencePath::Packed => "packed",
+        }
+    }
+}
 
 /// Evaluation summary of a detector over a corpus.
 #[derive(Debug, Clone)]
@@ -36,6 +61,10 @@ pub struct PerSpectron {
     pub threshold: f64,
     weight_norm: f64,
     dataset_blueprint: DatasetBlueprint,
+    /// The perceptron frozen for bit-packed inference, built on first use
+    /// (the weights never change after training, so one freeze serves
+    /// every packed scoring call).
+    frozen: std::sync::OnceLock<PackedPerceptron>,
 }
 
 /// What the detector needs to encode unseen traces the same way the
@@ -104,6 +133,7 @@ impl PerSpectron {
                         .collect(),
                 ),
             },
+            frozen: std::sync::OnceLock::new(),
         }
     }
 
@@ -139,7 +169,14 @@ impl PerSpectron {
                 }
             })
             .collect();
-        let score = self.perceptron.score(&projected) / self.weight_norm;
+        self.normalize_score(self.perceptron.score(&projected))
+    }
+
+    /// Normalizes a raw perceptron score to the `[-1, 1]` confidence scale
+    /// — the one place both inference paths divide by the weight norm and
+    /// clamp non-finite outputs, so their verdicts cannot drift apart.
+    pub(crate) fn normalize_score(&self, raw: f64) -> f64 {
+        let score = raw / self.weight_norm;
         if score.is_finite() {
             score
         } else {
@@ -177,12 +214,36 @@ impl PerSpectron {
         RowEncoder::new(self.dataset_blueprint.max_matrix.clone(), Encoding::KSparse)
     }
 
+    /// A packed-row encoder projected straight down to the selected
+    /// features: raw rows come in, [`BitRow`]s as wide as the perceptron
+    /// come out, with masked lanes recorded in the validity plane.
+    pub fn packed_encoder(&self) -> RowEncoder {
+        self.input_encoder()
+            .with_projection(self.selection.selected.clone())
+    }
+
+    /// The trained perceptron frozen into its bit-packed inference form
+    /// (exact sparse scorer plus the quantized popcount planes). Built
+    /// once, lazily; subsequent calls return the cached freeze.
+    pub fn packed_perceptron(&self) -> &PackedPerceptron {
+        self.frozen
+            .get_or_init(|| PackedPerceptron::from_perceptron(&self.perceptron))
+    }
+
     /// An online, per-interval detector sharing this detector's weights
     /// and encoding — plug it into a [`uarch_stats::SampleSink`] producer
     /// (e.g. [`sim_cpu::Core::run_with_sink`]) to score every sampling
     /// window the moment it closes.
     pub fn streaming(&self) -> StreamingDetector {
         StreamingDetector::new(self)
+    }
+
+    /// Like [`PerSpectron::streaming`] but scoring through the bit-packed
+    /// batched fast path. Verdicts are bit-identical to the scalar sink;
+    /// callers must invoke [`StreamingDetector::flush`] once the stream
+    /// ends so the final partial batch is scored.
+    pub fn streaming_packed(&self) -> StreamingDetector {
+        StreamingDetector::with_path(self, InferencePath::Packed)
     }
 
     /// Per-sample confidences over an unseen trace (encoded with the
@@ -201,8 +262,38 @@ impl PerSpectron {
             .collect()
     }
 
+    /// Per-sample confidences over an unseen trace through a chosen
+    /// inference path. The `Scalar` arm is exactly
+    /// [`PerSpectron::confidence_series`]; the `Packed` arm encodes every
+    /// row into a [`PackedRows`] batch and scores it in one sweep — the
+    /// results are bit-identical.
+    pub fn confidence_series_via(&self, trace: &LabeledTrace, path: InferencePath) -> Vec<f64> {
+        match path {
+            InferencePath::Scalar => self.confidence_series(trace),
+            InferencePath::Packed => {
+                let encoder = self.packed_encoder();
+                let engine = self.packed_perceptron();
+                let mut row = BitRow::zeros(encoder.width());
+                let mut batch = PackedRows::new(encoder.width());
+                for (j, raw) in trace.trace.rows().enumerate() {
+                    encoder.encode_bits_into(raw, j, &mut row);
+                    batch.push(&row).expect("encoder and batch widths agree");
+                }
+                let mut scores = Vec::new();
+                engine.score_rows(&batch, &mut scores);
+                scores.iter().map(|&s| self.normalize_score(s)).collect()
+            }
+        }
+    }
+
     /// Evaluates on a corpus at the configured threshold.
     pub fn evaluate(&self, corpus: &CollectedCorpus) -> DetectionReport {
+        self.evaluate_via(corpus, InferencePath::Scalar)
+    }
+
+    /// Evaluates on a corpus at the configured threshold, scoring through
+    /// the chosen inference path (reports are identical for both).
+    pub fn evaluate_via(&self, corpus: &CollectedCorpus, path: InferencePath) -> DetectionReport {
         let mut predicted = Vec::new();
         let mut truth = Vec::new();
         let mut fp = std::collections::BTreeSet::new();
@@ -213,7 +304,7 @@ impl PerSpectron {
             } else {
                 -1
             };
-            for c in self.confidence_series(t) {
+            for c in self.confidence_series_via(t, path) {
                 let p = if c >= self.threshold { 1i8 } else { -1 };
                 predicted.push(p);
                 truth.push(label);
@@ -245,19 +336,9 @@ impl PerSpectron {
     /// predictors use 8-bit weights; §IV-G1's vendor patches ship these).
     /// Returns `(weights, bias, scale)` with `float ≈ int × scale`.
     pub fn quantized_weights(&self) -> (Vec<i8>, i8, f64) {
-        let max = self
-            .perceptron
-            .weights()
-            .iter()
-            .chain(std::iter::once(&self.perceptron.bias()))
-            .fold(0.0f64, |m, w| m.max(w.abs()));
-        let scale = if max == 0.0 { 1.0 } else { max / 127.0 };
-        let q = |w: f64| -> i8 { (w / scale).round().clamp(-127.0, 127.0) as i8 };
-        (
-            self.perceptron.weights().iter().map(|&w| q(w)).collect(),
-            q(self.perceptron.bias()),
-            scale,
-        )
+        let engine = self.packed_perceptron();
+        let (q, b, scale) = engine.quantized();
+        (q.to_vec(), b, scale)
     }
 
     /// Hardware-style inference: the sequential adder over 8-bit quantized

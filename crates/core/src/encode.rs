@@ -9,6 +9,8 @@
 
 use std::sync::Arc;
 
+use mlkit::BitRow;
+
 use crate::trace::CollectedCorpus;
 
 /// How samples encode feature values.
@@ -41,7 +43,7 @@ pub struct MaxMatrix {
 /// would produce garbage (or an effectively-infinite scale).
 #[inline]
 fn encode_value(max: f64, value: f64, encoding: Encoding) -> f64 {
-    let scaled = if max < f64::MIN_POSITIVE || !max.is_finite() || !value.is_finite() {
+    let scaled = if lane_masked(max, value) {
         0.0
     } else {
         (value.abs() / max).min(1.0)
@@ -63,6 +65,36 @@ fn encode_value(max: f64, value: f64, encoding: Encoding) -> f64 {
 #[inline]
 pub(crate) fn needs_sanitizing(value: f64) -> bool {
     !value.is_finite()
+}
+
+/// Whether a lane must be masked during encoding: the single source of
+/// truth for both the scalar path (which encodes the lane as 0.0) and the
+/// packed path (which additionally clears the lane's validity bit). A
+/// lane is masked when its raw value is non-finite (a corrupted sensor
+/// reading) or its reference maximum is non-finite or subnormal (dividing
+/// by it would produce garbage or an effectively-infinite scale).
+#[inline]
+pub(crate) fn lane_masked(max: f64, value: f64) -> bool {
+    max < f64::MIN_POSITIVE || !max.is_finite() || needs_sanitizing(value)
+}
+
+/// Sanitizes one raw sensor row: returns the row to score (borrowed
+/// unchanged when clean — the overwhelmingly common case — or rebuilt in
+/// `scratch` with non-finite values masked to zero) plus the count of
+/// values that needed masking.
+///
+/// This is the one raw-row sanitization helper shared by the scalar and
+/// packed streaming paths, so the `Degraded::sanitized_values` accounting
+/// can never drift between them.
+pub(crate) fn sanitize_row<'a>(row: &'a [f64], scratch: &'a mut Vec<f64>) -> (&'a [f64], usize) {
+    let sanitized = row.iter().filter(|v| needs_sanitizing(**v)).count();
+    if sanitized == 0 {
+        (row, 0)
+    } else {
+        scratch.clear();
+        scratch.extend(row.iter().map(|&v| if v.is_finite() { v } else { 0.0 }));
+        (scratch, sanitized)
+    }
 }
 
 /// Schema indices of the feature slice a detector attached to `core`
@@ -247,6 +279,60 @@ impl RowEncoder {
     pub fn encode(&self, row: &[f64], j: usize) -> Vec<f64> {
         let mut out = Vec::with_capacity(self.width());
         self.encode_into(row, j, &mut out);
+        out
+    }
+
+    /// Encodes a raw full-width delta row taken at sampling point `j`
+    /// directly into a packed [`BitRow`] (reset first; reallocated only if
+    /// its width differs): a lane's bit is set exactly when
+    /// [`RowEncoder::encode_into`] would produce `1.0` for it, and a
+    /// lane's validity bit is cleared when the value was masked (a
+    /// non-finite sensor reading, or a non-finite/subnormal reference
+    /// maximum with no usable global fallback) — so degraded-lane
+    /// accounting survives packing even after the raw `f64` row is gone.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the encoder uses [`Encoding::KSparse`]: packed rows
+    /// are a representation of the binarized encoding only.
+    pub fn encode_bits_into(&self, row: &[f64], j: usize, out: &mut BitRow) {
+        assert_eq!(
+            self.encoding,
+            Encoding::KSparse,
+            "packed rows exist only for the k-sparse binarized encoding"
+        );
+        if out.width() != self.width() {
+            *out = BitRow::zeros(self.width());
+        } else {
+            out.clear();
+        }
+        let mut encode_lane = |lane: usize, i: usize, v: f64| {
+            let max = self.max.max_at(i, j);
+            if lane_masked(max, v) {
+                out.set_valid(lane, false);
+            } else if encode_value(max, v, Encoding::KSparse) == 1.0 {
+                out.set(lane, true);
+            }
+        };
+        match &self.projection {
+            None => {
+                for (i, &v) in row.iter().enumerate() {
+                    encode_lane(i, i, v);
+                }
+            }
+            Some(p) => {
+                for (lane, &i) in p.iter().enumerate() {
+                    encode_lane(lane, i, row[i]);
+                }
+            }
+        }
+    }
+
+    /// Allocating convenience wrapper around
+    /// [`RowEncoder::encode_bits_into`].
+    pub fn encode_bits(&self, row: &[f64], j: usize) -> BitRow {
+        let mut out = BitRow::zeros(self.width());
+        self.encode_bits_into(row, j, &mut out);
         out
     }
 }

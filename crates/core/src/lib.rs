@@ -18,7 +18,10 @@
 //!    storage bits) justifying "low hardware complexity" in Table IV.
 //! 6. [`stream`] — the online deployment shape: per-interval featurization
 //!    and classification as a [`uarch_stats::SampleSink`], scoring every
-//!    sampling window the moment the simulator closes it.
+//!    sampling window the moment the simulator closes it. An optional
+//!    bit-packed fast path ([`InferencePath::Packed`]) batches windows
+//!    into `u64` bitsets and scores them with a frozen
+//!    [`mlkit::PackedPerceptron`], bit-identically to the scalar path.
 //! 7. [`faults`] — deterministic sensor-fault injection (component
 //!    dropout, row drops, value corruption, interval jitter) at the sample
 //!    boundary, quantifying the paper's replicated-detector resilience
@@ -58,7 +61,7 @@ pub mod stream;
 pub mod trace;
 
 pub use dataset::{Dataset, Sample};
-pub use detector::{DetectionReport, PerSpectron};
+pub use detector::{DetectionReport, InferencePath, PerSpectron};
 pub use encode::{core_feature_indices, Encoding, MaxMatrix, RowEncoder};
 pub use eval::{paper_folds, FoldSpec};
 pub use faults::{FaultLog, FaultPlan, FaultSpec, FaultySink};

@@ -12,13 +12,23 @@
 //! interval; its decisions are bit-identical to the batch
 //! [`PerSpectron::confidence_series`] path because both run the same
 //! encoder and the same perceptron.
+//!
+//! The detector sink can also run on the bit-packed fast path
+//! ([`InferencePath::Packed`], via [`PerSpectron::streaming_packed`]):
+//! each window is encoded straight into a [`BitRow`] projected onto the
+//! selected features, buffered into a [`PackedRows`] batch, and scored by
+//! a frozen [`mlkit::PackedPerceptron`] whenever the batch fills (or on
+//! [`StreamingDetector::flush`]). Verdicts — confidences, suspicious
+//! flags, and [`Degraded`] accounting — are bit-identical to the scalar
+//! sink; only the throughput differs.
 
 use std::sync::Arc;
 
+use mlkit::{BitRow, PackedPerceptron, PackedRows};
 use uarch_stats::SampleSink;
 
-use crate::detector::PerSpectron;
-use crate::encode::{needs_sanitizing, RowEncoder};
+use crate::detector::{InferencePath, PerSpectron};
+use crate::encode::{needs_sanitizing, sanitize_row, RowEncoder};
 
 /// The encoded feature vectors produced one interval at a time.
 ///
@@ -129,6 +139,34 @@ pub struct IntervalVerdict {
     pub degraded: Option<Degraded>,
 }
 
+/// Windows buffered on the packed path before a batched scoring sweep.
+/// Small enough to keep alarm latency at one batch, large enough that the
+/// per-sweep overhead amortizes away.
+const PACKED_BATCH: usize = 64;
+
+/// A window encoded and buffered on the packed path, waiting for its
+/// batch to be scored.
+#[derive(Debug, Clone)]
+struct PendingInterval {
+    at_inst: u64,
+    degraded: Option<Degraded>,
+}
+
+/// State of the bit-packed batched fast path: the frozen inference
+/// engine, the projected packed encoder, and the current batch of
+/// encoded-but-unscored windows.
+#[derive(Debug, Clone)]
+struct PackedPath {
+    engine: PackedPerceptron,
+    encoder: RowEncoder,
+    /// Scratch row reused across windows.
+    row: BitRow,
+    batch: PackedRows,
+    pending: Vec<PendingInterval>,
+    /// Scratch score buffer reused across sweeps.
+    scores: Vec<f64>,
+}
+
 /// An online detector: scores every sampling window against a trained
 /// [`PerSpectron`] as the window closes, exactly as the hardware perceptron
 /// would — encode the window's counter deltas k-sparsely, sum the weights
@@ -150,6 +188,13 @@ pub struct IntervalVerdict {
 ///     println!("alarm at {} insts (confidence {:.2})", v.at_inst, v.confidence);
 /// }
 /// ```
+///
+/// [`PerSpectron::streaming_packed`] yields the same sink on the
+/// bit-packed fast path: windows are buffered into batches of 64 and
+/// scored in one sweep each. The verdicts are bit-identical; the one
+/// behavioral difference is latency — verdicts appear when a batch fills,
+/// so callers must invoke [`StreamingDetector::flush`] after the stream
+/// ends to score the final partial batch.
 #[derive(Debug, Clone)]
 pub struct StreamingDetector {
     detector: PerSpectron,
@@ -163,13 +208,37 @@ pub struct StreamingDetector {
     raw_buf: Vec<f64>,
     point: usize,
     verdicts: Vec<IntervalVerdict>,
+    /// `Some` when this sink scores through the bit-packed fast path.
+    packed: Option<PackedPath>,
 }
 
 impl StreamingDetector {
-    /// Wraps a trained detector for online use.
+    /// Wraps a trained detector for online use (scalar reference path).
     pub fn new(detector: &PerSpectron) -> Self {
+        Self::with_path(detector, InferencePath::Scalar)
+    }
+
+    /// Wraps a trained detector for online use on the chosen inference
+    /// path. On [`InferencePath::Packed`], remember to call
+    /// [`StreamingDetector::flush`] once the stream ends.
+    pub fn with_path(detector: &PerSpectron, path: InferencePath) -> Self {
         let encoder = detector.input_encoder();
         let width = encoder.width();
+        let packed = match path {
+            InferencePath::Scalar => None,
+            InferencePath::Packed => {
+                let encoder = detector.packed_encoder();
+                let w = encoder.width();
+                Some(PackedPath {
+                    engine: detector.packed_perceptron().clone(),
+                    encoder,
+                    row: BitRow::zeros(w),
+                    batch: PackedRows::new(w),
+                    pending: Vec::with_capacity(PACKED_BATCH),
+                    scores: Vec::with_capacity(PACKED_BATCH),
+                })
+            }
+        };
         Self {
             watchlist: detector.always_active_components(),
             detector: detector.clone(),
@@ -178,7 +247,47 @@ impl StreamingDetector {
             raw_buf: Vec::new(),
             point: 0,
             verdicts: Vec::new(),
+            packed,
         }
+    }
+
+    /// Which inference engine this sink scores windows with.
+    pub fn inference_path(&self) -> InferencePath {
+        if self.packed.is_some() {
+            InferencePath::Packed
+        } else {
+            InferencePath::Scalar
+        }
+    }
+
+    /// Windows encoded but not yet scored (always zero on the scalar
+    /// path; at most one batch minus one on the packed path).
+    pub fn pending_intervals(&self) -> usize {
+        self.packed.as_ref().map_or(0, |p| p.pending.len())
+    }
+
+    /// Scores any buffered windows immediately (no-op on the scalar
+    /// path). Packed-path callers must invoke this once the stream ends so
+    /// the final partial batch reaches the verdict log.
+    pub fn flush(&mut self) {
+        let Some(p) = &mut self.packed else {
+            return;
+        };
+        if p.pending.is_empty() {
+            return;
+        }
+        p.engine.score_rows(&p.batch, &mut p.scores);
+        debug_assert_eq!(p.scores.len(), p.pending.len());
+        for (meta, &raw_score) in p.pending.drain(..).zip(p.scores.iter()) {
+            let confidence = self.detector.normalize_score(raw_score);
+            self.verdicts.push(IntervalVerdict {
+                at_inst: meta.at_inst,
+                confidence,
+                suspicious: confidence >= self.detector.threshold,
+                degraded: meta.degraded,
+            });
+        }
+        p.batch.clear();
     }
 
     /// Every per-interval verdict so far, oldest first.
@@ -204,11 +313,15 @@ impl StreamingDetector {
             .count()
     }
 
-    /// Rewinds the sampling-point cursor and clears verdicts, for reuse on
-    /// a fresh process.
+    /// Rewinds the sampling-point cursor and clears verdicts (and, on the
+    /// packed path, any unscored batch), for reuse on a fresh process.
     pub fn reset(&mut self) {
         self.verdicts.clear();
         self.point = 0;
+        if let Some(p) = &mut self.packed {
+            p.batch.clear();
+            p.pending.clear();
+        }
     }
 }
 
@@ -219,15 +332,7 @@ impl SampleSink for StreamingDetector {
         // check below never compares against NaN). Clean rows — the
         // overwhelmingly common case — are scored straight off the
         // borrowed slice, bit-identically to the pre-hardening path.
-        let sanitized_values = row.iter().filter(|v| needs_sanitizing(**v)).count();
-        let raw: &[f64] = if sanitized_values == 0 {
-            row
-        } else {
-            self.raw_buf.clear();
-            self.raw_buf
-                .extend(row.iter().map(|&v| if v.is_finite() { v } else { 0.0 }));
-            &self.raw_buf
-        };
+        let (raw, sanitized_values) = sanitize_row(row, &mut self.raw_buf);
         // Dropout check: an always-active-in-training component whose
         // counters all read zero is a dead sensor bank, not idleness.
         let mut missing_components = Vec::new();
@@ -240,15 +345,37 @@ impl SampleSink for StreamingDetector {
             missing_components,
             sanitized_values,
         };
-        self.encoder.encode_into(raw, self.point, &mut self.buf);
-        let confidence = self.detector.confidence(&self.buf);
-        self.verdicts.push(IntervalVerdict {
-            at_inst: insts,
-            confidence,
-            suspicious: confidence >= self.detector.threshold,
-            degraded: (!status.is_clean()).then_some(status),
-        });
+        let degraded = (!status.is_clean()).then_some(status);
+        match &mut self.packed {
+            None => {
+                self.encoder.encode_into(raw, self.point, &mut self.buf);
+                let confidence = self.detector.confidence(&self.buf);
+                self.verdicts.push(IntervalVerdict {
+                    at_inst: insts,
+                    confidence,
+                    suspicious: confidence >= self.detector.threshold,
+                    degraded,
+                });
+            }
+            Some(p) => {
+                p.encoder.encode_bits_into(raw, self.point, &mut p.row);
+                p.batch
+                    .push(&p.row)
+                    .expect("encoder and batch widths agree");
+                p.pending.push(PendingInterval {
+                    at_inst: insts,
+                    degraded,
+                });
+            }
+        }
         self.point += 1;
+        if self
+            .packed
+            .as_ref()
+            .is_some_and(|p| p.pending.len() >= PACKED_BATCH)
+        {
+            self.flush();
+        }
     }
 }
 

@@ -1,0 +1,146 @@
+//! Typed errors for the ML toolkit.
+//!
+//! Everything a caller can get wrong from the outside — a weight patch
+//! whose width does not match the model, a training set with mismatched
+//! or empty rows, a degenerate hyper-parameter — surfaces as an
+//! [`MlError`] instead of a panic, mirroring the simulator's `SimError`
+//! convention. The panicking `fit` entry points remain (the `Classifier`
+//! trait predates the error layer and the training-set invariants are
+//! programmer errors in every caller we have), but they now funnel
+//! through the same typed validation, so the messages are uniform and the
+//! fallible [`Classifier::try_fit`](crate::Classifier::try_fit) wrapper
+//! can report instead of aborting.
+
+/// An error constructing, configuring or training a model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MlError {
+    /// A weight vector's length does not match the model's feature count
+    /// (e.g. a vendor weight patch built for a different schema).
+    WeightWidthMismatch {
+        /// Features the model was built for.
+        expected: usize,
+        /// Weights actually supplied.
+        got: usize,
+    },
+    /// `x` and `y` of a training set have different lengths.
+    LengthMismatch {
+        /// Number of feature rows.
+        rows: usize,
+        /// Number of labels.
+        labels: usize,
+    },
+    /// The training set has no samples.
+    EmptyTrainingSet,
+    /// A training row's width does not match the model's feature count.
+    FeatureWidthMismatch {
+        /// Features the model was built for.
+        expected: usize,
+        /// Width of the offending row.
+        got: usize,
+    },
+    /// A hyper-parameter has a value the model cannot operate with.
+    InvalidParam {
+        /// The offending parameter.
+        param: &'static str,
+        /// Why the value is unusable.
+        reason: &'static str,
+    },
+}
+
+impl std::fmt::Display for MlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MlError::WeightWidthMismatch { expected, got } => {
+                write!(
+                    f,
+                    "weight count mismatch: model has {expected} features, got {got} weights"
+                )
+            }
+            MlError::LengthMismatch { rows, labels } => {
+                write!(f, "x/y length mismatch: {rows} rows vs {labels} labels")
+            }
+            MlError::EmptyTrainingSet => write!(f, "empty training set"),
+            MlError::FeatureWidthMismatch { expected, got } => {
+                write!(
+                    f,
+                    "feature width mismatch: model has {expected} features, rows have {got}"
+                )
+            }
+            MlError::InvalidParam { param, reason } => {
+                write!(f, "invalid parameter {param}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MlError {}
+
+/// Validates a training set against an optional expected feature width.
+///
+/// The single source of truth for the invariants every `fit` enforces:
+/// equal `x`/`y` lengths, at least one sample, and (when the model has a
+/// fixed width) rows matching that width.
+pub fn validate_training_set(
+    x: &[Vec<f64>],
+    y: &[i8],
+    expected_width: Option<usize>,
+) -> Result<(), MlError> {
+    if x.len() != y.len() {
+        return Err(MlError::LengthMismatch {
+            rows: x.len(),
+            labels: y.len(),
+        });
+    }
+    if x.is_empty() {
+        return Err(MlError::EmptyTrainingSet);
+    }
+    if let Some(expected) = expected_width {
+        let got = x[0].len();
+        if got != expected {
+            return Err(MlError::FeatureWidthMismatch { expected, got });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = MlError::WeightWidthMismatch {
+            expected: 106,
+            got: 3,
+        };
+        assert!(e.to_string().contains("106"));
+        assert!(e.to_string().contains("weight count mismatch"));
+        let e = MlError::InvalidParam {
+            param: "k",
+            reason: "must be positive",
+        };
+        assert!(e.to_string().contains('k'));
+        assert!(e.to_string().contains("must be positive"));
+    }
+
+    #[test]
+    fn validation_catches_each_invariant() {
+        assert_eq!(
+            validate_training_set(&[vec![1.0]], &[], None),
+            Err(MlError::LengthMismatch { rows: 1, labels: 0 })
+        );
+        assert_eq!(
+            validate_training_set(&[], &[], None),
+            Err(MlError::EmptyTrainingSet)
+        );
+        assert_eq!(
+            validate_training_set(&[vec![1.0]], &[1], Some(2)),
+            Err(MlError::FeatureWidthMismatch {
+                expected: 2,
+                got: 1
+            })
+        );
+        assert_eq!(validate_training_set(&[vec![1.0]], &[1], Some(1)), Ok(()));
+    }
+}

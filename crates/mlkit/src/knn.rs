@@ -1,5 +1,6 @@
 //! K-nearest neighbors.
 
+use crate::error::{validate_training_set, MlError};
 use crate::Classifier;
 
 /// K-nearest-neighbor classifier (Euclidean distance).
@@ -31,14 +32,28 @@ impl Knn {
     ///
     /// # Panics
     ///
-    /// Panics if `k == 0`.
+    /// Panics if `k == 0`; use [`Knn::try_new`] for a typed error.
     pub fn new(k: usize) -> Self {
-        assert!(k > 0, "k must be positive");
-        Self {
+        Self::try_new(k).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible constructor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::InvalidParam`] when `k == 0`.
+    pub fn try_new(k: usize) -> Result<Self, MlError> {
+        if k == 0 {
+            return Err(MlError::InvalidParam {
+                param: "k",
+                reason: "k must be positive",
+            });
+        }
+        Ok(Self {
             k,
             x: Vec::new(),
             y: Vec::new(),
-        }
+        })
     }
 
     /// Number of stored training rows (the hardware-cost driver).
@@ -49,8 +64,7 @@ impl Knn {
 
 impl Classifier for Knn {
     fn fit(&mut self, x: &[Vec<f64>], y: &[i8]) {
-        assert_eq!(x.len(), y.len(), "x/y length mismatch");
-        assert!(!x.is_empty(), "empty training set");
+        validate_training_set(x, y, None).unwrap_or_else(|e| panic!("{e}"));
         self.x = x.to_vec();
         self.y = y.to_vec();
     }

@@ -23,19 +23,23 @@
 
 pub mod corr;
 pub mod cv;
+pub mod error;
 pub mod knn;
 pub mod logreg;
 pub mod metrics;
 pub mod mlp;
+pub mod packed;
 pub mod perceptron;
 pub mod tree;
 
 pub use corr::{correlation_matrix, pearson};
 pub use cv::{stratified_kfold, GroupSplit};
+pub use error::{validate_training_set, MlError};
 pub use knn::Knn;
 pub use logreg::LogisticRegression;
 pub use metrics::{auc, confusion, roc_curve, Confusion, RocPoint};
 pub use mlp::Mlp;
+pub use packed::{BitRow, PackedPerceptron, PackedRows};
 pub use perceptron::Perceptron;
 pub use tree::DecisionTree;
 
@@ -46,7 +50,23 @@ pub trait Classifier {
     /// # Panics
     ///
     /// Implementations panic if `x` and `y` lengths differ or `x` is empty.
+    /// Use [`Classifier::try_fit`] to get the same invariants as a typed
+    /// [`MlError`] instead.
     fn fit(&mut self, x: &[Vec<f64>], y: &[i8]);
+
+    /// Fallible training: validates the training set first and returns a
+    /// typed [`MlError`] instead of panicking on a malformed one.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated training-set invariant (length
+    /// mismatch, empty set). Width checks stay with the individual
+    /// models, whose expected widths differ.
+    fn try_fit(&mut self, x: &[Vec<f64>], y: &[i8]) -> Result<(), MlError> {
+        validate_training_set(x, y, None)?;
+        self.fit(x, y);
+        Ok(())
+    }
 
     /// Raw decision score for one row (≥ 0 ⇒ class +1).
     fn score(&self, row: &[f64]) -> f64;
@@ -82,8 +102,7 @@ impl Majority {
 
 impl Classifier for Majority {
     fn fit(&mut self, x: &[Vec<f64>], y: &[i8]) {
-        assert_eq!(x.len(), y.len(), "x/y length mismatch");
-        assert!(!x.is_empty(), "empty training set");
+        validate_training_set(x, y, None).unwrap_or_else(|e| panic!("{e}"));
         let pos = y.iter().filter(|&&l| l > 0).count();
         self.vote = if pos * 2 >= y.len() { 1.0 } else { -1.0 };
     }

@@ -1,5 +1,6 @@
 //! Logistic regression trained by stochastic gradient descent.
 
+use crate::error::validate_training_set;
 use crate::Classifier;
 
 /// L2-regularized logistic regression (SGD).
@@ -51,9 +52,7 @@ impl LogisticRegression {
 
 impl Classifier for LogisticRegression {
     fn fit(&mut self, x: &[Vec<f64>], y: &[i8]) {
-        assert_eq!(x.len(), y.len(), "x/y length mismatch");
-        assert!(!x.is_empty(), "empty training set");
-        assert_eq!(x[0].len(), self.weights.len(), "feature width mismatch");
+        validate_training_set(x, y, Some(self.weights.len())).unwrap_or_else(|e| panic!("{e}"));
         for _ in 0..self.epochs {
             for (row, &label) in x.iter().zip(y) {
                 let target = if label > 0 { 1.0 } else { 0.0 };

@@ -3,6 +3,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::error::validate_training_set;
 use crate::Classifier;
 
 /// A multi-layer perceptron with one tanh hidden layer and a linear output,
@@ -74,8 +75,7 @@ impl Mlp {
 
 impl Classifier for Mlp {
     fn fit(&mut self, x: &[Vec<f64>], y: &[i8]) {
-        assert_eq!(x.len(), y.len(), "x/y length mismatch");
-        assert!(!x.is_empty(), "empty training set");
+        validate_training_set(x, y, None).unwrap_or_else(|e| panic!("{e}"));
         for _ in 0..self.epochs {
             for (row, &label) in x.iter().zip(y) {
                 let h = self.hidden_out(row);

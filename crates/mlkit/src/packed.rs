@@ -1,0 +1,658 @@
+//! Bit-packed binary feature rows and the popcount perceptron.
+//!
+//! The paper's detector is deliberately hardware-shaped: 0/1 k-sparse
+//! features scored by a single-layer perceptron, exactly like the
+//! perceptron branch predictors it descends from. This module is that
+//! shape taken literally in software: a binarized row is a [`BitRow`]
+//! (one bit per feature, packed into `u64` words, plus a validity mask
+//! for lanes that were sanitized away), a batch of rows is a contiguous
+//! [`PackedRows`] block, and a trained [`Perceptron`] freezes into a
+//! [`PackedPerceptron`] whose inference walks set bits instead of
+//! multiplying a dense `f64` vector.
+//!
+//! Two scoring paths are provided:
+//!
+//! * **Exact** ([`PackedPerceptron::score_bits`]) — iterates the set
+//!   (and valid) bits of the row in ascending lane order and sums the
+//!   corresponding `f64` weights. Because every input is exactly `0.0`
+//!   or `1.0`, skipping the zero terms cannot perturb the IEEE-754 sum:
+//!   the result is **bit-identical** to [`crate::Classifier::score`] on the
+//!   equivalent dense row, so verdicts, confidences and thresholds all
+//!   carry over unchanged — the packed path is a faster spelling of the
+//!   same math, never an approximation.
+//! * **Quantized popcount** ([`PackedPerceptron::score_quantized`]) —
+//!   the hardware engine itself: weights quantized to signed 8-bit (the
+//!   representation vendor weight patches ship, §IV-G1) and decomposed
+//!   into sign/magnitude bit-planes, so a score is seven AND+popcount
+//!   passes per sign. Integer arithmetic is order-free, so this path is
+//!   exactly the sequential adder the silicon would run.
+//!
+//! Invalid lanes (see [`BitRow::set_valid`]) contribute nothing to
+//! either score even if their bit is set — a sanitized sensor reading
+//! is masked, never scored.
+
+use crate::error::MlError;
+use crate::perceptron::Perceptron;
+
+/// Bits per storage word.
+const WORD_BITS: usize = 64;
+
+/// Words needed to hold `width` lanes.
+#[inline]
+fn words_for(width: usize) -> usize {
+    width.div_ceil(WORD_BITS)
+}
+
+/// Mask of the in-range bits of the last word of a `width`-lane row
+/// (all-ones when the width is a multiple of 64).
+#[inline]
+fn tail_mask(width: usize) -> u64 {
+    let rem = width % WORD_BITS;
+    if rem == 0 {
+        u64::MAX
+    } else {
+        (1u64 << rem) - 1
+    }
+}
+
+/// One binarized feature row packed 64 lanes per `u64` word, with a
+/// per-lane validity mask.
+///
+/// A lane is *set* when the binarized feature is 1, and *valid* unless
+/// the value was masked during encoding (a sanitized non-finite sensor
+/// reading, or a reference maximum too degenerate to divide by). Tail
+/// bits beyond `width` are always zero in both planes, so whole-word
+/// popcounts never see garbage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitRow {
+    words: Vec<u64>,
+    valid: Vec<u64>,
+    width: usize,
+}
+
+impl BitRow {
+    /// An all-zero, all-valid row over `width` lanes.
+    pub fn zeros(width: usize) -> Self {
+        let n = words_for(width);
+        let mut valid = vec![u64::MAX; n];
+        if let Some(last) = valid.last_mut() {
+            *last = tail_mask(width);
+        }
+        Self {
+            words: vec![0; n],
+            valid,
+            width,
+        }
+    }
+
+    /// Packs a dense binarized row: a lane is set when the value exceeds
+    /// 0.5 (the k-sparse convention) and invalid when it is non-finite.
+    pub fn from_f64(row: &[f64]) -> Self {
+        let mut out = Self::zeros(row.len());
+        for (i, &v) in row.iter().enumerate() {
+            if !v.is_finite() {
+                out.set_valid(i, false);
+            } else if v > 0.5 {
+                out.set(i, true);
+            }
+        }
+        out
+    }
+
+    /// Number of lanes.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The packed feature bits, 64 lanes per word, tail bits zero.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// The packed validity mask (1 = lane valid), tail bits zero.
+    pub fn valid_words(&self) -> &[u64] {
+        &self.valid
+    }
+
+    /// The feature bit of lane `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= width`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.width, "lane {i} out of range ({})", self.width);
+        self.words[i / WORD_BITS] >> (i % WORD_BITS) & 1 == 1
+    }
+
+    /// Sets or clears the feature bit of lane `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= width`.
+    pub fn set(&mut self, i: usize, bit: bool) {
+        assert!(i < self.width, "lane {i} out of range ({})", self.width);
+        let mask = 1u64 << (i % WORD_BITS);
+        if bit {
+            self.words[i / WORD_BITS] |= mask;
+        } else {
+            self.words[i / WORD_BITS] &= !mask;
+        }
+    }
+
+    /// Whether lane `i` is valid (not masked during encoding).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= width`.
+    pub fn is_valid(&self, i: usize) -> bool {
+        assert!(i < self.width, "lane {i} out of range ({})", self.width);
+        self.valid[i / WORD_BITS] >> (i % WORD_BITS) & 1 == 1
+    }
+
+    /// Marks lane `i` valid or invalid. Invalid lanes contribute nothing
+    /// to any score, even if their bit is set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= width`.
+    pub fn set_valid(&mut self, i: usize, valid: bool) {
+        assert!(i < self.width, "lane {i} out of range ({})", self.width);
+        let mask = 1u64 << (i % WORD_BITS);
+        if valid {
+            self.valid[i / WORD_BITS] |= mask;
+        } else {
+            self.valid[i / WORD_BITS] &= !mask;
+        }
+    }
+
+    /// Number of set lanes.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Number of lanes masked invalid — the row's degradation footprint.
+    pub fn invalid_lanes(&self) -> usize {
+        self.width
+            - self
+                .valid
+                .iter()
+                .map(|w| w.count_ones() as usize)
+                .sum::<usize>()
+    }
+
+    /// Resets to all-zero bits and all-valid lanes, keeping the width —
+    /// the allocation-free reuse path for streaming encoders.
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+        self.valid.iter_mut().for_each(|w| *w = u64::MAX);
+        if let Some(last) = self.valid.last_mut() {
+            *last = tail_mask(self.width);
+        }
+    }
+
+    /// Unpacks to a dense 0/1 `f64` row (invalid lanes unpack to 0.0 —
+    /// exactly what the scalar encoder would have produced for them).
+    pub fn to_f64(&self) -> Vec<f64> {
+        (0..self.width)
+            .map(|i| {
+                if self.get(i) && self.is_valid(i) {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    }
+}
+
+/// A batch of equal-width [`BitRow`]s stored contiguously, row-major —
+/// the cache-friendly layout batched inference walks linearly.
+#[derive(Debug, Clone, Default)]
+pub struct PackedRows {
+    words: Vec<u64>,
+    valid: Vec<u64>,
+    width: usize,
+    words_per_row: usize,
+    len: usize,
+}
+
+impl PackedRows {
+    /// An empty batch over `width`-lane rows.
+    pub fn new(width: usize) -> Self {
+        Self {
+            words: Vec::new(),
+            valid: Vec::new(),
+            width,
+            words_per_row: words_for(width),
+            len: 0,
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::FeatureWidthMismatch`] when the row's width
+    /// differs from the batch's.
+    pub fn push(&mut self, row: &BitRow) -> Result<(), MlError> {
+        if row.width() != self.width {
+            return Err(MlError::FeatureWidthMismatch {
+                expected: self.width,
+                got: row.width(),
+            });
+        }
+        self.words.extend_from_slice(row.words());
+        self.valid.extend_from_slice(row.valid_words());
+        self.len += 1;
+        Ok(())
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the batch holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Lanes per row.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Storage words per row.
+    pub fn words_per_row(&self) -> usize {
+        self.words_per_row
+    }
+
+    /// The packed feature words of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= len`.
+    pub fn row_words(&self, r: usize) -> &[u64] {
+        assert!(r < self.len, "row {r} out of range ({})", self.len);
+        &self.words[r * self.words_per_row..(r + 1) * self.words_per_row]
+    }
+
+    /// The packed validity words of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= len`.
+    pub fn row_valid(&self, r: usize) -> &[u64] {
+        assert!(r < self.len, "row {r} out of range ({})", self.len);
+        &self.valid[r * self.words_per_row..(r + 1) * self.words_per_row]
+    }
+
+    /// Reconstructs row `r` as a standalone [`BitRow`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= len`.
+    pub fn row(&self, r: usize) -> BitRow {
+        BitRow {
+            words: self.row_words(r).to_vec(),
+            valid: self.row_valid(r).to_vec(),
+            width: self.width,
+        }
+    }
+
+    /// Drops every row, keeping the allocation and width.
+    pub fn clear(&mut self) {
+        self.words.clear();
+        self.valid.clear();
+        self.len = 0;
+    }
+}
+
+/// A trained [`Perceptron`] frozen for bit-packed inference.
+///
+/// Holds the exact `f64` weights (for bit-identical scoring) alongside
+/// their signed-8-bit quantization decomposed into sign/magnitude
+/// bit-planes (for the pure popcount engine). Construction is cheap;
+/// freeze once after training and share across streams.
+#[derive(Debug, Clone)]
+pub struct PackedPerceptron {
+    weights: Vec<f64>,
+    bias: f64,
+    width: usize,
+    words_per_row: usize,
+    /// Quantized weights (`float ≈ int × scale`), kept for inspection
+    /// and cross-checks against sequential-adder implementations.
+    qweights: Vec<i8>,
+    qbias: i32,
+    scale: f64,
+    /// `planes[b][w]`: lanes whose quantized magnitude has bit `b` set,
+    /// split by weight sign. Seven planes cover |q| ≤ 127.
+    pos_planes: Vec<Vec<u64>>,
+    neg_planes: Vec<Vec<u64>>,
+}
+
+/// Magnitude bit-planes of an 8-bit weight (|q| ≤ 127 needs seven).
+const QUANT_PLANES: usize = 7;
+
+impl PackedPerceptron {
+    /// Freezes a trained perceptron's weights for packed inference.
+    pub fn from_perceptron(p: &Perceptron) -> Self {
+        Self::from_weights(p.weights(), p.bias())
+    }
+
+    /// Freezes an explicit weight vector and bias.
+    pub fn from_weights(weights: &[f64], bias: f64) -> Self {
+        let width = weights.len();
+        let words_per_row = words_for(width);
+        // Identical quantization to the detector's vendor-patch scheme:
+        // scale from the largest magnitude (weights and bias alike).
+        let max = weights
+            .iter()
+            .chain(std::iter::once(&bias))
+            .fold(0.0f64, |m, w| m.max(w.abs()));
+        let scale = if max == 0.0 { 1.0 } else { max / 127.0 };
+        let q = |w: f64| -> i8 { (w / scale).round().clamp(-127.0, 127.0) as i8 };
+        let qweights: Vec<i8> = weights.iter().map(|&w| q(w)).collect();
+        let mut pos_planes = vec![vec![0u64; words_per_row]; QUANT_PLANES];
+        let mut neg_planes = vec![vec![0u64; words_per_row]; QUANT_PLANES];
+        for (i, &qw) in qweights.iter().enumerate() {
+            let mag = qw.unsigned_abs();
+            let planes = if qw >= 0 {
+                &mut pos_planes
+            } else {
+                &mut neg_planes
+            };
+            for (b, plane) in planes.iter_mut().enumerate() {
+                if mag >> b & 1 == 1 {
+                    plane[i / WORD_BITS] |= 1u64 << (i % WORD_BITS);
+                }
+            }
+        }
+        Self {
+            weights: weights.to_vec(),
+            bias,
+            width,
+            words_per_row,
+            qweights,
+            qbias: q(bias) as i32,
+            scale,
+            pos_planes,
+            neg_planes,
+        }
+    }
+
+    /// Number of input lanes.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The frozen `f64` weights, in lane order.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The frozen bias.
+    pub fn bias(&self) -> f64 {
+        self.bias
+    }
+
+    /// The 8-bit quantization `(weights, bias, scale)` backing the
+    /// popcount planes, with `float ≈ int × scale`.
+    pub fn quantized(&self) -> (&[i8], i8, f64) {
+        (&self.qweights, self.qbias as i8, self.scale)
+    }
+
+    /// Exact raw score over word slices (bits, validity). The workhorse
+    /// behind [`PackedPerceptron::score_bits`] and batched scoring.
+    #[inline]
+    fn score_words(&self, words: &[u64], valid: &[u64]) -> f64 {
+        debug_assert_eq!(words.len(), self.words_per_row);
+        // Summing only the set lanes in ascending order reproduces the
+        // dense dot product bit-for-bit: the skipped terms are exact
+        // zeros, which cannot move an IEEE-754 accumulator that starts
+        // at +0.0.
+        let mut acc = 0.0f64;
+        for (w, (&bits, &ok)) in words.iter().zip(valid).enumerate() {
+            let mut m = bits & ok;
+            let base = w * WORD_BITS;
+            while m != 0 {
+                let b = m.trailing_zeros() as usize;
+                acc += self.weights[base + b];
+                m &= m - 1;
+            }
+        }
+        acc + self.bias
+    }
+
+    /// Exact raw decision score for one packed row — bit-identical to
+    /// [`crate::Classifier::score`] on the equivalent dense 0/1 row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row's width differs from the model's.
+    pub fn score_bits(&self, row: &BitRow) -> f64 {
+        assert_eq!(row.width(), self.width, "packed row width mismatch");
+        self.score_words(row.words(), row.valid_words())
+    }
+
+    /// Predicted ±1 label for one packed row (≥ 0 ⇒ +1), identical to
+    /// the scalar `predict`.
+    pub fn predict_bits(&self, row: &BitRow) -> i8 {
+        if self.score_bits(row) >= 0.0 {
+            1
+        } else {
+            -1
+        }
+    }
+
+    /// Exact raw scores for a whole batch, written into `out` (cleared
+    /// first). The batch walk is a single linear pass over the packed
+    /// block — the cache-friendly shape per-row scoring cannot reach.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch's width differs from the model's.
+    pub fn score_rows(&self, rows: &PackedRows, out: &mut Vec<f64>) {
+        assert_eq!(rows.width(), self.width, "packed batch width mismatch");
+        out.clear();
+        out.reserve(rows.len());
+        let n = self.words_per_row;
+        for r in 0..rows.len() {
+            let base = r * n;
+            out.push(self.score_words(&rows.words[base..base + n], &rows.valid[base..base + n]));
+        }
+    }
+
+    /// Predicted ±1 labels for a whole batch.
+    pub fn predict_rows(&self, rows: &PackedRows) -> Vec<i8> {
+        let mut scores = Vec::new();
+        self.score_rows(rows, &mut scores);
+        scores
+            .into_iter()
+            .map(|s| if s >= 0.0 { 1 } else { -1 })
+            .collect()
+    }
+
+    /// The pure popcount engine: integer score over the sign/magnitude
+    /// bit-planes of the 8-bit quantized weights. Exactly equal to the
+    /// hardware's sequential adder (add `q[i]` when lane `i` is set,
+    /// plus the quantized bias) — integer addition is order-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row's width differs from the model's.
+    pub fn score_quantized(&self, row: &BitRow) -> i32 {
+        assert_eq!(row.width(), self.width, "packed row width mismatch");
+        let mut acc = self.qbias;
+        for b in 0..QUANT_PLANES {
+            let mut pos = 0u32;
+            let mut neg = 0u32;
+            for ((&bits, &ok), (p, n)) in row
+                .words()
+                .iter()
+                .zip(row.valid_words())
+                .zip(self.pos_planes[b].iter().zip(&self.neg_planes[b]))
+            {
+                let live = bits & ok;
+                pos += (live & p).count_ones();
+                neg += (live & n).count_ones();
+            }
+            acc += (1i32 << b) * (pos as i32 - neg as i32);
+        }
+        acc
+    }
+
+    /// Quantized verdict (≥ 0 ⇒ suspicious), the silicon's output wire.
+    pub fn predict_quantized(&self, row: &BitRow) -> bool {
+        self.score_quantized(row) >= 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Classifier;
+
+    #[test]
+    fn bitrow_roundtrips_and_keeps_tails_clean() {
+        for width in [1usize, 63, 64, 65, 106, 128, 130] {
+            let mut r = BitRow::zeros(width);
+            r.set(0, true);
+            r.set(width - 1, true);
+            assert!(r.get(0) && r.get(width - 1));
+            assert_eq!(r.count_ones(), if width == 1 { 1 } else { 2 });
+            // Tail bits beyond `width` stay zero in both planes.
+            if width % WORD_BITS != 0 {
+                let tail = *r.words().last().unwrap() & !tail_mask(width);
+                assert_eq!(tail, 0, "width {width}: dirty tail bits");
+                let vtail = *r.valid_words().last().unwrap() & !tail_mask(width);
+                assert_eq!(vtail, 0, "width {width}: dirty validity tail");
+            }
+            r.set(0, false);
+            assert!(!r.get(0));
+            assert_eq!(r.invalid_lanes(), 0);
+            r.set_valid(width - 1, false);
+            assert_eq!(r.invalid_lanes(), 1);
+            r.clear();
+            assert_eq!(r.count_ones(), 0);
+            assert_eq!(r.invalid_lanes(), 0);
+        }
+    }
+
+    #[test]
+    fn from_f64_packs_the_ksparse_convention() {
+        let r = BitRow::from_f64(&[0.0, 1.0, 0.4, 0.6, f64::NAN, f64::INFINITY]);
+        assert!(!r.get(0) && r.get(1) && !r.get(2) && r.get(3));
+        assert!(!r.get(4) && !r.get(5), "non-finite lanes pack as 0");
+        assert!(!r.is_valid(4) && !r.is_valid(5));
+        assert_eq!(r.invalid_lanes(), 2);
+        assert_eq!(r.to_f64(), vec![0.0, 1.0, 0.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn packed_rows_push_rejects_width_mismatch() {
+        let mut batch = PackedRows::new(10);
+        assert!(batch.push(&BitRow::zeros(10)).is_ok());
+        assert_eq!(
+            batch.push(&BitRow::zeros(11)),
+            Err(MlError::FeatureWidthMismatch {
+                expected: 10,
+                got: 11
+            })
+        );
+        assert_eq!(batch.len(), 1);
+        let row = batch.row(0);
+        assert_eq!(row, BitRow::zeros(10));
+    }
+
+    #[test]
+    fn packed_score_is_bit_identical_to_scalar_score() {
+        // Width 70 exercises the non-multiple-of-64 tail.
+        let width = 70;
+        let weights: Vec<f64> = (0..width)
+            .map(|i| ((i as f64) * 0.37 - 11.0) / 3.0)
+            .collect();
+        let mut p = Perceptron::new(width);
+        p.set_weights(weights, 0.125).unwrap();
+        let packed = PackedPerceptron::from_perceptron(&p);
+        for pattern in 0u64..64 {
+            let dense: Vec<f64> = (0..width)
+                .map(|i| f64::from(pattern >> (i % 17) & 1 == 1))
+                .collect();
+            let row = BitRow::from_f64(&dense);
+            assert_eq!(
+                packed.score_bits(&row).to_bits(),
+                p.score(&dense).to_bits(),
+                "pattern {pattern}: packed score diverged"
+            );
+            assert_eq!(packed.predict_bits(&row), p.predict(&dense));
+        }
+    }
+
+    #[test]
+    fn invalid_lanes_contribute_nothing_even_when_set() {
+        let mut p = Perceptron::new(3);
+        p.set_weights(vec![1.0, 10.0, 100.0], 0.0).unwrap();
+        let packed = PackedPerceptron::from_perceptron(&p);
+        let mut row = BitRow::zeros(3);
+        row.set(0, true);
+        row.set(1, true);
+        row.set_valid(1, false);
+        assert_eq!(packed.score_bits(&row), 1.0);
+        assert_eq!(packed.score_quantized(&row), packed.quantized().0[0] as i32);
+    }
+
+    #[test]
+    fn quantized_popcount_matches_the_sequential_adder() {
+        let width = 106;
+        let weights: Vec<f64> = (0..width).map(|i| (i as f64 * 7.3).sin() * 4.0).collect();
+        let bias = -0.75;
+        let packed = PackedPerceptron::from_weights(&weights, bias);
+        let (q, qb, scale) = packed.quantized();
+        assert!(scale > 0.0);
+        for pattern in 0u64..128 {
+            let mut row = BitRow::zeros(width);
+            let mut adder: i32 = qb as i32;
+            for (i, &qw) in q.iter().enumerate() {
+                if pattern >> (i % 19) & 1 == 1 {
+                    row.set(i, true);
+                    adder += qw as i32;
+                }
+            }
+            assert_eq!(
+                packed.score_quantized(&row),
+                adder,
+                "pattern {pattern}: popcount planes diverged from the adder"
+            );
+        }
+    }
+
+    #[test]
+    fn batched_scores_match_per_row_scores() {
+        let width = 65;
+        let weights: Vec<f64> = (0..width).map(|i| (i as f64) - 31.5).collect();
+        let packed = PackedPerceptron::from_weights(&weights, 2.0);
+        let mut batch = PackedRows::new(width);
+        let mut singles = Vec::new();
+        for k in 0..10usize {
+            let mut row = BitRow::zeros(width);
+            for i in (k % 7..width).step_by(k + 2) {
+                row.set(i, true);
+            }
+            singles.push(packed.score_bits(&row));
+            batch.push(&row).unwrap();
+        }
+        let mut batched = Vec::new();
+        packed.score_rows(&batch, &mut batched);
+        let a: Vec<u64> = singles.iter().map(|s| s.to_bits()).collect();
+        let b: Vec<u64> = batched.iter().map(|s| s.to_bits()).collect();
+        assert_eq!(a, b);
+        assert_eq!(
+            packed.predict_rows(&batch),
+            singles
+                .iter()
+                .map(|&s| if s >= 0.0 { 1i8 } else { -1 })
+                .collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,5 +1,6 @@
 //! The single-layer perceptron — the paper's detector model.
 
+use crate::error::{validate_training_set, MlError};
 use crate::Classifier;
 
 /// A single-layer perceptron with the classic Rosenblatt update rule
@@ -67,21 +68,27 @@ impl Perceptron {
     /// Overwrites the weights (used to load vendor-distributed weight
     /// patches, §IV-G1 of the paper).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the weight count differs from the feature count.
-    pub fn set_weights(&mut self, weights: Vec<f64>, bias: f64) {
-        assert_eq!(weights.len(), self.weights.len(), "weight count mismatch");
+    /// Returns [`MlError::WeightWidthMismatch`] when the patch's weight
+    /// count differs from the model's feature count — a patch built for
+    /// a different schema must be rejected, not loaded.
+    pub fn set_weights(&mut self, weights: Vec<f64>, bias: f64) -> Result<(), MlError> {
+        if weights.len() != self.weights.len() {
+            return Err(MlError::WeightWidthMismatch {
+                expected: self.weights.len(),
+                got: weights.len(),
+            });
+        }
         self.weights = weights;
         self.bias = bias;
+        Ok(())
     }
 }
 
 impl Classifier for Perceptron {
     fn fit(&mut self, x: &[Vec<f64>], y: &[i8]) {
-        assert_eq!(x.len(), y.len(), "x/y length mismatch");
-        assert!(!x.is_empty(), "empty training set");
-        assert_eq!(x[0].len(), self.weights.len(), "feature width mismatch");
+        validate_training_set(x, y, Some(self.weights.len())).unwrap_or_else(|e| panic!("{e}"));
         // Pocket variant: the plain perceptron rule oscillates on data that
         // is not cleanly separable, so keep the best epoch's weights.
         let mut best = (self.weights.clone(), self.bias, usize::MAX);
@@ -180,8 +187,23 @@ mod tests {
     #[test]
     fn set_weights_round_trips() {
         let mut p = Perceptron::new(3);
-        p.set_weights(vec![1.0, -2.0, 0.5], 0.25);
+        p.set_weights(vec![1.0, -2.0, 0.5], 0.25).unwrap();
         assert_eq!(p.score(&[1.0, 1.0, 2.0]), 1.0 - 2.0 + 1.0 + 0.25);
+    }
+
+    #[test]
+    fn set_weights_rejects_wrong_width_with_a_typed_error() {
+        let mut p = Perceptron::new(3);
+        let err = p.set_weights(vec![1.0], 0.0).unwrap_err();
+        assert_eq!(
+            err,
+            MlError::WeightWidthMismatch {
+                expected: 3,
+                got: 1
+            }
+        );
+        // The model is untouched after a rejected patch.
+        assert_eq!(p.weights(), &[0.0, 0.0, 0.0]);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! CART decision tree (Gini impurity, binary splits).
 
+use crate::error::validate_training_set;
 use crate::Classifier;
 
 #[derive(Debug, Clone)]
@@ -150,8 +151,7 @@ impl DecisionTree {
 
 impl Classifier for DecisionTree {
     fn fit(&mut self, x: &[Vec<f64>], y: &[i8]) {
-        assert_eq!(x.len(), y.len(), "x/y length mismatch");
-        assert!(!x.is_empty(), "empty training set");
+        validate_training_set(x, y, None).unwrap_or_else(|e| panic!("{e}"));
         let idx: Vec<usize> = (0..x.len()).collect();
         self.root = Some(self.build(x, y, &idx, 0));
     }

@@ -96,7 +96,7 @@ proptest! {
         b in proptest::collection::vec(-5.0f64..5.0, 4)
     ) {
         let mut p = Perceptron::new(4);
-        p.set_weights(w, 0.0);
+        p.set_weights(w, 0.0).unwrap();
         let sum: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
         let lhs = p.score(&sum);
         let rhs = p.score(&a) + p.score(&b);
