@@ -1,0 +1,777 @@
+//! An on-disk columnar corpus format, memory-mappable for replay at scale.
+//!
+//! The service story (DESIGN §5i) needs million-row corpora streamed into
+//! thousands of replay clients without ever holding the corpus resident.
+//! This module is the storage half of that: a [`CollectedCorpus`] writes
+//! to a single little-endian file — fixed header, schema name table,
+//! per-trace directory (label, family, marks), then per-trace **column
+//! pages**: the instruction counts as one contiguous `u64` page followed
+//! by each statistic column as one contiguous `f64` page. Column-major
+//! pages mean a reader touching one counter's time series faults in only
+//! that column's bytes, and a blocked row reader walks every page
+//! sequentially.
+//!
+//! Reading goes through [`CorpusReader`], which memory-maps the file
+//! read-only via [`MappedFile`] — the kernel
+//! pages column data in on demand — and falls back to positioned reads
+//! (`pread`-style [`std::os::unix::fs::FileExt::read_at`]) when mapping
+//! is unavailable or explicitly disabled. The whole payload is guarded by
+//! an FNV-1a checksum; truncation and corruption surface as typed
+//! [`CorpusIoError`]s, never as garbage samples.
+//!
+//! All multi-byte fields are little-endian **by definition** (not host
+//! order): the same file parses identically on any architecture, pinned
+//! by the golden-header fixture in `crates/core/tests/corpus_io.rs`.
+
+use std::fs::File;
+use std::io::{self, Write};
+use std::path::Path;
+
+use sim_cpu::MarkEvent;
+use uarch_isa::MarkKind;
+use uarch_stats::{SampleTrace, Schema};
+use workloads::{Class, Family};
+
+use crate::mmap::MappedFile;
+use crate::trace::{CollectedCorpus, LabeledTrace};
+
+/// File magic: the first four bytes of every corpus file.
+pub const MAGIC: [u8; 4] = *b"PSPC";
+
+/// Current format version.
+pub const VERSION: u32 = 1;
+
+/// Fixed header length in bytes (magic, version, counts, interval,
+/// payload length, payload checksum, reserved word).
+pub const HEADER_LEN: usize = 48;
+
+/// Rows fetched per column read when streaming a trace sequentially —
+/// the resident-memory granule of a blocked replay
+/// (`block × columns × 8` bytes, ~150 KiB for the 1159-column schema).
+pub const DEFAULT_BLOCK_ROWS: usize = 16;
+
+/// Why a corpus file could not be written or read.
+#[derive(Debug)]
+pub enum CorpusIoError {
+    /// An underlying I/O failure (open, read, write, map).
+    Io(io::Error),
+    /// The file does not start with [`MAGIC`] — not a corpus file.
+    BadMagic([u8; 4]),
+    /// The file's format version is newer than this reader understands.
+    UnsupportedVersion(u32),
+    /// The file is shorter than its header claims — a torn or truncated
+    /// write.
+    Truncated {
+        /// Bytes the header promised.
+        expected: u64,
+        /// Bytes actually present.
+        actual: u64,
+    },
+    /// The payload bytes do not hash to the header's checksum.
+    ChecksumMismatch {
+        /// Checksum recorded in the header.
+        expected: u64,
+        /// Checksum of the bytes actually read.
+        actual: u64,
+    },
+    /// Structurally invalid payload (bad string, out-of-range label,
+    /// directory overrun) despite a passing checksum.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for CorpusIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CorpusIoError::Io(e) => write!(f, "corpus io: {e}"),
+            CorpusIoError::BadMagic(m) => {
+                write!(
+                    f,
+                    "not a corpus file (magic {m:02x?}, expected {MAGIC:02x?})"
+                )
+            }
+            CorpusIoError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "corpus format version {v} is newer than supported {VERSION}"
+                )
+            }
+            CorpusIoError::Truncated { expected, actual } => write!(
+                f,
+                "corpus file truncated: header promises {expected} bytes, file has {actual}"
+            ),
+            CorpusIoError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "corpus payload checksum mismatch: header {expected:#018x}, computed {actual:#018x}"
+            ),
+            CorpusIoError::Corrupt(what) => write!(f, "corrupt corpus payload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CorpusIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CorpusIoError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for CorpusIoError {
+    fn from(e: io::Error) -> Self {
+        CorpusIoError::Io(e)
+    }
+}
+
+/// FNV-1a 64 over a byte slice — the payload checksum (the repo's stock
+/// golden-snapshot hash, applied to bytes instead of stats).
+fn fnv1a_bytes(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+fn class_code(c: Class) -> u8 {
+    match c {
+        Class::Malicious => 0,
+        Class::Benign => 1,
+    }
+}
+
+fn class_from(code: u8) -> Result<Class, CorpusIoError> {
+    match code {
+        0 => Ok(Class::Malicious),
+        1 => Ok(Class::Benign),
+        n => Err(CorpusIoError::Corrupt(format!("class code {n}"))),
+    }
+}
+
+fn family_code(f: Family) -> u8 {
+    match f {
+        Family::SpectreV1 => 0,
+        Family::SpectreV2 => 1,
+        Family::SpectreRsb => 2,
+        Family::Meltdown => 3,
+        Family::BreakingKslr => 4,
+        Family::CacheOut => 5,
+        Family::FlushFlush => 6,
+        Family::FlushReload => 7,
+        Family::PrimeProbe => 8,
+        Family::Calibration => 9,
+        Family::Benign => 10,
+    }
+}
+
+fn family_from(code: u8) -> Result<Family, CorpusIoError> {
+    Ok(match code {
+        0 => Family::SpectreV1,
+        1 => Family::SpectreV2,
+        2 => Family::SpectreRsb,
+        3 => Family::Meltdown,
+        4 => Family::BreakingKslr,
+        5 => Family::CacheOut,
+        6 => Family::FlushFlush,
+        7 => Family::FlushReload,
+        8 => Family::PrimeProbe,
+        9 => Family::Calibration,
+        10 => Family::Benign,
+        n => return Err(CorpusIoError::Corrupt(format!("family code {n}"))),
+    })
+}
+
+fn mark_code(k: MarkKind) -> u8 {
+    match k {
+        MarkKind::LeakByte => 0,
+        MarkKind::PhasePrime => 1,
+        MarkKind::PhaseSpeculate => 2,
+        MarkKind::PhaseProbe => 3,
+        MarkKind::IterationEnd => 4,
+    }
+}
+
+fn mark_from(code: u8) -> Result<MarkKind, CorpusIoError> {
+    Ok(match code {
+        0 => MarkKind::LeakByte,
+        1 => MarkKind::PhasePrime,
+        2 => MarkKind::PhaseSpeculate,
+        3 => MarkKind::PhaseProbe,
+        4 => MarkKind::IterationEnd,
+        n => return Err(CorpusIoError::Corrupt(format!("mark kind {n}"))),
+    })
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Serializes a corpus into the on-disk byte layout (header + payload).
+/// Exposed so tests can pin the golden header without touching the
+/// filesystem.
+pub fn corpus_to_bytes(corpus: &CollectedCorpus) -> Vec<u8> {
+    let n_cols = corpus.traces.first().map_or(0, |t| t.trace.schema().len());
+    let mut payload = Vec::new();
+
+    // 1. Schema name table.
+    if let Some(t) = corpus.traces.first() {
+        for name in t.trace.schema().names() {
+            put_str(&mut payload, name);
+        }
+    }
+
+    // 2. Trace directory. Page offsets are absolute file offsets; compute
+    // the directory's full size first so the page region lands after it.
+    let dir_len: usize = corpus
+        .traces
+        .iter()
+        .map(|t| 4 + t.name.len() + 1 + 1 + 2 + 4 + 4 + 17 * t.marks.len() + 8)
+        .sum();
+    let unpadded = HEADER_LEN + payload.len() + dir_len;
+    let pad = (8 - unpadded % 8) % 8;
+    let mut pages_off = (unpadded + pad) as u64;
+    for t in &corpus.traces {
+        let rows = t.trace.len() as u64;
+        put_str(&mut payload, &t.name);
+        payload.push(class_code(t.class));
+        payload.push(family_code(t.family));
+        payload.extend_from_slice(&0u16.to_le_bytes());
+        payload.extend_from_slice(&(rows as u32).to_le_bytes());
+        payload.extend_from_slice(&(t.marks.len() as u32).to_le_bytes());
+        for m in &t.marks {
+            payload.push(mark_code(m.kind));
+            payload.extend_from_slice(&m.at_inst.to_le_bytes());
+            payload.extend_from_slice(&m.at_cycle.to_le_bytes());
+        }
+        payload.extend_from_slice(&pages_off.to_le_bytes());
+        pages_off += 8 * rows + 8 * rows * n_cols as u64;
+    }
+    payload.extend(std::iter::repeat_n(0u8, pad));
+
+    // 3. Column pages, one trace after another: the u64 instruction-count
+    // page, then every statistic column as a contiguous f64 page.
+    for t in &corpus.traces {
+        for &insts in t.trace.instruction_counts() {
+            payload.extend_from_slice(&insts.to_le_bytes());
+        }
+        let flat = t.trace.flat_values();
+        let rows = t.trace.len();
+        for c in 0..n_cols {
+            for r in 0..rows {
+                payload.extend_from_slice(&flat[r * n_cols + c].to_le_bytes());
+            }
+        }
+    }
+
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&(corpus.traces.len() as u32).to_le_bytes());
+    out.extend_from_slice(&(n_cols as u32).to_le_bytes());
+    out.extend_from_slice(&corpus.sample_interval.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&fnv1a_bytes(&payload).to_le_bytes());
+    out.extend_from_slice(&0u64.to_le_bytes());
+    debug_assert_eq!(out.len(), HEADER_LEN);
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Writes a corpus to `path` in the columnar on-disk format.
+///
+/// # Errors
+///
+/// Returns [`CorpusIoError::Io`] on filesystem failures.
+pub fn write_corpus(path: impl AsRef<Path>, corpus: &CollectedCorpus) -> Result<(), CorpusIoError> {
+    let bytes = corpus_to_bytes(corpus);
+    let mut f = File::create(path)?;
+    f.write_all(&bytes)?;
+    f.sync_all()?;
+    Ok(())
+}
+
+/// How the reader fetches bytes: a read-only memory map, or positioned
+/// reads against the open file.
+#[derive(Debug)]
+enum Source {
+    Mapped(MappedFile),
+    Pread { file: File, len: u64 },
+}
+
+impl Source {
+    fn len(&self) -> u64 {
+        match self {
+            Source::Mapped(m) => m.len() as u64,
+            Source::Pread { len, .. } => *len,
+        }
+    }
+
+    /// Copies `buf.len()` bytes starting at `off` into `buf`.
+    fn read_into(&self, off: u64, buf: &mut [u8]) -> Result<(), CorpusIoError> {
+        let end = off + buf.len() as u64;
+        if end > self.len() {
+            return Err(CorpusIoError::Truncated {
+                expected: end,
+                actual: self.len(),
+            });
+        }
+        match self {
+            Source::Mapped(m) => {
+                buf.copy_from_slice(&m.as_bytes()[off as usize..end as usize]);
+                Ok(())
+            }
+            Source::Pread { file, .. } => {
+                read_at_exact(file, off, buf)?;
+                Ok(())
+            }
+        }
+    }
+
+    /// Zero-copy view of `[off, off+len)` — available only when mapped.
+    fn slice(&self, off: u64, len: usize) -> Option<&[u8]> {
+        match self {
+            Source::Mapped(m) => m.as_bytes().get(off as usize..off as usize + len),
+            Source::Pread { .. } => None,
+        }
+    }
+}
+
+#[cfg(unix)]
+fn read_at_exact(file: &File, mut off: u64, mut buf: &mut [u8]) -> io::Result<()> {
+    use std::os::unix::fs::FileExt;
+    while !buf.is_empty() {
+        let n = file.read_at(buf, off)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "corpus file shrank mid-read",
+            ));
+        }
+        off += n as u64;
+        buf = &mut buf[n..];
+    }
+    Ok(())
+}
+
+#[cfg(not(unix))]
+fn read_at_exact(file: &File, off: u64, buf: &mut [u8]) -> io::Result<()> {
+    use std::io::{Read, Seek, SeekFrom};
+    let mut f = file.try_clone()?;
+    f.seek(SeekFrom::Start(off))?;
+    f.read_exact(buf)
+}
+
+/// One trace's directory entry: everything but the sample values.
+#[derive(Debug, Clone)]
+pub struct TraceMeta {
+    /// Workload (or scenario) name.
+    pub name: String,
+    /// Ground-truth class.
+    pub class: Class,
+    /// Attack family (or benign).
+    pub family: Family,
+    /// Number of sampled rows.
+    pub rows: usize,
+    /// Simulator marks committed during the run.
+    pub marks: Vec<MarkEvent>,
+    /// Absolute file offset of this trace's column pages.
+    pages_off: u64,
+}
+
+/// A little-endian cursor over a byte slice, for directory parsing.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CorpusIoError> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.bytes.len());
+        match end {
+            Some(end) => {
+                let s = &self.bytes[self.pos..end];
+                self.pos = end;
+                Ok(s)
+            }
+            None => Err(CorpusIoError::Corrupt("directory overruns payload".into())),
+        }
+    }
+
+    fn u8(&mut self) -> Result<u8, CorpusIoError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, CorpusIoError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, CorpusIoError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, CorpusIoError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn str(&mut self) -> Result<String, CorpusIoError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| CorpusIoError::Corrupt("non-UTF-8 name".into()))
+    }
+}
+
+/// A validated, random-access view of an on-disk corpus.
+///
+/// Opening verifies magic, version, length and the payload checksum, then
+/// parses the schema and trace directory; sample values stay on disk (or
+/// in the page cache) until a row or column is actually read.
+#[derive(Debug)]
+pub struct CorpusReader {
+    source: Source,
+    schema: Schema,
+    sample_interval: u64,
+    traces: Vec<TraceMeta>,
+}
+
+impl CorpusReader {
+    /// Opens and validates a corpus file, memory-mapping it when possible
+    /// and falling back to positioned reads otherwise. Setting the
+    /// `PERSPECTRON_NO_MMAP` environment variable forces the fallback
+    /// (useful for exercising the `pread` path on hosts where `mmap`
+    /// works).
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, CorpusIoError> {
+        let file = File::open(path)?;
+        let len = file.metadata()?.len();
+        let source = if std::env::var_os("PERSPECTRON_NO_MMAP").is_some() {
+            Source::Pread { file, len }
+        } else {
+            match MappedFile::map(&file) {
+                Ok(map) => Source::Mapped(map),
+                Err(_) => Source::Pread { file, len },
+            }
+        };
+        Self::from_source(source)
+    }
+
+    /// Opens a corpus file using positioned reads only (no memory map).
+    pub fn open_pread(path: impl AsRef<Path>) -> Result<Self, CorpusIoError> {
+        let file = File::open(path)?;
+        let len = file.metadata()?.len();
+        Self::from_source(Source::Pread { file, len })
+    }
+
+    fn from_source(source: Source) -> Result<Self, CorpusIoError> {
+        let mut header = [0u8; HEADER_LEN];
+        if source.len() < HEADER_LEN as u64 {
+            return Err(CorpusIoError::Truncated {
+                expected: HEADER_LEN as u64,
+                actual: source.len(),
+            });
+        }
+        source.read_into(0, &mut header)?;
+        if header[0..4] != MAGIC {
+            return Err(CorpusIoError::BadMagic(header[0..4].try_into().unwrap()));
+        }
+        let version = u32::from_le_bytes(header[4..8].try_into().unwrap());
+        if version != VERSION {
+            return Err(CorpusIoError::UnsupportedVersion(version));
+        }
+        let n_traces = u32::from_le_bytes(header[8..12].try_into().unwrap()) as usize;
+        let n_cols = u32::from_le_bytes(header[12..16].try_into().unwrap()) as usize;
+        let sample_interval = u64::from_le_bytes(header[16..24].try_into().unwrap());
+        let payload_len = u64::from_le_bytes(header[24..32].try_into().unwrap());
+        let checksum = u64::from_le_bytes(header[32..40].try_into().unwrap());
+
+        let expected_len = HEADER_LEN as u64 + payload_len;
+        if source.len() != expected_len {
+            return Err(CorpusIoError::Truncated {
+                expected: expected_len,
+                actual: source.len(),
+            });
+        }
+
+        // One sequential pass over the payload: checksum it, and keep the
+        // (small) prefix the directory lives in. Column pages stream
+        // through the hash in chunks without staying resident.
+        let actual = match source.slice(HEADER_LEN as u64, payload_len as usize) {
+            Some(payload) => fnv1a_bytes(payload),
+            None => {
+                let mut h = 0xcbf2_9ce4_8422_2325u64;
+                let mut off = HEADER_LEN as u64;
+                let mut remaining = payload_len;
+                let mut chunk = vec![0u8; 1 << 20];
+                while remaining > 0 {
+                    let n = chunk.len().min(remaining as usize);
+                    source.read_into(off, &mut chunk[..n])?;
+                    for &b in &chunk[..n] {
+                        h ^= b as u64;
+                        h = h.wrapping_mul(0x100_0000_01b3);
+                    }
+                    off += n as u64;
+                    remaining -= n as u64;
+                }
+                h
+            }
+        };
+        if actual != checksum {
+            return Err(CorpusIoError::ChecksumMismatch {
+                expected: checksum,
+                actual,
+            });
+        }
+
+        // Parse the name table and trace directory at the front of the
+        // payload — straight off the map when possible (no copy, no
+        // residency beyond the directory's own pages); the pread fallback
+        // buffers the payload it already streamed for the checksum.
+        let (schema, traces) = match source.slice(HEADER_LEN as u64, payload_len as usize) {
+            Some(payload) => Self::parse_front(payload, n_traces, n_cols)?,
+            None => {
+                let mut front = vec![0u8; payload_len as usize];
+                source.read_into(HEADER_LEN as u64, &mut front)?;
+                Self::parse_front(&front, n_traces, n_cols)?
+            }
+        };
+
+        // Validate every trace's pages fit inside the file.
+        for t in &traces {
+            let pages_len = 8 * t.rows as u64 * (1 + n_cols as u64);
+            if t.pages_off + pages_len > expected_len {
+                return Err(CorpusIoError::Corrupt(format!(
+                    "trace {} pages overrun the file",
+                    t.name
+                )));
+            }
+        }
+
+        Ok(Self {
+            source,
+            schema,
+            sample_interval,
+            traces,
+        })
+    }
+
+    fn parse_front(
+        payload: &[u8],
+        n_traces: usize,
+        n_cols: usize,
+    ) -> Result<(Schema, Vec<TraceMeta>), CorpusIoError> {
+        let mut cur = Cursor {
+            bytes: payload,
+            pos: 0,
+        };
+        let mut names = Vec::with_capacity(n_cols);
+        for _ in 0..n_cols {
+            names.push(cur.str()?);
+        }
+        let schema = Schema::from_names(names);
+        let mut traces = Vec::with_capacity(n_traces);
+        for _ in 0..n_traces {
+            let name = cur.str()?;
+            let class = class_from(cur.u8()?)?;
+            let family = family_from(cur.u8()?)?;
+            let pad = cur.u16()?;
+            if pad != 0 {
+                return Err(CorpusIoError::Corrupt("nonzero directory padding".into()));
+            }
+            let rows = cur.u32()? as usize;
+            let n_marks = cur.u32()? as usize;
+            let mut marks = Vec::with_capacity(n_marks.min(1 << 20));
+            for _ in 0..n_marks {
+                let kind = mark_from(cur.u8()?)?;
+                let at_inst = cur.u64()?;
+                let at_cycle = cur.u64()?;
+                marks.push(MarkEvent {
+                    kind,
+                    at_inst,
+                    at_cycle,
+                });
+            }
+            let pages_off = cur.u64()?;
+            traces.push(TraceMeta {
+                name,
+                class,
+                family,
+                rows,
+                marks,
+                pages_off,
+            });
+        }
+        Ok((schema, traces))
+    }
+
+    /// The statistic schema (column names, in page order).
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The sampling interval the corpus was collected at.
+    pub fn sample_interval(&self) -> u64 {
+        self.sample_interval
+    }
+
+    /// Number of traces in the file.
+    pub fn n_traces(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// Directory entry of trace `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range.
+    pub fn trace_meta(&self, t: usize) -> &TraceMeta {
+        &self.traces[t]
+    }
+
+    /// Whether this reader serves bytes from a memory map (as opposed to
+    /// the positioned-read fallback).
+    pub fn is_mapped(&self) -> bool {
+        matches!(self.source, Source::Mapped(_))
+    }
+
+    fn insts_off(&self, t: usize) -> u64 {
+        self.traces[t].pages_off
+    }
+
+    fn col_off(&self, t: usize, col: usize) -> u64 {
+        let rows = self.traces[t].rows as u64;
+        self.traces[t].pages_off + 8 * rows + 8 * rows * col as u64
+    }
+
+    /// Reads one raw sample row of trace `t` into `row` (cleared first)
+    /// and returns its committed-instruction count. This is a gather —
+    /// one value from every column page; cheap against a map, syscall-
+    /// heavy on the `pread` fallback (use [`CorpusReader::read_rows`] for
+    /// sequential consumption there).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range.
+    pub fn read_row(&self, t: usize, j: usize, row: &mut Vec<f64>) -> Result<u64, CorpusIoError> {
+        let meta = &self.traces[t];
+        if j >= meta.rows {
+            return Err(CorpusIoError::Corrupt(format!(
+                "row {j} out of range ({} rows)",
+                meta.rows
+            )));
+        }
+        let n_cols = self.schema.len();
+        row.clear();
+        row.reserve(n_cols);
+        let mut b8 = [0u8; 8];
+        self.source
+            .read_into(self.insts_off(t) + 8 * j as u64, &mut b8)?;
+        let insts = u64::from_le_bytes(b8);
+        for c in 0..n_cols {
+            self.source
+                .read_into(self.col_off(t, c) + 8 * j as u64, &mut b8)?;
+            row.push(f64::from_le_bytes(b8));
+        }
+        Ok(insts)
+    }
+
+    /// Reads rows `[j0, j0 + count)` of trace `t` in one blocked pass:
+    /// each column page is read once, contiguously, then transposed into
+    /// row-major `rows` (cleared first); the matching instruction counts
+    /// land in `insts`. Resident cost is `count × columns × 8` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range.
+    pub fn read_rows(
+        &self,
+        t: usize,
+        j0: usize,
+        count: usize,
+        insts: &mut Vec<u64>,
+        rows: &mut Vec<f64>,
+    ) -> Result<(), CorpusIoError> {
+        let meta = &self.traces[t];
+        if j0 + count > meta.rows {
+            return Err(CorpusIoError::Corrupt(format!(
+                "rows [{j0}, {}) out of range ({} rows)",
+                j0 + count,
+                meta.rows
+            )));
+        }
+        let n_cols = self.schema.len();
+        insts.clear();
+        rows.clear();
+        rows.resize(count * n_cols, 0.0);
+        let mut page = vec![0u8; 8 * count];
+        self.source
+            .read_into(self.insts_off(t) + 8 * j0 as u64, &mut page)?;
+        insts.extend(
+            page.chunks_exact(8)
+                .map(|c| u64::from_le_bytes(c.try_into().unwrap())),
+        );
+        for c in 0..n_cols {
+            self.source
+                .read_into(self.col_off(t, c) + 8 * j0 as u64, &mut page)?;
+            for (r, bytes) in page.chunks_exact(8).enumerate() {
+                rows[r * n_cols + c] = f64::from_le_bytes(bytes.try_into().unwrap());
+            }
+        }
+        Ok(())
+    }
+
+    /// Streams every row of trace `t` through `f` in blocks of
+    /// [`DEFAULT_BLOCK_ROWS`], oldest first — bounded resident memory
+    /// regardless of trace length.
+    pub fn for_each_row(
+        &self,
+        t: usize,
+        mut f: impl FnMut(u64, &[f64]),
+    ) -> Result<(), CorpusIoError> {
+        let rows = self.traces[t].rows;
+        let n_cols = self.schema.len();
+        let mut insts = Vec::new();
+        let mut block = Vec::new();
+        let mut j = 0;
+        while j < rows {
+            let count = DEFAULT_BLOCK_ROWS.min(rows - j);
+            self.read_rows(t, j, count, &mut insts, &mut block)?;
+            for (r, &at) in insts.iter().enumerate() {
+                f(at, &block[r * n_cols..(r + 1) * n_cols]);
+            }
+            j += count;
+        }
+        Ok(())
+    }
+
+    /// Materializes trace `t` as a full in-memory [`LabeledTrace`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range.
+    pub fn load_trace(&self, t: usize) -> Result<LabeledTrace, CorpusIoError> {
+        let meta = self.traces[t].clone();
+        let mut trace = SampleTrace::new(self.schema.clone());
+        self.for_each_row(t, |at, row| trace.push(at, row))?;
+        Ok(LabeledTrace {
+            name: meta.name,
+            class: meta.class,
+            family: meta.family,
+            trace,
+            marks: meta.marks,
+        })
+    }
+
+    /// Materializes the whole file as an in-memory [`CollectedCorpus`] —
+    /// the inverse of [`write_corpus`], byte-identical sample values
+    /// included.
+    pub fn load_all(&self) -> Result<CollectedCorpus, CorpusIoError> {
+        let traces = (0..self.n_traces())
+            .map(|t| self.load_trace(t))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(CollectedCorpus {
+            traces,
+            sample_interval: self.sample_interval,
+        })
+    }
+}

@@ -47,6 +47,7 @@
 
 #![warn(missing_docs)]
 
+pub mod corpus_io;
 pub mod dataset;
 pub mod detector;
 pub mod encode;
@@ -55,11 +56,13 @@ pub mod faults;
 pub mod features;
 pub mod hardware;
 pub mod map_features;
+pub mod mmap;
 pub mod multiclass;
 pub mod rhmd;
 pub mod stream;
 pub mod trace;
 
+pub use corpus_io::{write_corpus, CorpusIoError, CorpusReader};
 pub use dataset::{Dataset, Sample};
 pub use detector::{DetectionReport, InferencePath, PerSpectron};
 pub use encode::{core_feature_indices, Encoding, MaxMatrix, RowEncoder};
@@ -69,7 +72,9 @@ pub use features::{bank_of, component_of, FeatureSelection, SelectionConfig};
 pub use hardware::HardwareCost;
 pub use multiclass::MulticlassDetector;
 pub use rhmd::RhmdDetector;
-pub use stream::{Degraded, IntervalVerdict, StreamingDetector, StreamingFeaturizer};
+pub use stream::{
+    Degraded, IntervalVerdict, SessionState, StreamSession, StreamingDetector, StreamingFeaturizer,
+};
 pub use trace::{
     core_seed, workload_seed, CollectedCorpus, CorpusSpec, LabeledTrace, ResiliencePolicy,
     ResilientCorpus, ScenarioSpec, WorkloadFailure,

@@ -125,6 +125,30 @@ impl Degraded {
     }
 }
 
+/// Shared health check for one raw (already sanitized) row: flags
+/// always-active-in-training components whose counters all read zero —
+/// dead sensor banks, not idleness — and folds in the sanitized-value
+/// count. `None` means the window is clean. One implementation serves the
+/// single-stream sink and the service's per-stream sessions, so degraded
+/// accounting can never drift between them.
+fn degraded_status(
+    watchlist: &[(String, Vec<usize>)],
+    raw: &[f64],
+    sanitized_values: usize,
+) -> Option<Degraded> {
+    let mut missing_components = Vec::new();
+    for (label, cols) in watchlist {
+        if cols.iter().all(|&i| raw[i] == 0.0) {
+            missing_components.push(label.clone());
+        }
+    }
+    let status = Degraded {
+        missing_components,
+        sanitized_values,
+    };
+    (!status.is_clean()).then_some(status)
+}
+
 /// One per-interval classification decision.
 #[derive(Debug, Clone, PartialEq)]
 pub struct IntervalVerdict {
@@ -333,19 +357,7 @@ impl SampleSink for StreamingDetector {
         // overwhelmingly common case — are scored straight off the
         // borrowed slice, bit-identically to the pre-hardening path.
         let (raw, sanitized_values) = sanitize_row(row, &mut self.raw_buf);
-        // Dropout check: an always-active-in-training component whose
-        // counters all read zero is a dead sensor bank, not idleness.
-        let mut missing_components = Vec::new();
-        for (label, cols) in self.watchlist.iter() {
-            if cols.iter().all(|&i| raw[i] == 0.0) {
-                missing_components.push(label.clone());
-            }
-        }
-        let status = Degraded {
-            missing_components,
-            sanitized_values,
-        };
-        let degraded = (!status.is_clean()).then_some(status);
+        let degraded = degraded_status(&self.watchlist, raw, sanitized_values);
         match &mut self.packed {
             None => {
                 self.encoder.encode_into(raw, self.point, &mut self.buf);
@@ -376,6 +388,175 @@ impl SampleSink for StreamingDetector {
         {
             self.flush();
         }
+    }
+}
+
+/// Health of one telemetry stream, as tracked by a [`StreamSession`].
+///
+/// `Degraded` clears back to `Healthy` on the next clean window;
+/// `Quarantined` (too many *consecutive* degraded windows) is sticky —
+/// the stream's sensor bank needs operator attention, not optimism. A
+/// quarantined session still scores every window (the paper's replicated
+/// features make partial footprints usable), it just carries the flag so
+/// a fleet operator can route the stream for investigation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionState {
+    /// Last window was scored on fully healthy input.
+    Healthy,
+    /// Last window was scored on degraded input (dead sensor banks or
+    /// masked values).
+    Degraded,
+    /// Too many consecutive degraded windows; sticky until reset.
+    Quarantined,
+}
+
+/// Consecutive degraded windows before a session is quarantined, unless
+/// overridden via [`StreamSession::with_quarantine_after`].
+pub const DEFAULT_QUARANTINE_AFTER: usize = 8;
+
+/// Per-stream detection state for a multi-stream service: the sampling
+/// point cursor, degraded/quarantine tracking, and the stream's verdict
+/// log.
+///
+/// This is [`StreamingDetector`] with inference hoisted out: a service
+/// shard owns many sessions plus *one* packed engine and batches windows
+/// **across** sessions into a single [`PackedRows`] sweep. The split is
+/// two phases per window:
+///
+/// 1. [`StreamSession::open_window`] — sanitize the raw row in place,
+///    run the shared dropout check, and hand back the sampling point to
+///    encode at. The caller encodes and batches the row however it likes.
+/// 2. [`StreamSession::close_window`] — after the batch sweep, turn the
+///    raw perceptron sum into a recorded [`IntervalVerdict`] and advance
+///    the health state machine.
+///
+/// Because a window's verdict depends only on its row bits and sampling
+/// point, this two-phase shape is bit-identical to running the stream
+/// alone through [`PerSpectron::streaming_packed`] — regardless of how
+/// windows from other streams interleave in the batch. The service's
+/// shard-determinism tests pin exactly that.
+#[derive(Debug, Clone)]
+pub struct StreamSession {
+    watchlist: Arc<Vec<(String, Vec<usize>)>>,
+    point: usize,
+    state: SessionState,
+    consecutive_degraded: usize,
+    quarantine_after: usize,
+    degraded_windows: usize,
+    verdicts: Vec<IntervalVerdict>,
+}
+
+impl StreamSession {
+    /// Creates a session for one stream scored by `detector`. Sessions
+    /// share the detector's dropout watchlist by reference — a thousand
+    /// sessions cost a thousand cursors, not a thousand detectors.
+    pub fn new(detector: &PerSpectron) -> Self {
+        Self {
+            watchlist: detector.always_active_components(),
+            point: 0,
+            state: SessionState::Healthy,
+            consecutive_degraded: 0,
+            quarantine_after: DEFAULT_QUARANTINE_AFTER,
+            degraded_windows: 0,
+            verdicts: Vec::new(),
+        }
+    }
+
+    /// Overrides the consecutive-degraded-window quarantine threshold
+    /// (builder style).
+    pub fn with_quarantine_after(mut self, windows: usize) -> Self {
+        self.quarantine_after = windows.max(1);
+        self
+    }
+
+    /// Phase 1 of scoring one window: sanitizes `row` in place (non-finite
+    /// sensor readings masked to zero, exactly as the single-stream sink
+    /// does on its scratch copy) and runs the shared dropout check.
+    /// Returns the sampling point to encode this row at plus the degraded
+    /// status to carry into [`StreamSession::close_window`]; the cursor
+    /// advances, so windows must be closed in open order.
+    pub fn open_window(&mut self, row: &mut [f64]) -> (usize, Option<Degraded>) {
+        let mut sanitized_values = 0;
+        for v in row.iter_mut() {
+            if needs_sanitizing(*v) {
+                *v = 0.0;
+                sanitized_values += 1;
+            }
+        }
+        let degraded = degraded_status(&self.watchlist, row, sanitized_values);
+        let point = self.point;
+        self.point += 1;
+        (point, degraded)
+    }
+
+    /// Phase 2: records the verdict for a window opened earlier, given the
+    /// raw perceptron sum the batched sweep produced for its row, and
+    /// advances the health state machine.
+    pub fn close_window(
+        &mut self,
+        detector: &PerSpectron,
+        at_inst: u64,
+        degraded: Option<Degraded>,
+        raw_score: f64,
+    ) -> &IntervalVerdict {
+        if degraded.is_some() {
+            self.degraded_windows += 1;
+            self.consecutive_degraded += 1;
+            if self.consecutive_degraded >= self.quarantine_after {
+                self.state = SessionState::Quarantined;
+            } else if self.state != SessionState::Quarantined {
+                self.state = SessionState::Degraded;
+            }
+        } else {
+            self.consecutive_degraded = 0;
+            if self.state == SessionState::Degraded {
+                self.state = SessionState::Healthy;
+            }
+        }
+        let confidence = detector.normalize_score(raw_score);
+        self.verdicts.push(IntervalVerdict {
+            at_inst,
+            confidence,
+            suspicious: confidence >= detector.threshold,
+            degraded,
+        });
+        self.verdicts.last().expect("just pushed")
+    }
+
+    /// Current health of the stream.
+    pub fn state(&self) -> SessionState {
+        self.state
+    }
+
+    /// Sampling windows opened so far (the cursor position).
+    pub fn windows_opened(&self) -> usize {
+        self.point
+    }
+
+    /// Windows scored under degraded input so far.
+    pub fn degraded_windows(&self) -> usize {
+        self.degraded_windows
+    }
+
+    /// Every verdict recorded for this stream, oldest first.
+    pub fn verdicts(&self) -> &[IntervalVerdict] {
+        &self.verdicts
+    }
+
+    /// Consumes the session, yielding its verdict log.
+    pub fn into_verdicts(self) -> Vec<IntervalVerdict> {
+        self.verdicts
+    }
+
+    /// Rewinds the cursor, clears verdicts, and restores `Healthy` — the
+    /// operator's "sensor bank serviced" acknowledgement for a
+    /// quarantined stream.
+    pub fn reset(&mut self) {
+        self.point = 0;
+        self.state = SessionState::Healthy;
+        self.consecutive_degraded = 0;
+        self.degraded_windows = 0;
+        self.verdicts.clear();
     }
 }
 

@@ -449,6 +449,16 @@ impl PackedPerceptron {
     /// first). The batch walk is a single linear pass over the packed
     /// block — the cache-friendly shape per-row scoring cannot reach.
     ///
+    /// The sweep is unrolled four rows wide: each iteration of the word
+    /// loop processes one `u64` word from four rows at once, draining each
+    /// into its own independent accumulator. The accumulators must be
+    /// per-*row*, never per-word: IEEE-754 addition is not associative, so
+    /// splitting one row's weights across partial sums would change its
+    /// rounding — per-row chains keep every score walking lanes in
+    /// ascending order, bit-identical to [`PackedPerceptron::score_bits`],
+    /// while the four chains give the CPU independent FP dependency chains
+    /// to overlap.
+    ///
     /// # Panics
     ///
     /// Panics if the batch's width differs from the model's.
@@ -457,7 +467,24 @@ impl PackedPerceptron {
         out.clear();
         out.reserve(rows.len());
         let n = self.words_per_row;
-        for r in 0..rows.len() {
+        let mut r = 0;
+        while r + 4 <= rows.len() {
+            let b = [r * n, (r + 1) * n, (r + 2) * n, (r + 3) * n];
+            let mut acc = [0.0f64; 4];
+            for w in 0..n {
+                let lane0 = w * WORD_BITS;
+                for (k, acc_k) in acc.iter_mut().enumerate() {
+                    let mut m = rows.words[b[k] + w] & rows.valid[b[k] + w];
+                    while m != 0 {
+                        *acc_k += self.weights[lane0 + m.trailing_zeros() as usize];
+                        m &= m - 1;
+                    }
+                }
+            }
+            out.extend(acc.iter().map(|a| a + self.bias));
+            r += 4;
+        }
+        for r in r..rows.len() {
             let base = r * n;
             out.push(self.score_words(&rows.words[base..base + n], &rows.valid[base..base + n]));
         }
@@ -654,5 +681,43 @@ mod tests {
                 .map(|&s| if s >= 0.0 { 1i8 } else { -1 })
                 .collect::<Vec<_>>()
         );
+    }
+
+    /// The 4-wide unrolled sweep must stay bit-identical to per-row
+    /// scoring at every (batch length % 4) remainder, at multi-word
+    /// widths, and with invalid lanes in the mix.
+    #[test]
+    fn unrolled_batch_sweep_is_bit_identical_at_every_remainder() {
+        for width in [1usize, 63, 64, 106, 130, 200, 513] {
+            let weights: Vec<f64> = (0..width)
+                .map(|i| ((i as f64) * 1.37).sin() * 5.0 - 0.3)
+                .collect();
+            let packed = PackedPerceptron::from_weights(&weights, -0.875);
+            for len in 0..=9usize {
+                let mut batch = PackedRows::new(width);
+                let mut singles = Vec::new();
+                let mut state = ((width as u64) << 16) | (len as u64 + 1);
+                for _ in 0..len {
+                    let mut row = BitRow::zeros(width);
+                    for i in 0..width {
+                        state ^= state << 13;
+                        state ^= state >> 7;
+                        state ^= state << 17;
+                        if state & 3 == 0 {
+                            row.set(i, true);
+                        }
+                        if state & 15 == 1 {
+                            row.set_valid(i, false);
+                        }
+                    }
+                    singles.push(packed.score_bits(&row).to_bits());
+                    batch.push(&row).unwrap();
+                }
+                let mut batched = Vec::new();
+                packed.score_rows(&batch, &mut batched);
+                let b: Vec<u64> = batched.iter().map(|s| s.to_bits()).collect();
+                assert_eq!(singles, b, "width {width}, batch len {len}");
+            }
+        }
     }
 }

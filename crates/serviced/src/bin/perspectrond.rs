@@ -1,0 +1,161 @@
+//! `perspectrond` — train, serve, replay, report.
+//!
+//! Self-contained demonstration of the online detection service: collects
+//! a training corpus on the simulator, trains the perceptron, writes the
+//! corpus to the mmap-able columnar format, then replays it as thousands
+//! of concurrent streams against the sharded service and prints the
+//! operational report.
+//!
+//! ```text
+//! perspectrond [--streams N] [--shards N] [--clients N] [--queue-depth N] [--corpus PATH]
+//! ```
+//!
+//! `--corpus` reuses (or creates) a corpus file instead of a temp file,
+//! so repeated runs skip nothing but the simulator. Set
+//! `PERSPECTRON_QUICK=1` for a smaller training corpus.
+
+use std::time::Instant;
+
+use perspectron::corpus_io::{self, CorpusReader};
+use perspectron::{CorpusSpec, PerSpectron};
+use perspectron_serviced::{replay_clients, Perspectrond, ReplayConfig, ServiceConfig};
+
+struct Args {
+    streams: usize,
+    shards: usize,
+    clients: usize,
+    queue_depth: usize,
+    corpus: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        streams: 1024,
+        shards: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        clients: 4,
+        queue_depth: 256,
+        corpus: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--streams" => args.streams = value("--streams").parse().expect("--streams: usize"),
+            "--shards" => args.shards = value("--shards").parse().expect("--shards: usize"),
+            "--clients" => args.clients = value("--clients").parse().expect("--clients: usize"),
+            "--queue-depth" => {
+                args.queue_depth = value("--queue-depth")
+                    .parse()
+                    .expect("--queue-depth: usize")
+            }
+            "--corpus" => args.corpus = Some(value("--corpus")),
+            "--help" | "-h" => {
+                println!(
+                    "perspectrond [--streams N] [--shards N] [--clients N] \
+                     [--queue-depth N] [--corpus PATH]"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag {other} (try --help)"),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+
+    // 1. A corpus to train on and replay: reuse the file when given and
+    // present, otherwise collect on the simulator and write it out.
+    let path = args.corpus.clone().unwrap_or_else(|| {
+        std::env::temp_dir()
+            .join(format!("perspectrond_{}.pspc", std::process::id()))
+            .to_string_lossy()
+            .into_owned()
+    });
+    let reader = match CorpusReader::open(&path) {
+        Ok(r) => {
+            eprintln!("corpus: reusing {path} ({} traces)", r.n_traces());
+            r
+        }
+        Err(_) => {
+            eprintln!("corpus: collecting on the simulator…");
+            let spec = if std::env::var("PERSPECTRON_QUICK").is_ok() {
+                CorpusSpec::quick()
+            } else {
+                CorpusSpec::quick().with_insts(300_000)
+            };
+            let collected = spec.collect();
+            corpus_io::write_corpus(&path, &collected).expect("write corpus");
+            eprintln!(
+                "corpus: wrote {} traces to {path} (mmap: columnar, checksummed)",
+                collected.traces.len()
+            );
+            CorpusReader::open(&path).expect("reopen corpus")
+        }
+    };
+
+    // 2. Train the detector on the (materialized) corpus.
+    eprintln!("train: perceptron over the selected invariant features…");
+    let corpus = reader.load_all().expect("load corpus");
+    let detector = PerSpectron::train(&corpus, 42);
+
+    // 3. Serve and replay.
+    let config = ServiceConfig {
+        shards: args.shards,
+        queue_depth: args.queue_depth,
+        ..ServiceConfig::default()
+    };
+    eprintln!(
+        "serve: {} shards, queue depth {}, batch {} windows",
+        config.shards.max(1),
+        config.queue_depth,
+        config.batch_windows
+    );
+    let service = Perspectrond::start(&detector, config);
+    let submitter = service.submitter();
+    let replay = ReplayConfig {
+        streams: args.streams,
+        client_threads: args.clients,
+        ..ReplayConfig::default()
+    };
+    let started = Instant::now();
+    let outcome = replay_clients(&reader, &submitter, &replay);
+    drop(submitter);
+    let report = service.shutdown();
+    let elapsed = started.elapsed();
+
+    // 4. Report.
+    let windows_per_sec = report.windows_scored as f64 / elapsed.as_secs_f64();
+    let suspicious_streams = report
+        .streams
+        .iter()
+        .filter(|s| s.verdicts.iter().any(|v| v.suspicious))
+        .count();
+    println!("perspectrond report");
+    println!("  streams              {}", outcome.streams);
+    println!("  shards               {}", report.shards);
+    println!("  windows scored       {}", report.windows_scored);
+    println!(
+        "  sweeps               {} (max coalesced {})",
+        report.sweeps, report.max_coalesced
+    );
+    println!("  busy retries         {}", outcome.busy_retries);
+    println!(
+        "  latency p50 / p99    {} us / {} us",
+        report.p50_us(),
+        report.p99_us()
+    );
+    println!("  aggregate throughput {windows_per_sec:.0} windows/s");
+    println!("  suspicious streams   {suspicious_streams}");
+    println!(
+        "  quarantined streams  {}",
+        report.quarantined_streams().count()
+    );
+    if args.corpus.is_none() {
+        std::fs::remove_file(&path).ok();
+    }
+}

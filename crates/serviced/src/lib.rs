@@ -1,0 +1,31 @@
+//! `perspectrond` — the online detection service around the PerSpectron
+//! engine.
+//!
+//! The paper's hardware unit scores every sampling period of one machine;
+//! this crate is the fleet-scale software analogue: a long-lived service
+//! that multiplexes thousands of concurrent telemetry **streams** (one
+//! per monitored core/tenant) through the bit-packed batched inference
+//! engine. Three pieces:
+//!
+//! - [`service`] — the sharded service itself: worker threads owning
+//!   per-stream [`StreamSession`](perspectron::StreamSession)s, bounded
+//!   queues with explicit [`SubmitError::Busy`] backpressure, and
+//!   cross-session batched `score_rows` sweeps. Per-stream verdicts are
+//!   bit-identical to running the stream alone through
+//!   `PerSpectron::streaming_packed`, independent of shard count and
+//!   arrival interleaving.
+//! - [`replay`] — the load generator: replays an on-disk columnar corpus
+//!   (`perspectron::corpus_io`) as N concurrent streams at configurable
+//!   fan-in, driving the service the way a fleet would.
+//! - the `perspectrond` binary — trains on a corpus, starts the service,
+//!   replays load against it, and prints the operational report.
+
+#![warn(missing_docs)]
+
+pub mod replay;
+pub mod service;
+
+pub use replay::{replay_clients, ReplayConfig, ReplayOutcome};
+pub use service::{
+    Perspectrond, ServiceConfig, ServiceReport, StreamOutcome, SubmitError, Submitter,
+};

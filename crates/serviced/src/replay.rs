@@ -1,0 +1,144 @@
+//! The replay load generator: fans an on-disk corpus out as thousands of
+//! concurrent telemetry streams against a running service.
+//!
+//! Stream `i` replays trace `i % n_traces` of the corpus, window by
+//! window, through [`Submitter::try_submit`] — so a small corpus can
+//! stand in for an arbitrarily wide fleet. Rows are fetched through the
+//! memory-mapped [`CorpusReader`]; nothing beyond the block being read is
+//! ever resident, which is the whole point of the columnar format.
+//!
+//! Client threads interleave their streams round-robin (window 0 of every
+//! owned stream, then window 1, …), the worst-case arrival pattern for
+//! the service's cross-session batcher: maximally many distinct sessions
+//! per batch. `Busy` rejections are retried with a yield — the
+//! backpressure shows up in [`ReplayOutcome::busy_retries`] instead of
+//! unbounded queueing.
+
+use std::time::Duration;
+
+use perspectron::corpus_io::CorpusReader;
+
+use crate::service::{SubmitError, Submitter};
+
+/// Shape of the replayed load.
+#[derive(Debug, Clone)]
+pub struct ReplayConfig {
+    /// Concurrent streams to emulate (each replays one corpus trace).
+    pub streams: usize,
+    /// Producer threads the streams are spread across. Clamped to
+    /// `1..=streams`.
+    pub client_threads: usize,
+    /// Cap on windows replayed per stream (`None` = the whole trace).
+    pub windows_per_stream: Option<usize>,
+    /// Pause between a client's interleave rounds — the rate knob
+    /// (`streams × (1/round_gap)` windows/s per client at the limit).
+    /// `None` replays at maximum rate.
+    pub round_gap: Option<Duration>,
+}
+
+impl Default for ReplayConfig {
+    fn default() -> Self {
+        Self {
+            streams: 1024,
+            client_threads: 4,
+            windows_per_stream: None,
+            round_gap: None,
+        }
+    }
+}
+
+/// What the generator actually delivered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplayOutcome {
+    /// Windows accepted by the service.
+    pub submitted: u64,
+    /// `Busy` rejections absorbed by retrying (shed-load events).
+    pub busy_retries: u64,
+    /// Streams that submitted at least one window.
+    pub streams: usize,
+}
+
+/// Replays `reader`'s corpus as [`ReplayConfig::streams`] concurrent
+/// streams against the service behind `submitter`. Blocks until every
+/// window has been *accepted* (verdicts may still be in flight — use
+/// [`Perspectrond::drain`](crate::service::Perspectrond::drain) or
+/// shutdown for the barrier).
+///
+/// # Panics
+///
+/// Panics if the corpus is empty or `streams` is zero.
+pub fn replay_clients(
+    reader: &CorpusReader,
+    submitter: &Submitter,
+    cfg: &ReplayConfig,
+) -> ReplayOutcome {
+    assert!(reader.n_traces() > 0, "cannot replay an empty corpus");
+    assert!(cfg.streams > 0, "need at least one stream");
+    let clients = cfg.client_threads.clamp(1, cfg.streams);
+
+    let totals = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(clients);
+        for client in 0..clients {
+            let submitter = submitter.clone();
+            handles.push(scope.spawn(move || {
+                let mut submitted = 0u64;
+                let mut busy = 0u64;
+                // The streams this client owns, with their trace and length.
+                let owned: Vec<(u64, usize, usize)> = (client..cfg.streams)
+                    .step_by(clients)
+                    .map(|s| {
+                        let t = s % reader.n_traces();
+                        let mut rows = reader.trace_meta(t).rows;
+                        if let Some(cap) = cfg.windows_per_stream {
+                            rows = rows.min(cap);
+                        }
+                        (s as u64, t, rows)
+                    })
+                    .collect();
+                let longest = owned.iter().map(|&(_, _, rows)| rows).max().unwrap_or(0);
+                let mut row = Vec::new();
+                for j in 0..longest {
+                    for &(stream, t, rows) in &owned {
+                        if j >= rows {
+                            continue;
+                        }
+                        let at_inst = reader
+                            .read_row(t, j, &mut row)
+                            .expect("replay read within bounds");
+                        let mut boxed: Box<[f64]> = row.as_slice().into();
+                        loop {
+                            match submitter.try_submit(stream, at_inst, boxed) {
+                                Ok(()) => break,
+                                Err(SubmitError::Busy { .. }) => {
+                                    busy += 1;
+                                    std::thread::yield_now();
+                                    boxed = row.as_slice().into();
+                                }
+                                Err(SubmitError::Shutdown) => {
+                                    panic!("service shut down mid-replay")
+                                }
+                            }
+                        }
+                        submitted += 1;
+                    }
+                    if let Some(gap) = cfg.round_gap {
+                        std::thread::sleep(gap);
+                    }
+                }
+                (submitted, busy, owned.len())
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("replay client panicked"))
+            .fold((0u64, 0u64, 0usize), |acc, x| {
+                (acc.0 + x.0, acc.1 + x.1, acc.2 + x.2)
+            })
+    });
+
+    ReplayOutcome {
+        submitted: totals.0,
+        busy_retries: totals.1,
+        streams: totals.2,
+    }
+}

@@ -1,0 +1,516 @@
+//! The sharded detection service: N worker threads, each owning a shard
+//! of stream sessions, fed through bounded queues with explicit
+//! backpressure and scoring windows in cross-session batched sweeps.
+//!
+//! # Architecture
+//!
+//! ```text
+//!  clients ──try_submit──► [bounded MPSC, depth Q] ──► shard 0 ─┐
+//!  clients ──try_submit──► [bounded MPSC, depth Q] ──► shard 1 ─┼─► ServiceReport
+//!                      …                                   …    ┘
+//! ```
+//!
+//! A stream id hashes (FNV-1a) to exactly one shard, so one stream's
+//! windows are always processed by one thread in submission order. Each
+//! shard coalesces up to `batch_windows` queued windows — **across** its
+//! sessions — into a single [`PackedRows`] sweep through
+//! [`PackedPerceptron::score_rows`], amortizing the batch advantage over
+//! the whole shard instead of one stream. Because a window's verdict
+//! depends only on its own row bits and its stream's sampling point,
+//! batch composition is invisible in the output: per-stream verdict
+//! sequences are bit-identical to running each stream alone through
+//! `PerSpectron::streaming_packed`, whatever the shard count or arrival
+//! interleaving (pinned by the crate's tests).
+//!
+//! # Backpressure
+//!
+//! Queues are `std::sync::mpsc::sync_channel`s with a fixed depth.
+//! [`Submitter::try_submit`] never blocks and never buffers beyond that
+//! depth: a full shard queue surfaces as [`SubmitError::Busy`] and the
+//! caller decides — retry, skip the window, or shed the stream. Memory is
+//! bounded by `shards × queue_depth` in-flight windows no matter how far
+//! producers outrun the scorer.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use mlkit::{BitRow, PackedPerceptron, PackedRows};
+use perspectron::stream::DEFAULT_QUARANTINE_AFTER;
+use perspectron::{
+    Degraded, IntervalVerdict, PerSpectron, RowEncoder, SessionState, StreamSession,
+};
+
+/// How the service is shaped: worker count, queue bound, batching policy.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads, each owning one shard of streams. Clamped to ≥ 1.
+    pub shards: usize,
+    /// Bounded depth of each shard's submission queue — the backpressure
+    /// knob. Clamped to ≥ 1.
+    pub queue_depth: usize,
+    /// Maximum windows coalesced into one batched scoring sweep.
+    /// Clamped to ≥ 1.
+    pub batch_windows: usize,
+    /// Consecutive degraded windows before a stream is quarantined.
+    pub quarantine_after: usize,
+    /// Artificial delay before each scoring sweep — zero in production;
+    /// tests and benches set it to emulate a slow consumer so queue
+    /// backpressure becomes observable.
+    pub sweep_stall: Duration,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            shards: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            queue_depth: 256,
+            batch_windows: 64,
+            quarantine_after: DEFAULT_QUARANTINE_AFTER,
+            sweep_stall: Duration::ZERO,
+        }
+    }
+}
+
+/// Why a submission was not accepted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The target shard's queue is full — explicit shed-load signal; the
+    /// window was **not** buffered anywhere. Retry later or drop it.
+    Busy {
+        /// The shard whose queue was full.
+        shard: usize,
+    },
+    /// The service has shut down; no further windows can be scored.
+    Shutdown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Busy { shard } => write!(f, "shard {shard} queue full"),
+            SubmitError::Shutdown => write!(f, "service is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+enum Msg {
+    Window {
+        stream: u64,
+        at_inst: u64,
+        row: Box<[f64]>,
+        submitted: Instant,
+    },
+    Drain(SyncSender<()>),
+}
+
+/// FNV-1a 64 over the stream id — the shard routing hash.
+fn stream_hash(stream: u64) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in stream.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// A cloneable, thread-safe submission handle.
+///
+/// Clone one per producer thread. Windows for one stream must be
+/// submitted in order by a single thread at a time — the service
+/// preserves per-queue FIFO order, not cross-thread wall-clock order.
+///
+/// **Every clone must be dropped before [`Perspectrond::shutdown`] can
+/// complete**: shards exit when their queue disconnects, which requires
+/// all senders gone.
+#[derive(Debug, Clone)]
+pub struct Submitter {
+    txs: Arc<[SyncSender<Msg>]>,
+    busy: Arc<AtomicU64>,
+}
+
+impl Submitter {
+    /// The shard a stream's windows are processed by.
+    pub fn shard_of(&self, stream: u64) -> usize {
+        (stream_hash(stream) % self.txs.len() as u64) as usize
+    }
+
+    /// Submits one sampling window without blocking. `row` is the
+    /// stream's raw counter-delta row (full schema width); `at_inst` the
+    /// committed-instruction count when the window closed.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Busy`] when the shard's bounded queue is full (the
+    /// window is dropped back to the caller), [`SubmitError::Shutdown`]
+    /// when the shard is gone.
+    pub fn try_submit(
+        &self,
+        stream: u64,
+        at_inst: u64,
+        row: Box<[f64]>,
+    ) -> Result<(), SubmitError> {
+        let shard = self.shard_of(stream);
+        match self.txs[shard].try_send(Msg::Window {
+            stream,
+            at_inst,
+            row,
+            submitted: Instant::now(),
+        }) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(_)) => {
+                self.busy.fetch_add(1, Ordering::Relaxed);
+                Err(SubmitError::Busy { shard })
+            }
+            Err(TrySendError::Disconnected(_)) => Err(SubmitError::Shutdown),
+        }
+    }
+
+    /// Submits one window, blocking while the shard's queue is full —
+    /// backpressure propagates to the producer instead of shedding.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Shutdown`] when the shard is gone.
+    pub fn submit(&self, stream: u64, at_inst: u64, row: Box<[f64]>) -> Result<(), SubmitError> {
+        let shard = self.shard_of(stream);
+        self.txs[shard]
+            .send(Msg::Window {
+                stream,
+                at_inst,
+                row,
+                submitted: Instant::now(),
+            })
+            .map_err(|_| SubmitError::Shutdown)
+    }
+
+    /// `Busy` rejections observed across all clones of this submitter.
+    pub fn busy_rejections(&self) -> u64 {
+        self.busy.load(Ordering::Relaxed)
+    }
+}
+
+/// Final state of one stream when the service shut down.
+#[derive(Debug, Clone)]
+pub struct StreamOutcome {
+    /// The stream id.
+    pub stream: u64,
+    /// Health at shutdown.
+    pub state: SessionState,
+    /// Windows scored under degraded input.
+    pub degraded_windows: usize,
+    /// Every verdict rendered for the stream, in submission order.
+    pub verdicts: Vec<IntervalVerdict>,
+}
+
+/// Everything the service did, merged across shards at shutdown.
+#[derive(Debug, Clone)]
+pub struct ServiceReport {
+    /// Worker threads the service ran with.
+    pub shards: usize,
+    /// Total windows scored (equals total verdicts across streams).
+    pub windows_scored: u64,
+    /// Batched scoring sweeps executed.
+    pub sweeps: u64,
+    /// Largest number of windows coalesced into one sweep.
+    pub max_coalesced: usize,
+    /// `Busy` rejections observed by the service's own submitters.
+    pub busy_rejections: u64,
+    /// Submit-to-verdict latency of every window, microseconds, sorted
+    /// ascending.
+    pub latencies_us: Vec<u32>,
+    /// Per-stream outcomes, sorted by stream id.
+    pub streams: Vec<StreamOutcome>,
+}
+
+impl ServiceReport {
+    fn percentile_us(&self, p: f64) -> u64 {
+        if self.latencies_us.is_empty() {
+            return 0;
+        }
+        let idx = (p * (self.latencies_us.len() - 1) as f64).round() as usize;
+        self.latencies_us[idx] as u64
+    }
+
+    /// Median submit-to-verdict latency, microseconds.
+    pub fn p50_us(&self) -> u64 {
+        self.percentile_us(0.50)
+    }
+
+    /// 99th-percentile submit-to-verdict latency, microseconds.
+    pub fn p99_us(&self) -> u64 {
+        self.percentile_us(0.99)
+    }
+
+    /// The verdict sequence of one stream, if it ever submitted.
+    pub fn verdicts_of(&self, stream: u64) -> Option<&[IntervalVerdict]> {
+        self.streams
+            .binary_search_by_key(&stream, |s| s.stream)
+            .ok()
+            .map(|i| self.streams[i].verdicts.as_slice())
+    }
+
+    /// Streams quarantined by the degraded-window state machine.
+    pub fn quarantined_streams(&self) -> impl Iterator<Item = u64> + '_ {
+        self.streams
+            .iter()
+            .filter(|s| s.state == SessionState::Quarantined)
+            .map(|s| s.stream)
+    }
+}
+
+struct ShardReport {
+    windows: u64,
+    sweeps: u64,
+    max_coalesced: usize,
+    latencies_us: Vec<u32>,
+    streams: Vec<StreamOutcome>,
+}
+
+struct PendingWindow {
+    stream: u64,
+    at_inst: u64,
+    degraded: Option<Degraded>,
+    submitted: Instant,
+}
+
+/// One worker thread's whole world: its sessions, the frozen engine, and
+/// the current batch.
+struct ShardWorker {
+    detector: Arc<PerSpectron>,
+    encoder: RowEncoder,
+    engine: PackedPerceptron,
+    sessions: HashMap<u64, StreamSession>,
+    bits: BitRow,
+    batch: PackedRows,
+    pending: Vec<PendingWindow>,
+    scores: Vec<f64>,
+    latencies_us: Vec<u32>,
+    windows: u64,
+    sweeps: u64,
+    max_coalesced: usize,
+    batch_windows: usize,
+    quarantine_after: usize,
+    sweep_stall: Duration,
+}
+
+impl ShardWorker {
+    fn new(detector: Arc<PerSpectron>, cfg: &ServiceConfig) -> Self {
+        let encoder = detector.packed_encoder();
+        let width = encoder.width();
+        Self {
+            engine: detector.packed_perceptron().clone(),
+            detector,
+            encoder,
+            sessions: HashMap::new(),
+            bits: BitRow::zeros(width),
+            batch: PackedRows::new(width),
+            pending: Vec::with_capacity(cfg.batch_windows.max(1)),
+            scores: Vec::with_capacity(cfg.batch_windows.max(1)),
+            latencies_us: Vec::new(),
+            windows: 0,
+            sweeps: 0,
+            max_coalesced: 0,
+            batch_windows: cfg.batch_windows.max(1),
+            quarantine_after: cfg.quarantine_after.max(1),
+            sweep_stall: cfg.sweep_stall,
+        }
+    }
+
+    fn handle(&mut self, msg: Msg) {
+        match msg {
+            Msg::Window {
+                stream,
+                at_inst,
+                mut row,
+                submitted,
+            } => {
+                let session = self.sessions.entry(stream).or_insert_with(|| {
+                    StreamSession::new(&self.detector).with_quarantine_after(self.quarantine_after)
+                });
+                let (point, degraded) = session.open_window(&mut row);
+                self.encoder.encode_bits_into(&row, point, &mut self.bits);
+                self.batch
+                    .push(&self.bits)
+                    .expect("encoder and batch widths agree");
+                self.pending.push(PendingWindow {
+                    stream,
+                    at_inst,
+                    degraded,
+                    submitted,
+                });
+            }
+            Msg::Drain(ack) => {
+                // Everything submitted before the drain is already in the
+                // queue ahead of it (per-queue FIFO): sweep, then ack.
+                self.sweep();
+                let _ = ack.send(());
+            }
+        }
+    }
+
+    /// Scores the current batch in one `score_rows` sweep and closes
+    /// every pending window against its session.
+    fn sweep(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        if !self.sweep_stall.is_zero() {
+            std::thread::sleep(self.sweep_stall);
+        }
+        self.engine.score_rows(&self.batch, &mut self.scores);
+        debug_assert_eq!(self.scores.len(), self.pending.len());
+        let scored_at = Instant::now();
+        self.max_coalesced = self.max_coalesced.max(self.pending.len());
+        self.windows += self.pending.len() as u64;
+        self.sweeps += 1;
+        for (pw, &raw) in self.pending.drain(..).zip(self.scores.iter()) {
+            let session = self
+                .sessions
+                .get_mut(&pw.stream)
+                .expect("pending window belongs to an open session");
+            session.close_window(&self.detector, pw.at_inst, pw.degraded, raw);
+            let us = scored_at.duration_since(pw.submitted).as_micros();
+            self.latencies_us
+                .push(u32::try_from(us).unwrap_or(u32::MAX));
+        }
+        self.batch.clear();
+    }
+
+    fn run(mut self, rx: Receiver<Msg>) -> ShardReport {
+        // Block for the first message of a burst, then coalesce whatever
+        // else is already queued — up to one batch — into the same sweep.
+        while let Ok(msg) = rx.recv() {
+            self.handle(msg);
+            loop {
+                if self.pending.len() >= self.batch_windows {
+                    self.sweep();
+                }
+                match rx.try_recv() {
+                    Ok(m) => self.handle(m),
+                    Err(_) => break,
+                }
+            }
+            self.sweep();
+        }
+        // Channel disconnected: score any straggler batch and report.
+        self.sweep();
+        let mut streams: Vec<StreamOutcome> = self
+            .sessions
+            .into_iter()
+            .map(|(stream, session)| StreamOutcome {
+                stream,
+                state: session.state(),
+                degraded_windows: session.degraded_windows(),
+                verdicts: session.into_verdicts(),
+            })
+            .collect();
+        streams.sort_by_key(|s| s.stream);
+        ShardReport {
+            windows: self.windows,
+            sweeps: self.sweeps,
+            max_coalesced: self.max_coalesced,
+            latencies_us: self.latencies_us,
+            streams,
+        }
+    }
+}
+
+/// A running detection service. Constructed by [`Perspectrond::start`];
+/// torn down (and its results collected) by [`Perspectrond::shutdown`].
+#[derive(Debug)]
+pub struct Perspectrond {
+    submitter: Submitter,
+    joins: Vec<JoinHandle<ShardReport>>,
+}
+
+impl Perspectrond {
+    /// Spawns the shard workers and returns the running service. The
+    /// detector is cloned once and shared read-only across shards.
+    pub fn start(detector: &PerSpectron, config: ServiceConfig) -> Self {
+        let shards = config.shards.max(1);
+        let detector = Arc::new(detector.clone());
+        let mut txs = Vec::with_capacity(shards);
+        let mut joins = Vec::with_capacity(shards);
+        for id in 0..shards {
+            let (tx, rx) = sync_channel(config.queue_depth.max(1));
+            let worker = ShardWorker::new(Arc::clone(&detector), &config);
+            let join = std::thread::Builder::new()
+                .name(format!("perspectrond-shard{id}"))
+                .spawn(move || worker.run(rx))
+                .expect("spawn shard worker");
+            txs.push(tx);
+            joins.push(join);
+        }
+        Self {
+            submitter: Submitter {
+                txs: txs.into(),
+                busy: Arc::new(AtomicU64::new(0)),
+            },
+            joins,
+        }
+    }
+
+    /// Worker threads the service runs with.
+    pub fn shards(&self) -> usize {
+        self.joins.len()
+    }
+
+    /// A cloneable submission handle for producer threads.
+    pub fn submitter(&self) -> Submitter {
+        self.submitter.clone()
+    }
+
+    /// Blocks until every shard has scored everything submitted before
+    /// this call — a verdict barrier (partial batches are swept, not
+    /// awaited).
+    pub fn drain(&self) {
+        let mut acks = Vec::with_capacity(self.joins.len());
+        for tx in self.submitter.txs.iter() {
+            let (ack_tx, ack_rx) = sync_channel(1);
+            if tx.send(Msg::Drain(ack_tx)).is_ok() {
+                acks.push(ack_rx);
+            }
+        }
+        for ack in acks {
+            let _ = ack.recv();
+        }
+    }
+
+    /// Stops accepting work, waits for the shards to score every queued
+    /// window, and returns the merged report.
+    ///
+    /// All [`Submitter`] clones must already be dropped — shards exit on
+    /// queue disconnect, so a live clone elsewhere keeps them (and this
+    /// call) waiting.
+    pub fn shutdown(self) -> ServiceReport {
+        let busy = self.submitter.busy_rejections();
+        let shards = self.joins.len();
+        drop(self.submitter);
+        let mut report = ServiceReport {
+            shards,
+            windows_scored: 0,
+            sweeps: 0,
+            max_coalesced: 0,
+            busy_rejections: busy,
+            latencies_us: Vec::new(),
+            streams: Vec::new(),
+        };
+        for join in self.joins {
+            let shard = join.join().expect("shard worker panicked");
+            report.windows_scored += shard.windows;
+            report.sweeps += shard.sweeps;
+            report.max_coalesced = report.max_coalesced.max(shard.max_coalesced);
+            report.latencies_us.extend(shard.latencies_us);
+            report.streams.extend(shard.streams);
+        }
+        report.latencies_us.sort_unstable();
+        report.streams.sort_by_key(|s| s.stream);
+        report
+    }
+}
