@@ -78,7 +78,7 @@ fn main() {
         },
     );
     drop(submitter);
-    let report = service.shutdown();
+    let report = service.shutdown().expect("clean shutdown");
     let elapsed_secs = started.elapsed().as_secs_f64();
     std::fs::remove_file(&path).ok();
 
@@ -103,18 +103,37 @@ fn main() {
     }
     eprintln!("service_bench: all {streams} streams verified bit-identical");
 
+    // Quiet-plan resilience envelope: the default config runs no chaos,
+    // so any worker restart means the supervisor tripped on real code,
+    // and any shed submission means the patient replay policy gave up —
+    // both are bugs, not load artifacts.
+    assert!(
+        report.restarts.is_empty(),
+        "worker restarted under the quiet plan: {:?}",
+        report.restarts
+    );
+    assert_eq!(report.shed, 0, "submissions shed under the quiet plan");
+    assert_eq!(
+        report.lost_windows(),
+        0,
+        "windows lost under the quiet plan"
+    );
+
     let p50_us = report.p50_us();
     let p99_us = report.p99_us();
     let aggregate_windows_per_sec = report.windows_scored as f64 / elapsed_secs.max(1e-9);
     let streams_per_core = streams as f64 / shards as f64;
 
     let json = format!(
-        "{{\n  \"bench\": \"perspectrond_replay\",\n  \"streams\": {streams},\n  \"shards\": {shards},\n  \"client_threads\": {client_threads},\n  \"windows\": {windows},\n  \"sweeps\": {sweeps},\n  \"max_coalesced\": {max_coalesced},\n  \"busy_retries\": {busy_retries},\n  \"elapsed_secs\": {elapsed_secs:.3},\n  \"p50_us\": {p50_us},\n  \"p99_us\": {p99_us},\n  \"streams_per_core\": {streams_per_core:.1},\n  \"aggregate_windows_per_sec\": {aggregate_windows_per_sec:.0},\n  \"verified_bit_identical\": true\n}}\n",
+        "{{\n  \"bench\": \"perspectrond_replay\",\n  \"streams\": {streams},\n  \"shards\": {shards},\n  \"client_threads\": {client_threads},\n  \"windows\": {windows},\n  \"sweeps\": {sweeps},\n  \"max_coalesced\": {max_coalesced},\n  \"busy_retries\": {busy_retries},\n  \"shed\": {shed},\n  \"retries\": {retries},\n  \"restarts\": {restarts},\n  \"elapsed_secs\": {elapsed_secs:.3},\n  \"p50_us\": {p50_us},\n  \"p99_us\": {p99_us},\n  \"streams_per_core\": {streams_per_core:.1},\n  \"aggregate_windows_per_sec\": {aggregate_windows_per_sec:.0},\n  \"verified_bit_identical\": true\n}}\n",
         client_threads = cores.clamp(1, 8),
         windows = report.windows_scored,
         sweeps = report.sweeps,
         max_coalesced = report.max_coalesced,
         busy_retries = outcome.busy_retries,
+        shed = report.shed,
+        retries = report.retries,
+        restarts = report.restarts.len(),
     );
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_service.json");
     if let Err(e) = std::fs::write(out, &json) {

@@ -73,13 +73,20 @@ impl FaultSpec {
 
 /// xorshift64* — small, fast, and deterministic. A zero state is remapped
 /// (xorshift sticks at zero).
+///
+/// Public because every deterministic-perturbation layer in the repo
+/// draws from the same generator family: the fault plans here, and the
+/// service tier's chaos plans and jittered submit backoff
+/// (`perspectron-serviced`), which must stay byte-reproducible the same
+/// way faulted corpora are.
 #[derive(Debug, Clone)]
-struct XorShift64 {
+pub struct XorShift64 {
     state: u64,
 }
 
 impl XorShift64 {
-    fn new(seed: u64) -> Self {
+    /// Seeds a stream (zero is remapped to a fixed odd constant).
+    pub fn new(seed: u64) -> Self {
         Self {
             state: if seed == 0 {
                 0x9e37_79b9_7f4a_7c15
@@ -89,7 +96,9 @@ impl XorShift64 {
         }
     }
 
-    fn next(&mut self) -> u64 {
+    /// The next 64-bit draw.
+    #[allow(clippy::should_implement_trait)] // not an iterator: draws never end
+    pub fn next(&mut self) -> u64 {
         let mut x = self.state;
         x ^= x << 13;
         x ^= x >> 7;
@@ -99,19 +108,19 @@ impl XorShift64 {
     }
 
     /// Uniform draw in `[0, 1)` (53-bit mantissa).
-    fn unit(&mut self) -> f64 {
+    pub fn unit(&mut self) -> f64 {
         (self.next() >> 11) as f64 / (1u64 << 53) as f64
     }
 
     /// Bernoulli draw. Always consumes exactly one stream value so the
     /// draw sequence is independent of which faults actually fire.
-    fn chance(&mut self, p: f64) -> bool {
+    pub fn chance(&mut self, p: f64) -> bool {
         self.unit() < p
     }
 }
 
 /// FNV-1a over a workload name, used to derive its fault stream.
-fn fnv1a(name: &str) -> u64 {
+pub fn fnv1a(name: &str) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for b in name.bytes() {
         h ^= b as u64;
@@ -122,7 +131,7 @@ fn fnv1a(name: &str) -> u64 {
 
 /// splitmix64 finalizer: decorrelates `seed ^ fnv(name)` into a stream
 /// seed.
-fn mix(mut z: u64) -> u64 {
+pub fn mix(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
@@ -191,6 +200,47 @@ impl FaultPlan {
             buf: Vec::new(),
             interval: 0,
             log: FaultLog::default(),
+        }
+    }
+
+    /// Replays an already-collected corpus through this plan's
+    /// [`FaultySink`]s, producing the faulted corpus *without* re-running
+    /// the simulator: every trace's rows pass through `sink_for(name, …)`
+    /// exactly as they would have during collection.
+    ///
+    /// Because fault streams are keyed by `(plan seed, trace name)` only,
+    /// the result is byte-identical to
+    /// [`CorpusSpec::try_collect_faulted`](crate::trace::CorpusSpec::try_collect_faulted)
+    /// on the same clean rows — this is the cheap path for replaying
+    /// faulted corpora at fleet scale (the `perspectrond --fault-plan`
+    /// story), where the clean corpus already sits on disk.
+    pub fn fault_corpus(
+        &self,
+        corpus: &crate::trace::CollectedCorpus,
+    ) -> crate::trace::CollectedCorpus {
+        let traces = corpus
+            .traces
+            .iter()
+            .map(|t| {
+                let schema = t.trace.schema().clone();
+                let width = schema.len();
+                let mut sink = self.sink_for(&t.name, uarch_stats::SampleTrace::new(schema));
+                let flat = t.trace.flat_values();
+                for (j, &at) in t.trace.instruction_counts().iter().enumerate() {
+                    sink.on_sample(at, &flat[j * width..(j + 1) * width]);
+                }
+                crate::trace::LabeledTrace {
+                    name: t.name.clone(),
+                    class: t.class,
+                    family: t.family,
+                    trace: sink.into_inner(),
+                    marks: t.marks.clone(),
+                }
+            })
+            .collect();
+        crate::trace::CollectedCorpus {
+            traces,
+            sample_interval: corpus.sample_interval,
         }
     }
 }
@@ -465,6 +515,52 @@ mod tests {
             }
         }
         assert!(moved > 0, "some intervals should jitter");
+    }
+
+    #[test]
+    fn fault_corpus_matches_collect_time_injection_byte_for_byte() {
+        use crate::trace::CorpusSpec;
+        let mut all = workloads::full_suite();
+        all.retain(|w| w.name == "flush-reload" || w.name == "hmmer");
+        let spec = CorpusSpec {
+            insts_per_workload: 30_000,
+            sample_interval: 10_000,
+            workloads: all,
+        };
+        let clean = spec.try_collect_serial().expect("clean collection");
+        let plan = FaultPlan::new(
+            FaultSpec {
+                seed: 99,
+                component_dropout: 0.2,
+                row_drop: 0.1,
+                corruption: 0.05,
+                interval_jitter: 300,
+            },
+            clean.schema(),
+        );
+        let at_collect = spec
+            .try_collect_faulted(&plan, 1)
+            .expect("collect-time faulted corpus");
+        let replayed = plan.fault_corpus(&clean);
+        assert_eq!(replayed.traces.len(), at_collect.traces.len());
+        for (a, b) in replayed.traces.iter().zip(&at_collect.traces) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(
+                a.trace
+                    .flat_values()
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>(),
+                b.trace
+                    .flat_values()
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>(),
+                "{}: corpus-replay faulting drifted from collect-time faulting",
+                a.name
+            );
+            assert_eq!(a.trace.instruction_counts(), b.trace.instruction_counts());
+        }
     }
 
     #[test]

@@ -73,7 +73,8 @@ pub use hardware::HardwareCost;
 pub use multiclass::MulticlassDetector;
 pub use rhmd::RhmdDetector;
 pub use stream::{
-    Degraded, IntervalVerdict, SessionState, StreamSession, StreamingDetector, StreamingFeaturizer,
+    Degraded, IntervalVerdict, SessionSnapshot, SessionState, StreamSession, StreamingDetector,
+    StreamingFeaturizer,
 };
 pub use trace::{
     core_seed, workload_seed, CollectedCorpus, CorpusSpec, LabeledTrace, ResiliencePolicy,

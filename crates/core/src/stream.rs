@@ -443,7 +443,35 @@ pub struct StreamSession {
     consecutive_degraded: usize,
     quarantine_after: usize,
     degraded_windows: usize,
+    lost_windows: usize,
     verdicts: Vec<IntervalVerdict>,
+}
+
+/// A portable checkpoint of one [`StreamSession`]'s state — everything a
+/// session owns except the shared dropout watchlist (which is re-derived
+/// from the detector on [`StreamSession::restore`]).
+///
+/// This is the re-homing currency of a supervised service: when a shard
+/// worker dies and is respawned, the supervisor carries its sessions over
+/// as snapshots and restores them into the fresh worker, so the stream's
+/// sampling-point cursor, health state machine and verdict log all
+/// survive the restart bit-for-bit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionSnapshot {
+    /// Sampling-point cursor (windows opened so far).
+    pub point: usize,
+    /// Health at checkpoint time.
+    pub state: SessionState,
+    /// Consecutive degraded windows at checkpoint time.
+    pub consecutive_degraded: usize,
+    /// The session's quarantine threshold.
+    pub quarantine_after: usize,
+    /// Windows scored under degraded input so far.
+    pub degraded_windows: usize,
+    /// Windows lost in flight (accepted but never scored) so far.
+    pub lost_windows: usize,
+    /// The verdict log, oldest first.
+    pub verdicts: Vec<IntervalVerdict>,
 }
 
 impl StreamSession {
@@ -458,8 +486,81 @@ impl StreamSession {
             consecutive_degraded: 0,
             quarantine_after: DEFAULT_QUARANTINE_AFTER,
             degraded_windows: 0,
+            lost_windows: 0,
             verdicts: Vec::new(),
         }
+    }
+
+    /// Checkpoints the session's state (the verdict log is cloned; use
+    /// [`StreamSession::into_snapshot`] to move it instead).
+    pub fn snapshot(&self) -> SessionSnapshot {
+        SessionSnapshot {
+            point: self.point,
+            state: self.state,
+            consecutive_degraded: self.consecutive_degraded,
+            quarantine_after: self.quarantine_after,
+            degraded_windows: self.degraded_windows,
+            lost_windows: self.lost_windows,
+            verdicts: self.verdicts.clone(),
+        }
+    }
+
+    /// Consumes the session, yielding its checkpoint (no clone).
+    pub fn into_snapshot(self) -> SessionSnapshot {
+        SessionSnapshot {
+            point: self.point,
+            state: self.state,
+            consecutive_degraded: self.consecutive_degraded,
+            quarantine_after: self.quarantine_after,
+            degraded_windows: self.degraded_windows,
+            lost_windows: self.lost_windows,
+            verdicts: self.verdicts,
+        }
+    }
+
+    /// Rebuilds a session from a checkpoint taken by
+    /// [`StreamSession::snapshot`]/[`StreamSession::into_snapshot`],
+    /// re-attaching the shared dropout watchlist from `detector`. A
+    /// restored session continues exactly where the checkpoint left off —
+    /// same cursor, same health state, same verdict log — so re-homing a
+    /// stream across a worker restart is invisible in its output.
+    pub fn restore(detector: &PerSpectron, snapshot: SessionSnapshot) -> Self {
+        Self {
+            watchlist: detector.always_active_components(),
+            point: snapshot.point,
+            state: snapshot.state,
+            consecutive_degraded: snapshot.consecutive_degraded,
+            quarantine_after: snapshot.quarantine_after.max(1),
+            degraded_windows: snapshot.degraded_windows,
+            lost_windows: snapshot.lost_windows,
+            verdicts: snapshot.verdicts,
+        }
+    }
+
+    /// Rewinds the cursor by one window without recording anything —
+    /// crash-recovery surgery for a *torn open*: a window whose
+    /// [`StreamSession::open_window`] ran but whose row was lost before it
+    /// could be batched (e.g. the worker panicked mid-handling). Restores
+    /// the invariant that every cursor position maps to at most one
+    /// verdict. Not for normal operation.
+    pub fn rollback_open(&mut self) {
+        self.point = self.point.saturating_sub(1);
+    }
+
+    /// Records a window that was accepted but irrecoverably lost before
+    /// scoring (its row died with a crashed worker). The loss is counted
+    /// and the session is quarantined — sticky, exactly like the
+    /// degraded-window quarantine — because the stream's verdict sequence
+    /// now has a gap an operator must know about. Degraded accounting is
+    /// untouched: a lost window was never *scored*, degraded or otherwise.
+    pub fn record_lost_window(&mut self) {
+        self.lost_windows += 1;
+        self.state = SessionState::Quarantined;
+    }
+
+    /// Windows accepted but lost before scoring (crashed-worker gaps).
+    pub fn lost_windows(&self) -> usize {
+        self.lost_windows
     }
 
     /// Overrides the consecutive-degraded-window quarantine threshold
@@ -556,6 +657,7 @@ impl StreamSession {
         self.state = SessionState::Healthy;
         self.consecutive_degraded = 0;
         self.degraded_windows = 0;
+        self.lost_windows = 0;
         self.verdicts.clear();
     }
 }
@@ -639,6 +741,95 @@ mod tests {
             d2.missing_components
         );
         assert_eq!(d2.sanitized_values, 0);
+    }
+
+    #[test]
+    fn session_snapshot_restore_round_trips_and_continues_bit_identically() {
+        let spec = tiny_spec();
+        let corpus = spec.collect();
+        let det = PerSpectron::train(&corpus, 7);
+        let t = &corpus.traces[0].trace;
+        let width = t.schema().len();
+        let flat = t.flat_values();
+        let encoder = det.packed_encoder();
+        let engine = det.packed_perceptron().clone();
+
+        // Reference: one session scores the whole trace.
+        let mut whole = StreamSession::new(&det).with_quarantine_after(3);
+        let mut bits = mlkit::BitRow::zeros(encoder.width());
+        let mut score_one = |session: &mut StreamSession, j: usize| {
+            let mut row: Vec<f64> = flat[j * width..(j + 1) * width].to_vec();
+            let (point, degraded) = session.open_window(&mut row);
+            encoder.encode_bits_into(&row, point, &mut bits);
+            let raw = engine.score_bits(&bits);
+            session
+                .close_window(&det, t.instruction_counts()[j], degraded, raw)
+                .clone()
+        };
+        for j in 0..t.len() {
+            score_one(&mut whole, j);
+        }
+
+        // Re-homed: snapshot mid-stream, restore into a "fresh worker",
+        // continue. Verdicts must be bit-identical to the whole run.
+        let mut first = StreamSession::new(&det).with_quarantine_after(3);
+        let cut = t.len() / 2;
+        for j in 0..cut {
+            score_one(&mut first, j);
+        }
+        let snap = first.into_snapshot();
+        assert_eq!(snap.point, cut);
+        let mut second = StreamSession::restore(&det, snap.clone());
+        assert_eq!(second.snapshot(), snap, "restore must be lossless");
+        for j in cut..t.len() {
+            score_one(&mut second, j);
+        }
+        assert_eq!(second.verdicts().len(), whole.verdicts().len());
+        for (a, b) in second.verdicts().iter().zip(whole.verdicts()) {
+            assert_eq!(
+                a.confidence.to_bits(),
+                b.confidence.to_bits(),
+                "re-homed session drifted from the uninterrupted run"
+            );
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn lost_windows_quarantine_stickily_without_touching_degraded_accounting() {
+        let spec = tiny_spec();
+        let corpus = spec.collect();
+        let det = PerSpectron::train(&corpus, 7);
+        let width = det.schema().len();
+        let mut s = StreamSession::new(&det);
+
+        // A clean window scores normally.
+        let mut row = vec![1.0; width];
+        let (_, degraded) = s.open_window(&mut row);
+        s.close_window(&det, 10_000, degraded, 0.0);
+        assert_eq!(s.state(), SessionState::Healthy);
+
+        // A torn open is rolled back, then the loss is recorded.
+        let mut row2 = vec![1.0; width];
+        let _ = s.open_window(&mut row2);
+        assert_eq!(s.windows_opened(), 2);
+        s.rollback_open();
+        assert_eq!(s.windows_opened(), 1);
+        s.record_lost_window();
+        assert_eq!(s.lost_windows(), 1);
+        assert_eq!(s.state(), SessionState::Quarantined);
+        assert_eq!(s.degraded_windows(), 0, "loss is not degradation");
+
+        // Sticky: a later clean window does not clear the quarantine.
+        let mut row3 = vec![1.0; width];
+        let (_, degraded) = s.open_window(&mut row3);
+        s.close_window(&det, 20_000, degraded, 0.0);
+        assert_eq!(s.state(), SessionState::Quarantined);
+
+        // reset() is the operator acknowledgement that clears everything.
+        s.reset();
+        assert_eq!(s.lost_windows(), 0);
+        assert_eq!(s.state(), SessionState::Healthy);
     }
 
     #[test]

@@ -19,13 +19,28 @@
 //!   fan-in, driving the service the way a fleet would.
 //! - the `perspectrond` binary — trains on a corpus, starts the service,
 //!   replays load against it, and prints the operational report.
+//!
+//! The service is fault tolerant: each shard worker runs under an
+//! Erlang-style supervisor that respawns it after panics (re-homing its
+//! sessions, carrying the in-flight batch so verdicts stay bit-identical)
+//! and a watchdog that detects wedged workers. Failures are typed —
+//! [`ShardRestart`] events in the report, [`ServiceError::ShardPanicked`]
+//! with partial results at shutdown — and the [`chaos`] module injects
+//! them deterministically from a seed, so the whole recovery surface is
+//! testable byte-for-byte. [`policy`] gives producers deadline-bounded,
+//! deterministically-jittered retry behavior around backpressure.
 
 #![warn(missing_docs)]
 
+pub mod chaos;
+pub mod policy;
 pub mod replay;
 pub mod service;
 
+pub use chaos::{ChaosSpec, PanicAt, PoisonPill, StallAt};
+pub use policy::SubmitPolicy;
 pub use replay::{replay_clients, ReplayConfig, ReplayOutcome};
 pub use service::{
-    Perspectrond, ServiceConfig, ServiceReport, StreamOutcome, SubmitError, Submitter,
+    Perspectrond, RestartCause, ServiceConfig, ServiceError, ServiceReport, ShardRestart,
+    StreamOutcome, SubmitError, Submitter, WatchdogConfig,
 };

@@ -2,22 +2,26 @@
 //! concurrent telemetry streams against a running service.
 //!
 //! Stream `i` replays trace `i % n_traces` of the corpus, window by
-//! window, through [`Submitter::try_submit`] — so a small corpus can
-//! stand in for an arbitrarily wide fleet. Rows are fetched through the
-//! memory-mapped [`CorpusReader`]; nothing beyond the block being read is
-//! ever resident, which is the whole point of the columnar format.
+//! window, through [`Submitter::submit_with_policy`] — so a small corpus
+//! can stand in for an arbitrarily wide fleet. Rows are fetched through
+//! the memory-mapped [`CorpusReader`]; nothing beyond the block being
+//! read is ever resident, which is the whole point of the columnar
+//! format.
 //!
 //! Client threads interleave their streams round-robin (window 0 of every
 //! owned stream, then window 1, …), the worst-case arrival pattern for
 //! the service's cross-session batcher: maximally many distinct sessions
-//! per batch. `Busy` rejections are retried with a yield — the
-//! backpressure shows up in [`ReplayOutcome::busy_retries`] instead of
-//! unbounded queueing.
+//! per batch. Backpressure is absorbed by the configured
+//! [`SubmitPolicy`] — deterministic jittered backoff under a deadline —
+//! showing up as [`ReplayOutcome::busy_retries`] when absorbed and
+//! [`ReplayOutcome::shed`] when a window's budget ran out; replay never
+//! queues unboundedly and never spins.
 
 use std::time::Duration;
 
 use perspectron::corpus_io::CorpusReader;
 
+use crate::policy::SubmitPolicy;
 use crate::service::{SubmitError, Submitter};
 
 /// Shape of the replayed load.
@@ -34,6 +38,10 @@ pub struct ReplayConfig {
     /// (`streams × (1/round_gap)` windows/s per client at the limit).
     /// `None` replays at maximum rate.
     pub round_gap: Option<Duration>,
+    /// How each window's submission handles backpressure. The default is
+    /// [`SubmitPolicy::patient`]: a load generator should absorb
+    /// transient `Busy` and only shed against a genuinely wedged service.
+    pub policy: SubmitPolicy,
 }
 
 impl Default for ReplayConfig {
@@ -43,6 +51,7 @@ impl Default for ReplayConfig {
             client_threads: 4,
             windows_per_stream: None,
             round_gap: None,
+            policy: SubmitPolicy::patient(),
         }
     }
 }
@@ -52,15 +61,21 @@ impl Default for ReplayConfig {
 pub struct ReplayOutcome {
     /// Windows accepted by the service.
     pub submitted: u64,
-    /// `Busy` rejections absorbed by retrying (shed-load events).
+    /// `Busy` rejections absorbed by policy retries.
     pub busy_retries: u64,
+    /// Windows given up on — the submit deadline or retry budget ran out
+    /// with the shard still busy. The replay moves on to the stream's
+    /// next window (the service quarantines on loss only when a *worker*
+    /// loses an accepted window; a shed window was never accepted).
+    pub shed: u64,
     /// Streams that submitted at least one window.
     pub streams: usize,
 }
 
 /// Replays `reader`'s corpus as [`ReplayConfig::streams`] concurrent
 /// streams against the service behind `submitter`. Blocks until every
-/// window has been *accepted* (verdicts may still be in flight — use
+/// window has been *accepted* or shed under the policy (verdicts may
+/// still be in flight — use
 /// [`Perspectrond::drain`](crate::service::Perspectrond::drain) or
 /// shutdown for the barrier).
 ///
@@ -75,6 +90,7 @@ pub fn replay_clients(
     assert!(reader.n_traces() > 0, "cannot replay an empty corpus");
     assert!(cfg.streams > 0, "need at least one stream");
     let clients = cfg.client_threads.clamp(1, cfg.streams);
+    let retries_before = submitter.retries();
 
     let totals = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(clients);
@@ -82,7 +98,7 @@ pub fn replay_clients(
             let submitter = submitter.clone();
             handles.push(scope.spawn(move || {
                 let mut submitted = 0u64;
-                let mut busy = 0u64;
+                let mut shed = 0u64;
                 // The streams this client owns, with their trace and length.
                 let owned: Vec<(u64, usize, usize)> = (client..cfg.streams)
                     .step_by(clients)
@@ -105,27 +121,23 @@ pub fn replay_clients(
                         let at_inst = reader
                             .read_row(t, j, &mut row)
                             .expect("replay read within bounds");
-                        let mut boxed: Box<[f64]> = row.as_slice().into();
-                        loop {
-                            match submitter.try_submit(stream, at_inst, boxed) {
-                                Ok(()) => break,
-                                Err(SubmitError::Busy { .. }) => {
-                                    busy += 1;
-                                    std::thread::yield_now();
-                                    boxed = row.as_slice().into();
-                                }
-                                Err(SubmitError::Shutdown) => {
-                                    panic!("service shut down mid-replay")
-                                }
+                        let boxed: Box<[f64]> = row.as_slice().into();
+                        match submitter.submit_with_policy(stream, at_inst, boxed, &cfg.policy) {
+                            Ok(()) => submitted += 1,
+                            Err(SubmitError::Deadline { .. }) => shed += 1,
+                            Err(SubmitError::Busy { .. }) => {
+                                unreachable!("policy path never surfaces Busy")
+                            }
+                            Err(SubmitError::Shutdown) => {
+                                panic!("service shut down mid-replay")
                             }
                         }
-                        submitted += 1;
                     }
                     if let Some(gap) = cfg.round_gap {
                         std::thread::sleep(gap);
                     }
                 }
-                (submitted, busy, owned.len())
+                (submitted, shed, owned.len())
             }));
         }
         handles
@@ -138,7 +150,8 @@ pub fn replay_clients(
 
     ReplayOutcome {
         submitted: totals.0,
-        busy_retries: totals.1,
+        busy_retries: submitter.retries() - retries_before,
+        shed: totals.1,
         streams: totals.2,
     }
 }

@@ -1,13 +1,15 @@
-//! The sharded detection service: N worker threads, each owning a shard
-//! of stream sessions, fed through bounded queues with explicit
-//! backpressure and scoring windows in cross-session batched sweeps.
+//! The sharded detection service: N supervised worker threads, each
+//! owning a shard of stream sessions, fed through bounded queues with
+//! explicit backpressure and scoring windows in cross-session batched
+//! sweeps.
 //!
 //! # Architecture
 //!
 //! ```text
-//!  clients ──try_submit──► [bounded MPSC, depth Q] ──► shard 0 ─┐
-//!  clients ──try_submit──► [bounded MPSC, depth Q] ──► shard 1 ─┼─► ServiceReport
-//!                      …                                   …    ┘
+//!  clients ──submit──► [bounded MPSC, depth Q] ──► supervisor ⟳ shard 0 ─┐
+//!  clients ──submit──► [bounded MPSC, depth Q] ──► supervisor ⟳ shard 1 ─┼─► ServiceReport
+//!                  …                                        …            ┘
+//!                                 watchdog ── heartbeats ──┘
 //! ```
 //!
 //! A stream id hashes (FNV-1a) to exactly one shard, so one stream's
@@ -22,18 +24,54 @@
 //! `PerSpectron::streaming_packed`, whatever the shard count or arrival
 //! interleaving (pinned by the crate's tests).
 //!
+//! # Supervision
+//!
+//! Each shard thread is an Erlang-style supervisor loop around the actual
+//! worker loop. The worker's *durable* state — sessions, the in-flight
+//! batch, counters, chaos bookkeeping — lives in the supervisor's frame;
+//! the worker loop runs under `catch_unwind` and owns only *volatile*
+//! state (the inference engine, encoder, scratch buffers) that is rebuilt
+//! from the shared detector on every (re)spawn. When the worker panics:
+//!
+//! - the supervisor records a typed [`ShardRestart`],
+//! - repairs the durable state to the last consistent point (a panic
+//!   inside a sweep leaves the whole batch intact and it is simply
+//!   re-scored by the respawned engine — a clone of the same frozen
+//!   weights, so verdicts stay bit-identical; a panic while receiving a
+//!   window loses exactly that window, and its stream is quarantined via
+//!   [`StreamSession::record_lost_window`], never silently dropped),
+//! - re-homes every session through the
+//!   [`SessionSnapshot`](perspectron::SessionSnapshot) round-trip, and
+//! - re-enters the loop on the same queue.
+//!
+//! After [`ServiceConfig::max_restarts_per_shard`] restarts the
+//! supervisor gives up and re-raises, which surfaces at shutdown as
+//! [`ServiceError::ShardPanicked`] — still carrying the merged report of
+//! every surviving shard.
+//!
+//! A watchdog thread watches per-shard heartbeat counters; a worker that
+//! stops beating for [`WatchdogConfig::stall_budget`] consecutive ticks
+//! is declared wedged and handed a restart request, which the worker
+//! honors at the next loop boundary (a controlled restart — nothing is
+//! lost, the cause is recorded as [`RestartCause::Wedged`]).
+//!
 //! # Backpressure
 //!
 //! Queues are `std::sync::mpsc::sync_channel`s with a fixed depth.
 //! [`Submitter::try_submit`] never blocks and never buffers beyond that
 //! depth: a full shard queue surfaces as [`SubmitError::Busy`] and the
-//! caller decides — retry, skip the window, or shed the stream. Memory is
+//! caller decides — retry, skip the window, or shed the stream. The
+//! policy paths ([`Submitter::submit_with_policy`] and the blocking
+//! [`Submitter::submit`]) move that decision into the service: bounded
+//! retries with deterministic jittered backoff under a hard deadline,
+//! with shed/retry counters surfaced in [`ServiceReport`]. Memory is
 //! bounded by `shards × queue_depth` in-flight windows no matter how far
 //! producers outrun the scorer.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -44,7 +82,40 @@ use perspectron::{
     Degraded, IntervalVerdict, PerSpectron, RowEncoder, SessionState, StreamSession,
 };
 
-/// How the service is shaped: worker count, queue bound, batching policy.
+use crate::chaos::{ChaosSpec, ShardChaos};
+use crate::policy::SubmitPolicy;
+
+/// Shape of the watchdog that detects wedged shard workers.
+///
+/// Workers heartbeat an atomic counter at every loop boundary (including
+/// idle `recv` timeouts, which fire every `tick`). The watchdog samples
+/// the counters every `tick`; a worker whose counter has not moved for
+/// `stall_budget` consecutive samples is declared wedged and handed a
+/// restart request. The request is cooperative — std threads cannot be
+/// killed — so recovery happens when the wedge releases (or at shutdown);
+/// what the watchdog guarantees is *detection* and a typed
+/// [`RestartCause::Wedged`] restart instead of a silent stall.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatchdogConfig {
+    /// Sampling period, and the workers' idle-heartbeat period. Clamped
+    /// to ≥ 1 ms.
+    pub tick: Duration,
+    /// Consecutive stale samples before a worker is declared wedged.
+    /// Clamped to ≥ 2 (one sample can race a legitimately idle beat).
+    pub stall_budget: u32,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        Self {
+            tick: Duration::from_millis(50),
+            stall_budget: 40, // 2 s of silence before a shard is wedged
+        }
+    }
+}
+
+/// How the service is shaped: worker count, queue bound, batching policy,
+/// fault-tolerance knobs.
 #[derive(Debug, Clone)]
 pub struct ServiceConfig {
     /// Worker threads, each owning one shard of streams. Clamped to ≥ 1.
@@ -61,6 +132,18 @@ pub struct ServiceConfig {
     /// tests and benches set it to emulate a slow consumer so queue
     /// backpressure becomes observable.
     pub sweep_stall: Duration,
+    /// Default policy of the blocking [`Submitter::submit`] path.
+    pub submit_policy: SubmitPolicy,
+    /// Wedged-worker detection.
+    pub watchdog: WatchdogConfig,
+    /// Deterministic chaos injected into the shard workers.
+    /// [`ChaosSpec::quiet`] (the default) injects nothing.
+    pub chaos: ChaosSpec,
+    /// Worker restarts a shard's supervisor tolerates before giving up
+    /// and re-raising the panic (surfaced at shutdown as
+    /// [`ServiceError::ShardPanicked`]). Zero means fail on the first
+    /// panic.
+    pub max_restarts_per_shard: usize,
 }
 
 impl Default for ServiceConfig {
@@ -71,6 +154,10 @@ impl Default for ServiceConfig {
             batch_windows: 64,
             quarantine_after: DEFAULT_QUARANTINE_AFTER,
             sweep_stall: Duration::ZERO,
+            submit_policy: SubmitPolicy::default(),
+            watchdog: WatchdogConfig::default(),
+            chaos: ChaosSpec::quiet(),
+            max_restarts_per_shard: 3,
         }
     }
 }
@@ -84,6 +171,15 @@ pub enum SubmitError {
         /// The shard whose queue was full.
         shard: usize,
     },
+    /// The submission's deadline elapsed while the shard stayed busy —
+    /// the policy paths' terminal shed signal. The window was **not**
+    /// buffered anywhere.
+    Deadline {
+        /// The shard whose queue stayed full.
+        shard: usize,
+        /// Backoff-and-retry attempts burned before giving up.
+        retries: u32,
+    },
     /// The service has shut down; no further windows can be scored.
     Shutdown,
 }
@@ -92,12 +188,79 @@ impl std::fmt::Display for SubmitError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SubmitError::Busy { shard } => write!(f, "shard {shard} queue full"),
+            SubmitError::Deadline { shard, retries } => {
+                write!(
+                    f,
+                    "shard {shard} still busy after {retries} retries; deadline elapsed"
+                )
+            }
             SubmitError::Shutdown => write!(f, "service is shut down"),
         }
     }
 }
 
 impl std::error::Error for SubmitError {}
+
+/// Why the service failed to shut down cleanly.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// A shard worker died beyond its restart budget. The report of every
+    /// *surviving* shard is still merged and attached — a fleet does not
+    /// discard N-1 shards of verdicts because one shard crashed.
+    ShardPanicked {
+        /// The shard whose worker died.
+        shard: usize,
+        /// The panic message of the fatal (budget-exhausting) panic.
+        message: String,
+        /// Merged report of the surviving shards (the dead shard's
+        /// sessions and latencies are lost with its thread).
+        partial: Box<ServiceReport>,
+    },
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::ShardPanicked {
+                shard,
+                message,
+                partial,
+            } => write!(
+                f,
+                "shard {shard} panicked beyond its restart budget ({message}); \
+                 {} surviving shard(s) reported",
+                partial.shards.saturating_sub(1)
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// Why a shard worker was restarted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RestartCause {
+    /// The worker loop panicked and was respawned by its supervisor.
+    Panic {
+        /// The panic message (best effort; non-string payloads are
+        /// summarized).
+        message: String,
+    },
+    /// The watchdog declared the worker wedged and the worker honored the
+    /// restart request at its next loop boundary.
+    Wedged,
+}
+
+/// One supervised restart of a shard worker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardRestart {
+    /// The shard whose worker restarted.
+    pub shard: usize,
+    /// What killed (or wedged) the worker.
+    pub cause: RestartCause,
+    /// Completed scoring sweeps on the shard when the restart happened.
+    pub at_sweep: u64,
+}
 
 enum Msg {
     Window {
@@ -119,6 +282,16 @@ fn stream_hash(stream: u64) -> u64 {
     h
 }
 
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// A cloneable, thread-safe submission handle.
 ///
 /// Clone one per producer thread. Windows for one stream must be
@@ -132,6 +305,9 @@ fn stream_hash(stream: u64) -> u64 {
 pub struct Submitter {
     txs: Arc<[SyncSender<Msg>]>,
     busy: Arc<AtomicU64>,
+    shed: Arc<AtomicU64>,
+    retries: Arc<AtomicU64>,
+    policy: SubmitPolicy,
 }
 
 impl Submitter {
@@ -171,27 +347,111 @@ impl Submitter {
         }
     }
 
-    /// Submits one window, blocking while the shard's queue is full —
-    /// backpressure propagates to the producer instead of shedding.
+    /// Submits one window under an explicit [`SubmitPolicy`]: on `Busy`,
+    /// sleeps the policy's deterministic jittered backoff and retries, up
+    /// to [`SubmitPolicy::max_retries`] attempts and never past
+    /// [`SubmitPolicy::deadline`].
+    ///
+    /// The window's latency clock (`submitted`) restarts on every
+    /// attempt, so backoff spent *outside* the queue does not pollute the
+    /// service's queue-to-verdict latency distribution.
     ///
     /// # Errors
     ///
-    /// [`SubmitError::Shutdown`] when the shard is gone.
+    /// [`SubmitError::Deadline`] when the budget is exhausted (the window
+    /// is dropped back to the caller and counted in
+    /// [`ServiceReport::shed`]), [`SubmitError::Shutdown`] when the shard
+    /// is gone.
+    pub fn submit_with_policy(
+        &self,
+        stream: u64,
+        at_inst: u64,
+        row: Box<[f64]>,
+        policy: &SubmitPolicy,
+    ) -> Result<(), SubmitError> {
+        self.submit_bounded(stream, at_inst, row, policy, Some(policy.max_retries))
+    }
+
+    /// Submits one window, absorbing backpressure with the service's
+    /// default policy ([`ServiceConfig::submit_policy`]): retries are
+    /// unbounded, but the policy's deadline still applies — a wedged
+    /// shard cannot hold a producer hostage forever.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Deadline`] when the deadline elapses with the shard
+    /// still busy, [`SubmitError::Shutdown`] when the shard is gone.
     pub fn submit(&self, stream: u64, at_inst: u64, row: Box<[f64]>) -> Result<(), SubmitError> {
+        let policy = self.policy;
+        self.submit_bounded(stream, at_inst, row, &policy, None)
+    }
+
+    fn submit_bounded(
+        &self,
+        stream: u64,
+        at_inst: u64,
+        mut row: Box<[f64]>,
+        policy: &SubmitPolicy,
+        max_retries: Option<u32>,
+    ) -> Result<(), SubmitError> {
         let shard = self.shard_of(stream);
-        self.txs[shard]
-            .send(Msg::Window {
+        let start = Instant::now();
+        let mut attempt: u32 = 0;
+        loop {
+            let msg = Msg::Window {
                 stream,
                 at_inst,
                 row,
                 submitted: Instant::now(),
-            })
-            .map_err(|_| SubmitError::Shutdown)
+            };
+            match self.txs[shard].try_send(msg) {
+                Ok(()) => return Ok(()),
+                Err(TrySendError::Disconnected(_)) => return Err(SubmitError::Shutdown),
+                Err(TrySendError::Full(msg)) => {
+                    self.busy.fetch_add(1, Ordering::Relaxed);
+                    // Take the row back out of the rejected message rather
+                    // than recloning it for the retry.
+                    row = match msg {
+                        Msg::Window { row, .. } => row,
+                        Msg::Drain(_) => unreachable!("submit only sends windows"),
+                    };
+                    let out_of_attempts = max_retries.is_some_and(|m| attempt >= m);
+                    let elapsed = start.elapsed();
+                    if out_of_attempts || elapsed >= policy.deadline {
+                        self.shed.fetch_add(1, Ordering::Relaxed);
+                        return Err(SubmitError::Deadline {
+                            shard,
+                            retries: attempt,
+                        });
+                    }
+                    let nap = policy
+                        .backoff(stream, attempt)
+                        .min(policy.deadline - elapsed);
+                    std::thread::sleep(nap);
+                    self.retries.fetch_add(1, Ordering::Relaxed);
+                    attempt += 1;
+                }
+            }
+        }
     }
 
-    /// `Busy` rejections observed across all clones of this submitter.
+    /// `Busy` rejections observed across all clones of this submitter
+    /// (every rejected `try_send`, including ones later absorbed by a
+    /// policy retry).
     pub fn busy_rejections(&self) -> u64 {
         self.busy.load(Ordering::Relaxed)
+    }
+
+    /// Windows given up on by the policy paths (deadline or retry budget
+    /// exhausted) across all clones of this submitter.
+    pub fn shed(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// Backoff-and-retry attempts performed by the policy paths across
+    /// all clones of this submitter.
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
     }
 }
 
@@ -204,6 +464,9 @@ pub struct StreamOutcome {
     pub state: SessionState,
     /// Windows scored under degraded input.
     pub degraded_windows: usize,
+    /// Windows accepted by the service but lost to a worker crash before
+    /// they could be scored. Any loss quarantines the stream.
+    pub lost_windows: usize,
     /// Every verdict rendered for the stream, in submission order.
     pub verdicts: Vec<IntervalVerdict>,
 }
@@ -221,6 +484,15 @@ pub struct ServiceReport {
     pub max_coalesced: usize,
     /// `Busy` rejections observed by the service's own submitters.
     pub busy_rejections: u64,
+    /// Windows shed by the policy submit paths (deadline / retry budget
+    /// exhausted before the shard drained).
+    pub shed: u64,
+    /// Backoff-and-retry attempts performed by the policy submit paths.
+    pub retries: u64,
+    /// Windows NaN-stormed by the chaos plan before scoring.
+    pub storms: u64,
+    /// Every supervised worker restart, in per-shard order.
+    pub restarts: Vec<ShardRestart>,
     /// Submit-to-verdict latency of every window, microseconds, sorted
     /// ascending.
     pub latencies_us: Vec<u32>,
@@ -255,12 +527,65 @@ impl ServiceReport {
             .map(|i| self.streams[i].verdicts.as_slice())
     }
 
-    /// Streams quarantined by the degraded-window state machine.
+    /// Streams quarantined by the degraded-window state machine (or by a
+    /// lost window).
     pub fn quarantined_streams(&self) -> impl Iterator<Item = u64> + '_ {
         self.streams
             .iter()
             .filter(|s| s.state == SessionState::Quarantined)
             .map(|s| s.stream)
+    }
+
+    /// Windows lost to worker crashes, across all streams.
+    pub fn lost_windows(&self) -> u64 {
+        self.streams.iter().map(|s| s.lost_windows as u64).sum()
+    }
+
+    /// FNV-1a digest of every *data* observable the chaos plan is allowed
+    /// to influence deterministically: scored-window and storm totals,
+    /// and per stream the final state, degraded/lost accounting, and the
+    /// bit-exact verdict sequence.
+    ///
+    /// Timing observables — latencies, sweep/coalescing shapes, busy,
+    /// retry and shed counts, restart timing — are deliberately excluded:
+    /// they depend on scheduling, not on the plan. Two runs of the same
+    /// `(chaos seed, plan, corpus)` must produce the same fingerprint at
+    /// any shard count; the crate's chaos proptests pin exactly that.
+    pub fn chaos_fingerprint(&self) -> u64 {
+        fn eat(h: &mut u64, bytes: &[u8]) {
+            for &b in bytes {
+                *h ^= b as u64;
+                *h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        }
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        eat(&mut h, &self.windows_scored.to_le_bytes());
+        eat(&mut h, &self.storms.to_le_bytes());
+        eat(&mut h, &(self.streams.len() as u64).to_le_bytes());
+        for s in &self.streams {
+            eat(&mut h, &s.stream.to_le_bytes());
+            eat(&mut h, &[s.state as u8]);
+            eat(&mut h, &(s.degraded_windows as u64).to_le_bytes());
+            eat(&mut h, &(s.lost_windows as u64).to_le_bytes());
+            eat(&mut h, &(s.verdicts.len() as u64).to_le_bytes());
+            for v in &s.verdicts {
+                eat(&mut h, &v.at_inst.to_le_bytes());
+                eat(&mut h, &v.confidence.to_bits().to_le_bytes());
+                eat(&mut h, &[v.suspicious as u8]);
+                match &v.degraded {
+                    None => eat(&mut h, &[0]),
+                    Some(d) => {
+                        eat(&mut h, &[1]);
+                        eat(&mut h, &(d.sanitized_values as u64).to_le_bytes());
+                        for c in &d.missing_components {
+                            eat(&mut h, c.as_bytes());
+                            eat(&mut h, &[0xff]);
+                        }
+                    }
+                }
+            }
+        }
+        h
     }
 }
 
@@ -268,6 +593,8 @@ struct ShardReport {
     windows: u64,
     sweeps: u64,
     max_coalesced: usize,
+    storms: u64,
+    restarts: Vec<ShardRestart>,
     latencies_us: Vec<u32>,
     streams: Vec<StreamOutcome>,
 }
@@ -279,50 +606,130 @@ struct PendingWindow {
     submitted: Instant,
 }
 
-/// One worker thread's whole world: its sessions, the frozen engine, and
-/// the current batch.
-struct ShardWorker {
-    detector: Arc<PerSpectron>,
+/// Where in the message/sweep cycle the worker was when it last moved —
+/// the recovery map. Each variant names the repair the supervisor applies
+/// if an unwind lands there.
+enum Region {
+    /// Between messages: nothing to repair.
+    Idle,
+    /// Receiving a window, session untouched (the poison-pill site). The
+    /// consumed message is gone: record the loss and quarantine the
+    /// stream.
+    Receiving { stream: u64 },
+    /// Mid-handle, session possibly torn (open without a matching batch
+    /// push). Roll the open back; if the batch holds an orphan row the
+    /// whole batch is discarded with every pending stream quarantined —
+    /// coarse, but this region is only reachable through a genuine bug,
+    /// never through injected chaos.
+    Opening { stream: u64 },
+    /// Inside a scoring sweep: sessions are consistent (opened, not yet
+    /// closed) and the batch is intact, so the respawned worker re-scores
+    /// it — the carried batch. A batch that kills the worker twice is
+    /// discarded instead, with every pending stream quarantined.
+    Sweeping,
+}
+
+/// Per-shard liveness surface shared between worker, supervisor and
+/// watchdog.
+struct ShardMonitor {
+    beats: AtomicU64,
+    restart_requested: AtomicBool,
+}
+
+impl ShardMonitor {
+    fn new() -> Self {
+        Self {
+            beats: AtomicU64::new(0),
+            restart_requested: AtomicBool::new(false),
+        }
+    }
+
+    fn beat(&self) {
+        self.beats.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn beats(&self) -> u64 {
+        self.beats.load(Ordering::Relaxed)
+    }
+
+    fn request_restart(&self) {
+        self.restart_requested.store(true, Ordering::Relaxed);
+    }
+
+    fn take_restart(&self) -> bool {
+        self.restart_requested.swap(false, Ordering::Relaxed)
+    }
+}
+
+/// Volatile per-spawn state: everything rebuilt from the shared detector
+/// when the worker (re)starts. Nothing here outlives a panic.
+struct ShardEngine {
     encoder: RowEncoder,
     engine: PackedPerceptron,
-    sessions: HashMap<u64, StreamSession>,
     bits: BitRow,
+    scores: Vec<f64>,
+}
+
+impl ShardEngine {
+    fn new(detector: &PerSpectron, batch_cap: usize) -> Self {
+        let encoder = detector.packed_encoder();
+        let width = encoder.width();
+        Self {
+            engine: detector.packed_perceptron().clone(),
+            encoder,
+            bits: BitRow::zeros(width),
+            scores: Vec::with_capacity(batch_cap),
+        }
+    }
+}
+
+/// Durable per-shard state, owned by the supervisor frame: survives
+/// worker panics and is repaired — never rebuilt — across restarts.
+struct ShardState {
+    shard: usize,
+    detector: Arc<PerSpectron>,
+    sessions: HashMap<u64, StreamSession>,
     batch: PackedRows,
     pending: Vec<PendingWindow>,
-    scores: Vec<f64>,
+    chaos: ShardChaos,
+    region: Region,
+    sweep_attempts: u32,
+    restarts: Vec<ShardRestart>,
     latencies_us: Vec<u32>,
     windows: u64,
     sweeps: u64,
     max_coalesced: usize,
+    storms: u64,
     batch_windows: usize,
     quarantine_after: usize,
     sweep_stall: Duration,
 }
 
-impl ShardWorker {
-    fn new(detector: Arc<PerSpectron>, cfg: &ServiceConfig) -> Self {
-        let encoder = detector.packed_encoder();
-        let width = encoder.width();
+impl ShardState {
+    fn new(detector: Arc<PerSpectron>, cfg: &ServiceConfig, shard: usize) -> Self {
+        let width = detector.packed_encoder().width();
         Self {
-            engine: detector.packed_perceptron().clone(),
-            detector,
-            encoder,
+            shard,
             sessions: HashMap::new(),
-            bits: BitRow::zeros(width),
             batch: PackedRows::new(width),
             pending: Vec::with_capacity(cfg.batch_windows.max(1)),
-            scores: Vec::with_capacity(cfg.batch_windows.max(1)),
+            chaos: ShardChaos::new(Arc::new(cfg.chaos.clone()), shard),
+            region: Region::Idle,
+            sweep_attempts: 0,
+            restarts: Vec::new(),
             latencies_us: Vec::new(),
             windows: 0,
             sweeps: 0,
             max_coalesced: 0,
+            storms: 0,
             batch_windows: cfg.batch_windows.max(1),
             quarantine_after: cfg.quarantine_after.max(1),
             sweep_stall: cfg.sweep_stall,
+            detector,
         }
     }
 
-    fn handle(&mut self, msg: Msg) {
+    fn handle(&mut self, msg: Msg, vol: &mut ShardEngine) {
         match msg {
             Msg::Window {
                 stream,
@@ -330,13 +737,26 @@ impl ShardWorker {
                 mut row,
                 submitted,
             } => {
+                let detector = &self.detector;
+                let quarantine_after = self.quarantine_after;
                 let session = self.sessions.entry(stream).or_insert_with(|| {
-                    StreamSession::new(&self.detector).with_quarantine_after(self.quarantine_after)
+                    StreamSession::new(detector).with_quarantine_after(quarantine_after)
                 });
+                // The per-stream arrival index: windows already opened for
+                // this stream, including ones still pending in the batch.
+                // Per-stream FIFO makes it deterministic at any shard
+                // count, which is what keys the window-level chaos.
+                let window_index = session.windows_opened();
+                self.region = Region::Receiving { stream };
+                self.chaos.pill(stream, window_index);
+                if self.chaos.storm(stream, window_index, &mut row) > 0 {
+                    self.storms += 1;
+                }
+                self.region = Region::Opening { stream };
                 let (point, degraded) = session.open_window(&mut row);
-                self.encoder.encode_bits_into(&row, point, &mut self.bits);
+                vol.encoder.encode_bits_into(&row, point, &mut vol.bits);
                 self.batch
-                    .push(&self.bits)
+                    .push(&vol.bits)
                     .expect("encoder and batch widths agree");
                 self.pending.push(PendingWindow {
                     stream,
@@ -344,11 +764,12 @@ impl ShardWorker {
                     degraded,
                     submitted,
                 });
+                self.region = Region::Idle;
             }
             Msg::Drain(ack) => {
                 // Everything submitted before the drain is already in the
                 // queue ahead of it (per-queue FIFO): sweep, then ack.
-                self.sweep();
+                self.sweep(vol);
                 let _ = ack.send(());
             }
         }
@@ -356,20 +777,24 @@ impl ShardWorker {
 
     /// Scores the current batch in one `score_rows` sweep and closes
     /// every pending window against its session.
-    fn sweep(&mut self) {
+    fn sweep(&mut self, vol: &mut ShardEngine) {
         if self.pending.is_empty() {
             return;
         }
+        self.region = Region::Sweeping;
+        // 1-based: "panic at sweep N" fires before sweep N scores, and a
+        // carried batch retries the *same* number after the respawn.
+        self.chaos.before_sweep(self.sweeps + 1);
         if !self.sweep_stall.is_zero() {
             std::thread::sleep(self.sweep_stall);
         }
-        self.engine.score_rows(&self.batch, &mut self.scores);
-        debug_assert_eq!(self.scores.len(), self.pending.len());
+        vol.engine.score_rows(&self.batch, &mut vol.scores);
+        debug_assert_eq!(vol.scores.len(), self.pending.len());
         let scored_at = Instant::now();
         self.max_coalesced = self.max_coalesced.max(self.pending.len());
         self.windows += self.pending.len() as u64;
         self.sweeps += 1;
-        for (pw, &raw) in self.pending.drain(..).zip(self.scores.iter()) {
+        for (pw, &raw) in self.pending.drain(..).zip(vol.scores.iter()) {
             let session = self
                 .sessions
                 .get_mut(&pw.stream)
@@ -380,26 +805,83 @@ impl ShardWorker {
                 .push(u32::try_from(us).unwrap_or(u32::MAX));
         }
         self.batch.clear();
+        self.sweep_attempts = 0;
+        self.region = Region::Idle;
     }
 
-    fn run(mut self, rx: Receiver<Msg>) -> ShardReport {
-        // Block for the first message of a burst, then coalesce whatever
-        // else is already queued — up to one batch — into the same sweep.
-        while let Ok(msg) = rx.recv() {
-            self.handle(msg);
-            loop {
-                if self.pending.len() >= self.batch_windows {
-                    self.sweep();
+    /// Discards the in-flight batch, quarantining every stream that loses
+    /// a window — loss is never silent.
+    fn discard_batch(&mut self) {
+        for pw in self.pending.drain(..) {
+            if let Some(s) = self.sessions.get_mut(&pw.stream) {
+                s.record_lost_window();
+            }
+        }
+        self.batch.clear();
+        self.sweep_attempts = 0;
+    }
+
+    /// Repairs the durable state after an unwind, according to the region
+    /// the worker died in. Afterwards the batch/pending pair is
+    /// consistent and every lost window is accounted for on its session.
+    fn repair_after_unwind(&mut self) {
+        let detector = Arc::clone(&self.detector);
+        match std::mem::replace(&mut self.region, Region::Idle) {
+            Region::Idle => {}
+            Region::Receiving { stream } => {
+                // The message was consumed before the crash: exactly one
+                // window lost, on a session that was never touched.
+                let quarantine_after = self.quarantine_after;
+                self.sessions
+                    .entry(stream)
+                    .or_insert_with(|| {
+                        StreamSession::new(&detector).with_quarantine_after(quarantine_after)
+                    })
+                    .record_lost_window();
+            }
+            Region::Opening { stream } => {
+                if let Some(s) = self.sessions.get_mut(&stream) {
+                    s.rollback_open();
+                    s.record_lost_window();
                 }
-                match rx.try_recv() {
-                    Ok(m) => self.handle(m),
-                    Err(_) => break,
+                if self.batch.len() > self.pending.len() {
+                    // The encoded row made it into the batch but its
+                    // bookkeeping did not; PackedRows has no pop, so the
+                    // whole batch goes, loudly.
+                    self.discard_batch();
                 }
             }
-            self.sweep();
+            Region::Sweeping => {
+                self.sweep_attempts += 1;
+                if self.sweep_attempts >= 2 {
+                    // The same batch killed the worker twice: a poison
+                    // batch, not a transient. Drop it rather than crash-loop.
+                    self.discard_batch();
+                }
+                // Otherwise: carried batch — sessions are open and the
+                // rows are intact; the respawned engine re-scores them
+                // bit-identically (same frozen weights).
+            }
         }
-        // Channel disconnected: score any straggler batch and report.
-        self.sweep();
+    }
+
+    /// Re-homes every session onto the respawned worker via the
+    /// checkpoint round-trip, preserving sampling-point cursors, verdict
+    /// logs, and sticky degraded/quarantine accounting exactly.
+    fn rehome_sessions(&mut self) {
+        let detector = Arc::clone(&self.detector);
+        self.sessions = std::mem::take(&mut self.sessions)
+            .into_iter()
+            .map(|(stream, session)| {
+                (
+                    stream,
+                    StreamSession::restore(&detector, session.into_snapshot()),
+                )
+            })
+            .collect();
+    }
+
+    fn into_report(self) -> ShardReport {
         let mut streams: Vec<StreamOutcome> = self
             .sessions
             .into_iter()
@@ -407,6 +889,7 @@ impl ShardWorker {
                 stream,
                 state: session.state(),
                 degraded_windows: session.degraded_windows(),
+                lost_windows: session.lost_windows(),
                 verdicts: session.into_verdicts(),
             })
             .collect();
@@ -415,8 +898,141 @@ impl ShardWorker {
             windows: self.windows,
             sweeps: self.sweeps,
             max_coalesced: self.max_coalesced,
+            storms: self.storms,
+            restarts: self.restarts,
             latencies_us: self.latencies_us,
             streams,
+        }
+    }
+}
+
+enum LoopExit {
+    /// Queue disconnected: all submitters gone, stragglers swept.
+    Disconnected,
+    /// The watchdog asked for a restart and the worker complied.
+    RestartRequested,
+}
+
+/// The worker loop proper: runs until disconnect, restart request, or
+/// panic. Durable state is borrowed from the supervisor; `vol` is this
+/// spawn's private engine.
+fn worker_loop(
+    st: &mut ShardState,
+    vol: &mut ShardEngine,
+    rx: &Receiver<Msg>,
+    monitor: &ShardMonitor,
+    tick: Duration,
+) -> LoopExit {
+    // A carried batch from before a restart drains first, so re-homed
+    // sessions see their windows close in the original order.
+    st.sweep(vol);
+    loop {
+        monitor.beat();
+        if monitor.take_restart() {
+            return LoopExit::RestartRequested;
+        }
+        // Block for the first message of a burst (waking every tick to
+        // heartbeat), then coalesce whatever else is already queued — up
+        // to one batch — into the same sweep.
+        match rx.recv_timeout(tick) {
+            Ok(msg) => {
+                st.handle(msg, vol);
+                loop {
+                    if st.pending.len() >= st.batch_windows {
+                        st.sweep(vol);
+                    }
+                    monitor.beat();
+                    match rx.try_recv() {
+                        Ok(m) => st.handle(m, vol),
+                        Err(_) => break,
+                    }
+                }
+                st.sweep(vol);
+            }
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    // Channel disconnected: score any straggler batch and exit.
+    st.sweep(vol);
+    LoopExit::Disconnected
+}
+
+/// The supervisor: owns the durable state, respawns the worker loop after
+/// panics and watchdog restarts, and gives up (re-raising) past the
+/// restart budget.
+fn supervise(
+    mut st: ShardState,
+    rx: Receiver<Msg>,
+    monitor: Arc<ShardMonitor>,
+    tick: Duration,
+    max_restarts: usize,
+) -> ShardReport {
+    loop {
+        let mut vol = ShardEngine::new(&st.detector, st.batch_windows);
+        let exit = catch_unwind(AssertUnwindSafe(|| {
+            worker_loop(&mut st, &mut vol, &rx, &monitor, tick)
+        }));
+        match exit {
+            Ok(LoopExit::Disconnected) => break,
+            Ok(LoopExit::RestartRequested) => {
+                st.restarts.push(ShardRestart {
+                    shard: st.shard,
+                    cause: RestartCause::Wedged,
+                    at_sweep: st.sweeps,
+                });
+                if st.restarts.len() > max_restarts {
+                    panic!(
+                        "shard {} wedged beyond its restart budget ({max_restarts})",
+                        st.shard
+                    );
+                }
+                // A cooperative restart exits at a loop boundary: the
+                // region is Idle and nothing needs repair.
+                st.rehome_sessions();
+            }
+            Err(payload) => {
+                let message = panic_message(payload.as_ref());
+                st.restarts.push(ShardRestart {
+                    shard: st.shard,
+                    cause: RestartCause::Panic { message },
+                    at_sweep: st.sweeps,
+                });
+                if st.restarts.len() > max_restarts {
+                    resume_unwind(payload);
+                }
+                st.repair_after_unwind();
+                st.rehome_sessions();
+            }
+        }
+    }
+    st.into_report()
+}
+
+/// The watchdog loop: samples every shard's heartbeat each tick and
+/// requests a restart after `budget` consecutive stale samples.
+fn watchdog_loop(
+    monitors: Arc<Vec<Arc<ShardMonitor>>>,
+    stop: Arc<AtomicBool>,
+    tick: Duration,
+    budget: u32,
+) {
+    let mut last: Vec<u64> = monitors.iter().map(|m| m.beats()).collect();
+    let mut stale: Vec<u32> = vec![0; monitors.len()];
+    while !stop.load(Ordering::Relaxed) {
+        std::thread::sleep(tick);
+        for (i, m) in monitors.iter().enumerate() {
+            let beats = m.beats();
+            if beats == last[i] {
+                stale[i] += 1;
+                if stale[i] >= budget {
+                    m.request_restart();
+                    stale[i] = 0;
+                }
+            } else {
+                last[i] = beats;
+                stale[i] = 0;
+            }
         }
     }
 }
@@ -427,32 +1043,58 @@ impl ShardWorker {
 pub struct Perspectrond {
     submitter: Submitter,
     joins: Vec<JoinHandle<ShardReport>>,
+    watchdog: Option<JoinHandle<()>>,
+    stop: Arc<AtomicBool>,
 }
 
 impl Perspectrond {
-    /// Spawns the shard workers and returns the running service. The
-    /// detector is cloned once and shared read-only across shards.
+    /// Spawns the supervised shard workers and the watchdog, returning
+    /// the running service. The detector is cloned once and shared
+    /// read-only across shards.
     pub fn start(detector: &PerSpectron, config: ServiceConfig) -> Self {
         let shards = config.shards.max(1);
+        let tick = config.watchdog.tick.max(Duration::from_millis(1));
+        let stall_budget = config.watchdog.stall_budget.max(2);
+        let max_restarts = config.max_restarts_per_shard;
         let detector = Arc::new(detector.clone());
         let mut txs = Vec::with_capacity(shards);
         let mut joins = Vec::with_capacity(shards);
+        let mut monitors = Vec::with_capacity(shards);
         for id in 0..shards {
             let (tx, rx) = sync_channel(config.queue_depth.max(1));
-            let worker = ShardWorker::new(Arc::clone(&detector), &config);
+            let state = ShardState::new(Arc::clone(&detector), &config, id);
+            let monitor = Arc::new(ShardMonitor::new());
+            let worker_monitor = Arc::clone(&monitor);
             let join = std::thread::Builder::new()
                 .name(format!("perspectrond-shard{id}"))
-                .spawn(move || worker.run(rx))
+                .spawn(move || supervise(state, rx, worker_monitor, tick, max_restarts))
                 .expect("spawn shard worker");
             txs.push(tx);
             joins.push(join);
+            monitors.push(monitor);
         }
+        let stop = Arc::new(AtomicBool::new(false));
+        let watchdog = {
+            let monitors = Arc::new(monitors);
+            let stop = Arc::clone(&stop);
+            Some(
+                std::thread::Builder::new()
+                    .name("perspectrond-watchdog".to_string())
+                    .spawn(move || watchdog_loop(monitors, stop, tick, stall_budget))
+                    .expect("spawn watchdog"),
+            )
+        };
         Self {
             submitter: Submitter {
                 txs: txs.into(),
                 busy: Arc::new(AtomicU64::new(0)),
+                shed: Arc::new(AtomicU64::new(0)),
+                retries: Arc::new(AtomicU64::new(0)),
+                policy: config.submit_policy,
             },
             joins,
+            watchdog,
+            stop,
         }
     }
 
@@ -468,7 +1110,9 @@ impl Perspectrond {
 
     /// Blocks until every shard has scored everything submitted before
     /// this call — a verdict barrier (partial batches are swept, not
-    /// awaited).
+    /// awaited). If a shard crashes while draining, its ack is dropped
+    /// and the barrier releases early for that shard; the carried batch
+    /// is scored after the respawn and always by shutdown.
     pub fn drain(&self) {
         let mut acks = Vec::with_capacity(self.joins.len());
         for tx in self.submitter.txs.iter() {
@@ -488,8 +1132,16 @@ impl Perspectrond {
     /// All [`Submitter`] clones must already be dropped — shards exit on
     /// queue disconnect, so a live clone elsewhere keeps them (and this
     /// call) waiting.
-    pub fn shutdown(self) -> ServiceReport {
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::ShardPanicked`] when a shard died beyond its
+    /// restart budget. The error still carries the merged report of every
+    /// surviving shard — partial results are returned, not discarded.
+    pub fn shutdown(self) -> Result<ServiceReport, ServiceError> {
         let busy = self.submitter.busy_rejections();
+        let shed = self.submitter.shed();
+        let retries = self.submitter.retries();
         let shards = self.joins.len();
         drop(self.submitter);
         let mut report = ServiceReport {
@@ -498,19 +1150,48 @@ impl Perspectrond {
             sweeps: 0,
             max_coalesced: 0,
             busy_rejections: busy,
+            shed,
+            retries,
+            storms: 0,
+            restarts: Vec::new(),
             latencies_us: Vec::new(),
             streams: Vec::new(),
         };
-        for join in self.joins {
-            let shard = join.join().expect("shard worker panicked");
-            report.windows_scored += shard.windows;
-            report.sweeps += shard.sweeps;
-            report.max_coalesced = report.max_coalesced.max(shard.max_coalesced);
-            report.latencies_us.extend(shard.latencies_us);
-            report.streams.extend(shard.streams);
+        let mut failed: Option<(usize, String)> = None;
+        for (shard, join) in self.joins.into_iter().enumerate() {
+            match join.join() {
+                Ok(part) => {
+                    report.windows_scored += part.windows;
+                    report.sweeps += part.sweeps;
+                    report.max_coalesced = report.max_coalesced.max(part.max_coalesced);
+                    report.storms += part.storms;
+                    report.restarts.extend(part.restarts);
+                    report.latencies_us.extend(part.latencies_us);
+                    report.streams.extend(part.streams);
+                }
+                Err(payload) => {
+                    let message = panic_message(payload.as_ref());
+                    failed.get_or_insert((shard, message));
+                }
+            }
+        }
+        // The watchdog outlives the workers: a shard that wedges while
+        // draining its final windows must still be caught. Only once every
+        // worker has exited is there nothing left to watch.
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(w) = self.watchdog {
+            let _ = w.join();
         }
         report.latencies_us.sort_unstable();
         report.streams.sort_by_key(|s| s.stream);
-        report
+        report.restarts.sort_by_key(|r| r.shard);
+        match failed {
+            None => Ok(report),
+            Some((shard, message)) => Err(ServiceError::ShardPanicked {
+                shard,
+                message,
+                partial: Box::new(report),
+            }),
+        }
     }
 }

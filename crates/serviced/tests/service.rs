@@ -86,7 +86,7 @@ fn run_replay(shards: usize, streams: usize, tag: &str) -> perspectron_serviced:
         },
     );
     drop(submitter);
-    let report = service.shutdown();
+    let report = service.shutdown().expect("clean shutdown");
     assert_eq!(
         report.windows_scored, outcome.submitted,
         "every accepted window must be scored exactly once"
@@ -188,6 +188,7 @@ fn slow_consumer_backpressure_is_bounded_and_explicit() {
                 assert_eq!(shard, 0);
                 rejected += 1;
             }
+            Err(SubmitError::Deadline { .. }) => panic!("try_submit never retries"),
             Err(SubmitError::Shutdown) => panic!("service died"),
         }
     }
@@ -200,7 +201,7 @@ fn slow_consumer_backpressure_is_bounded_and_explicit() {
     assert_eq!(accepted + rejected, attempts);
 
     drop(submitter);
-    let report = service.shutdown();
+    let report = service.shutdown().expect("clean shutdown");
     // Nothing was silently buffered or dropped: exactly the accepted
     // windows were scored, in order.
     assert_eq!(report.windows_scored, accepted);
@@ -240,7 +241,7 @@ fn drain_is_a_verdict_barrier_for_partial_batches() {
     }
     service.drain();
     drop(submitter);
-    let report = service.shutdown();
+    let report = service.shutdown().expect("clean shutdown");
     assert_eq!(report.windows_scored, 24);
     for s in 0..8u64 {
         assert_eq!(report.verdicts_of(s).map(<[_]>::len), Some(3));
